@@ -1,0 +1,56 @@
+"""Ablation: the pessimistic confidence level CF (Section 4.2).
+
+C4.5's default CF = 0.25 governs how strongly low-coverage rules are
+discounted.  Sweeping CF shows the pruning knob's effect on model size and
+gain; smaller CF prunes harder.
+"""
+
+from __future__ import annotations
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.pruning import PruneConfig
+from repro.eval.experiments import get_dataset
+from repro.eval.metrics import evaluate
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+CF_LEVELS = (0.05, 0.25, 0.45)
+
+
+def test_ablation_cf_sweep(benchmark):
+    scale = bench_scale()
+    dataset = get_dataset("I", scale)
+    split = int(len(dataset.db) * 0.8)
+    train = dataset.db.subset(range(split))
+    test = dataset.db.subset(range(split, len(dataset.db)))
+
+    def experiment():
+        rows = {}
+        for cf in CF_LEVELS:
+            miner = ProfitMiner(
+                dataset.hierarchy,
+                config=ProfitMinerConfig(
+                    mining=MinerConfig(
+                        min_support=scale.spot_support,
+                        max_body_size=scale.max_body_size,
+                    ),
+                    pruning=PruneConfig(cf=cf),
+                ),
+            ).fit(train)
+            rows[cf] = (evaluate(miner, test, dataset.hierarchy), miner.model_size)
+        return rows
+
+    results = run_once(benchmark, experiment)
+    table = [
+        [cf, result.gain, result.hit_rate, size]
+        for cf, (result, size) in results.items()
+    ]
+    print_panel(
+        "ablation-cf", format_table(["CF", "gain", "hit rate", "rules"], table)
+    )
+
+    for cf, (result, size) in results.items():
+        assert size >= 1
+        assert 0 <= result.gain <= 1.0 + 1e-9

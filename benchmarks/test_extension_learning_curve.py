@@ -1,0 +1,36 @@
+"""Extension: gain vs training-set size (scalability shape).
+
+Rules need support to exist: at a quarter of the training data, the miner
+holds fewer, coarser rules; its gain must recover as data grows.  kNN's
+curve is plotted alongside — instance-based methods also improve with
+data, so the gap at full size is the honest comparison.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import learning_curve
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def test_extension_learning_curve(benchmark):
+    scale = bench_scale()
+    curve = run_once(
+        benchmark, lambda: learning_curve("I", scale, fractions=FRACTIONS)
+    )
+    systems = sorted(next(iter(curve.values())))
+    rows = [
+        [fraction, *(curve[fraction][s] for s in systems)]
+        for fraction in sorted(curve)
+    ]
+    print_panel(
+        "extension-learning-curve",
+        format_table(["train fraction", *systems], rows),
+    )
+
+    prof = [curve[f]["PROF+MOA"] for f in sorted(curve)]
+    # More data must not hurt substantially (noise tolerance 0.05).
+    assert prof[-1] >= prof[0] - 0.05

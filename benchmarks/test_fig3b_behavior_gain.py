@@ -1,0 +1,30 @@
+"""Figure 3(b): gain under quantity-increase behaviors, dataset I."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import behavior_gain
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig3b_behavior_gain(benchmark):
+    scale = bench_scale()
+    gains = run_once(benchmark, lambda: behavior_gain("I", scale))
+    systems = sorted(next(iter(gains.values())))
+    rows = [
+        [label, *(per.get(system) for system in systems)]
+        for label, per in gains.items()
+    ]
+    print_panel("3b", format_table(["behavior", *systems], rows))
+
+    x2 = gains["(x=2,y=30%)"]["PROF+MOA"]
+    x3 = gains["(x=3,y=40%)"]["PROF+MOA"]
+    assert x3 > x2  # the stronger setting lifts the gain further
+    # The behavior model must lift PROF+MOA above its conservative gain.
+    from repro.eval.experiments import gain_and_size_sweep
+
+    plain_by_support = dict(gain_and_size_sweep("I", scale).series("gain")["PROF+MOA"])
+    plain = plain_by_support.get(scale.spot_support)
+    if plain is not None:
+        assert x2 > plain

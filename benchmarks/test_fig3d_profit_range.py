@@ -1,0 +1,31 @@
+"""Figure 3(d): hit rate by profit range (Low/Medium/High), dataset I."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import profit_range_hit_rates
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig3d_profit_range(benchmark):
+    scale = bench_scale()
+    ranges = run_once(benchmark, lambda: profit_range_hit_rates("I", scale))
+    rows = [
+        [system, *(rate for _, rate, _ in triples)]
+        for system, triples in ranges.items()
+    ]
+    print_panel("3d", format_table(["system", "Low", "Medium", "High"], rows))
+
+    by_system = {
+        system: {label: rate for label, rate, _ in triples}
+        for system, triples in ranges.items()
+    }
+    # "Profit smart": PROF+MOA keeps a high hit rate in the High range and
+    # tops every other system there.
+    assert by_system["PROF+MOA"]["High"] == max(
+        rates["High"] for rates in by_system.values()
+    )
+    assert by_system["PROF+MOA"]["High"] > 0.7
+    # CONF-MOA and PROF-MOA fall away at High (exact-match handicap).
+    assert by_system["CONF-MOA"]["High"] < by_system["PROF+MOA"]["High"]

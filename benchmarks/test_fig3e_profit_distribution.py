@@ -1,0 +1,26 @@
+"""Figure 3(e): profit distribution of target sales, dataset I."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import get_dataset, profit_distribution
+from repro.eval.reporting import format_histogram
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig3e_profit_distribution(benchmark):
+    scale = bench_scale()
+    hist = run_once(benchmark, lambda: profit_distribution("I", scale))
+    print_panel("3e", format_histogram(hist, value_label="profit"))
+
+    dataset = get_dataset("I", scale)
+    assert sum(hist.values()) == len(dataset.db)
+    # Two targets ($2 and $10 cost) on a 4-step 10% ladder: profits are
+    # j·0.1·cost, i.e. {0.2,...,0.8} and {1,...,4}.
+    t1_profits = {round(j * 0.2, 6) for j in range(1, 5)}
+    t2_profits = {round(j * 1.0, 6) for j in range(1, 5)}
+    assert set(hist) <= t1_profits | t2_profits
+    # Zipf 5:1 — the cheap target carries most of the transactions.
+    t1_mass = sum(n for p, n in hist.items() if p in t1_profits)
+    t2_mass = sum(n for p, n in hist.items() if p in t2_profits)
+    assert t1_mass > 2 * t2_mass

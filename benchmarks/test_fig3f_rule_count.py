@@ -1,0 +1,23 @@
+"""Figure 3(f): number of rules vs minimum support, dataset I."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import gain_and_size_sweep
+from repro.eval.reporting import format_series
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig3f_rule_count(benchmark):
+    scale = bench_scale()
+    sweep = run_once(benchmark, lambda: gain_and_size_sweep("I", scale))
+    series = sweep.series("model_size")
+    print_panel("3f", format_series(series, y_label="number of rules"))
+
+    # kNN and MPI have no model, so no curve (the paper draws none either).
+    assert all(size is None for _, size in series["kNN"])
+    assert all(size is None for _, size in series["MPI"])
+    # Minimum support has a major impact: rule counts fall as it rises.
+    prof = [size for _, size in series["PROF+MOA"]]
+    assert prof[0] >= prof[-1]
+    assert all(size >= 1 for size in prof)

@@ -1,0 +1,26 @@
+"""Figure 4(b): gain under quantity-increase behaviors, dataset II."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import behavior_gain
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig4b_behavior_gain(benchmark):
+    scale = bench_scale()
+    gains = run_once(benchmark, lambda: behavior_gain("II", scale))
+    systems = sorted(next(iter(gains.values())))
+    rows = [
+        [label, *(per.get(system) for system in systems)]
+        for label, per in gains.items()
+    ]
+    print_panel("4b", format_table(["behavior", *systems], rows))
+
+    x2 = gains["(x=2,y=30%)"]["PROF+MOA"]
+    x3 = gains["(x=3,y=40%)"]["PROF+MOA"]
+    assert x3 > x2
+    # every MOA recommender benefits from more generous behavior
+    for system in systems:
+        assert gains["(x=3,y=40%)"][system] >= gains["(x=2,y=30%)"][system] - 0.02

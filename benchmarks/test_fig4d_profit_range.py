@@ -1,0 +1,29 @@
+"""Figure 4(d): hit rate by profit range (Low/Medium/High), dataset II."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import profit_range_hit_rates
+from repro.eval.reporting import format_table
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig4d_profit_range(benchmark):
+    scale = bench_scale()
+    ranges = run_once(benchmark, lambda: profit_range_hit_rates("II", scale))
+    rows = [
+        [system, *(rate for _, rate, _ in triples)]
+        for system, triples in ranges.items()
+    ]
+    print_panel("4d", format_table(["system", "Low", "Medium", "High"], rows))
+
+    by_system = {
+        system: {label: rate for label, rate, _ in triples}
+        for system, triples in ranges.items()
+    }
+    assert by_system["PROF+MOA"]["High"] == max(
+        rates["High"] for rates in by_system.values()
+    )
+    # The exact-match systems lose most of the High range.
+    assert by_system["PROF-MOA"]["High"] < by_system["PROF+MOA"]["High"]
+    assert by_system["CONF-MOA"]["High"] < by_system["PROF+MOA"]["High"]

@@ -1,0 +1,27 @@
+"""Figure 4(e): profit distribution of target sales, dataset II."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import get_dataset, profit_distribution
+from repro.eval.reporting import format_histogram
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig4e_profit_distribution(benchmark):
+    scale = bench_scale()
+    hist = run_once(benchmark, lambda: profit_distribution("II", scale))
+    print_panel("4e", format_histogram(hist, value_label="profit"))
+
+    dataset = get_dataset("II", scale)
+    assert sum(hist.values()) == len(dataset.db)
+    # Costs 10·i for i = 1…10 on a 4-step 10% ladder: profits j·i for
+    # j = 1…4, i.e. integers 1…40 (with collisions).
+    assert all(float(p).is_integer() and 1 <= p <= 40 for p in hist)
+    # The normal frequency over items makes the mid-cost mass dominate the
+    # extremes: compare total mass below profit 3 and above profit 20
+    # against the middle band.
+    low = sum(n for p, n in hist.items() if p < 3)
+    high = sum(n for p, n in hist.items() if p > 20)
+    middle = sum(n for p, n in hist.items() if 3 <= p <= 20)
+    assert middle > low + high

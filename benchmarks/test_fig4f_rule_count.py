@@ -1,0 +1,20 @@
+"""Figure 4(f): number of rules vs minimum support, dataset II."""
+
+from __future__ import annotations
+
+from repro.eval.experiments import gain_and_size_sweep
+from repro.eval.reporting import format_series
+
+from benchmarks._common import bench_scale, print_panel, run_once
+
+
+def test_fig4f_rule_count(benchmark):
+    scale = bench_scale()
+    sweep = run_once(benchmark, lambda: gain_and_size_sweep("II", scale))
+    series = sweep.series("model_size")
+    print_panel("4f", format_series(series, y_label="number of rules"))
+
+    prof = [size for _, size in series["PROF+MOA"]]
+    assert prof[0] >= prof[-1]  # falls as minimum support rises
+    assert all(size >= 1 for size in prof)
+    assert all(size is None for _, size in series["kNN"])

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the pipeline components.
+
+Unlike the figure benchmarks (single-shot experiments), these time the hot
+paths with proper repetition: rule mining, covering-tree construction with
+cut-optimal pruning, recommendation latency, the Quest generator and kNN
+queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covering import build_covering_tree
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import SavingMOA
+from repro.core.pruning import PruneConfig, cut_optimal_prune
+from repro.baselines.knn import KNNRecommender
+from repro.data.datasets import build_dataset, dataset_i_config
+from repro.data.quest import QuestConfig, QuestGenerator
+
+MINSUP = 0.01
+BODY = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        dataset_i_config(n_transactions=1200, n_items=150, seed=13)
+    )
+
+
+@pytest.fixture(scope="module")
+def moa(dataset):
+    return MOAHierarchy(dataset.db.catalog, dataset.hierarchy, use_moa=True)
+
+
+@pytest.fixture(scope="module")
+def mining_result(dataset, moa):
+    return mine_rules(
+        dataset.db,
+        moa,
+        SavingMOA(),
+        MinerConfig(min_support=MINSUP, max_body_size=BODY),
+    )
+
+
+def test_perf_mine_rules(benchmark, dataset, moa):
+    result = benchmark(
+        mine_rules,
+        dataset.db,
+        moa,
+        SavingMOA(),
+        MinerConfig(min_support=MINSUP, max_body_size=BODY),
+    )
+    assert result.scored_rules
+
+
+def test_perf_covering_and_pruning(benchmark, mining_result):
+    def build_and_prune():
+        tree = build_covering_tree(mining_result)
+        cut_optimal_prune(tree, PruneConfig())
+        return tree
+
+    tree = benchmark(build_and_prune)
+    assert len(tree) >= 1
+
+
+def test_perf_recommend_latency(benchmark, dataset):
+    miner = ProfitMiner(
+        dataset.hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=MINSUP, max_body_size=BODY)
+        ),
+    ).fit(dataset.db)
+    baskets = [t.nontarget_sales for t in dataset.db.transactions[:100]]
+
+    def recommend_batch():
+        return [miner.recommend(basket) for basket in baskets]
+
+    recommendations = benchmark(recommend_batch)
+    assert len(recommendations) == 100
+
+
+def test_perf_quest_generator(benchmark):
+    generator = QuestGenerator(
+        config=QuestConfig(n_items=1000, n_patterns=300), seed=1
+    )
+    baskets = benchmark(generator.generate, 1000)
+    assert len(baskets) == 1000
+
+
+def test_perf_knn_query(benchmark, dataset):
+    knn = KNNRecommender(k=5).fit(dataset.db)
+    baskets = [t.nontarget_sales for t in dataset.db.transactions[:100]]
+
+    def query_batch():
+        return [knn.recommend(basket) for basket in baskets]
+
+    picks = benchmark(query_batch)
+    assert len(picks) == 100
+
+
+def test_perf_mine_rules_fpgrowth(benchmark, dataset, moa):
+    """FP-growth backend on the same workload as the Apriori benchmark."""
+    result = benchmark(
+        mine_rules,
+        dataset.db,
+        moa,
+        SavingMOA(),
+        MinerConfig(min_support=MINSUP, max_body_size=BODY, algorithm="fpgrowth"),
+    )
+    assert result.scored_rules

@@ -1,0 +1,93 @@
+"""Bulk upsell on the multi-packing dataset (dataset III).
+
+The paper's Example 1 gives 2%-Milk single packs and 4-packs — promotion
+codes that are *incomparable* under favorability.  This example mines the
+multi-packing dataset, shows the recommender choosing the right chain
+(single vs bulk) and rung per customer segment, and round-trips the fitted
+model through JSON persistence.
+
+Run with::
+
+    python examples/bulk_upsell.py
+"""
+
+from __future__ import annotations
+
+import collections
+import tempfile
+from pathlib import Path
+
+from repro import (
+    BuyingMOA,
+    EvalConfig,
+    MinerConfig,
+    ProfitMiner,
+    ProfitMinerConfig,
+    evaluate,
+    load_model,
+    save_model,
+)
+from repro.data.packs import PacksConfig, make_dataset_packs
+
+
+def main() -> None:
+    print("Building dataset III (multi-packing promotions)...")
+    dataset = make_dataset_packs(
+        PacksConfig(n_transactions=2000, n_items=200, seed=21)
+    )
+    split = int(len(dataset.db) * 0.8)
+    train = dataset.db.subset(range(split))
+    test = dataset.db.subset(range(split, len(dataset.db)))
+
+    print("Fitting PROF+MOA with the buying-MOA profit model...")
+    miner = ProfitMiner(
+        dataset.hierarchy,
+        profit_model=BuyingMOA(),
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.01, max_body_size=2)
+        ),
+    ).fit(train)
+    print(miner.summary())
+    print()
+
+    result = evaluate(
+        miner, test, dataset.hierarchy, EvalConfig(profit_model=BuyingMOA())
+    )
+    print(
+        f"Held-out (buying MOA): gain={result.gain:.3f} "
+        f"hit rate={result.hit_rate:.3f}"
+    )
+
+    by_chain = collections.Counter(
+        "bulk" if o.recommendation.promo_code.startswith("B") else "single"
+        for o in result.outcomes
+    )
+    print(f"Recommendations by chain: {dict(by_chain)}")
+    print()
+
+    print("Sample rules recommending the bulk chain:")
+    shown = 0
+    for scored in miner.rules:
+        if scored.rule.head.promo and scored.rule.head.promo.startswith("B"):
+            print("  " + scored.describe())
+            shown += 1
+            if shown == 5:
+                break
+    if not shown:
+        print("  (none at this scale — increase n_transactions)")
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "model.json"
+        save_model(miner.require_fitted_recommender(), path)
+        restored = load_model(path)
+        basket = test[0].nontarget_sales
+        assert restored.recommend(basket) == miner.recommend(basket)
+        print(
+            f"Model persisted to JSON ({path.stat().st_size} bytes) and "
+            "restored; recommendations identical."
+        )
+
+
+if __name__ == "__main__":
+    main()

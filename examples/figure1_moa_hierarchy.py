@@ -1,0 +1,64 @@
+"""Reproduce the paper's Figure 1: H and MOA(H) for Flake_Chicken/Sunchip.
+
+Example 2 of the paper: non-target item Flake_Chicken (FC) has promotion
+codes $3, $3.5 and $3.8; target item Sunchip has $3.8, $4.5 and $5.  The
+script prints both hierarchies as Graphviz DOT (render with
+``dot -Tpng``) and demonstrates the generalized sales of Definition 3.
+
+Run with::
+
+    python examples/figure1_moa_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro import ConceptHierarchy, Item, ItemCatalog, PromotionCode, Sale
+from repro.core.hierarchy import to_dot
+from repro.core.moa import MOAHierarchy, moa_to_dot
+
+
+def build_world() -> MOAHierarchy:
+    def code(price: float) -> PromotionCode:
+        return PromotionCode(code=f"${price:g}", price=price, cost=price / 2)
+
+    catalog = ItemCatalog.from_items(
+        [
+            Item("FC", (code(3.0), code(3.5), code(3.8))),
+            Item("Sunchip", (code(3.8), code(4.5), code(5.0)), is_target=True),
+        ]
+    )
+    hierarchy = ConceptHierarchy.for_catalog(
+        catalog, {"Food": ["Meat"], "Meat": ["Chicken"], "Chicken": ["FC"]}
+    )
+    return MOAHierarchy(catalog, hierarchy)
+
+
+def main() -> None:
+    moa = build_world()
+
+    print("--- Figure 1(a): the concept hierarchy H ---")
+    print(to_dot(moa.hierarchy, name="H"))
+    print()
+    print("--- Figure 1(b): MOA(H) ---")
+    print(moa_to_dot(moa))
+    print()
+
+    print("Generalized sales (Example 2):")
+    for price in ("$3.8", "$3.5", "$3"):
+        lifted = sorted(
+            g.describe() for g in moa.generalizations_of_sale(Sale("FC", price))
+        )
+        print(f"  sale <FC, {price}, Q> generalizes to: {', '.join(lifted)}")
+
+    print()
+    print("Target heads (hits) per recorded Sunchip price:")
+    for price in ("$5", "$4.5", "$3.8"):
+        heads = sorted(
+            g.describe()
+            for g in moa.target_heads_of_sale(Sale("Sunchip", price))
+        )
+        print(f"  recorded at {price}: {', '.join(heads)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Cross-selling with a concept hierarchy — the paper's Perfume motivation.
+
+The introduction's store manager knows {Perfume} → Lipstick (likely, cheap)
+and {Perfume} → Diamond (rare, lucrative) and cannot tell which to push.
+This example builds that world explicitly, with a Meat/Food concept branch
+to show multi-level rule bodies, and lets the cut-optimal recommender make
+the call — then prints the rules so the cross-selling plan is auditable
+(the paper's interpretability requirement).
+
+Run with::
+
+    python examples/grocery_cross_sell.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ConceptHierarchy,
+    Item,
+    ItemCatalog,
+    MinerConfig,
+    ProfitMiner,
+    ProfitMinerConfig,
+    PromotionCode,
+    Sale,
+    Transaction,
+    TransactionDB,
+)
+
+
+def build_catalog() -> ItemCatalog:
+    def ladder(base: float, cost: float) -> tuple[PromotionCode, ...]:
+        return (
+            PromotionCode("lo", base, cost),
+            PromotionCode("hi", base * 1.25, cost),
+        )
+
+    return ItemCatalog.from_items(
+        [
+            Item("Perfume", ladder(30.0, 18.0)),
+            Item("Flake_Chicken", ladder(6.0, 4.0)),
+            Item("Ground_Beef", ladder(8.0, 5.0)),
+            Item("Shampoo", ladder(5.0, 3.0)),
+            Item("Bread", ladder(2.5, 1.2)),
+            Item("Lipstick", ladder(12.0, 7.0), is_target=True),
+            Item("Diamond", (PromotionCode("std", 400.0, 368.0),), is_target=True),
+            Item("BBQ_Sauce", ladder(6.0, 2.8), is_target=True),
+        ]
+    )
+
+
+def build_transactions(catalog: ItemCatalog, n: int = 900) -> TransactionDB:
+    rng = np.random.default_rng(2002)
+    transactions = []
+    for tid in range(n):
+        style = rng.random()
+        if style < 0.45:  # perfume shoppers: mostly lipstick, sometimes diamond
+            basket = (Sale("Perfume", rng.choice(["lo", "hi"])),)
+            if rng.random() < 0.15:
+                target = Sale("Diamond", "std")
+            else:
+                target = Sale("Lipstick", rng.choice(["lo", "hi"]))
+        elif style < 0.85:  # meat shoppers: BBQ sauce, usually at full price
+            meat = rng.choice(["Flake_Chicken", "Ground_Beef"])
+            basket = (
+                Sale(meat, rng.choice(["lo", "hi"])),
+                Sale("Bread", "lo"),
+            )
+            target = Sale("BBQ_Sauce", "hi" if rng.random() < 0.8 else "lo")
+        else:  # shampoo shoppers: budget lipstick
+            basket = (Sale("Shampoo", rng.choice(["lo", "hi"])),)
+            target = Sale("Lipstick", "lo")
+        transactions.append(Transaction(tid, basket, target))
+    return TransactionDB(catalog, transactions)
+
+
+def main() -> None:
+    catalog = build_catalog()
+    hierarchy = ConceptHierarchy.for_catalog(
+        catalog,
+        {
+            "Food": ["Meat", "Bread"],
+            "Meat": ["Flake_Chicken", "Ground_Beef"],
+            "Beauty": ["Perfume"],
+        },
+    )
+    db = build_transactions(catalog)
+    miner = ProfitMiner(
+        hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.02, max_body_size=2)
+        ),
+    ).fit(db)
+    print(miner.summary())
+    print()
+
+    print("The cross-selling plan (every rule of the final recommender):")
+    for scored in miner.rules:
+        print("  " + scored.describe())
+    print()
+
+    for basket in (
+        [Sale("Perfume", "hi")],
+        [Sale("Flake_Chicken", "lo"), Sale("Bread", "lo")],
+        [Sale("Ground_Beef", "hi")],
+        [Sale("Shampoo", "lo")],
+    ):
+        items = ", ".join(s.item_id for s in basket)
+        rec = miner.recommend(basket)
+        promo = catalog.promotion(rec.item_id, rec.promo_code)
+        print(f"customer buying [{items}] -> {rec.item_id} at {promo.describe()}")
+
+    print()
+    print(
+        "Note the Meat-level rule: the recommender generalized "
+        "Flake_Chicken/Ground_Beef to the Meat concept instead of learning "
+        "two item-level rules — Requirement 3's hierarchy search at work."
+    )
+
+    print()
+    print("What-if decision surface for a perfume shopper:")
+    from repro.whatif import what_if
+
+    for option in what_if(
+        miner.require_fitted_recommender(), [Sale("Perfume", "hi")]
+    )[:4]:
+        print("  " + option.describe())
+
+
+if __name__ == "__main__":
+    main()

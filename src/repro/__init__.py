@@ -1,0 +1,138 @@
+"""repro — a reproduction of "Profit Mining: From Patterns to Actions".
+
+Wang, Zhou & Han (EDBT 2002) proposed *profit mining*: build, from past
+transactions, a recommender of (target item, promotion code) pairs that
+maximizes net profit on future customers.  This package implements the full
+pipeline — the MOA(H) generalization hierarchy, profit-sensitive
+generalized association-rule mining, the MPF recommender, and cut-optimal
+pruning with pessimistic profit estimation — together with the baselines
+(kNN, MPI, CONF±MOA), the IBM Quest-style synthetic data generator and the
+complete evaluation harness of the paper's Section 5.
+
+Quickstart::
+
+    from repro import ProfitMiner, make_dataset_i
+
+    dataset = make_dataset_i(n_transactions=2000, n_items=100, n_patterns=50)
+    miner = ProfitMiner(dataset.hierarchy).fit(dataset.db)
+    basket = dataset.db[0].nontarget_sales
+    print(miner.recommend(basket).describe())
+"""
+
+from repro.baselines import (
+    DecisionTreeRecommender,
+    KNNRecommender,
+    MPIRecommender,
+)
+from repro.core import (
+    BinaryProfit,
+    BuyingMOA,
+    ConceptHierarchy,
+    GSale,
+    Item,
+    ItemCatalog,
+    MinerConfig,
+    MOAHierarchy,
+    MPFRecommender,
+    ProfitMiner,
+    ProfitMinerConfig,
+    PromotionCode,
+    PruneConfig,
+    Recommendation,
+    Recommender,
+    Rule,
+    RuleStats,
+    Sale,
+    SavingMOA,
+    ScoredRule,
+    Transaction,
+    TransactionDB,
+)
+from repro.data import (
+    Dataset,
+    DatasetConfig,
+    PricingModel,
+    QuestConfig,
+    QuestGenerator,
+    load_model,
+    load_transactions,
+    make_dataset_i,
+    make_dataset_ii,
+    save_model,
+    save_transactions,
+)
+from repro.analysis import (
+    coverage_report,
+    export_rules_csv,
+    pruning_summary,
+    rules_table,
+)
+from repro.errors import ProfitMiningError
+from repro.whatif import OfferOption, what_if
+from repro.eval import (
+    BehaviorAdjustedProfit,
+    EvalConfig,
+    EvalResult,
+    ExperimentScale,
+    cross_validate,
+    evaluate,
+    evaluate_top_k,
+    run_support_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinaryProfit",
+    "BuyingMOA",
+    "ConceptHierarchy",
+    "Dataset",
+    "DecisionTreeRecommender",
+    "DatasetConfig",
+    "EvalConfig",
+    "EvalResult",
+    "ExperimentScale",
+    "GSale",
+    "Item",
+    "ItemCatalog",
+    "KNNRecommender",
+    "MinerConfig",
+    "MOAHierarchy",
+    "MPFRecommender",
+    "MPIRecommender",
+    "PricingModel",
+    "ProfitMiner",
+    "ProfitMinerConfig",
+    "ProfitMiningError",
+    "PromotionCode",
+    "PruneConfig",
+    "QuestConfig",
+    "QuestGenerator",
+    "Recommendation",
+    "Recommender",
+    "Rule",
+    "RuleStats",
+    "Sale",
+    "SavingMOA",
+    "ScoredRule",
+    "Transaction",
+    "TransactionDB",
+    "OfferOption",
+    "__version__",
+    "BehaviorAdjustedProfit",
+    "coverage_report",
+    "cross_validate",
+    "evaluate",
+    "evaluate_top_k",
+    "export_rules_csv",
+    "pruning_summary",
+    "rules_table",
+    "load_model",
+    "load_transactions",
+    "make_dataset_i",
+    "make_dataset_ii",
+    "run_support_sweep",
+    "save_model",
+    "save_transactions",
+    "what_if",
+]

@@ -1,0 +1,194 @@
+"""Model inspection and export utilities.
+
+The paper's Requirement 5 is interpretability: "knowing what triggers the
+recommendation of certain target items could be useful for setting up a
+cross-selling plan".  This module turns a fitted
+:class:`~repro.core.miner.ProfitMiner` into auditable artifacts:
+
+* :func:`rules_table` — one dict per surviving rule with every worth
+  measure, ready for a DataFrame or a report;
+* :func:`export_rules_csv` — the same as a CSV file;
+* :func:`coverage_report` — training coverage and within-coverage hit rate
+  per rule, straight from the covering tree;
+* :func:`pruning_summary` — what the cut-optimal phase did.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.core.miner import ProfitMiner
+from repro.core.mining import TransactionIndex
+from repro.errors import RecommenderError
+
+__all__ = [
+    "rules_table",
+    "export_rules_csv",
+    "coverage_report",
+    "pruning_summary",
+    "validation_report",
+]
+
+_RULE_FIELDS = (
+    "rank",
+    "body",
+    "target_item",
+    "promotion",
+    "body_size",
+    "support",
+    "confidence",
+    "rule_profit",
+    "recommendation_profit",
+    "n_matched",
+    "n_hits",
+    "is_default",
+)
+
+
+def rules_table(miner: ProfitMiner) -> list[dict[str, Any]]:
+    """The final recommender's rules as dict rows, in MPF rank order."""
+    recommender = miner.require_fitted_recommender()
+    rows: list[dict[str, Any]] = []
+    for rank, scored in enumerate(recommender.ranked_rules, start=1):
+        rule, stats = scored.rule, scored.stats
+        rows.append(
+            {
+                "rank": rank,
+                "body": " & ".join(g.describe() for g in sorted(rule.body)),
+                "target_item": rule.head.node,
+                "promotion": rule.head.promo,
+                "body_size": rule.body_size,
+                "support": stats.support,
+                "confidence": stats.confidence,
+                "rule_profit": stats.rule_profit,
+                "recommendation_profit": stats.recommendation_profit,
+                "n_matched": stats.n_matched,
+                "n_hits": stats.n_hits,
+                "is_default": rule.is_default,
+            }
+        )
+    return rows
+
+
+def export_rules_csv(miner: ProfitMiner, path: str | Path) -> int:
+    """Write :func:`rules_table` to ``path``; returns the number of rules."""
+    rows = rules_table(miner)
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_RULE_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def coverage_report(miner: ProfitMiner) -> list[dict[str, Any]]:
+    """Training coverage per surviving rule, from the covering tree.
+
+    ``coverage`` counts training transactions whose MPF rule this is (after
+    pruning merged pruned subtrees upward); ``coverage_hit_rate`` is the
+    head's hit rate within that coverage — the quantity the pessimistic
+    estimate discounts.
+    """
+    if miner.covering_tree is None:
+        raise RecommenderError("ProfitMiner has not been fitted")
+    tree = miner.covering_tree
+    index = tree.index
+    rows: list[dict[str, Any]] = []
+    for node in sorted(tree.root.subtree(), key=lambda n: n.scored.rank_key()):
+        head_id = index.gsale_id(node.scored.rule.head)
+        covered = node.cover_mask
+        hits_mask = covered & index.head_hits_mask(head_id)
+        n_covered = covered.bit_count()
+        profit = sum(
+            index.hit_profit(pos, head_id)
+            for pos in TransactionIndex.iter_bits(hits_mask)
+        )
+        rows.append(
+            {
+                "rule": node.scored.rule.describe(),
+                "coverage": n_covered,
+                "coverage_hits": hits_mask.bit_count(),
+                "coverage_hit_rate": (
+                    hits_mask.bit_count() / n_covered if n_covered else 0.0
+                ),
+                "coverage_profit": profit,
+                "children": len(node.children),
+            }
+        )
+    return rows
+
+
+def pruning_summary(miner: ProfitMiner) -> dict[str, Any]:
+    """Headline numbers of the cut-optimal phase, as a dict."""
+    if miner.prune_report is None or miner.mining_result is None:
+        raise RecommenderError("ProfitMiner has not been fitted")
+    report = miner.prune_report
+    assert miner.covering_tree is not None
+    return {
+        "rules_mined": len(miner.mining_result.scored_rules),
+        "dominated_removed": miner.covering_tree.n_dominated_removed,
+        "tree_nodes": report.n_rules_before,
+        "rules_kept": report.n_rules_after,
+        "subtrees_pruned": report.n_subtrees_pruned,
+        "projected_profit_before": report.tree_profit_before,
+        "projected_profit_after": report.tree_profit_after,
+        "reduction_factor": (
+            len(miner.mining_result.scored_rules) / max(1, report.n_rules_after)
+        ),
+    }
+
+
+def validation_report(
+    miner: ProfitMiner,
+    validation,
+    hierarchy,
+    profit_model=None,
+) -> list[dict[str, Any]]:
+    """Per-rule validation diagnostics: who fires, who hits, who earns.
+
+    For each rule that actually fires on the validation transactions,
+    reports how often it was the MPF choice (``uses``), its out-of-sample
+    hit rate, the credited and recorded profit of its cohort, and its
+    *training* confidence for comparison — the gap between the two is the
+    overfitting signal the pessimistic pruning is meant to bound.
+    Rows are sorted by uses, descending.
+    """
+    from repro.core.moa import MOAHierarchy
+    from repro.core.profit import SavingMOA
+
+    recommender = miner.require_fitted_recommender()
+    profit_model = profit_model or SavingMOA()
+    judge = MOAHierarchy(
+        validation.catalog, hierarchy, use_moa=miner.config.use_moa
+    )
+    per_rule: dict[int, dict[str, Any]] = {}
+    for transaction in validation:
+        scored = recommender.recommendation_rule(transaction.nontarget_sales)
+        order = scored.rule.order
+        row = per_rule.setdefault(
+            order,
+            {
+                "rule": scored.rule.describe(),
+                "train_confidence": scored.stats.confidence,
+                "uses": 0,
+                "hits": 0,
+                "credited_profit": 0.0,
+                "recorded_profit": 0.0,
+            },
+        )
+        row["uses"] += 1
+        row["recorded_profit"] += transaction.recorded_target_profit(
+            validation.catalog
+        )
+        head = scored.rule.head
+        if judge.hits(head, transaction.target_sale):
+            row["hits"] += 1
+            row["credited_profit"] += profit_model.credited_profit(
+                head, transaction.target_sale, validation.catalog
+            )
+    rows = sorted(per_rule.values(), key=lambda r: -r["uses"])
+    for row in rows:
+        row["validation_hit_rate"] = row["hits"] / row["uses"]
+    return rows

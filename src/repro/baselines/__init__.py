@@ -1,0 +1,13 @@
+"""Baseline recommenders the paper compares against (Section 5.1).
+
+Includes the decision-tree "quick solution" of Section 1.1 as an extra
+baseline: a basic prediction model with profit bolted on as an
+afterthought, the strategy [MS96] showed to lose against profit-integrated
+mining.
+"""
+
+from repro.baselines.decision_tree import DecisionTreeRecommender
+from repro.baselines.knn import KNNRecommender
+from repro.baselines.mpi import MPIRecommender
+
+__all__ = ["DecisionTreeRecommender", "KNNRecommender", "MPIRecommender"]

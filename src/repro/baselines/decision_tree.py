@@ -1,0 +1,225 @@
+"""The paper's "quick solution" baseline: predict first, profit later.
+
+Section 1.1 discusses the obvious alternative to profit mining: "find
+several most probable recommendations using a basic prediction model, and
+re-rank them by taking into account both probability and profit.  In this
+solution, the profit is considered as an afterthought", and cites [MS96]
+showing that pushing profit *into* model building beats the afterthought.
+
+This module implements that strawman faithfully so the claim can be
+measured: a C4.5-style decision tree over binary basket features (item
+presence) predicting the ``(target item, promotion code)`` class, with an
+optional *afterthought* mode that re-ranks each leaf's class distribution
+by ``probability × profit`` instead of probability alone.
+
+The tree uses information gain, depth and leaf-size limits; no pessimistic
+pruning (the baseline is intentionally the "basic prediction model" of the
+paper's discussion, not a tuned competitor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import ValidationError
+
+__all__ = ["DecisionTreeRecommender"]
+
+Pair = tuple[str, str]
+
+
+@dataclass
+class _Node:
+    """One tree node: either a split on an item's presence or a leaf."""
+
+    counts: dict[Pair, int]
+    split_item: str | None = None
+    present: "_Node | None" = field(default=None, repr=False)
+    absent: "_Node | None" = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_item is None
+
+    @property
+    def n(self) -> int:
+        return sum(self.counts.values())
+
+
+def _entropy(counts: dict[Pair, int]) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        if count:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+class DecisionTreeRecommender(Recommender):
+    """Decision tree over item presence, classes = (item, promotion) pairs.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of splits from root to leaf.
+    min_leaf:
+        Minimum transactions per leaf; splits creating smaller children are
+        rejected.
+    profit_rerank:
+        The "afterthought": recommend the leaf class maximizing
+        ``P(class | leaf) × profit(class)`` instead of the most probable
+        class.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_leaf: int = 10,
+        profit_rerank: bool = False,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+        if min_leaf < 1:
+            raise ValidationError(f"min_leaf must be >= 1, got {min_leaf}")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.profit_rerank = profit_rerank
+        self.name = name or ("DT(profit)" if profit_rerank else "DT")
+        self._root: _Node | None = None
+        self._pair_profit: dict[Pair, float] = {}
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TransactionDB) -> "DecisionTreeRecommender":
+        """Grow the tree greedily by information gain."""
+        if len(db) == 0:
+            raise ValidationError("cannot fit a decision tree on an empty database")
+        rows = [
+            (
+                frozenset(t.basket),
+                (t.target_sale.item_id, t.target_sale.promo_code),
+            )
+            for t in db
+        ]
+        self._pair_profit = {
+            (item.item_id, promo.code): promo.profit
+            for item in db.catalog.target_items
+            for promo in item.promotions
+        }
+        features = sorted({item for basket, _ in rows for item in basket})
+        self._root = self._grow(rows, features, depth=0)
+        self._fitted = True
+        return self
+
+    def _grow(
+        self,
+        rows: list[tuple[frozenset[str], Pair]],
+        features: list[str],
+        depth: int,
+    ) -> _Node:
+        counts = self._count(rows)
+        node = _Node(counts=counts)
+        if depth >= self.max_depth or len(counts) <= 1:
+            return node
+        best = self._best_split(rows, features, counts)
+        if best is None:
+            return node
+        item, present_rows, absent_rows = best
+        node.split_item = item
+        remaining = [f for f in features if f != item]
+        node.present = self._grow(present_rows, remaining, depth + 1)
+        node.absent = self._grow(absent_rows, remaining, depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        rows: list[tuple[frozenset[str], Pair]],
+        features: list[str],
+        counts: dict[Pair, int],
+    ) -> tuple[str, list, list] | None:
+        base_entropy = _entropy(counts)
+        total = len(rows)
+        best_gain = 1e-9
+        best: tuple[str, list, list] | None = None
+        for item in features:
+            present = [row for row in rows if item in row[0]]
+            if len(present) < self.min_leaf or total - len(present) < self.min_leaf:
+                continue
+            absent = [row for row in rows if item not in row[0]]
+            gain = base_entropy - (
+                len(present) / total * _entropy(self._count(present))
+                + len(absent) / total * _entropy(self._count(absent))
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best = (item, present, absent)
+        return best
+
+    @staticmethod
+    def _count(rows: list[tuple[frozenset[str], Pair]]) -> dict[Pair, int]:
+        counts: dict[Pair, int] = {}
+        for _, pair in rows:
+            counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """Route the basket to a leaf and pick per the configured mode."""
+        self._check_fitted()
+        assert self._root is not None
+        items = {sale.item_id for sale in basket}
+        node = self._root
+        while not node.is_leaf:
+            assert node.present is not None and node.absent is not None
+            node = node.present if node.split_item in items else node.absent
+        pair = self._pick(node.counts)
+        return Recommendation(item_id=pair[0], promo_code=pair[1])
+
+    def _pick(self, counts: dict[Pair, int]) -> Pair:
+        total = sum(counts.values())
+        if self.profit_rerank:
+            return max(
+                counts,
+                key=lambda pair: (
+                    counts[pair] / total * self._pair_profit.get(pair, 0.0),
+                    pair,
+                ),
+            )
+        return max(counts, key=lambda pair: (counts[pair], pair))
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Realized tree depth (longest root-to-leaf split chain)."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.present is not None and node.absent is not None
+            return 1 + max(walk(node.present), walk(node.absent))
+
+        assert self._root is not None
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves (the tree's model-size analogue)."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.present is not None and node.absent is not None
+            return walk(node.present) + walk(node.absent)
+
+        assert self._root is not None
+        return walk(self._root)

@@ -1,0 +1,172 @@
+"""k-nearest-neighbor recommender (Section 5.1, [YP97]-style).
+
+The paper's kNN baseline treats each transaction's basket of non-target
+items like a sparse text document: items are weighted by inverse document
+frequency, vectors are cosine-normalized, and the ``k`` most similar past
+transactions vote — with similarity weights — for their recorded
+``(target item, promotion code)`` pair.  MOA is applied when *judging*
+whether the winning pair hits a validation transaction, which is the
+evaluator's job (:mod:`repro.eval`), not this class's.
+
+Section 5.3 additionally evaluates a *profit post-processing* variant that,
+instead of taking the most voted pair, recommends the pair with the highest
+recorded profit among the ``k`` neighbors — profit as an afterthought.  Set
+``profit_post_processing=True`` for that variant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import ValidationError
+
+__all__ = ["KNNRecommender"]
+
+
+class KNNRecommender(Recommender):
+    """idf-weighted cosine kNN over baskets of non-target items.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbors; the paper reports ``k = 5`` as best.
+    profit_post_processing:
+        When ``True``, recommend the highest-recorded-profit pair among the
+        neighbors instead of the most voted pair (Section 5.3).
+    features:
+        ``"sales"`` (default) vectorizes each (item, promotion) sale as one
+        feature, matching the paper's "transactions most similar to the
+        given non-target sales"; ``"items"`` ignores promotion codes, a
+        denser and often stronger variant kept for ablations.
+    name:
+        Display name; defaults to ``"kNN"`` / ``"kNN(profit)"``.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        profit_post_processing: bool = False,
+        features: str = "sales",
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValidationError(f"k must be at least 1, got {k}")
+        if features not in ("sales", "items"):
+            raise ValidationError(
+                f"features must be 'sales' or 'items', got {features!r}"
+            )
+        self.k = k
+        self.features = features
+        self.profit_post_processing = profit_post_processing
+        self.name = name or ("kNN(profit)" if profit_post_processing else "kNN")
+        self._vocab: dict[str, int] = {}
+        self._idf: np.ndarray | None = None
+        self._matrix: np.ndarray | None = None
+        self._pairs: list[tuple[str, str]] = []
+        self._profits: np.ndarray | None = None
+        self._fallback_pair: tuple[str, str] | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TransactionDB) -> "KNNRecommender":
+        """Vectorize the training baskets and store neighbor metadata."""
+        if len(db) == 0:
+            raise ValidationError("cannot fit kNN on an empty database")
+        self._vocab = {}
+        for transaction in db:
+            for feature in self._features_of(transaction.nontarget_sales):
+                self._vocab.setdefault(feature, len(self._vocab))
+
+        n, v = len(db), len(self._vocab)
+        counts = np.zeros(v, dtype=np.float64)
+        rows = np.zeros((n, v), dtype=np.float64)
+        for row, transaction in enumerate(db):
+            for feature in self._features_of(transaction.nontarget_sales):
+                col = self._vocab[feature]
+                rows[row, col] = 1.0
+                counts[col] += 1.0
+        # Smoothed idf keeps ubiquitous items from dominating similarity.
+        self._idf = np.log((n + 1.0) / (counts + 1.0)) + 1.0
+        rows *= self._idf
+        norms = np.linalg.norm(rows, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        self._matrix = rows / norms
+
+        self._pairs = [
+            (t.target_sale.item_id, t.target_sale.promo_code) for t in db
+        ]
+        self._profits = np.array(
+            [t.recorded_target_profit(db.catalog) for t in db], dtype=np.float64
+        )
+        self._fallback_pair = self._most_common_pair()
+        self._fitted = True
+        return self
+
+    def _features_of(self, sales: Sequence[Sale]) -> set[str]:
+        """Feature keys of a basket under the configured feature space."""
+        if self.features == "items":
+            return {sale.item_id for sale in sales}
+        return {f"{sale.item_id}@{sale.promo_code}" for sale in sales}
+
+    def _most_common_pair(self) -> tuple[str, str]:
+        counts: dict[tuple[str, str], int] = {}
+        for pair in self._pairs:
+            counts[pair] = counts.get(pair, 0) + 1
+        return max(counts, key=lambda pair: (counts[pair], pair))
+
+    # ------------------------------------------------------------------
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """Vote among the ``k`` nearest training baskets."""
+        self._check_fitted()
+        assert self._matrix is not None and self._idf is not None
+        assert self._fallback_pair is not None
+
+        query = np.zeros(len(self._vocab), dtype=np.float64)
+        for feature in self._features_of(basket):
+            col = self._vocab.get(feature)
+            if col is not None:
+                query[col] = 1.0
+        query *= self._idf
+        norm = np.linalg.norm(query)
+        if norm == 0.0:
+            # No overlap with the training vocabulary: fall back to the
+            # globally most common pair, the natural zero-information vote.
+            item_id, promo_code = self._fallback_pair
+            return Recommendation(item_id=item_id, promo_code=promo_code)
+        query /= norm
+
+        similarities = self._matrix @ query
+        k = min(self.k, similarities.shape[0])
+        neighbor_idx = np.argpartition(-similarities, k - 1)[:k]
+        pair = (
+            self._pick_by_profit(neighbor_idx)
+            if self.profit_post_processing
+            else self._pick_by_votes(neighbor_idx, similarities)
+        )
+        return Recommendation(item_id=pair[0], promo_code=pair[1])
+
+    def _pick_by_votes(
+        self, neighbor_idx: np.ndarray, similarities: np.ndarray
+    ) -> tuple[str, str]:
+        votes: dict[tuple[str, str], float] = {}
+        for idx in neighbor_idx:
+            pair = self._pairs[int(idx)]
+            weight = float(similarities[int(idx)])
+            votes[pair] = votes.get(pair, 0.0) + max(weight, _MIN_VOTE)
+        return max(votes, key=lambda pair: (votes[pair], pair))
+
+    def _pick_by_profit(self, neighbor_idx: np.ndarray) -> tuple[str, str]:
+        assert self._profits is not None
+        best_idx = max(
+            (int(i) for i in neighbor_idx),
+            key=lambda i: (self._profits[i], self._pairs[i]),
+        )
+        return self._pairs[best_idx]
+
+
+#: Floor on a neighbor's vote so zero-similarity neighbors still count once.
+_MIN_VOTE = 1e-9

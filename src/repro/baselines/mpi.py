@@ -1,0 +1,64 @@
+"""The most-profitable-item baseline (MPI, Section 5.1).
+
+MPI ignores the basket entirely: it recommends, to every customer, the
+``(target item, promotion code)`` pair that generated the most total
+(recorded) profit in the past transactions.  It is the pure profit-based
+strategy the introduction argues against — profitable pairs are bought by
+few customers, so the hit rate collapses — and serves as the lower anchor
+of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import ValidationError
+
+__all__ = ["MPIRecommender"]
+
+
+class MPIRecommender(Recommender):
+    """Recommend the historically most profitable (item, promotion) pair."""
+
+    name = "MPI"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pair: tuple[str, str] | None = None
+        self._pair_profit: float = 0.0
+
+    def fit(self, db: TransactionDB) -> "MPIRecommender":
+        """Aggregate recorded profit per (target item, promotion code) pair."""
+        if len(db) == 0:
+            raise ValidationError("cannot fit MPI on an empty database")
+        totals: dict[tuple[str, str], float] = {}
+        for transaction in db:
+            sale = transaction.target_sale
+            pair = (sale.item_id, sale.promo_code)
+            totals[pair] = totals.get(pair, 0.0) + sale.recorded_profit(db.catalog)
+        # Deterministic tie-break on the pair itself.
+        self._pair = max(totals, key=lambda pair: (totals[pair], pair))
+        self._pair_profit = totals[self._pair]
+        self._fitted = True
+        return self
+
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """The basket is ignored — MPI is a constant recommender."""
+        self._check_fitted()
+        assert self._pair is not None
+        return Recommendation(item_id=self._pair[0], promo_code=self._pair[1])
+
+    @property
+    def chosen_pair(self) -> tuple[str, str]:
+        """The pair MPI recommends, for introspection in tests and reports."""
+        self._check_fitted()
+        assert self._pair is not None
+        return self._pair
+
+    @property
+    def chosen_pair_profit(self) -> float:
+        """Total recorded training profit of the chosen pair."""
+        self._check_fitted()
+        return self._pair_profit

@@ -1,0 +1,329 @@
+"""Command-line interface: generate data, fit recommenders, run experiments.
+
+Usage (also available as the ``profit-mining`` console script)::
+
+    python -m repro generate --dataset I --transactions 2000 --out data.jsonl
+    python -m repro fit --data data.jsonl --min-support 0.01 --explain 3
+    python -m repro sweep --dataset I --scale tiny
+    python -m repro figure 3a --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.data.datasets import build_dataset, dataset_i_config, dataset_ii_config
+from repro.data.hierarchy_gen import grouped_hierarchy
+from repro.data.io import load_transactions, save_transactions
+from repro.errors import ProfitMiningError
+from repro.eval.experiments import (
+    ExperimentScale,
+    behavior_gain,
+    gain_and_size_sweep,
+    get_dataset,
+    profit_distribution,
+    profit_range_hit_rates,
+    scale_from_env,
+)
+from repro.eval.reporting import format_histogram, format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {
+    "tiny": ExperimentScale.tiny,
+    "small": ExperimentScale.small,
+    "medium": ExperimentScale.medium,
+    "paper": ExperimentScale.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="profit-mining",
+        description="Reproduction of 'Profit Mining: From Patterns to Actions' "
+        "(Wang, Zhou & Han, EDBT 2002)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--dataset", choices=("I", "II"), default="I")
+    gen.add_argument("--transactions", type=int, default=2500)
+    gen.add_argument("--items", type=int, default=300)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output JSON-lines path")
+
+    fit = sub.add_parser("fit", help="fit the cut-optimal recommender on a file")
+    fit.add_argument("--data", required=True, help="JSON-lines transactions")
+    fit.add_argument("--min-support", type=float, default=0.01)
+    fit.add_argument("--max-body-size", type=int, default=2)
+    fit.add_argument("--no-moa", action="store_true", help="disable MOA")
+    fit.add_argument(
+        "--explain",
+        type=int,
+        default=0,
+        metavar="N",
+        help="explain the recommendation for the first N transactions",
+    )
+    fit.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="persist the fitted recommender as JSON",
+    )
+
+    export = sub.add_parser(
+        "export", help="fit a recommender and export its rules as CSV"
+    )
+    export.add_argument("--data", required=True, help="JSON-lines transactions")
+    export.add_argument("--min-support", type=float, default=0.01)
+    export.add_argument("--max-body-size", type=int, default=2)
+    export.add_argument("--no-moa", action="store_true", help="disable MOA")
+    export.add_argument("--out", required=True, help="output CSV path")
+
+    sweep = sub.add_parser("sweep", help="run the six-system support sweep")
+    sweep.add_argument("--dataset", choices=("I", "II"), default="I")
+    _add_scale_argument(sweep)
+
+    compare = sub.add_parser(
+        "compare", help="cross-validate systems and test significance"
+    )
+    compare.add_argument("--dataset", choices=("I", "II"), default="I")
+    compare.add_argument(
+        "--systems",
+        nargs="+",
+        default=["PROF+MOA", "PROF-MOA", "CONF+MOA", "CONF-MOA", "kNN", "MPI"],
+        help="systems to compare (first one is the reference)",
+    )
+    _add_scale_argument(compare)
+
+    report = sub.add_parser(
+        "report", help="reproduce a full figure as a markdown report"
+    )
+    report.add_argument("--dataset", choices=("I", "II"), default="I")
+    report.add_argument("--out", default=None, help="write markdown here")
+    _add_scale_argument(report)
+
+    figure = sub.add_parser("figure", help="reproduce one figure panel")
+    figure.add_argument(
+        "panel",
+        choices=[
+            f"{fig}{panel}" for fig in ("3", "4") for panel in "abcdef"
+        ],
+        help="paper panel id, e.g. 3a",
+    )
+    _add_scale_argument(figure)
+    return parser
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="experiment scale (default: $REPRO_SCALE or small)",
+    )
+
+
+def _resolve_scale(label: str | None) -> ExperimentScale:
+    if label is None:
+        return scale_from_env()
+    return _SCALES[label]()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config_fn = dataset_i_config if args.dataset == "I" else dataset_ii_config
+    dataset = build_dataset(
+        config_fn(
+            n_transactions=args.transactions,
+            n_items=args.items,
+            seed=args.seed,
+        )
+    )
+    save_transactions(dataset.db, args.out)
+    print(
+        f"wrote {len(dataset.db)} transactions over "
+        f"{len(dataset.db.catalog)} items to {args.out}"
+    )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    db = load_transactions(args.data)
+    hierarchy = grouped_hierarchy(db.catalog)
+    miner = ProfitMiner(
+        hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(
+                min_support=args.min_support, max_body_size=args.max_body_size
+            ),
+            use_moa=not args.no_moa,
+        ),
+    ).fit(db)
+    print(miner.summary())
+    for transaction in db.transactions[: args.explain]:
+        print()
+        print(miner.explain(transaction.nontarget_sales))
+    if args.save_model:
+        from repro.data.model_io import save_model
+
+        save_model(miner.require_fitted_recommender(), args.save_model)
+        print(f"model saved to {args.save_model}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis import export_rules_csv, pruning_summary
+
+    db = load_transactions(args.data)
+    hierarchy = grouped_hierarchy(db.catalog)
+    miner = ProfitMiner(
+        hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(
+                min_support=args.min_support, max_body_size=args.max_body_size
+            ),
+            use_moa=not args.no_moa,
+        ),
+    ).fit(db)
+    n_rules = export_rules_csv(miner, args.out)
+    summary = pruning_summary(miner)
+    print(
+        f"wrote {n_rules} rules to {args.out} "
+        f"(mined {summary['rules_mined']}, reduction factor "
+        f"{summary['reduction_factor']:.1f}x)"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args.scale)
+    sweep = gain_and_size_sweep(args.dataset, scale)
+    for metric in ("gain", "hit_rate", "model_size"):
+        print(
+            format_series(
+                sweep.series(metric),
+                y_label=f"{metric} — dataset {args.dataset} ({scale.label} scale)",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.cross_validation import cross_validate, kfold_indices
+    from repro.eval.harness import eval_config_for_system, paper_recommenders
+    from repro.eval.stats import compare_gains
+
+    scale = _resolve_scale(args.scale)
+    dataset = get_dataset(args.dataset, scale)
+    splits = kfold_indices(len(dataset.db), k=scale.k_folds, seed=scale.seed)
+    factories = paper_recommenders(
+        dataset.hierarchy,
+        scale.spot_support,
+        max_body_size=scale.max_body_size,
+        systems=tuple(args.systems),
+    )
+    results = {
+        system: cross_validate(
+            factory,
+            dataset.db,
+            dataset.hierarchy,
+            eval_config_for_system(None, system),
+            splits=splits,
+        )
+        for system, factory in factories.items()
+    }
+    rows = [
+        [system, cv.gain, cv.hit_rate, cv.model_size]
+        for system, cv in results.items()
+    ]
+    print(
+        format_table(
+            ["system", "gain", "hit rate", "rules"],
+            rows,
+            title=f"dataset {args.dataset} at minsup {scale.spot_support} "
+            f"({scale.label} scale, {scale.k_folds} folds)",
+        )
+    )
+    print()
+    reference = args.systems[0]
+    for system in args.systems[1:]:
+        print(compare_gains(results[reference], results[system]).describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import generate_markdown_report
+
+    scale = _resolve_scale(args.scale)
+    text = generate_markdown_report(args.dataset, scale)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    which = "I" if args.panel[0] == "3" else "II"
+    panel = args.panel[1]
+    scale = _resolve_scale(args.scale)
+    title = f"Figure {args.panel} — dataset {which} ({scale.label} scale)"
+    if panel in "acf":
+        metric = {"a": "gain", "c": "hit_rate", "f": "model_size"}[panel]
+        sweep = gain_and_size_sweep(which, scale)
+        print(format_series(sweep.series(metric), y_label=title))
+    elif panel == "b":
+        gains = behavior_gain(which, scale)
+        rows = [
+            [label, *(per.get(s) for s in sorted(per))]
+            for label, per in gains.items()
+        ]
+        systems = sorted(next(iter(gains.values())))
+        print(format_table(["behavior", *systems], rows, title=title))
+    elif panel == "d":
+        ranges = profit_range_hit_rates(which, scale)
+        rows = [
+            [system, *(rate for _, rate, _ in triples)]
+            for system, triples in ranges.items()
+        ]
+        print(format_table(["system", "Low", "Medium", "High"], rows, title=title))
+    else:  # panel == "e"
+        print(format_histogram(profit_distribution(which, scale), title=title))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "fit": _cmd_fit,
+        "export": _cmd_export,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+    }
+    try:
+        return handlers[args.command](args)
+    except ProfitMiningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

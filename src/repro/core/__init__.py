@@ -1,0 +1,81 @@
+"""Core profit-mining machinery: the paper's primary contribution.
+
+Import the high-level pieces from here::
+
+    from repro.core import ProfitMiner, ProfitMinerConfig, SavingMOA
+"""
+
+from repro.core.covering import CoveringNode, CoveringTree, build_covering_tree
+from repro.core.generalized import GKind, GSale
+from repro.core.hierarchy import ROOT_CONCEPT, ConceptHierarchy
+from repro.core.items import Item, ItemCatalog
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig, MiningResult, TransactionIndex, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.mpf import MPFRecommender
+from repro.core.pessimistic import DEFAULT_CF, pessimistic_hits, pessimistic_miss_rate
+from repro.core.profit import (
+    BinaryProfit,
+    BuyingMOA,
+    ProfitModel,
+    SavingMOA,
+    profit_model_from_name,
+)
+from repro.core.promotion import (
+    PromotionCode,
+    favorability_covers,
+    is_at_least_as_favorable,
+    is_more_favorable,
+    maximal_codes,
+    sort_by_favorability,
+)
+from repro.core.pruning import PruneConfig, PruneReport, cut_optimal_prune
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.core.sales import Sale, Transaction, TransactionDB, concat
+
+__all__ = [
+    "BinaryProfit",
+    "BuyingMOA",
+    "ConceptHierarchy",
+    "CoveringNode",
+    "CoveringTree",
+    "DEFAULT_CF",
+    "GKind",
+    "GSale",
+    "Item",
+    "ItemCatalog",
+    "MinerConfig",
+    "MiningResult",
+    "MOAHierarchy",
+    "MPFRecommender",
+    "ProfitMiner",
+    "ProfitMinerConfig",
+    "ProfitModel",
+    "PromotionCode",
+    "PruneConfig",
+    "PruneReport",
+    "Recommendation",
+    "Recommender",
+    "ROOT_CONCEPT",
+    "Rule",
+    "RuleStats",
+    "Sale",
+    "SavingMOA",
+    "ScoredRule",
+    "Transaction",
+    "TransactionDB",
+    "TransactionIndex",
+    "build_covering_tree",
+    "concat",
+    "cut_optimal_prune",
+    "favorability_covers",
+    "is_at_least_as_favorable",
+    "is_more_favorable",
+    "maximal_codes",
+    "mine_rules",
+    "pessimistic_hits",
+    "pessimistic_miss_rate",
+    "profit_model_from_name",
+    "sort_by_favorability",
+]

@@ -1,0 +1,217 @@
+"""The covering tree of a rule set (Section 4.1, Definition 8).
+
+Construction proceeds in three steps, all on the rules of one
+:class:`~repro.core.mining.MiningResult`:
+
+1. **Dominated-rule deletion.**  A rule that is more special than *and*
+   ranked lower than another rule can never be an MPF recommendation rule —
+   the more general, higher-ranked rule matches everything it matches — so
+   it is removed up front.  (Two rules with identical bodies mutually
+   generalize each other; the lower-ranked one is removed, leaving bodies
+   unique.)
+2. **Coverage assignment.**  Each training transaction is covered by its MPF
+   recommendation rule among the surviving rules: walking the rules in rank
+   order, a rule covers every still-uncovered transaction its body matches.
+   The default rule covers the remainder.
+3. **Parent links.**  The parent of a rule ``r'`` is the highest-ranked rule
+   strictly more general than ``r'``.  After step 1 every such rule is
+   ranked *lower* than ``r'`` (otherwise ``r'`` would have been deleted), so
+   scanning down the rank order from ``r'`` finds the parent first.  The
+   default rule — the unique empty-body rule, more general than everything —
+   is the root.
+
+Generality of bodies is the subset test ``body(r) ⊆ closure(body(r'))``
+(see :meth:`repro.core.moa.MOAHierarchy.closure`), interned to integer-id
+frozensets for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.mining import MiningResult, TransactionIndex
+from repro.core.rules import ScoredRule
+from repro.errors import MiningError
+
+__all__ = ["CoveringNode", "CoveringTree", "build_covering_tree"]
+
+
+@dataclass
+class CoveringNode:
+    """One rule in the covering tree with its coverage bitmask."""
+
+    scored: ScoredRule
+    cover_mask: int = 0
+    parent: "CoveringNode | None" = field(default=None, repr=False)
+    children: list["CoveringNode"] = field(default_factory=list, repr=False)
+
+    @property
+    def n_covered(self) -> int:
+        """Number of training transactions this rule covers."""
+        return self.cover_mask.bit_count()
+
+    def subtree(self) -> Iterator["CoveringNode"]:
+        """Yield this node and all descendants (preorder)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+
+@dataclass
+class CoveringTree:
+    """The covering tree ``CT`` plus the shared transaction index."""
+
+    root: CoveringNode
+    index: TransactionIndex
+    n_dominated_removed: int
+
+    def nodes(self) -> list[CoveringNode]:
+        """All nodes, preorder from the root."""
+        return list(self.root.subtree())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.subtree())
+
+    def postorder(self) -> Iterator[CoveringNode]:
+        """Yield nodes children-before-parents (the pruning order)."""
+
+        def visit(node: CoveringNode) -> Iterator[CoveringNode]:
+            for child in node.children:
+                yield from visit(child)
+            yield node
+
+        return visit(self.root)
+
+
+def build_covering_tree(result: MiningResult) -> CoveringTree:
+    """Build ``CT`` from a mining result (Definition 8)."""
+    index = result.index
+    ranked = sorted(result.all_rules)
+    n_rules = len(ranked)
+
+    # The default rule's empty body generalizes every body, so every rule
+    # ranked below it is dominated outright; truncate before the quadratic
+    # domination pass.  (MPF could never select those rules: the default
+    # matches every basket at a higher rank.)
+    default_pos = next(
+        pos for pos, scored in enumerate(ranked) if scored.rule.is_default
+    )
+    ranked = ranked[: default_pos + 1]
+
+    body_ids, closure_ids = _intern_bodies(index, ranked)
+    survivors = _remove_dominated(ranked, body_ids, closure_ids)
+    n_removed = n_rules - len(survivors)
+
+    nodes = _assign_coverage(result, survivors)
+    _link_parents(nodes, body_ids, closure_ids)
+
+    roots = [node for node in nodes if node.parent is None]
+    if len(roots) != 1:  # pragma: no cover - default rule guarantees one root
+        raise MiningError(f"covering tree has {len(roots)} roots, expected 1")
+    return CoveringTree(root=roots[0], index=index, n_dominated_removed=n_removed)
+
+
+def _intern_bodies(
+    index: TransactionIndex, ranked: list[ScoredRule]
+) -> tuple[dict[int, frozenset[int]], dict[int, frozenset[int]]]:
+    """Map rule order → interned body ids and interned body closures."""
+    body_ids: dict[int, frozenset[int]] = {}
+    closure_ids: dict[int, frozenset[int]] = {}
+    for scored in ranked:
+        rule = scored.rule
+        body_ids[rule.order] = frozenset(
+            index.gsale_id(g) for g in rule.body
+        )
+        closure_ids[rule.order] = frozenset(
+            index.gsale_ids[g]
+            for g in index.moa.closure(rule.body)
+            if g in index.gsale_ids
+        )
+    return body_ids, closure_ids
+
+
+def _remove_dominated(
+    ranked: list[ScoredRule],
+    body_ids: dict[int, frozenset[int]],
+    closure_ids: dict[int, frozenset[int]],
+) -> list[ScoredRule]:
+    """Drop rules more special than and ranked lower than another rule.
+
+    ``ranked`` is in MPF order (best first).  A rule is dominated when some
+    earlier (higher-ranked) surviving rule's body generalizes its body.
+    Checking only survivors is sound: generality is transitive, so a
+    dominated dominator implies an earlier surviving dominator.
+
+    Survivor bodies are indexed by one member id, so a query only runs the
+    subset test against bodies whose key id lies in the query's closure —
+    near-linear in practice instead of quadratic.
+    """
+    survivors: list[ScoredRule] = []
+    by_key_id: dict[int, list[frozenset[int]]] = {}
+    for scored in ranked:
+        order = scored.rule.order
+        closure = closure_ids[order]
+        dominated = any(
+            body <= closure
+            for key_id in closure
+            for body in by_key_id.get(key_id, ())
+        )
+        if not dominated:
+            survivors.append(scored)
+            body = body_ids[order]
+            if body:  # the default rule's empty body never dominates here
+                by_key_id.setdefault(min(body), []).append(body)
+    return survivors
+
+
+def _assign_coverage(
+    result: MiningResult, survivors: list[ScoredRule]
+) -> list[CoveringNode]:
+    """Cover each transaction with its MPF rule among the survivors."""
+    index = result.index
+    all_mask = (1 << index.n) - 1
+    uncovered = all_mask
+    nodes: list[CoveringNode] = []
+    for scored in survivors:
+        rule = scored.rule
+        if rule.is_default:
+            matched = all_mask
+        else:
+            matched = result.body_tid_masks.get(rule.order)
+            if matched is None:
+                matched = index.body_mask(
+                    [index.gsale_id(g) for g in rule.body]
+                )
+        cover = matched & uncovered
+        uncovered &= ~cover
+        nodes.append(CoveringNode(scored=scored, cover_mask=cover))
+    if uncovered:  # pragma: no cover - the default rule matches everything
+        raise MiningError("some transactions left uncovered by the rule set")
+    return nodes
+
+
+def _link_parents(
+    nodes: list[CoveringNode],
+    body_ids: dict[int, frozenset[int]],
+    closure_ids: dict[int, frozenset[int]],
+) -> None:
+    """Set parent/children links (highest-ranked strictly-more-general rule).
+
+    ``nodes`` is in rank order; every strictly-more-general surviving rule
+    sits later in the list, so the first match scanning forward is the
+    highest-ranked one.
+    """
+    for i, node in enumerate(nodes):
+        order = node.scored.rule.order
+        closure = closure_ids[order]
+        my_body = body_ids[order]
+        for candidate in nodes[i + 1 :]:
+            cand_order = candidate.scored.rule.order
+            cand_body = body_ids[cand_order]
+            if cand_body != my_body and cand_body <= closure:
+                node.parent = candidate
+                candidate.children.append(node)
+                break

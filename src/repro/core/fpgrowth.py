@@ -1,0 +1,159 @@
+"""FP-growth frequent-body discovery (alternative mining backend).
+
+The paper observes that "the execution time is dominated by the step of
+generating association rules" (Section 5.3).  This module provides an
+FP-tree–based alternative to the level-wise Apriori pass in
+:mod:`repro.core.mining`: it discovers exactly the same frequent,
+ancestor-free bodies (Han, Pei & Yin, SIGMOD 2000), usually touching far
+fewer candidates at low supports.
+
+Division of labour: FP-growth here only *discovers* body itemsets; the
+caller recomputes each body's transaction mask from the shared
+:class:`~repro.core.mining.TransactionIndex` (one ``&`` per member) and
+runs the common rule-emission path, so rule statistics are identical by
+construction.  Bodies are returned in Apriori's generation order (by size,
+then lexicographically by interned ids), which keeps the paper's
+"generated before" tie-breaker stable across backends.
+
+The ancestor-free constraint (Definition 4) is enforced by filtering at
+emission.  Unlike Apriori — where excluding an ancestor pair prunes all
+its supersets for free — FP-growth must skip over subsumed combinations
+explicitly; correctness is unaffected because a body is emitted iff it is
+frequent *and* ancestor-free, the same predicate Apriori's
+join-plus-closure implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mining import MinerConfig, TransactionIndex
+from repro.errors import MiningError
+
+__all__ = ["frequent_bodies_fpgrowth"]
+
+
+@dataclass
+class _FPNode:
+    """One FP-tree node: an item id, a count, and tree links."""
+
+    gid: int
+    count: int = 0
+    parent: "_FPNode | None" = None
+    children: dict[int, "_FPNode"] = field(default_factory=dict)
+    next_same: "_FPNode | None" = None  # header-table chain
+
+
+class _FPTree:
+    """A compact prefix tree of (sorted) transactions with a header table."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(gid=-1)
+        self.header: dict[int, _FPNode] = {}
+        self.counts: dict[int, int] = {}
+
+    def insert(self, gids: list[int], count: int) -> None:
+        node = self.root
+        for gid in gids:
+            child = node.children.get(gid)
+            if child is None:
+                child = _FPNode(gid=gid, parent=node)
+                child.next_same = self.header.get(gid)
+                self.header[gid] = child
+                node.children[gid] = child
+            child.count += count
+            node = child
+            self.counts[gid] = self.counts.get(gid, 0) + count
+
+    def prefix_paths(self, gid: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of ``gid``: (path-to-root, count) pairs."""
+        paths: list[tuple[list[int], int]] = []
+        node = self.header.get(gid)
+        while node is not None:
+            path: list[int] = []
+            up = node.parent
+            while up is not None and up.gid != -1:
+                path.append(up.gid)
+                up = up.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+            node = node.next_same
+        return paths
+
+
+def frequent_bodies_fpgrowth(
+    index: TransactionIndex,
+    minsup_count: int,
+    config: MinerConfig,
+) -> dict[tuple[int, ...], int]:
+    """All frequent ancestor-free bodies with their transaction masks.
+
+    Returns the same mapping Apriori's level-wise pass accumulates:
+    canonical (sorted) id tuples → bitmask of matched transactions, keyed
+    in generation order (size, then ids).
+    """
+    # Frequency-ordered item list (FP-growth's canonical ordering).
+    singles = {
+        gid: mask.bit_count()
+        for gid, mask in index.body_masks.items()
+        if mask.bit_count() >= minsup_count
+    }
+    order = {gid: rank for rank, gid in enumerate(sorted(singles, key=lambda g: (-singles[g], g)))}
+
+    tree = _FPTree()
+    for ext in index.ext_sets:
+        frequent = sorted(
+            (gid for gid in ext if gid in singles), key=lambda g: order[g]
+        )
+        if frequent:
+            tree.insert(frequent, 1)
+
+    itemsets: list[tuple[int, ...]] = []
+    budget = [config.max_candidates_per_level]
+
+    def mine(current_tree: _FPTree, suffix: tuple[int, ...]) -> None:
+        if len(suffix) >= config.max_body_size:
+            return
+        for gid in sorted(current_tree.counts, key=lambda g: order[g], reverse=True):
+            if current_tree.counts[gid] < minsup_count:
+                continue
+            itemset = tuple(sorted((*suffix, gid)))
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise MiningError(
+                    "FP-growth itemset explosion "
+                    f"(> {config.max_candidates_per_level}); raise min_support "
+                    "or lower max_body_size"
+                )
+            itemsets.append(itemset)
+            if len(itemset) >= config.max_body_size:
+                continue
+            conditional = _FPTree()
+            for path, count in current_tree.prefix_paths(gid):
+                conditional.insert(path, count)
+            # prune infrequent items inside the conditional tree lazily:
+            # counts below threshold are skipped by the loop above.
+            mine(conditional, itemset)
+
+    mine(tree, ())
+
+    # Filter to ancestor-free bodies and attach transaction masks, in
+    # Apriori's generation order.
+    bodies: dict[tuple[int, ...], int] = {}
+    for itemset in sorted(itemsets, key=lambda t: (len(t), t)):
+        if len(itemset) > 1 and not _ancestor_free(index, itemset):
+            continue
+        mask = index.body_mask(itemset)
+        if mask.bit_count() >= minsup_count:
+            bodies[itemset] = mask
+    return bodies
+
+
+def _ancestor_free(index: TransactionIndex, itemset: tuple[int, ...]) -> bool:
+    moa = index.moa
+    gsales = [index.gsales[gid] for gid in itemset]
+    for i, a in enumerate(gsales):
+        for b in gsales[i + 1 :]:
+            if moa.generalizes_or_equal(a, b) or moa.generalizes_or_equal(b, a):
+                return False
+    return True

@@ -1,0 +1,99 @@
+"""Generalized sales (paper Definition 3).
+
+A generalized sale takes one of three forms:
+
+* ``⟨I, P⟩`` — an item with a promotion code but no quantity (rule heads use
+  only this form; so do price-specific body conditions);
+* ``I`` — a bare item (any promotion code);
+* ``C`` — a concept from the hierarchy.
+
+This module defines the immutable :class:`GSale` value type plus its ordering
+helpers.  The *semantics* of generalization (which generalized sales a
+concrete sale lifts to, and which generalized sale subsumes which) live in
+:mod:`repro.core.moa`, because they depend on the hierarchy and on whether
+mining-on-availability is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["GKind", "GSale"]
+
+
+class GKind(enum.Enum):
+    """The three syntactic forms of a generalized sale."""
+
+    CONCEPT = "concept"
+    ITEM = "item"
+    PROMO = "promo"
+
+
+@dataclass(frozen=True, slots=True)
+class GSale:
+    """One generalized sale.
+
+    ``node`` is the concept name (``CONCEPT``) or the item id (``ITEM`` and
+    ``PROMO``); ``promo`` is the promotion-code id and is present exactly for
+    the ``PROMO`` form.
+    """
+
+    kind: GKind
+    node: str
+    promo: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValidationError("generalized sale node must be non-empty")
+        if self.kind is GKind.PROMO:
+            if not self.promo:
+                raise ValidationError(
+                    f"promo-form generalized sale of {self.node!r} needs a "
+                    "promotion code"
+                )
+        elif self.promo is not None:
+            raise ValidationError(
+                f"{self.kind.value}-form generalized sale of {self.node!r} "
+                "must not carry a promotion code"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concept(name: str) -> "GSale":
+        """The concept form ``C``."""
+        return GSale(GKind.CONCEPT, name)
+
+    @staticmethod
+    def item(item_id: str) -> "GSale":
+        """The bare-item form ``I``."""
+        return GSale(GKind.ITEM, item_id)
+
+    @staticmethod
+    def promo_form(item_id: str, promo_code: str) -> "GSale":
+        """The ``⟨I, P⟩`` form."""
+        return GSale(GKind.PROMO, item_id, promo_code)
+
+    # ------------------------------------------------------------------
+    # Presentation and ordering
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable rendering used in rule explanations."""
+        if self.kind is GKind.CONCEPT:
+            return f"[{self.node}]"
+        if self.kind is GKind.ITEM:
+            return self.node
+        return f"<{self.node} @ {self.promo}>"
+
+    def sort_key(self) -> tuple[str, str, str]:
+        """Deterministic total order used for canonical rule bodies."""
+        return (self.node, self.kind.value, self.promo or "")
+
+    def __lt__(self, other: "GSale") -> bool:
+        if not isinstance(other, GSale):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()

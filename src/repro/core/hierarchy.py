@@ -1,0 +1,261 @@
+"""Concept hierarchies over items (paper Section 2).
+
+A concept hierarchy ``H`` is a rooted directed acyclic graph whose leaves are
+items and whose internal nodes are concepts (categories).  The root is the
+special concept ``ANY``.  Following the paper:
+
+* non-target items may sit anywhere below concepts — generalizing a sale to
+  a concept lets the miner find the best category triggering a
+  recommendation;
+* target items are *immediate children of the root* — it makes no sense to
+  recommend "Appliance for $100", so target items never generalize to
+  concepts.
+
+The class stores parent links, validates acyclicity and reachability, and
+memoizes ancestor sets because the miner asks for them for every sale of
+every transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.items import ItemCatalog
+from repro.errors import HierarchyError
+
+__all__ = ["ROOT_CONCEPT", "ConceptHierarchy", "to_dot"]
+
+ROOT_CONCEPT = "ANY"
+
+
+@dataclass
+class ConceptHierarchy:
+    """Rooted DAG of concepts with items as leaves.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from node name to the tuple of its parent node names.  The
+        root ``ANY`` must not appear as a key; every chain of parents must
+        reach ``ANY``.  Nodes that appear only as parents are concepts.
+    items:
+        The set of node names that are items (leaves).  Items must not be
+        parents of anything.
+    """
+
+    parents: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    items: set[str] = field(default_factory=set)
+    _ancestor_cache: dict[str, frozenset[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat(cls, item_ids: Iterable[str]) -> "ConceptHierarchy":
+        """A trivial hierarchy: every item is a direct child of ``ANY``."""
+        ids = list(item_ids)
+        return cls(
+            parents={item: (ROOT_CONCEPT,) for item in ids},
+            items=set(ids),
+        )
+
+    @classmethod
+    def from_groups(
+        cls, groups: Mapping[str, Sequence[str]], items: Iterable[str]
+    ) -> "ConceptHierarchy":
+        """Build from a mapping of parent → children.
+
+        ``groups[ANY]`` lists the top-level concepts/items; any node not
+        mentioned as a child of anything is attached to ``ANY``.
+        """
+        item_set = set(items)
+        parents: dict[str, list[str]] = {}
+        for parent, children in groups.items():
+            for child in children:
+                parents.setdefault(child, []).append(parent)
+        mentioned = set(parents)
+        all_nodes = set(groups) | mentioned | item_set
+        all_nodes.discard(ROOT_CONCEPT)
+        for node in sorted(all_nodes - mentioned):
+            parents[node] = [ROOT_CONCEPT]
+        return cls(
+            parents={node: tuple(ps) for node, ps in parents.items()},
+            items=item_set,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if ROOT_CONCEPT in self.parents:
+            raise HierarchyError(f"root {ROOT_CONCEPT!r} cannot have parents")
+        known = set(self.parents) | {ROOT_CONCEPT}
+        for node, node_parents in self.parents.items():
+            if not node_parents:
+                raise HierarchyError(f"node {node!r} has an empty parent tuple")
+            for parent in node_parents:
+                if parent in self.items:
+                    raise HierarchyError(
+                        f"item {parent!r} cannot be a parent (of {node!r})"
+                    )
+                if parent != ROOT_CONCEPT and parent not in known:
+                    raise HierarchyError(
+                        f"node {node!r} references unknown parent {parent!r}"
+                    )
+        for item in self.items:
+            if item not in self.parents:
+                raise HierarchyError(f"item {item!r} is not attached to the hierarchy")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state = color.get(node, WHITE)
+            if state == BLACK or node == ROOT_CONCEPT:
+                return
+            if state == GRAY:
+                raise HierarchyError(f"hierarchy contains a cycle through {node!r}")
+            color[node] = GRAY
+            for parent in self.parents.get(node, ()):
+                visit(parent)
+            color[node] = BLACK
+
+        for node in self.parents:
+            visit(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def concepts(self) -> set[str]:
+        """All non-item, non-root nodes."""
+        nodes = set(self.parents)
+        for node_parents in self.parents.values():
+            nodes.update(node_parents)
+        nodes.discard(ROOT_CONCEPT)
+        return nodes - self.items
+
+    def is_item(self, node: str) -> bool:
+        """Whether ``node`` is a leaf item."""
+        return node in self.items
+
+    def parents_of(self, node: str) -> tuple[str, ...]:
+        """Direct parents of ``node`` (the root has none)."""
+        if node == ROOT_CONCEPT:
+            return ()
+        try:
+            return self.parents[node]
+        except KeyError:
+            raise HierarchyError(f"unknown node {node!r}") from None
+
+    def children_of(self, node: str) -> list[str]:
+        """Direct children of ``node``, in insertion order."""
+        return [
+            child
+            for child, node_parents in self.parents.items()
+            if node in node_parents
+        ]
+
+    def ancestors_of(self, node: str, include_root: bool = False) -> frozenset[str]:
+        """All proper ancestors of ``node``.
+
+        The root ``ANY`` is excluded by default because generalizing to ANY
+        carries no information (every transaction matches it); Srikant &
+        Agrawal's generalized-rule mining makes the same exclusion.
+        """
+        cached = self._ancestor_cache.get(node)
+        if cached is None:
+            found: set[str] = set()
+            stack = list(self.parents_of(node))
+            while stack:
+                current = stack.pop()
+                if current in found:
+                    continue
+                found.add(current)
+                if current != ROOT_CONCEPT:
+                    stack.extend(self.parents_of(current))
+            cached = frozenset(found)
+            self._ancestor_cache[node] = cached
+        if include_root:
+            return cached | {ROOT_CONCEPT}
+        return cached - {ROOT_CONCEPT}
+
+    def is_ancestor(self, ancestor: str, node: str) -> bool:
+        """Whether ``ancestor`` is a proper ancestor of ``node`` (ANY counts)."""
+        if ancestor == ROOT_CONCEPT:
+            return node != ROOT_CONCEPT
+        return ancestor in self.ancestors_of(node, include_root=False)
+
+    def depth_of(self, node: str) -> int:
+        """Length of the longest path from the root to ``node``."""
+        if node == ROOT_CONCEPT:
+            return 0
+        return 1 + max(self.depth_of(parent) for parent in self.parents_of(node))
+
+    def validate_against_catalog(self, catalog: ItemCatalog) -> None:
+        """Check the hierarchy covers the catalog per the paper's conventions.
+
+        Every non-target item must be a leaf; every target item must be a
+        direct child of the root (targets never generalize to concepts).
+        """
+        for item in catalog.nontarget_items:
+            if item.item_id not in self.items:
+                raise HierarchyError(
+                    f"non-target item {item.item_id!r} missing from hierarchy"
+                )
+        for item in catalog.target_items:
+            if item.item_id not in self.items:
+                raise HierarchyError(
+                    f"target item {item.item_id!r} missing from hierarchy"
+                )
+            if self.parents_of(item.item_id) != (ROOT_CONCEPT,):
+                raise HierarchyError(
+                    f"target item {item.item_id!r} must be a direct child of "
+                    f"{ROOT_CONCEPT!r}"
+                )
+
+    @classmethod
+    def for_catalog(
+        cls,
+        catalog: ItemCatalog,
+        nontarget_groups: Mapping[str, Sequence[str]] | None = None,
+    ) -> "ConceptHierarchy":
+        """Hierarchy with targets under the root and optional concept groups.
+
+        ``nontarget_groups`` maps concept names to child node names (concepts
+        or non-target item ids); omitted non-target items attach to the root.
+        """
+        groups = dict(nontarget_groups or {})
+        hierarchy = cls.from_groups(
+            groups,
+            items=[item.item_id for item in catalog],
+        )
+        hierarchy.validate_against_catalog(catalog)
+        return hierarchy
+
+
+def to_dot(hierarchy: ConceptHierarchy, name: str = "H") -> str:
+    """Render a hierarchy as Graphviz DOT (for reports and debugging).
+
+    Items are boxes, concepts ellipses, the root a double circle; edges
+    point from parent to child.
+    """
+    lines = [f"digraph {name} {{", '  rankdir="TB";']
+    lines.append(f'  "{ROOT_CONCEPT}" [shape=doublecircle];')
+    for concept in sorted(hierarchy.concepts):
+        lines.append(f'  "{concept}" [shape=ellipse];')
+    for item in sorted(hierarchy.items):
+        lines.append(f'  "{item}" [shape=box];')
+    for node in sorted(hierarchy.parents):
+        for parent in hierarchy.parents_of(node):
+            lines.append(f'  "{parent}" -> "{node}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Items and the item catalog.
+
+Profit mining distinguishes *target items* (the items whose sales we want to
+promote; each carries promotion codes and is recommended together with one)
+from *non-target items* (everything else a customer may buy; their sales form
+rule bodies).  The :class:`ItemCatalog` is the single registry both the data
+generators and the recommenders share: it resolves item ids to
+:class:`Item` objects and promotion-code ids to
+:class:`~repro.core.promotion.PromotionCode` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.promotion import PromotionCode, sort_by_favorability
+from repro.errors import CatalogError, ValidationError
+
+__all__ = ["Item", "ItemCatalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """An item together with its promotion codes.
+
+    Parameters
+    ----------
+    item_id:
+        Globally unique identifier.
+    promotions:
+        The item's promotion codes; ids must be unique within the item.
+        Descriptive items (e.g. ``Gender=Male``) may have none — the paper
+        models those with price 1, cost 0 and the notion of profit collapsing
+        to support; helpers below expose that convention.
+    is_target:
+        Whether the item is a recommendation target.  Target items must carry
+        at least one promotion code (the paper assumes every target item has
+        a natural notion of promotion code).
+    """
+
+    item_id: str
+    promotions: tuple[PromotionCode, ...] = ()
+    is_target: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ValidationError("item_id must be non-empty")
+        seen: set[str] = set()
+        for promo in self.promotions:
+            if promo.code in seen:
+                raise ValidationError(
+                    f"item {self.item_id!r}: duplicate promotion code {promo.code!r}"
+                )
+            seen.add(promo.code)
+        if self.is_target and not self.promotions:
+            raise ValidationError(
+                f"target item {self.item_id!r} must have at least one promotion code"
+            )
+
+    def promotion(self, code: str) -> PromotionCode:
+        """Look up one of this item's promotion codes by id."""
+        for promo in self.promotions:
+            if promo.code == code:
+                return promo
+        raise CatalogError(
+            f"item {self.item_id!r} has no promotion code {code!r}"
+        )
+
+    def has_promotion(self, code: str) -> bool:
+        """Whether ``code`` is one of this item's promotion code ids."""
+        return any(promo.code == code for promo in self.promotions)
+
+    def promotions_by_favorability(self) -> list[PromotionCode]:
+        """This item's codes ordered from most to least favorable."""
+        return sort_by_favorability(self.promotions)
+
+    @staticmethod
+    def descriptive(item_id: str) -> "Item":
+        """A non-target item with the descriptive-item convention applied.
+
+        The paper sets ``Price(P) = 1``, ``Cost(P) = 0`` and quantity 1 for
+        items like ``Gender=Male`` so that profit degenerates to support.
+        """
+        return Item(
+            item_id=item_id,
+            promotions=(PromotionCode(code="unit", price=1.0, cost=0.0),),
+            is_target=False,
+        )
+
+
+@dataclass
+class ItemCatalog:
+    """Registry of all items participating in a profit-mining problem.
+
+    The catalog validates that ids are unique and exposes the target /
+    non-target split every other component relies on.  It is mutable during
+    construction (items can be added) but items themselves are immutable.
+    """
+
+    _items: dict[str, Item] = field(default_factory=dict)
+
+    @classmethod
+    def from_items(cls, items: Iterable[Item]) -> "ItemCatalog":
+        """Build a catalog from an iterable of items."""
+        catalog = cls()
+        for item in items:
+            catalog.add(item)
+        return catalog
+
+    def add(self, item: Item) -> None:
+        """Register ``item``, rejecting duplicate ids."""
+        if item.item_id in self._items:
+            raise CatalogError(f"duplicate item id {item.item_id!r}")
+        self._items[item.item_id] = item
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items.values())
+
+    def get(self, item_id: str) -> Item:
+        """Resolve an item id, raising :class:`CatalogError` if unknown."""
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise CatalogError(f"unknown item id {item_id!r}") from None
+
+    def promotion(self, item_id: str, code: str) -> PromotionCode:
+        """Resolve an (item id, promotion code id) pair."""
+        return self.get(item_id).promotion(code)
+
+    @property
+    def items(self) -> Mapping[str, Item]:
+        """Read-only view of the id → item mapping."""
+        return dict(self._items)
+
+    @property
+    def target_items(self) -> list[Item]:
+        """All target items, in insertion order."""
+        return [item for item in self._items.values() if item.is_target]
+
+    @property
+    def nontarget_items(self) -> list[Item]:
+        """All non-target items, in insertion order."""
+        return [item for item in self._items.values() if not item.is_target]
+
+    def target_ids(self) -> list[str]:
+        """Ids of all target items."""
+        return [item.item_id for item in self.target_items]
+
+    def nontarget_ids(self) -> list[str]:
+        """Ids of all non-target items."""
+        return [item.item_id for item in self.nontarget_items]
+
+    def validate_for_mining(self) -> None:
+        """Check the catalog can support profit mining.
+
+        Requires at least one target item and at least one non-target item,
+        mirroring Definition 1's setting of pre-selected target items.
+        """
+        if not self.target_items:
+            raise ValidationError("catalog has no target items")
+        if not self.nontarget_items:
+            raise ValidationError("catalog has no non-target items")

@@ -1,0 +1,177 @@
+"""The end-to-end profit miner: mine → cover → prune → recommend.
+
+:class:`ProfitMiner` is the library's main entry point.  It wires the whole
+pipeline of the paper together:
+
+1. mine generalized association rules over MOA(H) with profit-aware worth
+   (:mod:`repro.core.mining`),
+2. rank them most-profitable-first and build the covering tree
+   (:mod:`repro.core.covering`),
+3. prune to the cut-optimal recommender (:mod:`repro.core.pruning`),
+4. expose the result as an :class:`~repro.core.mpf.MPFRecommender`.
+
+The four rule-based systems of the evaluation are configurations of this
+one class:
+
+=============  =========================  ===========
+System         profit model               ``use_moa``
+=============  =========================  ===========
+``PROF+MOA``   saving (or buying) MOA     ``True``
+``PROF-MOA``   saving (or buying) MOA     ``False``
+``CONF+MOA``   binary (hit counting)      ``True``
+``CONF-MOA``   binary (hit counting)      ``False``
+=============  =========================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.covering import CoveringTree, build_covering_tree
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.mining import MinerConfig, MiningResult, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import ProfitModel, SavingMOA
+from repro.core.pruning import PruneConfig, PruneReport, cut_optimal_prune
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import RecommenderError
+
+__all__ = ["ProfitMinerConfig", "ProfitMiner"]
+
+
+@dataclass(frozen=True)
+class ProfitMinerConfig:
+    """Full configuration of one profit-mining run."""
+
+    mining: MinerConfig = field(default_factory=MinerConfig)
+    pruning: PruneConfig = field(default_factory=PruneConfig)
+    use_moa: bool = True
+
+    @classmethod
+    def prof_moa(cls, **mining_kwargs: object) -> "ProfitMinerConfig":
+        """The paper's PROF+MOA configuration."""
+        return cls(mining=MinerConfig(**mining_kwargs), use_moa=True)  # type: ignore[arg-type]
+
+    @classmethod
+    def prof_no_moa(cls, **mining_kwargs: object) -> "ProfitMinerConfig":
+        """The paper's PROF−MOA configuration."""
+        return cls(mining=MinerConfig(**mining_kwargs), use_moa=False)  # type: ignore[arg-type]
+
+
+class ProfitMiner(Recommender):
+    """Builds the cut-optimal recommender of Sections 3–4.
+
+    Parameters
+    ----------
+    hierarchy:
+        Concept hierarchy ``H`` over the catalog's items.
+    profit_model:
+        How hit profit is credited during model building; defaults to the
+        conservative saving MOA.  Pass
+        :class:`~repro.core.profit.BinaryProfit` for the CONF variants.
+    config:
+        Mining/pruning thresholds and the MOA switch.
+    name:
+        Display name in experiment tables (defaults to the paper's label
+        derived from the configuration, e.g. ``"PROF+MOA"``).
+    """
+
+    def __init__(
+        self,
+        hierarchy: ConceptHierarchy,
+        profit_model: ProfitModel | None = None,
+        config: ProfitMinerConfig | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        self.hierarchy = hierarchy
+        self.profit_model = profit_model or SavingMOA()
+        self.config = config or ProfitMinerConfig()
+        self.name = name or self._derive_name()
+        self.moa: MOAHierarchy | None = None
+        self.mining_result: MiningResult | None = None
+        self.covering_tree: CoveringTree | None = None
+        self.prune_report: PruneReport | None = None
+        self.recommender: MPFRecommender | None = None
+        self.initial_recommender: MPFRecommender | None = None
+
+    def _derive_name(self) -> str:
+        profit = "CONF" if self.profit_model.name == "binary" else "PROF"
+        moa = "+MOA" if self.config.use_moa else "-MOA"
+        return profit + moa
+
+    # ------------------------------------------------------------------
+    def fit(self, db: TransactionDB) -> "ProfitMiner":
+        """Run the full pipeline on ``db``; returns ``self``."""
+        db.catalog.validate_for_mining()
+        self.moa = MOAHierarchy(
+            catalog=db.catalog,
+            hierarchy=self.hierarchy,
+            use_moa=self.config.use_moa,
+        )
+        self.mining_result = mine_rules(
+            db, self.moa, self.profit_model, self.config.mining
+        )
+        self.initial_recommender = MPFRecommender(
+            self.mining_result.all_rules, self.moa, name=f"{self.name} (initial)"
+        )
+        self.covering_tree = build_covering_tree(self.mining_result)
+        self.prune_report = cut_optimal_prune(self.covering_tree, self.config.pruning)
+        self.recommender = MPFRecommender(
+            self.prune_report.kept_rules, self.moa, name=self.name
+        )
+        self._fitted = True
+        return self
+
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """Recommend with the cut-optimal recommender."""
+        self._check_fitted()
+        assert self.recommender is not None
+        return self.recommender.recommend(basket)
+
+    def explain(self, basket: Sequence[Sale]) -> str:
+        """Explain the recommendation for ``basket`` (Requirement 5)."""
+        self._check_fitted()
+        assert self.recommender is not None
+        return self.recommender.explain(basket)
+
+    @property
+    def model_size(self) -> int:
+        """Number of rules in the cut-optimal recommender."""
+        self._check_fitted()
+        assert self.recommender is not None
+        return self.recommender.model_size
+
+    @property
+    def rules(self) -> list:
+        """The surviving rules in MPF rank order."""
+        self._check_fitted()
+        assert self.recommender is not None
+        return list(self.recommender.ranked_rules)
+
+    def summary(self) -> str:
+        """One-paragraph fit summary (rule counts, pruning effect)."""
+        self._check_fitted()
+        assert self.mining_result is not None
+        assert self.covering_tree is not None
+        assert self.prune_report is not None
+        mined = len(self.mining_result.scored_rules)
+        report = self.prune_report
+        return (
+            f"{self.name}: mined {mined} rules "
+            f"(+1 default) over {self.mining_result.index.n} transactions; "
+            f"{self.covering_tree.n_dominated_removed} dominated rules removed; "
+            f"covering tree of {report.n_rules_before} nodes pruned to "
+            f"{report.n_rules_after} rules "
+            f"({report.n_subtrees_pruned} subtrees cut); projected profit "
+            f"{report.tree_profit_before:.2f} -> {report.tree_profit_after:.2f}"
+        )
+
+    def require_fitted_recommender(self) -> MPFRecommender:
+        """The cut-optimal recommender, raising if :meth:`fit` never ran."""
+        if self.recommender is None:
+            raise RecommenderError("ProfitMiner has not been fitted")
+        return self.recommender

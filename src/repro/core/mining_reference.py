@@ -1,0 +1,106 @@
+"""Reference rule miner: obviously correct, deliberately slow.
+
+This module re-implements Section 3.1's rule generation by exhaustive
+enumeration — every ancestor-free combination of generalized sales is
+checked against every transaction with no indexing, no bitmasks and no
+Apriori pruning.  It exists to *audit* the fast miner
+(:mod:`repro.core.mining`): the property suite mines random databases with
+both implementations and requires identical rule sets and statistics.
+
+Never use this on real data; complexity is
+``O(|G|^max_body_size × |D|)`` where ``G`` is the set of distinct
+generalized sales.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.generalized import GSale
+from repro.core.mining import MinerConfig
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import ProfitModel
+from repro.core.sales import TransactionDB
+from repro.errors import MiningError
+
+__all__ = ["ReferenceRule", "mine_rules_reference"]
+
+
+@dataclass(frozen=True)
+class ReferenceRule:
+    """One rule with its worth, in an implementation-neutral form."""
+
+    body: frozenset[GSale]
+    head: GSale
+    n_matched: int
+    n_hits: int
+    rule_profit: float
+
+
+def mine_rules_reference(
+    db: TransactionDB,
+    moa: MOAHierarchy,
+    profit_model: ProfitModel,
+    config: MinerConfig,
+) -> set[ReferenceRule]:
+    """Exhaustively enumerate the rule set ``R`` (minus the default rule).
+
+    Returns every (ancestor-free body, head) pair satisfying the support,
+    confidence and rule-profit thresholds, with exact statistics.
+    """
+    if len(db) == 0:
+        raise MiningError("cannot mine an empty transaction database")
+    minsup_count = max(1, math.ceil(config.min_support * len(db)))
+
+    extended = [
+        moa.generalizations_of_basket(t.nontarget_sales) for t in db
+    ]
+    heads_per_transaction = [
+        moa.target_heads_of_sale(t.target_sale) for t in db
+    ]
+
+    candidate_gsales = sorted(
+        {g for ext in extended for g in ext}, key=GSale.sort_key
+    )
+    candidate_heads = sorted(moa.all_candidate_heads(), key=GSale.sort_key)
+
+    rules: set[ReferenceRule] = set()
+    for size in range(1, config.max_body_size + 1):
+        for body_tuple in combinations(candidate_gsales, size):
+            body = frozenset(body_tuple)
+            if not moa.is_ancestor_free(body):
+                continue
+            matched = [
+                pos for pos, ext in enumerate(extended) if body <= ext
+            ]
+            if len(matched) < minsup_count:
+                continue
+            for head in candidate_heads:
+                hits = [
+                    pos for pos in matched if head in heads_per_transaction[pos]
+                ]
+                if len(hits) < minsup_count:
+                    continue
+                confidence = len(hits) / len(matched)
+                if confidence < config.min_confidence:
+                    continue
+                rule_profit = sum(
+                    profit_model.credited_profit(
+                        head, db[pos].target_sale, db.catalog
+                    )
+                    for pos in hits
+                )
+                if rule_profit < config.min_rule_profit:
+                    continue
+                rules.add(
+                    ReferenceRule(
+                        body=body,
+                        head=head,
+                        n_matched=len(matched),
+                        n_hits=len(hits),
+                        rule_profit=round(rule_profit, 9),
+                    )
+                )
+    return rules

@@ -1,0 +1,280 @@
+"""The MOA(H) hierarchy and generalization semantics (Definitions 2–3).
+
+``MOA(H)`` extends a concept hierarchy ``H`` by hanging, under each item
+leaf ``I``, the hierarchy ``(≺, I)`` of the item's promotion codes ordered by
+favorability.  A sale ``⟨I, P', Q⟩`` then generalizes upward to
+
+* every ``⟨I, P⟩`` with ``P ⪯ P'`` (mining on availability: a customer who
+  bought at ``P'`` would also have bought at a more favorable ``P``),
+* the bare item ``I``, and
+* every concept ancestor of ``I`` (the root ``ANY`` excluded).
+
+:class:`MOAHierarchy` is the library's generalization engine.  It is built
+once per (catalog, hierarchy, use_moa) configuration and answers, with
+memoization, the queries the miner and recommenders need:
+
+* the generalization set of a concrete sale (how transactions extend),
+* the set of rule heads that *hit* a target sale,
+* subsumption between generalized sales (for ancestor-free rule bodies,
+  dominated-rule deletion and the covering tree).
+
+Setting ``use_moa=False`` produces the −MOA variants of the paper's
+experiments: promotion codes stop generalizing across each other, so a sale
+lifts only to its exact ``⟨I, P⟩`` node (plus item and concepts) and a head
+hits only on an exact promotion-code match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.generalized import GKind, GSale
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.items import ItemCatalog
+from repro.core.promotion import (
+    PromotionCode,
+    is_at_least_as_favorable,
+    is_more_favorable,
+)
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+
+__all__ = ["MOAHierarchy", "moa_to_dot"]
+
+
+@dataclass
+class MOAHierarchy:
+    """Generalization engine over ``MOA(H)`` (or plain ``H`` when MOA is off).
+
+    Parameters
+    ----------
+    catalog:
+        Item catalog supplying promotion codes and the target split.
+    hierarchy:
+        Concept hierarchy ``H`` over the catalog's items.
+    use_moa:
+        When ``True`` (the paper's default), promotion codes generalize along
+        the favorability order; when ``False``, each promotion code stands
+        alone.
+    """
+
+    catalog: ItemCatalog
+    hierarchy: ConceptHierarchy
+    use_moa: bool = True
+    _sale_gen_cache: dict[tuple[str, str], frozenset[GSale]] = field(
+        default_factory=dict, repr=False
+    )
+    _head_cache: dict[tuple[str, str], frozenset[GSale]] = field(
+        default_factory=dict, repr=False
+    )
+    _gsale_ancestors: dict[GSale, frozenset[GSale]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self.hierarchy.validate_against_catalog(self.catalog)
+
+    # ------------------------------------------------------------------
+    # Generalizing concrete sales
+    # ------------------------------------------------------------------
+    def generalizations_of_sale(self, sale: Sale) -> frozenset[GSale]:
+        """All generalized sales of a *non-target* sale (Definition 3).
+
+        The returned set is exactly the set of generalized sales ``g`` such
+        that ``g`` is a generalized sale of ``sale``; a rule body ``G``
+        matches a basket iff every member of ``G`` lies in the union of these
+        sets over the basket's sales.
+        """
+        key = (sale.item_id, sale.promo_code)
+        cached = self._sale_gen_cache.get(key)
+        if cached is not None:
+            return cached
+        item = self.catalog.get(sale.item_id)
+        if item.is_target:
+            raise ValidationError(
+                f"{sale.item_id!r} is a target item; use target_heads_of_sale"
+            )
+        sold_at = item.promotion(sale.promo_code)
+        gsales: set[GSale] = set()
+        gsales.update(
+            GSale.promo_form(item.item_id, promo.code)
+            for promo in self._codes_lifting(item.promotions, sold_at)
+        )
+        gsales.add(GSale.item(item.item_id))
+        gsales.update(
+            GSale.concept(concept)
+            for concept in self.hierarchy.ancestors_of(item.item_id)
+        )
+        result = frozenset(gsales)
+        self._sale_gen_cache[key] = result
+        return result
+
+    def generalizations_of_basket(self, sales: Iterable[Sale]) -> frozenset[GSale]:
+        """Union of the generalization sets of a basket's non-target sales."""
+        combined: set[GSale] = set()
+        for sale in sales:
+            combined.update(self.generalizations_of_sale(sale))
+        return frozenset(combined)
+
+    def _codes_lifting(
+        self, codes: Sequence[PromotionCode], sold_at: PromotionCode
+    ) -> list[PromotionCode]:
+        """Promotion codes a sale at ``sold_at`` generalizes to."""
+        if not self.use_moa:
+            return [sold_at]
+        return [c for c in codes if is_at_least_as_favorable(c, sold_at)]
+
+    # ------------------------------------------------------------------
+    # Target-sale hits
+    # ------------------------------------------------------------------
+    def target_heads_of_sale(self, target_sale: Sale) -> frozenset[GSale]:
+        """All heads ``⟨I, P⟩`` that capture the intention of ``target_sale``.
+
+        With MOA these are the codes at least as favorable as the recorded
+        one; without MOA only the exact recorded code.  A rule whose head is
+        in this set scores a *hit* on the transaction.
+        """
+        key = (target_sale.item_id, target_sale.promo_code)
+        cached = self._head_cache.get(key)
+        if cached is not None:
+            return cached
+        item = self.catalog.get(target_sale.item_id)
+        if not item.is_target:
+            raise ValidationError(
+                f"{target_sale.item_id!r} is not a target item"
+            )
+        sold_at = item.promotion(target_sale.promo_code)
+        heads = frozenset(
+            GSale.promo_form(item.item_id, promo.code)
+            for promo in self._codes_lifting(item.promotions, sold_at)
+        )
+        self._head_cache[key] = heads
+        return heads
+
+    def hits(self, head: GSale, target_sale: Sale) -> bool:
+        """Whether recommending ``head`` is a hit on ``target_sale``."""
+        if head.kind is not GKind.PROMO:
+            raise ValidationError("rule heads must be promo-form generalized sales")
+        return head in self.target_heads_of_sale(target_sale)
+
+    def all_candidate_heads(self) -> list[GSale]:
+        """Every recommendable ``⟨target item, promotion code⟩`` pair."""
+        return [
+            GSale.promo_form(item.item_id, promo.code)
+            for item in self.catalog.target_items
+            for promo in item.promotions
+        ]
+
+    # ------------------------------------------------------------------
+    # Subsumption between generalized sales
+    # ------------------------------------------------------------------
+    def strictly_generalizes(self, general: GSale, specific: GSale) -> bool:
+        """Whether ``general`` is a proper ancestor of ``specific`` in MOA(H)."""
+        return general != specific and general in self.ancestors_of_gsale(specific)
+
+    def generalizes_or_equal(self, general: GSale, specific: GSale) -> bool:
+        """Reflexive subsumption: equal or a proper ancestor."""
+        return general == specific or general in self.ancestors_of_gsale(specific)
+
+    def ancestors_of_gsale(self, gsale: GSale) -> frozenset[GSale]:
+        """All proper ancestors of ``gsale`` in MOA(H) (root excluded)."""
+        cached = self._gsale_ancestors.get(gsale)
+        if cached is not None:
+            return cached
+        result: set[GSale] = set()
+        if gsale.kind is GKind.CONCEPT:
+            result.update(
+                GSale.concept(c) for c in self.hierarchy.ancestors_of(gsale.node)
+            )
+        elif gsale.kind is GKind.ITEM:
+            result.update(
+                GSale.concept(c) for c in self.hierarchy.ancestors_of(gsale.node)
+            )
+        else:
+            item = self.catalog.get(gsale.node)
+            sold_at = item.promotion(gsale.promo or "")
+            if self.use_moa:
+                result.update(
+                    GSale.promo_form(item.item_id, promo.code)
+                    for promo in item.promotions
+                    if is_more_favorable(promo, sold_at)
+                )
+            result.add(GSale.item(item.item_id))
+            result.update(
+                GSale.concept(c) for c in self.hierarchy.ancestors_of(item.item_id)
+            )
+        frozen = frozenset(result)
+        self._gsale_ancestors[gsale] = frozen
+        return frozen
+
+    def closure(self, gsales: Iterable[GSale]) -> frozenset[GSale]:
+        """``gsales`` together with all their proper ancestors.
+
+        A body ``G`` is at least as general as a body ``G'`` exactly when
+        ``G ⊆ closure(G')`` — the subset test the covering tree runs many
+        thousands of times.
+        """
+        result: set[GSale] = set()
+        for gsale in gsales:
+            result.add(gsale)
+            result.update(self.ancestors_of_gsale(gsale))
+        return frozenset(result)
+
+    def body_generalizes(
+        self, general: Iterable[GSale], specific: Iterable[GSale]
+    ) -> bool:
+        """Whether body ``general`` generalizes body ``specific``.
+
+        Per Definition 3's matching: every member of ``general`` must equal
+        or subsume some member of ``specific``.  Reflexive.
+        """
+        specific_closure = self.closure(specific)
+        return all(g in specific_closure for g in general)
+
+    def is_ancestor_free(self, body: Iterable[GSale]) -> bool:
+        """Definition 4's body constraint: no member subsumes another."""
+        members = list(body)
+        for i, g in enumerate(members):
+            for j, other in enumerate(members):
+                if i != j and self.generalizes_or_equal(g, other):
+                    return False
+        return True
+
+
+def moa_to_dot(moa: MOAHierarchy, name: str = "MOAH") -> str:
+    """Render MOA(H) as Graphviz DOT — the paper's Figure 1(b) view.
+
+    Concepts are ellipses, items boxes, promotion-code nodes ⟨I, P⟩ plain
+    text; favorability cover edges run from more to less favorable codes.
+    """
+    from repro.core.hierarchy import ROOT_CONCEPT
+    from repro.core.promotion import favorability_covers, maximal_codes
+
+    lines = [f"digraph {name} {{", '  rankdir="TB";']
+    lines.append(f'  "{ROOT_CONCEPT}" [shape=doublecircle];')
+    for concept in sorted(moa.hierarchy.concepts):
+        lines.append(f'  "{concept}" [shape=ellipse];')
+    for node in sorted(moa.hierarchy.parents):
+        for parent in moa.hierarchy.parents_of(node):
+            lines.append(f'  "{parent}" -> "{node}";')
+    for item in sorted(moa.hierarchy.items):
+        lines.append(f'  "{item}" [shape=box];')
+        codes = moa.catalog.get(item).promotions
+        if not codes:
+            continue
+        for promo in codes:
+            label = f"<{item} @ {promo.code}>"
+            lines.append(f'  "{label}" [shape=plaintext];')
+        if moa.use_moa:
+            for root_code in maximal_codes(codes):
+                lines.append(f'  "{item}" -> "<{item} @ {root_code.code}>";')
+            for parent, child in favorability_covers(list(codes)):
+                lines.append(
+                    f'  "<{item} @ {parent.code}>" -> "<{item} @ {child.code}>";'
+                )
+        else:
+            for promo in codes:
+                lines.append(f'  "{item}" -> "<{item} @ {promo.code}>";')
+    lines.append("}")
+    return "\n".join(lines)

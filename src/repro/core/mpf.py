@@ -1,0 +1,128 @@
+"""The MPF recommender (Definitions 6–7): rules + most-profitable-first.
+
+Given a basket of non-target sales, the recommendation rule is the matching
+rule of highest MPF rank.  The same class serves both the *initial*
+recommender (all mined rules, Section 3) and the *cut-optimal* recommender
+(the rules surviving pruning, Section 4) — they differ only in the rule list
+handed to the constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.moa import MOAHierarchy
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.rules import ScoredRule
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import RecommenderError, ValidationError
+
+__all__ = ["MPFRecommender"]
+
+
+class MPFRecommender(Recommender):
+    """A ranked rule list with most-profitable-first selection.
+
+    Parameters
+    ----------
+    scored_rules:
+        The rule set; must contain exactly one default (empty-body) rule so
+        every basket has a matching rule.
+    moa:
+        The generalization engine the rules were mined against; needed to
+        test whether a body matches a basket.
+    name:
+        Display name for experiment tables.
+    """
+
+    def __init__(
+        self,
+        scored_rules: Sequence[ScoredRule],
+        moa: MOAHierarchy,
+        name: str = "MPF",
+    ) -> None:
+        super().__init__()
+        defaults = [s for s in scored_rules if s.rule.is_default]
+        if len(defaults) != 1:
+            raise ValidationError(
+                f"MPF recommender needs exactly one default rule, got "
+                f"{len(defaults)}"
+            )
+        self.name = name
+        self.moa = moa
+        self.ranked_rules: list[ScoredRule] = sorted(scored_rules)
+        self._fitted = True
+
+    def fit(self, db: TransactionDB) -> "MPFRecommender":
+        """No-op: the rules were mined before construction.
+
+        Kept so the class satisfies the :class:`Recommender` protocol; use
+        :class:`repro.core.miner.ProfitMiner` to mine and build in one step.
+        """
+        return self
+
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """Recommend using the highest-ranked matching rule (Definition 6)."""
+        scored = self.recommendation_rule(basket)
+        return Recommendation(
+            item_id=scored.rule.head.node,
+            promo_code=scored.rule.head.promo or "",
+            rule=scored,
+        )
+
+    def recommendation_rule(self, basket: Sequence[Sale]) -> ScoredRule:
+        """The MPF recommendation rule covering ``basket``."""
+        self._check_fitted()
+        gsales = self.moa.generalizations_of_basket(basket)
+        for scored in self.ranked_rules:
+            if scored.rule.body <= gsales:
+                return scored
+        raise RecommenderError(  # pragma: no cover - default rule matches all
+            "no matching rule found; the default rule is missing"
+        )
+
+    def matching_rules(self, basket: Sequence[Sale]) -> list[ScoredRule]:
+        """All matching rules in rank order (for multi-rule recommendation).
+
+        Section 2 notes that recommending several pairs per customer simply
+        selects several rules; callers can take a prefix of this list.
+        """
+        self._check_fitted()
+        gsales = self.moa.generalizations_of_basket(basket)
+        return [s for s in self.ranked_rules if s.rule.body <= gsales]
+
+    def recommend_top_k(
+        self, basket: Sequence[Sale], k: int
+    ) -> list[Recommendation]:
+        """Up to ``k`` recommendations with distinct (item, promotion) pairs."""
+        if k < 1:
+            raise ValidationError(f"k must be at least 1, got {k}")
+        picks: list[Recommendation] = []
+        seen: set[tuple[str, str]] = set()
+        for scored in self.matching_rules(basket):
+            pair = (scored.rule.head.node, scored.rule.head.promo or "")
+            if pair in seen:
+                continue
+            seen.add(pair)
+            picks.append(
+                Recommendation(item_id=pair[0], promo_code=pair[1], rule=scored)
+            )
+            if len(picks) == k:
+                break
+        return picks
+
+    @property
+    def model_size(self) -> int:
+        """Number of rules, the quantity Figures 3(f)/4(f) plot."""
+        return len(self.ranked_rules)
+
+    def explain(self, basket: Sequence[Sale]) -> str:
+        """Multi-line explanation of the recommendation for ``basket``."""
+        scored = self.recommendation_rule(basket)
+        lines = [
+            f"recommender: {self.name} ({self.model_size} rules)",
+            f"basket items: {', '.join(sorted({s.item_id for s in basket}))}",
+            f"selected rule: {scored.describe()}",
+            f"recommendation: {scored.rule.head.describe()}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Profit models: how much a hit recommendation is credited (Section 3.1).
+
+When a rule's head ``⟨I, P⟩`` captures the intention of a transaction's
+target sale ``⟨I, P_t, Q_t⟩`` (a *hit*), the generated profit ``p(r, t)``
+depends on how the customer is assumed to react to the more favorable
+promotion ``P``:
+
+* **Saving MOA** — the customer keeps the original quantity (in base units)
+  and saves money.  Profit: ``unit_profit(P) × units_t``.
+* **Buying MOA** — the customer keeps the original spending and buys more.
+  Profit: ``profit(P) × (Price(P_t)·Q_t / Price(P))``.
+* **Binary profit** — ``p(r, t) = 1`` for any hit; used by the CONF±MOA
+  recommenders, which build the model from hit rates alone.
+
+Both MOA assumptions are conservative: the customer never spends more at a
+favorable promotion, which caps the evaluation *gain* at 1 for saving MOA.
+The more optimistic quantity-increase behaviors of Section 5.3 (settings
+``(x=2, y=30%)`` and ``(x=3, y=40%)``) are evaluation-time models and live in
+:mod:`repro.eval.behavior`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.generalized import GKind, GSale
+from repro.core.items import ItemCatalog
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.moa import MOAHierarchy
+
+__all__ = [
+    "ProfitModel",
+    "SavingMOA",
+    "BuyingMOA",
+    "BinaryProfit",
+    "profit_model_from_name",
+]
+
+
+class ProfitModel(abc.ABC):
+    """Credits the profit ``p(r, t)`` of a hit recommendation.
+
+    Subclasses implement :meth:`credited_profit` for the hit case; the
+    public :meth:`profit` additionally runs the hit test, returning 0 for a
+    miss exactly as the paper defines ``p(r, t)``.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def credited_profit(
+        self, head: GSale, target_sale: Sale, catalog: ItemCatalog
+    ) -> float:
+        """Profit of ``head`` on ``target_sale`` assuming the hit happened."""
+
+    def profit(
+        self,
+        head: GSale,
+        target_sale: Sale,
+        moa: "MOAHierarchy",
+    ) -> float:
+        """The paper's ``p(r, t)``: credited profit on a hit, else 0."""
+        if head.kind is not GKind.PROMO:
+            raise ValidationError("recommendation heads must be promo-form")
+        if not moa.hits(head, target_sale):
+            return 0.0
+        return self.credited_profit(head, target_sale, moa.catalog)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SavingMOA(ProfitModel):
+    """Customer keeps the purchased units, pays the better price."""
+
+    name = "saving"
+
+    def credited_profit(
+        self, head: GSale, target_sale: Sale, catalog: ItemCatalog
+    ) -> float:
+        """``unit_profit(P) × units_t`` — same units, better price."""
+        recommended = catalog.promotion(head.node, head.promo or "")
+        units = target_sale.units(catalog)
+        return recommended.unit_profit * units
+
+
+class BuyingMOA(ProfitModel):
+    """Customer keeps the original spending, takes home more units."""
+
+    name = "buying"
+
+    def credited_profit(
+        self, head: GSale, target_sale: Sale, catalog: ItemCatalog
+    ) -> float:
+        """``profit(P) × (Price(P_t)·Q_t / Price(P))`` — same spend, more units."""
+        recommended = catalog.promotion(head.node, head.promo or "")
+        spend = target_sale.recorded_spend(catalog)
+        packages = spend / recommended.price
+        return recommended.profit * packages
+
+
+class BinaryProfit(ProfitModel):
+    """Hit-rate proxy: every hit is worth exactly 1 (CONF recommenders)."""
+
+    name = "binary"
+
+    def credited_profit(
+        self, head: GSale, target_sale: Sale, catalog: ItemCatalog
+    ) -> float:
+        """Always 1: the CONF variants count hits, not dollars."""
+        return 1.0
+
+
+_MODELS = {
+    SavingMOA.name: SavingMOA,
+    BuyingMOA.name: BuyingMOA,
+    BinaryProfit.name: BinaryProfit,
+}
+
+
+def profit_model_from_name(name: str) -> ProfitModel:
+    """Instantiate a profit model by its registry name.
+
+    Accepted names: ``"saving"``, ``"buying"``, ``"binary"``.
+    """
+    try:
+        return _MODELS[name]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown profit model {name!r}; choose from {sorted(_MODELS)}"
+        ) from None

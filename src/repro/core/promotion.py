@@ -1,0 +1,209 @@
+"""Promotion codes and the favorability partial order (paper Section 2).
+
+A *promotion code* packages the pricing information for one way of selling an
+item: a price, a cost, and a packing quantity (how many base units one
+"package" holds).  The paper's running example gives 2%-Milk the codes
+``($3.2/4-pack, $2)``, ``($3.0/4-pack, $1.8)``, ``($1.2/pack, $0.5)`` and
+``($1/pack, $0.5)``.
+
+The customer-facing *favorability* relation ``P ≺ P'`` (read: ``P`` is more
+favorable than ``P'``) holds when ``P`` offers
+
+* more value (a larger packing) for the same or lower price, or
+* a lower price for the same or more value.
+
+It is a strict partial order: ``$3.80/2-pack`` is *not* comparable with
+``$3.50/1-pack`` because paying more for unwanted quantity is not favorable.
+Mining-on-availability (MOA) treats a more favorable code as a *concept* of a
+less favorable one, which is how the order enters the MOA(H) hierarchy
+(:mod:`repro.core.moa`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "PromotionCode",
+    "is_more_favorable",
+    "is_at_least_as_favorable",
+    "favorable_or_equal_codes",
+    "favorability_covers",
+    "maximal_codes",
+    "sort_by_favorability",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PromotionCode:
+    """One promotion package for an item.
+
+    Parameters
+    ----------
+    code:
+        Identifier unique among the owning item's promotion codes
+        (e.g. ``"P1"`` or ``"$3.2/4-pack"``).
+    price:
+        Price of one package, in dollars.  Must be positive and finite.
+    cost:
+        Cost of one package to the seller.  Must be non-negative, finite and
+        is allowed to exceed ``price`` (loss-leader promotions).
+    packing:
+        Number of base units per package (the "value" side of favorability).
+        Must be a positive integer; defaults to a single unit.
+    """
+
+    code: str
+    price: float
+    cost: float
+    packing: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValidationError("promotion code identifier must be non-empty")
+        if not math.isfinite(self.price) or self.price <= 0:
+            raise ValidationError(
+                f"promotion {self.code!r}: price must be positive and finite, "
+                f"got {self.price!r}"
+            )
+        if not math.isfinite(self.cost) or self.cost < 0:
+            raise ValidationError(
+                f"promotion {self.code!r}: cost must be non-negative and finite, "
+                f"got {self.cost!r}"
+            )
+        if not isinstance(self.packing, int) or self.packing < 1:
+            raise ValidationError(
+                f"promotion {self.code!r}: packing must be a positive integer, "
+                f"got {self.packing!r}"
+            )
+
+    @property
+    def profit(self) -> float:
+        """Profit of selling one package: ``price − cost``."""
+        return self.price - self.cost
+
+    @property
+    def unit_price(self) -> float:
+        """Price per base unit."""
+        return self.price / self.packing
+
+    @property
+    def unit_profit(self) -> float:
+        """Profit per base unit."""
+        return self.profit / self.packing
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``$3.20/4-pack (cost $2.00)``."""
+        pack = "unit" if self.packing == 1 else f"{self.packing}-pack"
+        return f"${self.price:.2f}/{pack} (cost ${self.cost:.2f})"
+
+
+def is_more_favorable(p: PromotionCode, q: PromotionCode) -> bool:
+    """Return ``True`` when ``p ≺ q`` strictly (paper Section 2).
+
+    ``p`` is more favorable than ``q`` when it offers at least as much value
+    (packing) for at most the price, and improves on at least one of the two.
+    Prices are compared with a small absolute tolerance so that codes derived
+    from float arithmetic compare sanely.
+    """
+    if p.packing < q.packing:
+        return False
+    if p.price > q.price + _PRICE_EPS:
+        return False
+    strictly_cheaper = p.price < q.price - _PRICE_EPS
+    strictly_bigger = p.packing > q.packing
+    return strictly_cheaper or strictly_bigger
+
+
+def is_at_least_as_favorable(p: PromotionCode, q: PromotionCode) -> bool:
+    """Return ``True`` when ``p ⪯ q``: strictly more favorable or equivalent.
+
+    Equivalence means equal packing and equal price (within tolerance); the
+    cost does not matter to the customer and is ignored, exactly as in the
+    paper where favorability reflects the customer's view of the offer.
+    """
+    return p.packing >= q.packing and p.price <= q.price + _PRICE_EPS
+
+
+_PRICE_EPS = 1e-9
+
+
+def favorable_or_equal_codes(
+    code: PromotionCode, codes: Iterable[PromotionCode]
+) -> list[PromotionCode]:
+    """All codes from ``codes`` that are at least as favorable as ``code``.
+
+    This is the generalization set used when a sale under ``code`` is lifted
+    through MOA(H): a sale at a code implies a (hypothetical) sale at every
+    more favorable code of the same item.
+    """
+    return [c for c in codes if is_at_least_as_favorable(c, code)]
+
+
+def favorability_covers(
+    codes: Sequence[PromotionCode],
+) -> list[tuple[PromotionCode, PromotionCode]]:
+    """Covering (Hasse) edges of the favorability order on ``codes``.
+
+    Returns ``(parent, child)`` pairs where *parent* is more favorable than
+    *child* and no third code sits strictly between them.  These edges define
+    the per-item sub-hierarchy ``(≺, I)`` of Definition 2.
+    """
+    edges: list[tuple[PromotionCode, PromotionCode]] = []
+    for parent in codes:
+        for child in codes:
+            if parent is child or not is_more_favorable(parent, child):
+                continue
+            has_middle = any(
+                mid is not parent
+                and mid is not child
+                and is_more_favorable(parent, mid)
+                and is_more_favorable(mid, child)
+                for mid in codes
+            )
+            if not has_middle:
+                edges.append((parent, child))
+    return edges
+
+
+def maximal_codes(codes: Sequence[PromotionCode]) -> list[PromotionCode]:
+    """Codes with no strictly more favorable code in ``codes``.
+
+    These are the roots of the per-item favorability hierarchy, i.e. the
+    direct children of the item node in MOA(H).
+    """
+    return [
+        c
+        for c in codes
+        if not any(other is not c and is_more_favorable(other, c) for other in codes)
+    ]
+
+
+def sort_by_favorability(codes: Sequence[PromotionCode]) -> list[PromotionCode]:
+    """Topologically sort ``codes`` from most to least favorable.
+
+    Incomparable codes keep a deterministic order (by unit price, then
+    packing descending, then code id) so downstream iteration is stable.
+    """
+    remaining = sorted(
+        codes, key=lambda c: (c.unit_price, -c.packing, c.code)
+    )
+    ordered: list[PromotionCode] = []
+    while remaining:
+        for i, candidate in enumerate(remaining):
+            dominated = any(
+                is_more_favorable(other, candidate)
+                for j, other in enumerate(remaining)
+                if j != i
+            )
+            if not dominated:
+                ordered.append(candidate)
+                del remaining[i]
+                break
+        else:  # pragma: no cover - unreachable for a strict partial order
+            raise ValidationError("favorability order contains a cycle")
+    return ordered

@@ -1,0 +1,153 @@
+"""Cut-optimal pruning of the covering tree (Section 4.2).
+
+Each rule ``r`` carries a *projected profit*
+
+    ``Prof_pr(r) = X · Y``,
+    ``X = N · (1 − U_CF(N, E))``  (pessimistic hit count over ``Cover(r)``),
+    ``Y = Σ_{t ∈ Cover(r)} p(r, t) / #hits``  (observed profit per hit),
+
+where ``N = |Cover(r)|`` and ``E`` is the number of covered transactions the
+head misses.  The bottom-up traversal compares, at each internal node,
+
+* ``Tree_Prof(r)`` — projected profit of the (already-pruned) subtree at
+  ``r``: ``Prof_pr(r)`` plus the children's surviving profits, and
+* ``Leaf_Prof(r)`` — ``Prof_pr`` of ``r`` recomputed as if it covered every
+  transaction in its subtree,
+
+and prunes the subtree when the leaf is at least as profitable.  Pruning on
+ties keeps the optimal cut as small as possible (Definition 9).  Note the
+direction: the paper's prose reads "if Leaf_Prof(r) ≤ Tree_Prof(r), we
+prune", which would discard profit; we prune on ``Leaf ≥ Tree``, the
+direction consistent with C4.5's pessimistic pruning that the paper cites
+(see DESIGN.md).
+
+Because a pruned subtree's transactions transfer to the pruned node itself
+(Definition 8) and ``Leaf_Prof`` depends only on the subtree's coverage
+*union* — invariant under pruning below — decisions at different nodes do
+not interact, which is the independence Theorem 2's proof relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.covering import CoveringTree
+from repro.core.mining import TransactionIndex
+from repro.core.pessimistic import DEFAULT_CF, pessimistic_hits
+from repro.core.rules import ScoredRule
+from repro.errors import ValidationError
+
+__all__ = ["PruneConfig", "PruneReport", "projected_profit", "cut_optimal_prune"]
+
+
+@dataclass(frozen=True)
+class PruneConfig:
+    """Parameters of the cut-optimal phase.
+
+    ``cf`` is the pessimistic confidence level (C4.5 default 0.25); smaller
+    values prune more aggressively.  Setting ``enabled=False`` skips pruning
+    entirely, which exposes the unpruned MPF recommender for ablations.
+    """
+
+    cf: float = DEFAULT_CF
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cf < 1:
+            raise ValidationError(f"cf must be in (0, 1), got {self.cf}")
+
+
+@dataclass
+class PruneReport:
+    """What the pruning pass did, for logging and the experiments."""
+
+    n_rules_before: int
+    n_rules_after: int
+    n_subtrees_pruned: int
+    tree_profit_before: float
+    tree_profit_after: float
+    kept_rules: list[ScoredRule] = field(default_factory=list)
+
+
+def projected_profit(
+    node_head_id: int,
+    cover_mask: int,
+    index: TransactionIndex,
+    cf: float,
+) -> float:
+    """``Prof_pr`` of a rule with head ``node_head_id`` over ``cover_mask``."""
+    n = cover_mask.bit_count()
+    if n == 0:
+        return 0.0
+    hits = 0
+    total_profit = 0.0
+    for pos in TransactionIndex.iter_bits(cover_mask & index.head_hits_mask(node_head_id)):
+        hits += 1
+        total_profit += index.hit_profit(pos, node_head_id)
+    if hits == 0:
+        return 0.0
+    avg_profit_per_hit = total_profit / hits
+    return pessimistic_hits(n, hits, cf) * avg_profit_per_hit
+
+
+def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
+    """Prune ``tree`` in place to the cut-optimal recommender (Theorem 2).
+
+    Returns a report with the surviving rules in rank order (the tree's
+    nodes are mutated: pruned nodes disappear and their coverage merges into
+    the ancestor that absorbed them).
+    """
+    index = tree.index
+    head_ids = {
+        node.scored.rule.order: index.gsale_id(node.scored.rule.head)
+        for node in tree.root.subtree()
+    }
+    n_before = len(tree)
+    profit_before = _total_projected_profit(tree, head_ids, config.cf)
+
+    pruned_subtrees = 0
+    if config.enabled:
+        # Postorder: children are final (already pruned) when visited.
+        for node in list(tree.postorder()):
+            if not node.children:
+                continue
+            subtree_cover = 0
+            tree_prof = 0.0
+            for member in node.subtree():
+                subtree_cover |= member.cover_mask
+                tree_prof += projected_profit(
+                    head_ids[member.scored.rule.order],
+                    member.cover_mask,
+                    index,
+                    config.cf,
+                )
+            leaf_prof = projected_profit(
+                head_ids[node.scored.rule.order], subtree_cover, index, config.cf
+            )
+            if leaf_prof >= tree_prof:
+                node.cover_mask = subtree_cover
+                node.children = []
+                pruned_subtrees += 1
+
+    kept_nodes = sorted(tree.root.subtree(), key=lambda n: n.scored.rank_key())
+    report = PruneReport(
+        n_rules_before=n_before,
+        n_rules_after=len(kept_nodes),
+        n_subtrees_pruned=pruned_subtrees,
+        tree_profit_before=profit_before,
+        tree_profit_after=_total_projected_profit(tree, head_ids, config.cf),
+        kept_rules=[node.scored for node in kept_nodes],
+    )
+    return report
+
+
+def _total_projected_profit(
+    tree: CoveringTree, head_ids: dict[int, int], cf: float
+) -> float:
+    """Projected profit of the whole recommender (sum over its rules)."""
+    return sum(
+        projected_profit(
+            head_ids[node.scored.rule.order], node.cover_mask, tree.index, cf
+        )
+        for node in tree.root.subtree()
+    )

@@ -1,0 +1,75 @@
+"""The recommender interface shared by the profit miner and the baselines.
+
+A recommender, per Definition 4, is "a set of rules plus a method for
+selecting rules to make recommendation" — operationally: given a future
+customer's non-target sales, produce one ``(target item, promotion code)``
+pair.  Baselines without rules (kNN, MPI) implement the same protocol so the
+evaluation harness can treat all six systems of Section 5 uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.rules import ScoredRule
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import RecommenderError
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommendation: a target item under a promotion code.
+
+    ``rule`` is populated by rule-based recommenders so callers can explain
+    why the pair was recommended; baselines leave it ``None``.
+    """
+
+    item_id: str
+    promo_code: str
+    rule: ScoredRule | None = None
+
+    def describe(self) -> str:
+        """Human-readable form, with the triggering rule when available."""
+        base = f"recommend {self.item_id} @ {self.promo_code}"
+        if self.rule is not None:
+            return f"{base}  (by {self.rule.describe()})"
+        return base
+
+
+class Recommender(abc.ABC):
+    """Common protocol: ``fit`` on past transactions, ``recommend`` baskets."""
+
+    #: Display name used in experiment tables (e.g. ``"PROF+MOA"``).
+    name: str = "recommender"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, db: TransactionDB) -> "Recommender":
+        """Build the model from past transactions; returns ``self``."""
+
+    @abc.abstractmethod
+    def recommend(self, basket: Sequence[Sale]) -> Recommendation:
+        """Recommend one (target item, promotion code) pair for ``basket``."""
+
+    def recommend_many(
+        self, baskets: Sequence[Sequence[Sale]]
+    ) -> list[Recommendation]:
+        """Vectorized convenience over :meth:`recommend`."""
+        return [self.recommend(basket) for basket in baskets]
+
+    @property
+    def model_size(self) -> int | None:
+        """Number of rules in the model; ``None`` for model-free baselines."""
+        return None
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RecommenderError(
+                f"{type(self).__name__} must be fitted before recommending"
+            )

@@ -1,0 +1,179 @@
+"""Rules, their worth measures, and the MPF ranking (Definitions 4–6).
+
+A rule ``{g_1, …, g_k} → ⟨I, P⟩`` pairs an ancestor-free set of generalized
+non-target sales with one generalized target sale.  Its *worth* combines:
+
+* ``Supp`` — fraction of transactions matched by body ∪ {head};
+* ``Conf`` — ``Supp(body ∪ {head}) / Supp(body)``;
+* ``Prof_ru`` — total profit credited over matched transactions;
+* ``Prof_re`` — profit per matched transaction (``Prof_ru / N_matched``),
+  the quantity the most-profitable-first (MPF) selection maximizes.
+
+MPF ranks rules by recommendation profit, then support (generality), then
+body size (simplicity), then generation order (totality); confidence enters
+only through ``Prof_re``, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.core.generalized import GKind, GSale
+from repro.errors import ValidationError
+
+__all__ = ["Rule", "RuleStats", "ScoredRule", "rank_key"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule from generalized non-target sales to a head.
+
+    ``order`` records generation order — the paper's final tie-breaker — and
+    must be unique within one mining run so that ranking is a total order.
+    """
+
+    body: frozenset[GSale]
+    head: GSale
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.head.kind is not GKind.PROMO:
+            raise ValidationError(
+                f"rule head must be a ⟨item, promotion⟩ pair, got "
+                f"{self.head.describe()}"
+            )
+        for gsale in self.body:
+            if gsale.kind is GKind.PROMO and gsale.node == self.head.node:
+                raise ValidationError(
+                    "rule body must not mention the head's target item"
+                )
+
+    @property
+    def body_size(self) -> int:
+        """``|body(r)|`` — number of generalized sales in the body."""
+        return len(self.body)
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this is the empty-body default rule ``∅ → g``."""
+        return not self.body
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``{[Meat], Egg} -> <Sunchip @ P2>``."""
+        body = ", ".join(g.describe() for g in sorted(self.body))
+        return f"{{{body}}} -> {self.head.describe()}"
+
+
+@dataclass(frozen=True)
+class RuleStats:
+    """Observed worth of a rule on the training transactions (Definition 5).
+
+    Parameters
+    ----------
+    n_matched:
+        Number of training transactions matched by the body.
+    n_hits:
+        Of those, the number whose target sale the head generalizes.
+    rule_profit:
+        ``Prof_ru`` — profit credited over all matched transactions.
+    n_total:
+        Size of the training database (denominator of ``Supp``).
+    """
+
+    n_matched: int
+    n_hits: int
+    rule_profit: float
+    n_total: int
+
+    def __post_init__(self) -> None:
+        if self.n_total <= 0:
+            raise ValidationError("n_total must be positive")
+        if not 0 <= self.n_hits <= self.n_matched <= self.n_total:
+            raise ValidationError(
+                f"inconsistent counts: hits={self.n_hits}, "
+                f"matched={self.n_matched}, total={self.n_total}"
+            )
+
+    @property
+    def support(self) -> float:
+        """``Supp(body ∪ {head})`` — hit transactions over all transactions."""
+        return self.n_hits / self.n_total
+
+    @property
+    def body_support(self) -> float:
+        """``Supp(body)`` — matched transactions over all transactions."""
+        return self.n_matched / self.n_total
+
+    @property
+    def confidence(self) -> float:
+        """``Conf`` — hits over matches (0 when nothing matched)."""
+        if self.n_matched == 0:
+            return 0.0
+        return self.n_hits / self.n_matched
+
+    @property
+    def recommendation_profit(self) -> float:
+        """``Prof_re`` — profit per matched transaction (0 on no match)."""
+        if self.n_matched == 0:
+            return 0.0
+        return self.rule_profit / self.n_matched
+
+    @property
+    def average_profit_per_hit(self) -> float:
+        """``Y`` of Section 4.2 — credited profit per hit (0 on no hit)."""
+        if self.n_hits == 0:
+            return 0.0
+        return self.rule_profit / self.n_hits
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class ScoredRule:
+    """A rule together with its training stats, ordered by MPF rank.
+
+    ``a < b`` means ``a`` is ranked *higher* (more preferred) than ``b``, so
+    sorting a list of scored rules ascending yields MPF order.
+    """
+
+    rule: Rule
+    stats: RuleStats
+
+    def rank_key(self) -> tuple[float, float, int, int]:
+        """This rule's MPF ordering key (see :func:`rank_key`)."""
+        return rank_key(self)
+
+    def __lt__(self, other: "ScoredRule") -> bool:
+        if not isinstance(other, ScoredRule):
+            return NotImplemented
+        return self.rank_key() < other.rank_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScoredRule):
+            return NotImplemented
+        return self.rule == other.rule and self.stats == other.stats
+
+    def __hash__(self) -> int:
+        return hash((self.rule, self.stats))
+
+    def describe(self) -> str:
+        """One-line summary used by ``explain`` and the CLI."""
+        return (
+            f"{self.rule.describe()}  "
+            f"[supp={self.stats.support:.4f} conf={self.stats.confidence:.2f} "
+            f"prof_re={self.stats.recommendation_profit:.4f}]"
+        )
+
+
+def rank_key(scored: ScoredRule) -> tuple[float, float, int, int]:
+    """The MPF ordering key of Definition 6 (ascending = higher rank).
+
+    Profit per recommendation (descending), then support (descending), then
+    body size (ascending), then generation order (ascending).
+    """
+    return (
+        -scored.stats.recommendation_profit,
+        -scored.stats.support,
+        scored.rule.body_size,
+        scored.rule.order,
+    )

@@ -1,0 +1,196 @@
+"""Sales and transactions (paper Section 2).
+
+A *sale* ``⟨I, P, Q⟩`` records that item ``I`` was sold in quantity ``Q``
+(packages) under promotion code ``P``.  A *transaction* consists of exactly
+one target sale and one or more non-target sales; the paper's framework
+recommends one (target item, promotion code) pair per transaction, which is
+not a restriction because multi-target transactions can be split.
+
+:class:`TransactionDB` bundles transactions with the catalog they refer to
+and validates referential integrity once, so that the miner and evaluators
+can trust every id they encounter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.items import ItemCatalog
+from repro.core.promotion import PromotionCode
+from repro.errors import ValidationError
+
+__all__ = ["Sale", "Transaction", "TransactionDB"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sale:
+    """One line of a transaction: ``⟨item_id, promo_code, quantity⟩``.
+
+    ``quantity`` counts *packages* of the promotion's packing, matching the
+    paper's convention that "the price, cost and quantity in a sale refer to
+    the same packing".
+    """
+
+    item_id: str
+    promo_code: str
+    quantity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.item_id:
+            raise ValidationError("sale item_id must be non-empty")
+        if not self.promo_code:
+            raise ValidationError(
+                f"sale of {self.item_id!r}: promo_code must be non-empty"
+            )
+        if not self.quantity > 0:
+            raise ValidationError(
+                f"sale of {self.item_id!r}: quantity must be positive, "
+                f"got {self.quantity!r}"
+            )
+
+    def recorded_profit(self, catalog: ItemCatalog) -> float:
+        """Profit this sale actually generated: ``(price − cost) × quantity``."""
+        promo = catalog.promotion(self.item_id, self.promo_code)
+        return promo.profit * self.quantity
+
+    def recorded_spend(self, catalog: ItemCatalog) -> float:
+        """Money the customer spent on this sale: ``price × quantity``."""
+        promo = catalog.promotion(self.item_id, self.promo_code)
+        return promo.price * self.quantity
+
+    def units(self, catalog: ItemCatalog) -> float:
+        """Base units bought: ``quantity × packing``."""
+        promo = catalog.promotion(self.item_id, self.promo_code)
+        return self.quantity * promo.packing
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One past transaction: non-target sales plus a single target sale."""
+
+    tid: int
+    nontarget_sales: tuple[Sale, ...]
+    target_sale: Sale
+
+    def __post_init__(self) -> None:
+        if self.tid < 0:
+            raise ValidationError(f"transaction id must be non-negative, got {self.tid}")
+        if not self.nontarget_sales:
+            raise ValidationError(
+                f"transaction {self.tid}: needs at least one non-target sale"
+            )
+        seen: set[str] = set()
+        for sale in self.nontarget_sales:
+            if sale.item_id in seen:
+                raise ValidationError(
+                    f"transaction {self.tid}: duplicate non-target item "
+                    f"{sale.item_id!r}"
+                )
+            seen.add(sale.item_id)
+        if self.target_sale.item_id in seen:
+            raise ValidationError(
+                f"transaction {self.tid}: target item "
+                f"{self.target_sale.item_id!r} also appears as a non-target sale"
+            )
+
+    @property
+    def basket(self) -> tuple[str, ...]:
+        """Ids of the non-target items bought, in sale order."""
+        return tuple(sale.item_id for sale in self.nontarget_sales)
+
+    def recorded_target_profit(self, catalog: ItemCatalog) -> float:
+        """The profit the target sale actually generated (gain denominator)."""
+        return self.target_sale.recorded_profit(catalog)
+
+
+@dataclass
+class TransactionDB:
+    """A validated collection of transactions over one catalog."""
+
+    catalog: ItemCatalog
+    transactions: list[Transaction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for transaction in self.transactions:
+            self._validate(transaction)
+
+    def _validate(self, transaction: Transaction) -> None:
+        target = transaction.target_sale
+        item = self.catalog.get(target.item_id)
+        if not item.is_target:
+            raise ValidationError(
+                f"transaction {transaction.tid}: {target.item_id!r} is not a "
+                "target item"
+            )
+        item.promotion(target.promo_code)  # raises CatalogError if missing
+        for sale in transaction.nontarget_sales:
+            nt_item = self.catalog.get(sale.item_id)
+            if nt_item.is_target:
+                raise ValidationError(
+                    f"transaction {transaction.tid}: target item "
+                    f"{sale.item_id!r} used as a non-target sale"
+                )
+            nt_item.promotion(sale.promo_code)
+
+    def append(self, transaction: Transaction) -> None:
+        """Validate and add one transaction."""
+        self._validate(transaction)
+        self.transactions.append(transaction)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self.transactions[index]
+
+    def subset(self, indices: Sequence[int]) -> "TransactionDB":
+        """A new DB holding the transactions at ``indices`` (same catalog)."""
+        picked = [self.transactions[i] for i in indices]
+        return TransactionDB(catalog=self.catalog, transactions=picked)
+
+    def filtered(self, predicate: Callable[[Transaction], bool]) -> "TransactionDB":
+        """A new DB with only the transactions satisfying ``predicate``."""
+        picked = [t for t in self.transactions if predicate(t)]
+        return TransactionDB(catalog=self.catalog, transactions=picked)
+
+    def total_recorded_profit(self) -> float:
+        """Sum of recorded target-sale profits over all transactions."""
+        return sum(t.recorded_target_profit(self.catalog) for t in self.transactions)
+
+    def target_sale_histogram(self) -> dict[tuple[str, str], int]:
+        """Count of transactions per (target item, promotion code) pair."""
+        counts: dict[tuple[str, str], int] = {}
+        for t in self.transactions:
+            key = (t.target_sale.item_id, t.target_sale.promo_code)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def promotion_for(self, sale: Sale) -> PromotionCode:
+        """Resolve a sale's promotion code through this DB's catalog."""
+        return self.catalog.promotion(sale.item_id, sale.promo_code)
+
+
+def concat(dbs: Iterable[TransactionDB]) -> TransactionDB:
+    """Concatenate several DBs sharing a catalog into one.
+
+    Raises :class:`ValidationError` when the DBs disagree on the catalog
+    object — mixing catalogs would silently mis-resolve promotion codes.
+    """
+    dbs = list(dbs)
+    if not dbs:
+        raise ValidationError("cannot concatenate zero TransactionDBs")
+    catalog = dbs[0].catalog
+    for db in dbs[1:]:
+        if db.catalog is not catalog:
+            raise ValidationError("all TransactionDBs must share one catalog")
+    merged: list[Transaction] = []
+    for db in dbs:
+        merged.extend(db.transactions)
+    return TransactionDB(catalog=catalog, transactions=merged)
+
+
+__all__.append("concat")

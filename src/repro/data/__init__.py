@@ -1,0 +1,47 @@
+"""Synthetic data: Quest generator, pricing, datasets I/II, hierarchy, IO."""
+
+from repro.data.datasets import (
+    Dataset,
+    DatasetConfig,
+    TargetSpec,
+    build_dataset,
+    dataset_i_config,
+    dataset_ii_config,
+    make_dataset_i,
+    make_dataset_ii,
+    normal_target_specs,
+    zipf_target_specs,
+)
+from repro.data.hierarchy_gen import grouped_hierarchy
+from repro.data.io import load_transactions, save_transactions
+from repro.data.model_io import load_model, save_model
+from repro.data.packs import PacksConfig, make_dataset_packs
+from repro.data.pricing import DEFAULT_MAX_COST, PricingModel, price_code_name
+from repro.data.quest import QuestBasket, QuestConfig, QuestGenerator, QuestPattern
+
+__all__ = [
+    "DEFAULT_MAX_COST",
+    "Dataset",
+    "DatasetConfig",
+    "PacksConfig",
+    "PricingModel",
+    "QuestBasket",
+    "QuestConfig",
+    "QuestGenerator",
+    "QuestPattern",
+    "TargetSpec",
+    "build_dataset",
+    "dataset_i_config",
+    "dataset_ii_config",
+    "grouped_hierarchy",
+    "load_model",
+    "load_transactions",
+    "make_dataset_i",
+    "make_dataset_packs",
+    "make_dataset_ii",
+    "normal_target_specs",
+    "price_code_name",
+    "save_model",
+    "save_transactions",
+    "zipf_target_specs",
+]

@@ -1,0 +1,67 @@
+"""Synthetic concept hierarchies for generated catalogs.
+
+The paper mines multi-level rules over a concept hierarchy but does not
+describe the hierarchy used with the synthetic data.  We build a
+deterministic grouped hierarchy (documented substitution, DESIGN.md):
+non-target items are partitioned, in item order, into groups of
+``group_size`` under level-1 concepts ``C1, C2, …``; every ``fanout``
+level-1 concepts share a level-2 concept ``D1, D2, …``; and so on for
+``levels`` levels.  Target items attach directly to the root, as the paper
+requires.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.items import ItemCatalog
+from repro.errors import DataGenerationError
+
+__all__ = ["grouped_hierarchy"]
+
+_LEVEL_PREFIXES = "CDEFG"
+
+
+def grouped_hierarchy(
+    catalog: ItemCatalog,
+    group_size: int = 10,
+    fanout: int = 5,
+    levels: int = 2,
+) -> ConceptHierarchy:
+    """Build the grouped hierarchy described in the module docstring.
+
+    Parameters
+    ----------
+    catalog:
+        Catalog whose non-target items get grouped (in insertion order).
+    group_size:
+        Items per level-1 concept.
+    fanout:
+        Concepts per concept on every higher level.
+    levels:
+        Number of concept levels between items and the root (1–5).
+    """
+    if group_size < 1:
+        raise DataGenerationError(f"group_size must be >= 1, got {group_size}")
+    if fanout < 1:
+        raise DataGenerationError(f"fanout must be >= 1, got {fanout}")
+    if not 1 <= levels <= len(_LEVEL_PREFIXES):
+        raise DataGenerationError(
+            f"levels must be in [1, {len(_LEVEL_PREFIXES)}], got {levels}"
+        )
+
+    groups: dict[str, list[str]] = {}
+    current = [item.item_id for item in catalog.nontarget_items]
+    width = group_size
+    for level in range(levels):
+        prefix = _LEVEL_PREFIXES[level]
+        parents: list[str] = []
+        for start in range(0, len(current), width):
+            concept = f"{prefix}{start // width + 1}"
+            groups[concept] = current[start : start + width]
+            parents.append(concept)
+        if len(parents) <= 1:
+            current = parents
+            break  # a single concept at this level; higher levels add nothing
+        current = parents
+        width = fanout
+    return ConceptHierarchy.for_catalog(catalog, groups)

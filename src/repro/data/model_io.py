@@ -1,0 +1,127 @@
+"""Persistence for fitted recommenders.
+
+A cut-optimal recommender is a self-contained artifact: its ranked rules
+(with training statistics), the catalog the promotion codes resolve
+against, the concept hierarchy, and the MOA switch.  This module
+serializes all of that to a single JSON document so a model mined once can
+be deployed, versioned and diffed without re-mining.
+
+Round trip::
+
+    save_model(miner.require_fitted_recommender(), moa, "model.json")
+    recommender = load_model("model.json")
+    recommender.recommend(basket)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.generalized import GKind, GSale
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.moa import MOAHierarchy
+from repro.core.mpf import MPFRecommender
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.data.io import catalog_from_dict, catalog_to_dict
+from repro.errors import SerializationError
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT = "repro-profit-mining-model-v1"
+
+
+def _gsale_to_dict(gsale: GSale) -> dict[str, Any]:
+    return {"kind": gsale.kind.value, "node": gsale.node, "promo": gsale.promo}
+
+
+def _gsale_from_dict(payload: dict[str, Any]) -> GSale:
+    try:
+        return GSale(
+            kind=GKind(payload["kind"]),
+            node=payload["node"],
+            promo=payload.get("promo"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"malformed generalized sale: {exc}") from exc
+
+
+def save_model(
+    recommender: MPFRecommender, path: str | Path
+) -> None:
+    """Write a fitted MPF recommender (rules + world) to ``path``."""
+    moa = recommender.moa
+    payload = {
+        "format": _FORMAT,
+        "name": recommender.name,
+        "use_moa": moa.use_moa,
+        "catalog": catalog_to_dict(moa.catalog),
+        "hierarchy": {
+            "parents": {
+                node: list(parents)
+                for node, parents in moa.hierarchy.parents.items()
+            },
+            "items": sorted(moa.hierarchy.items),
+        },
+        "rules": [
+            {
+                "body": [_gsale_to_dict(g) for g in sorted(scored.rule.body)],
+                "head": _gsale_to_dict(scored.rule.head),
+                "order": scored.rule.order,
+                "n_matched": scored.stats.n_matched,
+                "n_hits": scored.stats.n_hits,
+                "rule_profit": scored.stats.rule_profit,
+                "n_total": scored.stats.n_total,
+            }
+            for scored in recommender.ranked_rules
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_model(path: str | Path) -> MPFRecommender:
+    """Reconstruct a recommender written by :func:`save_model`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: not valid JSON: {exc}") from exc
+    if payload.get("format") != _FORMAT:
+        raise SerializationError(
+            f"{path}: unexpected model format {payload.get('format')!r}"
+        )
+    try:
+        catalog = catalog_from_dict(payload["catalog"])
+        hierarchy = ConceptHierarchy(
+            parents={
+                node: tuple(parents)
+                for node, parents in payload["hierarchy"]["parents"].items()
+            },
+            items=set(payload["hierarchy"]["items"]),
+        )
+        moa = MOAHierarchy(
+            catalog=catalog,
+            hierarchy=hierarchy,
+            use_moa=bool(payload["use_moa"]),
+        )
+        scored_rules = [
+            ScoredRule(
+                rule=Rule(
+                    body=frozenset(
+                        _gsale_from_dict(g) for g in entry["body"]
+                    ),
+                    head=_gsale_from_dict(entry["head"]),
+                    order=int(entry["order"]),
+                ),
+                stats=RuleStats(
+                    n_matched=int(entry["n_matched"]),
+                    n_hits=int(entry["n_hits"]),
+                    rule_profit=float(entry["rule_profit"]),
+                    n_total=int(entry["n_total"]),
+                ),
+            )
+            for entry in payload["rules"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"{path}: malformed model payload: {exc}") from exc
+    return MPFRecommender(scored_rules, moa, name=str(payload.get("name", "MPF")))

@@ -1,0 +1,196 @@
+"""Dataset III (ours): multi-packing promotions — Example 1 at scale.
+
+The paper's synthetic datasets use a single packing everywhere, so the
+favorability relation degenerates to a total order per item.  Example 1
+(2%-Milk) and the introduction's Egg story, however, are about *packings*:
+a 4-pack at a better unit price is incomparable with a single pack under
+``≺`` ("it is not favorable to pay more for unwanted quantity"), giving
+each item a two-chain partial order.
+
+This module builds an evaluation dataset exercising exactly that:
+
+* every target item carries a **single chain** (packing 1, two price
+  steps) and a **bulk chain** (packing 4 at a ~10% unit discount, two
+  steps) — four promotion codes forming two incomparable ≺-chains;
+* customer segments (item windows, as in datasets I/II) prefer a target
+  item, a *mode* (single vs bulk) and a price step; recorded prices
+  disperse one step upward within the preferred mode's chain (shopping on
+  unavailability never crosses modes);
+* single-mode buyers purchase 1–4 packs (quantities matter!), bulk buyers
+  one package.
+
+A profit-aware MOA recommender should learn both the item/mode of each
+segment and the profitable rung of the right chain; exact-match systems
+lose the dispersed half of every chain, and mode confusion is punished by
+the hit test (a bulk recommendation never hits a single-pack sale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.items import Item, ItemCatalog
+from repro.core.promotion import PromotionCode
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.data.datasets import Dataset, DatasetConfig, zipf_target_specs
+from repro.data.hierarchy_gen import grouped_hierarchy
+from repro.data.pricing import PricingModel
+from repro.data.quest import QuestConfig, QuestGenerator
+from repro.errors import DataGenerationError
+
+__all__ = ["PacksConfig", "make_dataset_packs", "pack_code_name"]
+
+#: Markup steps of the two chains: singles at +20%/+30% over cost, bulk
+#: packages at +10%/+20% per unit — the bulk chain undercuts per unit.
+_SINGLE_MARKUPS = (1.20, 1.30)
+_BULK_MARKUPS = (1.10, 1.20)
+_BULK_PACKING = 4
+
+
+def pack_code_name(mode: str, step: int) -> str:
+    """Promotion-code id of a chain rung: ``S1``/``S2`` or ``B1``/``B2``."""
+    if mode not in ("S", "B"):
+        raise DataGenerationError(f"mode must be 'S' or 'B', got {mode!r}")
+    if step not in (1, 2):
+        raise DataGenerationError(f"step must be 1 or 2, got {step}")
+    return f"{mode}{step}"
+
+
+@dataclass(frozen=True)
+class PacksConfig:
+    """Parameters of the multi-packing dataset."""
+
+    n_transactions: int = 2500
+    n_items: int = 300
+    n_patterns: int | None = None
+    signal_strength: float = 0.95
+    bulk_share: float = 0.4  # fraction of segments preferring the bulk chain
+    dispersion: float = 0.4  # probability the recorded rung is one step up
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_transactions < 1:
+            raise DataGenerationError("n_transactions must be >= 1")
+        if not 0 <= self.bulk_share <= 1:
+            raise DataGenerationError(
+                f"bulk_share must be in [0, 1], got {self.bulk_share}"
+            )
+        if not 0 <= self.dispersion <= 1:
+            raise DataGenerationError(
+                f"dispersion must be in [0, 1], got {self.dispersion}"
+            )
+        if not 0 <= self.signal_strength <= 1:
+            raise DataGenerationError(
+                f"signal_strength must be in [0, 1], got {self.signal_strength}"
+            )
+
+
+def _target_item(item_id: str, cost: float) -> Item:
+    """A target with two incomparable promotion chains."""
+    singles = tuple(
+        PromotionCode(
+            code=pack_code_name("S", step),
+            price=round(markup * cost, 6),
+            cost=cost,
+            packing=1,
+        )
+        for step, markup in enumerate(_SINGLE_MARKUPS, start=1)
+    )
+    bulks = tuple(
+        PromotionCode(
+            code=pack_code_name("B", step),
+            price=round(markup * cost * _BULK_PACKING, 6),
+            cost=cost * _BULK_PACKING,
+            packing=_BULK_PACKING,
+        )
+        for step, markup in enumerate(_BULK_MARKUPS, start=1)
+    )
+    return Item(item_id=item_id, promotions=singles + bulks, is_target=True)
+
+
+def make_dataset_packs(config: PacksConfig | None = None) -> Dataset:
+    """Build dataset III; deterministic given the config's seed."""
+    config = config or PacksConfig()
+    rng = np.random.default_rng(config.seed + 7_777_777)
+    pricing = PricingModel()
+
+    quest_config = QuestConfig(
+        n_items=config.n_items,
+        n_patterns=config.n_patterns
+        or 8 * max(1, config.n_items // 10),
+        avg_pattern_size=4.0,
+        avg_transaction_size=4.0,
+        corruption_mean=0.25,
+        window_size=10,
+    )
+    generator = QuestGenerator(config=quest_config, seed=config.seed)
+    baskets = generator.generate(config.n_transactions)
+
+    specs = zipf_target_specs()
+    items = [
+        pricing.nontarget_item(f"I{i + 1:04d}", i + 1)
+        for i in range(config.n_items)
+    ]
+    items.extend(_target_item(spec.item_id, spec.cost) for spec in specs)
+    catalog = ItemCatalog.from_items(items)
+    hierarchy = grouped_hierarchy(catalog, group_size=10, levels=1)
+
+    # Stratified segment preferences: (target item, mode, step) per window.
+    n_windows = quest_config.n_windows
+    total_weight = sum(spec.weight for spec in specs)
+    window_prefs: list[tuple[str, str, int]] = []
+    for spec in specs:
+        quota = round(spec.weight / total_weight * n_windows)
+        for _ in range(max(1, quota)):
+            mode = "B" if rng.random() < config.bulk_share else "S"
+            step = 1 if rng.random() < 0.55 else 2
+            window_prefs.append((spec.item_id, mode, step))
+    window_prefs = window_prefs[:n_windows]
+    while len(window_prefs) < n_windows:
+        window_prefs.append((specs[0].item_id, "S", 1))
+    order = rng.permutation(n_windows)
+    window_prefs = [window_prefs[i] for i in order]
+
+    transactions: list[Transaction] = []
+    for tid, basket in enumerate(baskets):
+        nontarget = tuple(
+            Sale(
+                item_id=f"I{index + 1:04d}",
+                promo_code=f"P{int(rng.integers(1, pricing.m + 1))}",
+            )
+            for index in basket.items
+        )
+        window = generator.window_of_pattern(basket.dominant_pattern)
+        if rng.random() < config.signal_strength:
+            target_id, mode, step = window_prefs[window]
+        else:
+            target_id = specs[0].item_id if rng.random() < 5 / 6 else specs[1].item_id
+            mode = "B" if rng.random() < config.bulk_share else "S"
+            step = 1 if rng.random() < 0.55 else 2
+        if step == 1 and rng.random() < config.dispersion:
+            step = 2  # unavailability pushes one rung up the same chain
+        quantity = (
+            1.0 if mode == "B" else float(1 + rng.integers(0, 4))
+        )
+        target = Sale(
+            item_id=target_id,
+            promo_code=pack_code_name(mode, step),
+            quantity=quantity,
+        )
+        transactions.append(
+            Transaction(tid=tid, nontarget_sales=nontarget, target_sale=target)
+        )
+
+    db = TransactionDB(catalog=catalog, transactions=transactions)
+    dataset_config = DatasetConfig(
+        name="dataset-III-packs",
+        n_transactions=config.n_transactions,
+        quest=quest_config,
+        targets=specs,
+        signal_strength=config.signal_strength,
+        levels=1,
+        seed=config.seed,
+    )
+    return Dataset(config=dataset_config, db=db, hierarchy=hierarchy)

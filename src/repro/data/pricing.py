@@ -1,0 +1,109 @@
+"""The paper's pricing model for synthetic items (Section 5.2).
+
+Every item gets a single cost and ``m`` prices::
+
+    Cost(i) = c / i                       (non-target item number i, 1-based)
+    P_j     = (1 + j·δ) · Cost(i)         j = 1 … m
+
+with the paper's defaults ``m = 4`` and ``δ = 10%``, so the profit of item
+``i`` at price ``P_j`` is ``j·δ·Cost(i)``.  All promotion codes share a
+single packing of 1 ("a single cost and a single packing for all promotion
+codes ... we use 'price' for 'promotion code'"), which makes favorability a
+total order: a lower price is strictly more favorable.
+
+Target items use the same price ladder over their own costs ($2/$10 for
+dataset I, ``10·i`` for dataset II).
+
+The paper does not state the maximum single-item cost ``c``; we default to
+``c = 10`` so the most expensive non-target item costs about as much as the
+cheaper dataset-I target (documented substitution, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.items import Item
+from repro.core.promotion import PromotionCode
+from repro.errors import DataGenerationError
+
+__all__ = ["PricingModel", "price_code_name", "DEFAULT_MAX_COST"]
+
+DEFAULT_MAX_COST = 10.0
+
+
+def price_code_name(j: int) -> str:
+    """The promotion-code id of the j-th price step (1-based), e.g. ``"P2"``."""
+    return f"P{j}"
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Generates the paper's price ladders.
+
+    Parameters
+    ----------
+    m:
+        Number of prices per item (paper: 4).
+    delta:
+        Markup step (paper: 0.10).
+    max_cost:
+        ``c`` in ``Cost(i) = c / i`` for non-target items.
+    """
+
+    m: int = 4
+    delta: float = 0.10
+    max_cost: float = DEFAULT_MAX_COST
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise DataGenerationError(f"m must be >= 1, got {self.m}")
+        if self.delta <= 0:
+            raise DataGenerationError(f"delta must be positive, got {self.delta}")
+        if self.max_cost <= 0:
+            raise DataGenerationError(
+                f"max_cost must be positive, got {self.max_cost}"
+            )
+
+    def nontarget_cost(self, item_number: int) -> float:
+        """``Cost(i) = c / i`` for the 1-based non-target item number."""
+        if item_number < 1:
+            raise DataGenerationError(
+                f"item_number must be >= 1, got {item_number}"
+            )
+        return self.max_cost / item_number
+
+    def price_ladder(self, cost: float) -> tuple[PromotionCode, ...]:
+        """The ``m`` promotion codes over ``cost``: ``P_j = (1 + j·δ)·cost``."""
+        if cost <= 0:
+            raise DataGenerationError(f"cost must be positive, got {cost}")
+        return tuple(
+            PromotionCode(
+                code=price_code_name(j),
+                price=(1.0 + j * self.delta) * cost,
+                cost=cost,
+            )
+            for j in range(1, self.m + 1)
+        )
+
+    def nontarget_item(self, item_id: str, item_number: int) -> Item:
+        """A non-target item with the paper's cost and price ladder."""
+        return Item(
+            item_id=item_id,
+            promotions=self.price_ladder(self.nontarget_cost(item_number)),
+            is_target=False,
+        )
+
+    def target_item(self, item_id: str, cost: float) -> Item:
+        """A target item with the price ladder over an explicit cost."""
+        return Item(
+            item_id=item_id,
+            promotions=self.price_ladder(cost),
+            is_target=True,
+        )
+
+    def profit_at_step(self, cost: float, j: int) -> float:
+        """Profit per unit at price step ``j``: ``j·δ·cost``."""
+        if not 1 <= j <= self.m:
+            raise DataGenerationError(f"price step must be in [1, {self.m}], got {j}")
+        return j * self.delta * cost

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the profit-mining library.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`ProfitMiningError`, so callers can catch library failures with a
+single ``except`` clause while still distinguishing the failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ProfitMiningError",
+    "ValidationError",
+    "CatalogError",
+    "HierarchyError",
+    "MiningError",
+    "RecommenderError",
+    "DataGenerationError",
+    "SerializationError",
+    "EvaluationError",
+]
+
+
+class ProfitMiningError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ProfitMiningError, ValueError):
+    """An input value violates a documented precondition."""
+
+
+class CatalogError(ProfitMiningError, KeyError):
+    """An item or promotion code is missing from, or conflicts in, a catalog."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable.
+        return ProfitMiningError.__str__(self)
+
+
+class HierarchyError(ProfitMiningError, ValueError):
+    """A concept hierarchy is malformed (cycle, dangling edge, bad root)."""
+
+
+class MiningError(ProfitMiningError, RuntimeError):
+    """Rule mining was mis-configured or hit an unrecoverable state."""
+
+
+class RecommenderError(ProfitMiningError, RuntimeError):
+    """A recommender was used before fitting or configured inconsistently."""
+
+
+class DataGenerationError(ProfitMiningError, ValueError):
+    """Synthetic data generation received unusable parameters."""
+
+
+class SerializationError(ProfitMiningError, ValueError):
+    """Transaction data could not be read or written."""
+
+
+class EvaluationError(ProfitMiningError, RuntimeError):
+    """An evaluation harness was configured or invoked incorrectly."""

@@ -1,0 +1,81 @@
+"""Evaluation: metrics, cross-validation, behavior models, experiments."""
+
+from repro.eval.behavior import (
+    BehaviorAdjustedProfit,
+    BehaviorClause,
+    QuantityBehavior,
+    behavior_paper_combined,
+    behavior_x2_y30,
+    behavior_x3_y40,
+    price_step_gap,
+)
+from repro.eval.cross_validation import CVResult, cross_validate, kfold_indices
+from repro.eval.experiments import (
+    MOA_SYSTEMS,
+    ExperimentScale,
+    behavior_gain,
+    gain_and_size_sweep,
+    get_dataset,
+    knn_postprocessing_delta,
+    profit_distribution,
+    profit_range_hit_rates,
+    scale_from_env,
+)
+from repro.eval.harness import (
+    PAPER_SYSTEMS,
+    SweepPoint,
+    SweepResult,
+    paper_recommenders,
+    run_single_support,
+    run_support_sweep,
+)
+from repro.eval.metrics import (
+    EvalConfig,
+    EvalResult,
+    TransactionOutcome,
+    evaluate,
+    evaluate_top_k,
+)
+from repro.eval.reporting import format_histogram, format_series, format_table
+from repro.eval.report import generate_markdown_report
+from repro.eval.stats import PairedComparison, compare_gains, compare_hit_rates
+
+__all__ = [
+    "BehaviorAdjustedProfit",
+    "BehaviorClause",
+    "CVResult",
+    "EvalConfig",
+    "EvalResult",
+    "ExperimentScale",
+    "MOA_SYSTEMS",
+    "PAPER_SYSTEMS",
+    "PairedComparison",
+    "QuantityBehavior",
+    "SweepPoint",
+    "SweepResult",
+    "TransactionOutcome",
+    "behavior_gain",
+    "behavior_paper_combined",
+    "behavior_x2_y30",
+    "behavior_x3_y40",
+    "compare_gains",
+    "compare_hit_rates",
+    "cross_validate",
+    "evaluate",
+    "evaluate_top_k",
+    "format_histogram",
+    "format_series",
+    "format_table",
+    "gain_and_size_sweep",
+    "generate_markdown_report",
+    "get_dataset",
+    "kfold_indices",
+    "knn_postprocessing_delta",
+    "paper_recommenders",
+    "price_step_gap",
+    "profit_distribution",
+    "profit_range_hit_rates",
+    "run_single_support",
+    "run_support_sweep",
+    "scale_from_env",
+]

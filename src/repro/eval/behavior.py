@@ -1,0 +1,170 @@
+"""Quantity-increase shopping behavior at validation time (Section 5.3).
+
+The saving-MOA gain is capped at 1 because the customer never spends more
+at a favorable price.  To "model that a customer buys and spends more at a
+more favorable price", the paper compares the recommended price step ``p``
+with the recorded step ``q`` (prices ``P_j = (1 + j·δ)·Cost``) and
+multiplies the purchase quantity:
+
+* setting ``(x=2, y=30%)`` — the customer doubles the quantity with
+  probability 30%;
+* setting ``(x=3, y=40%)`` — the customer triples it with probability 40%.
+
+The paper applies ``(x=2, y=30%)`` when ``q − p ∈ {1, 2}`` and
+``(x=3, y=40%)`` when ``q − p ∈ {3, 4}`` while also plotting per-setting
+curves labelled ``PROF(x=2,y=30%)`` / ``PROF(x=3,y=40%)``; to support both
+readings, :class:`QuantityBehavior` is a list of ``(gaps, x, y)`` clauses
+and the module exports the two single settings plus the combined one.
+Draws are deterministic given the evaluator's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.items import ItemCatalog
+from repro.core.profit import ProfitModel
+from repro.errors import ValidationError
+
+__all__ = [
+    "BehaviorClause",
+    "QuantityBehavior",
+    "BehaviorAdjustedProfit",
+    "behavior_x2_y30",
+    "behavior_x3_y40",
+    "behavior_paper_combined",
+    "price_step_gap",
+]
+
+
+@dataclass(frozen=True)
+class BehaviorClause:
+    """Apply multiplier ``x`` with probability ``y`` for the given gaps.
+
+    ``gaps`` of ``None`` means "any positive gap".
+    """
+
+    multiplier: float
+    probability: float
+    gaps: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1:
+            raise ValidationError(
+                f"behavior multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0 <= self.probability <= 1:
+            raise ValidationError(
+                f"behavior probability must be in [0, 1], got {self.probability}"
+            )
+        if self.gaps is not None and any(g < 1 for g in self.gaps):
+            raise ValidationError("behavior gaps must be positive price steps")
+
+    def applies_to(self, gap: int) -> bool:
+        """Whether this clause covers a recorded−recommended gap of ``gap``."""
+        if gap < 1:
+            return False
+        return self.gaps is None or gap in self.gaps
+
+
+@dataclass(frozen=True)
+class QuantityBehavior:
+    """Ordered clauses; the first clause matching the gap decides."""
+
+    label: str
+    clauses: tuple[BehaviorClause, ...]
+
+    def multiplier(self, gap: int, rng: np.random.Generator) -> float:
+        """Quantity multiplier for a price-step gap (1.0 when none applies)."""
+        for clause in self.clauses:
+            if clause.applies_to(gap):
+                if rng.random() < clause.probability:
+                    return clause.multiplier
+                return 1.0
+        return 1.0
+
+    def expected_multiplier(self, gap: int) -> float:
+        """Expectation of :meth:`multiplier` — used by deterministic tests."""
+        for clause in self.clauses:
+            if clause.applies_to(gap):
+                return 1.0 + clause.probability * (clause.multiplier - 1.0)
+        return 1.0
+
+
+def behavior_x2_y30() -> QuantityBehavior:
+    """The single setting ``(x=2, y=30%)`` applied to any positive gap."""
+    return QuantityBehavior(
+        label="(x=2,y=30%)",
+        clauses=(BehaviorClause(multiplier=2.0, probability=0.30),),
+    )
+
+
+def behavior_x3_y40() -> QuantityBehavior:
+    """The single setting ``(x=3, y=40%)`` applied to any positive gap."""
+    return QuantityBehavior(
+        label="(x=3,y=40%)",
+        clauses=(BehaviorClause(multiplier=3.0, probability=0.40),),
+    )
+
+
+def behavior_paper_combined() -> QuantityBehavior:
+    """The combined reading: gaps 1–2 → (2, 30%), gaps 3–4 → (3, 40%)."""
+    return QuantityBehavior(
+        label="(x=2,y=30%)+(x=3,y=40%)",
+        clauses=(
+            BehaviorClause(multiplier=2.0, probability=0.30, gaps=(1, 2)),
+            BehaviorClause(multiplier=3.0, probability=0.40, gaps=(3, 4)),
+        ),
+    )
+
+
+class BehaviorAdjustedProfit(ProfitModel):
+    """The paper's "more greedy estimation" (Section 3.1) as a profit model.
+
+    Saving and buying MOA never increase the customer's spending.  The paper
+    notes a greedier estimate "could associate the increase of spending with
+    the relative favorability of P over P_t"; this model does exactly that —
+    it credits the base assumption's profit times the *expected* quantity
+    multiplier of a behavior model at the recommendation's price-step gap.
+    Deterministic (expectation, not a draw), so mining stays reproducible.
+    """
+
+    def __init__(self, base: ProfitModel, behavior: QuantityBehavior) -> None:
+        self.base = base
+        self.behavior = behavior
+        self.name = f"{base.name}×{behavior.label}"
+
+    def credited_profit(self, head, target_sale, catalog: ItemCatalog) -> float:
+        """Base credit times the expected multiplier at the price-step gap."""
+        profit = self.base.credited_profit(head, target_sale, catalog)
+        if head.node != target_sale.item_id:
+            return profit
+        gap = price_step_gap(
+            catalog, target_sale.item_id, target_sale.promo_code, head.promo or ""
+        )
+        return profit * self.behavior.expected_multiplier(gap)
+
+
+def price_step_gap(
+    catalog: ItemCatalog,
+    item_id: str,
+    recorded_code: str,
+    recommended_code: str,
+) -> int:
+    """``q − p``: recorded minus recommended price-step index.
+
+    Steps index the item's promotion codes sorted by unit price ascending
+    (for the paper's single-packing ladders this is exactly ``j`` of
+    ``P_j``).  Positive means the recommendation was cheaper.
+    """
+    item = catalog.get(item_id)
+    ladder = sorted(item.promotions, key=lambda p: (p.unit_price, p.code))
+    positions = {promo.code: idx for idx, promo in enumerate(ladder)}
+    try:
+        return positions[recorded_code] - positions[recommended_code]
+    except KeyError as exc:
+        raise ValidationError(
+            f"promotion code {exc.args[0]!r} not on item {item_id!r}'s ladder"
+        ) from None

@@ -1,0 +1,239 @@
+"""Experiment harness: the six recommenders of Section 5 and sweeps.
+
+:func:`paper_recommenders` builds factories for the systems the paper
+compares — PROF+MOA, PROF−MOA, CONF+MOA, CONF−MOA, kNN (k=5) and MPI — so
+every figure-reproduction experiment instantiates them identically.
+:func:`run_support_sweep` drives the minimum-support sweeps that
+Figures 3(a)/(c)/(f) and 4(a)/(c)/(f) plot, evaluating all recommenders on
+the same cross-validation folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.baselines.decision_tree import DecisionTreeRecommender
+from repro.baselines.knn import KNNRecommender
+from repro.baselines.mpi import MPIRecommender
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.profit import BinaryProfit, ProfitModel, SavingMOA
+from repro.core.pruning import PruneConfig
+from repro.core.recommender import Recommender
+from repro.data.datasets import Dataset
+from repro.errors import EvaluationError
+from repro.eval.cross_validation import CVResult, cross_validate, kfold_indices
+from repro.eval.metrics import EvalConfig
+
+__all__ = [
+    "RecommenderFactory",
+    "PAPER_SYSTEMS",
+    "eval_config_for_system",
+    "paper_recommenders",
+    "SweepPoint",
+    "SweepResult",
+    "run_support_sweep",
+    "run_single_support",
+]
+
+RecommenderFactory = Callable[[], Recommender]
+
+#: Display order used in every figure, matching the paper's legends.
+PAPER_SYSTEMS = ("PROF+MOA", "PROF-MOA", "CONF+MOA", "CONF-MOA", "kNN", "MPI")
+
+
+def eval_config_for_system(base: EvalConfig | None, system: str) -> EvalConfig:
+    """Per-system evaluation config: −MOA systems are judged without MOA.
+
+    The gain formula scores ``p(r, t)``, whose hit predicate is the model's
+    own generalization relation: a −MOA recommender neither offers nor
+    credits cross-price acceptance, so its recommendations must match the
+    recorded promotion exactly.  All MOA-based systems — including kNN and
+    MPI, to which the paper explicitly "applied MOA to tell whether a
+    recommendation is a hit" — are judged with MOA.
+    """
+    base = base or EvalConfig()
+    uses_moa = not system.endswith("-MOA")
+    return replace(base, moa_hit_test=uses_moa)
+
+
+def paper_recommenders(
+    hierarchy: ConceptHierarchy,
+    min_support: float,
+    max_body_size: int = 2,
+    knn_k: int = 5,
+    profit_model: ProfitModel | None = None,
+    prune_config: PruneConfig | None = None,
+    systems: Sequence[str] = PAPER_SYSTEMS,
+) -> dict[str, RecommenderFactory]:
+    """Factories for the requested paper systems at one minimum support."""
+    profit_model = profit_model or SavingMOA()
+    prune_config = prune_config or PruneConfig()
+
+    def miner(model: ProfitModel, use_moa: bool) -> RecommenderFactory:
+        def build() -> Recommender:
+            return ProfitMiner(
+                hierarchy=hierarchy,
+                profit_model=model,
+                config=ProfitMinerConfig(
+                    mining=MinerConfig(
+                        min_support=min_support, max_body_size=max_body_size
+                    ),
+                    pruning=prune_config,
+                    use_moa=use_moa,
+                ),
+            )
+
+        return build
+
+    registry: dict[str, RecommenderFactory] = {
+        "PROF+MOA": miner(profit_model, use_moa=True),
+        "PROF-MOA": miner(profit_model, use_moa=False),
+        "CONF+MOA": miner(BinaryProfit(), use_moa=True),
+        "CONF-MOA": miner(BinaryProfit(), use_moa=False),
+        "kNN": lambda: KNNRecommender(k=knn_k),
+        "kNN(profit)": lambda: KNNRecommender(k=knn_k, profit_post_processing=True),
+        "MPI": MPIRecommender,
+        "DT": DecisionTreeRecommender,
+        "DT(profit)": lambda: DecisionTreeRecommender(profit_rerank=True),
+    }
+    unknown = [name for name in systems if name not in registry]
+    if unknown:
+        raise EvaluationError(
+            f"unknown systems {unknown}; available: {sorted(registry)}"
+        )
+    return {name: registry[name] for name in systems}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (system, minimum support) cell of a sweep."""
+
+    system: str
+    min_support: float
+    gain: float
+    hit_rate: float
+    model_size: float | None
+
+
+@dataclass
+class SweepResult:
+    """All cells of a support sweep, plus the raw CV results."""
+
+    dataset_name: str
+    min_supports: list[float]
+    points: list[SweepPoint] = field(default_factory=list)
+    cv_results: dict[tuple[str, float], CVResult] = field(default_factory=dict)
+
+    def series(
+        self, metric: str = "gain"
+    ) -> dict[str, list[tuple[float, float | None]]]:
+        """Per-system ``(min_support, value)`` series for one metric."""
+        if metric not in ("gain", "hit_rate", "model_size"):
+            raise EvaluationError(f"unknown metric {metric!r}")
+        out: dict[str, list[tuple[float, float | None]]] = {}
+        for point in self.points:
+            value = getattr(point, metric if metric != "model_size" else "model_size")
+            out.setdefault(point.system, []).append((point.min_support, value))
+        for series in out.values():
+            series.sort()
+        return out
+
+    def best_system(self, min_support: float) -> str:
+        """The system with the highest gain at one support level."""
+        candidates = [p for p in self.points if p.min_support == min_support]
+        if not candidates:
+            raise EvaluationError(f"no sweep points at min_support={min_support}")
+        return max(candidates, key=lambda p: p.gain).system
+
+
+def run_support_sweep(
+    dataset: Dataset,
+    min_supports: Sequence[float],
+    eval_config: EvalConfig | None = None,
+    systems: Sequence[str] = PAPER_SYSTEMS,
+    k_folds: int = 5,
+    max_body_size: int = 2,
+    knn_k: int = 5,
+    seed: int = 0,
+) -> SweepResult:
+    """Cross-validate every system at every minimum support.
+
+    All systems and all support levels share the same folds, so curves are
+    directly comparable (the paper's methodology).  Model-free baselines do
+    not depend on the support, but re-evaluating them per level keeps the
+    result table rectangular, as in the figures.
+    """
+    if not min_supports:
+        raise EvaluationError("min_supports must be non-empty")
+    splits = kfold_indices(len(dataset.db), k=k_folds, seed=seed)
+    result = SweepResult(
+        dataset_name=dataset.name, min_supports=sorted(min_supports)
+    )
+    baseline_cache: dict[str, CVResult] = {}
+    for min_support in result.min_supports:
+        factories = paper_recommenders(
+            dataset.hierarchy,
+            min_support,
+            max_body_size=max_body_size,
+            knn_k=knn_k,
+            systems=systems,
+        )
+        for system, factory in factories.items():
+            support_free = system in ("kNN", "kNN(profit)", "MPI", "DT", "DT(profit)")
+            if support_free and system in baseline_cache:
+                cv = baseline_cache[system]
+            else:
+                cv = cross_validate(
+                    factory,
+                    dataset.db,
+                    dataset.hierarchy,
+                    eval_config_for_system(eval_config, system),
+                    splits=splits,
+                )
+                if support_free:
+                    baseline_cache[system] = cv
+            result.cv_results[(system, min_support)] = cv
+            result.points.append(
+                SweepPoint(
+                    system=system,
+                    min_support=min_support,
+                    gain=cv.gain,
+                    hit_rate=cv.hit_rate,
+                    model_size=cv.model_size,
+                )
+            )
+    return result
+
+
+def run_single_support(
+    dataset: Dataset,
+    min_support: float,
+    eval_config: EvalConfig | None = None,
+    systems: Sequence[str] = PAPER_SYSTEMS,
+    k_folds: int = 5,
+    max_body_size: int = 2,
+    knn_k: int = 5,
+    seed: int = 0,
+) -> dict[str, CVResult]:
+    """Cross-validate every system at one support level (Figures 3(d)/4(d))."""
+    splits = kfold_indices(len(dataset.db), k=k_folds, seed=seed)
+    factories = paper_recommenders(
+        dataset.hierarchy,
+        min_support,
+        max_body_size=max_body_size,
+        knn_k=knn_k,
+        systems=systems,
+    )
+    return {
+        system: cross_validate(
+            factory,
+            dataset.db,
+            dataset.hierarchy,
+            eval_config_for_system(eval_config, system),
+            splits=splits,
+        )
+        for system, factory in factories.items()
+    }

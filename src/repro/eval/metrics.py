@@ -1,0 +1,264 @@
+"""Validation metrics: gain, hit rate, per-profit-range hit rate (Section 5.1).
+
+The paper's headline metric is the *gain* of a recommender on held-back
+transactions::
+
+    gain = Σ_t p(r, t)  /  Σ_t recorded profit of t
+
+where ``p(r, t)`` is the generated profit of the recommendation rule on
+validating transaction ``t`` — the credited profit under the configured MOA
+assumption (saving by default, so gain ≤ 1), optionally lifted by a
+quantity-increase behavior model.  Hits are judged with MOA: a
+recommendation hits when the recommended pair generalizes the recorded
+target sale, i.e. same item at an at-least-as-favorable promotion.  (The
+−MOA recommenders are built without MOA, but validation reflects customer
+behavior, which the paper applies to every system — "we applied MOA to tell
+whether a recommendation is a hit" even for kNN.  Set
+``moa_hit_test=False`` to require exact promotion matches instead.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.generalized import GSale
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import ProfitModel, SavingMOA
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import TransactionDB
+from repro.errors import EvaluationError
+from repro.eval.behavior import QuantityBehavior, price_step_gap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpf import MPFRecommender
+
+__all__ = [
+    "EvalConfig",
+    "TransactionOutcome",
+    "EvalResult",
+    "evaluate",
+    "evaluate_top_k",
+]
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """How validation transactions are scored."""
+
+    profit_model: ProfitModel = field(default_factory=SavingMOA)
+    behavior: QuantityBehavior | None = None
+    moa_hit_test: bool = True
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TransactionOutcome:
+    """Scoring of one validation transaction."""
+
+    tid: int
+    recommendation: Recommendation
+    hit: bool
+    achieved_profit: float
+    recorded_profit: float
+    quantity_multiplier: float = 1.0
+
+
+@dataclass
+class EvalResult:
+    """Aggregated outcomes of one validation pass."""
+
+    recommender_name: str
+    outcomes: list[TransactionOutcome]
+    model_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise EvaluationError("an evaluation needs at least one transaction")
+
+    @property
+    def n(self) -> int:
+        """Number of validation transactions."""
+        return len(self.outcomes)
+
+    @property
+    def generated_profit(self) -> float:
+        """Numerator of the gain: total achieved profit."""
+        return sum(outcome.achieved_profit for outcome in self.outcomes)
+
+    @property
+    def recorded_profit(self) -> float:
+        """Denominator of the gain: total recorded target-sale profit."""
+        return sum(outcome.recorded_profit for outcome in self.outcomes)
+
+    @property
+    def gain(self) -> float:
+        """The paper's gain ratio (Section 5.1)."""
+        recorded = self.recorded_profit
+        if recorded == 0:
+            raise EvaluationError("recorded profit is zero; gain undefined")
+        return self.generated_profit / recorded
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of validation transactions whose recommendation hit."""
+        return sum(1 for outcome in self.outcomes if outcome.hit) / self.n
+
+    def hit_rate_by_profit_range(
+        self, n_ranges: int = 3
+    ) -> list[tuple[str, float, int]]:
+        """Hit rate within equal thirds (by default) of the max recorded profit.
+
+        Mirrors Figures 3(d)/4(d): "Low", "Medium" and "High" are the lower,
+        middle and higher 1/3 of the maximum profit of a single
+        recommendation.  Returns ``(label, hit_rate, n_transactions)`` rows;
+        empty ranges report a hit rate of 0.
+        """
+        if n_ranges < 1:
+            raise EvaluationError(f"n_ranges must be >= 1, got {n_ranges}")
+        max_profit = max(outcome.recorded_profit for outcome in self.outcomes)
+        if max_profit <= 0:
+            raise EvaluationError("max recorded profit must be positive")
+        labels = (
+            ["Low", "Medium", "High"]
+            if n_ranges == 3
+            else [f"range{i + 1}" for i in range(n_ranges)]
+        )
+        buckets: list[list[TransactionOutcome]] = [[] for _ in range(n_ranges)]
+        for outcome in self.outcomes:
+            idx = min(
+                int(outcome.recorded_profit / max_profit * n_ranges), n_ranges - 1
+            )
+            buckets[idx].append(outcome)
+        rows: list[tuple[str, float, int]] = []
+        for label, bucket in zip(labels, buckets):
+            if bucket:
+                rate = sum(1 for o in bucket if o.hit) / len(bucket)
+            else:
+                rate = 0.0
+            rows.append((label, rate, len(bucket)))
+        return rows
+
+
+def evaluate(
+    recommender: Recommender,
+    validation: TransactionDB,
+    hierarchy: ConceptHierarchy,
+    config: EvalConfig | None = None,
+) -> EvalResult:
+    """Score a fitted recommender on held-back transactions."""
+    config = config or EvalConfig()
+    if len(validation) == 0:
+        raise EvaluationError("validation database is empty")
+    judge = MOAHierarchy(
+        catalog=validation.catalog,
+        hierarchy=hierarchy,
+        use_moa=config.moa_hit_test,
+    )
+    rng = np.random.default_rng(config.seed)
+    outcomes: list[TransactionOutcome] = []
+    for transaction in validation:
+        recommendation = recommender.recommend(transaction.nontarget_sales)
+        head = GSale.promo_form(recommendation.item_id, recommendation.promo_code)
+        target = transaction.target_sale
+        hit = judge.hits(head, target)
+        recorded = transaction.recorded_target_profit(validation.catalog)
+        multiplier = 1.0
+        achieved = 0.0
+        if hit:
+            achieved = config.profit_model.credited_profit(
+                head, target, validation.catalog
+            )
+            if config.behavior is not None and head.node == target.item_id:
+                gap = price_step_gap(
+                    validation.catalog,
+                    target.item_id,
+                    target.promo_code,
+                    recommendation.promo_code,
+                )
+                multiplier = config.behavior.multiplier(gap, rng)
+                achieved *= multiplier
+        outcomes.append(
+            TransactionOutcome(
+                tid=transaction.tid,
+                recommendation=recommendation,
+                hit=hit,
+                achieved_profit=achieved,
+                recorded_profit=recorded,
+                quantity_multiplier=multiplier,
+            )
+        )
+    return EvalResult(
+        recommender_name=recommender.name,
+        outcomes=outcomes,
+        model_size=recommender.model_size,
+    )
+
+
+def evaluate_top_k(
+    recommender: "MPFRecommender",
+    validation: TransactionDB,
+    hierarchy: ConceptHierarchy,
+    k: int,
+    config: EvalConfig | None = None,
+) -> EvalResult:
+    """Score k-pair recommendations (paper Section 2's multi-rule variant).
+
+    The recommender offers up to ``k`` distinct (item, promotion) pairs per
+    basket — the top-k matching rules by MPF rank.  A transaction is a hit
+    when any offered pair captures the recorded target sale; the credited
+    profit is the best credit among the hitting pairs.  The recorded-profit
+    denominator is unchanged, so top-k gains are directly comparable with
+    single-pair gains (and monotone in ``k``).
+    """
+    from repro.core.mpf import MPFRecommender  # deferred: avoids a cycle
+
+    if not isinstance(recommender, MPFRecommender):
+        raise EvaluationError("top-k evaluation needs an MPFRecommender")
+    if k < 1:
+        raise EvaluationError(f"k must be at least 1, got {k}")
+    config = config or EvalConfig()
+    if len(validation) == 0:
+        raise EvaluationError("validation database is empty")
+    judge = MOAHierarchy(
+        catalog=validation.catalog,
+        hierarchy=hierarchy,
+        use_moa=config.moa_hit_test,
+    )
+    outcomes: list[TransactionOutcome] = []
+    for transaction in validation:
+        offers = recommender.recommend_top_k(transaction.nontarget_sales, k)
+        target = transaction.target_sale
+        best_offer = offers[0]
+        best_credit = 0.0
+        hit = False
+        for offer in offers:
+            head = GSale.promo_form(offer.item_id, offer.promo_code)
+            if not judge.hits(head, target):
+                continue
+            credit = config.profit_model.credited_profit(
+                head, target, validation.catalog
+            )
+            if not hit or credit > best_credit:
+                hit = True
+                best_credit = credit
+                best_offer = offer
+        outcomes.append(
+            TransactionOutcome(
+                tid=transaction.tid,
+                recommendation=best_offer,
+                hit=hit,
+                achieved_profit=best_credit,
+                recorded_profit=transaction.recorded_target_profit(
+                    validation.catalog
+                ),
+            )
+        )
+    return EvalResult(
+        recommender_name=f"{recommender.name} (top-{k})",
+        outcomes=outcomes,
+        model_size=recommender.model_size,
+    )

@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers format them as aligned ASCII tables so diffs against
+EXPERIMENTS.md stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_histogram"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned table; floats are shown with 4 decimals."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[float, float | None]]],
+    x_label: str = "min_support",
+    y_label: str = "value",
+    title: str | None = None,
+) -> str:
+    """Render per-system ``(x, y)`` series as one table (x down, systems across)."""
+    systems = sorted(series)
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        (system, x): y for system in systems for x, y in series[system]
+    }
+    headers = [x_label, *systems]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for system in systems:
+            row.append(lookup.get((system, x)))
+        rows.append(row)
+    return format_table(headers, rows, title=title or y_label)
+
+
+def format_histogram(
+    histogram: Mapping[float, int],
+    value_label: str = "profit",
+    title: str | None = None,
+) -> str:
+    """Render a value → count histogram with a proportional bar."""
+    if not histogram:
+        return title or "(empty histogram)"
+    peak = max(histogram.values())
+    lines = [title] if title else []
+    for value in sorted(histogram):
+        count = histogram[value]
+        bar = "#" * max(1, round(40 * count / peak))
+        lines.append(f"{value_label}={value:<10.4g} n={count:<8d} {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

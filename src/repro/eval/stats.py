@@ -1,0 +1,111 @@
+"""Statistical comparison of recommenders across shared CV folds.
+
+The paper reports fold-averaged gains and calls differences "significant"
+informally; this module makes that checkable.  Because the harness
+evaluates every system on the *same* folds
+(:func:`repro.eval.harness.run_support_sweep` shares splits), per-fold
+gains are paired samples and a paired t-test applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from scipy import stats as scipy_stats
+
+from repro.errors import EvaluationError
+from repro.eval.cross_validation import CVResult
+
+__all__ = ["PairedComparison", "compare_gains", "compare_hit_rates"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired comparison between two recommenders.
+
+    ``mean_diff`` is ``a − b`` (positive: ``a`` wins); ``p_value`` comes
+    from a two-sided paired t-test over folds.  With the paper's 5 folds
+    the test is low-powered — treat it as a sanity check, not gospel.
+    """
+
+    name_a: str
+    name_b: str
+    metric: str
+    mean_a: float
+    mean_b: float
+    mean_diff: float
+    t_statistic: float
+    p_value: float
+
+    @property
+    def a_wins(self) -> bool:
+        """Whether ``a``'s fold mean exceeds ``b``'s."""
+        return self.mean_diff > 0
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the paired difference clears the given level."""
+        return self.p_value < alpha
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"{self.name_a} vs {self.name_b} ({self.metric}): "
+            f"{self.mean_a:.4f} vs {self.mean_b:.4f} "
+            f"(diff {self.mean_diff:+.4f}, t={self.t_statistic:.2f}, "
+            f"p={self.p_value:.3f})"
+        )
+
+
+def _paired(
+    a: CVResult, b: CVResult, metric: str, values_a: list[float], values_b: list[float]
+) -> PairedComparison:
+    if len(values_a) != len(values_b):
+        raise EvaluationError(
+            "paired comparison requires the same number of folds "
+            f"({len(values_a)} vs {len(values_b)}); evaluate both systems on "
+            "shared splits"
+        )
+    if len(values_a) < 2:
+        raise EvaluationError("paired comparison needs at least two folds")
+    diffs = [x - y for x, y in zip(values_a, values_b)]
+    if all(abs(d - diffs[0]) < 1e-15 for d in diffs):
+        # Constant differences (e.g. identical systems): the t-test is
+        # undefined; report t=0/p=1 for a zero diff, t=inf/p=0 otherwise.
+        identical = abs(diffs[0]) < 1e-15
+        t_stat = 0.0 if identical else float("inf")
+        p_value = 1.0 if identical else 0.0
+    else:
+        t_stat, p_value = scipy_stats.ttest_rel(values_a, values_b)
+    return PairedComparison(
+        name_a=a.recommender_name,
+        name_b=b.recommender_name,
+        metric=metric,
+        mean_a=mean(values_a),
+        mean_b=mean(values_b),
+        mean_diff=mean(values_a) - mean(values_b),
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+    )
+
+
+def compare_gains(a: CVResult, b: CVResult) -> PairedComparison:
+    """Paired t-test on per-fold gains (folds must be shared)."""
+    return _paired(
+        a,
+        b,
+        "gain",
+        [r.gain for r in a.fold_results],
+        [r.gain for r in b.fold_results],
+    )
+
+
+def compare_hit_rates(a: CVResult, b: CVResult) -> PairedComparison:
+    """Paired t-test on per-fold hit rates (folds must be shared)."""
+    return _paired(
+        a,
+        b,
+        "hit_rate",
+        [r.hit_rate for r in a.fold_results],
+        [r.hit_rate for r in b.fold_results],
+    )

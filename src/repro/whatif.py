@@ -1,0 +1,124 @@
+"""What-if analysis: expected profit of every candidate offer for a basket.
+
+The introduction's store manager knows the rules related to Perfume but
+"still cannot tell which of Lipstick, Diamond, …, and what price, should be
+recommended".  The MPF recommender answers with a single pair; this module
+exposes the whole decision surface behind that answer: for one basket,
+every candidate ⟨target item, promotion code⟩ with
+
+* the best matching rule the candidate is at least as favorable as (its
+  confidence is a conservative acceptance estimate under MOA),
+* the candidate's profit per package, and
+* the resulting expected profit per recommendation.
+
+The MPF choice is always the top row — the table *explains* it — and the
+runner-up rows show how much margin the recommendation has, which is what a
+manager needs before overriding a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.generalized import GSale
+from repro.core.moa import MOAHierarchy
+from repro.core.mpf import MPFRecommender
+from repro.core.rules import ScoredRule
+from repro.core.sales import Sale
+
+__all__ = ["OfferOption", "what_if"]
+
+
+@dataclass(frozen=True)
+class OfferOption:
+    """One candidate offer with its expected-profit breakdown."""
+
+    item_id: str
+    promo_code: str
+    profit_per_package: float
+    acceptance_estimate: float
+    expected_profit: float
+    supporting_rule: ScoredRule | None
+
+    def describe(self) -> str:
+        """One-line rendering for reports and the example scripts."""
+        rule = (
+            self.supporting_rule.rule.describe()
+            if self.supporting_rule is not None
+            else "(no matching rule)"
+        )
+        return (
+            f"{self.item_id} @ {self.promo_code}: "
+            f"E[profit]={self.expected_profit:.4f} "
+            f"(accept≈{self.acceptance_estimate:.2f} × "
+            f"${self.profit_per_package:.2f})  via {rule}"
+        )
+
+
+def what_if(
+    recommender: MPFRecommender, basket: Sequence[Sale]
+) -> list[OfferOption]:
+    """Rank every candidate offer for ``basket`` by expected profit.
+
+    For each candidate head, the *supporting rule* is the highest-ranked
+    matching rule whose acceptance implies the candidate's (its head is a
+    promotion the candidate is at least as favorable as under MOA); its
+    confidence is a conservative acceptance estimate.  Candidates with no
+    supporting rule get acceptance 0 and sort last.  With unit quantities
+    the top row's (item, promotion) coincides with
+    :meth:`MPFRecommender.recommend`'s choice whenever expected profits are
+    distinct, because MPF maximizes exactly ``confidence × profit`` per
+    matched rule; with heterogeneous quantities the rule profit weights
+    hits by volume and small deviations are possible.
+    """
+    moa: MOAHierarchy = recommender.moa
+    matching = recommender.matching_rules(basket)
+    options: list[OfferOption] = []
+    for head in moa.all_candidate_heads():
+        promo = moa.catalog.promotion(head.node, head.promo or "")
+        supporting = _best_supporting_rule(moa, matching, head)
+        acceptance = supporting.stats.confidence if supporting else 0.0
+        options.append(
+            OfferOption(
+                item_id=head.node,
+                promo_code=head.promo or "",
+                profit_per_package=promo.profit,
+                acceptance_estimate=acceptance,
+                expected_profit=acceptance * promo.profit,
+                supporting_rule=supporting,
+            )
+        )
+    options.sort(
+        key=lambda option: (
+            -option.expected_profit,
+            -option.acceptance_estimate,
+            option.item_id,
+            option.promo_code,
+        )
+    )
+    return options
+
+
+def _best_supporting_rule(
+    moa: MOAHierarchy, matching: list[ScoredRule], head: GSale
+) -> ScoredRule | None:
+    """The best matching rule conservatively supporting ``head``.
+
+    A rule recommending ``⟨I, P''⟩`` supports the candidate ``⟨I, P⟩`` when
+    ``P ⪯ P''`` (the candidate is at least as favorable): every customer the
+    rule would convert also accepts the cheaper-or-equal candidate under
+    MOA, so the rule's confidence is a *lower bound* on the candidate's
+    acceptance.  Among supporting rules the highest-ranked one is used —
+    for the candidate equal to a rule's own head this reproduces the hit
+    semantics used in evaluation exactly.
+    """
+    best: ScoredRule | None = None
+    for scored in matching:
+        if scored.rule.head.node != head.node:
+            continue
+        if not moa.generalizes_or_equal(head, scored.rule.head):
+            continue
+        if best is None or scored.rank_key() < best.rank_key():
+            best = scored
+    return best

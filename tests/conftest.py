@@ -1,0 +1,113 @@
+"""Shared fixtures: a small hand-built retail world and tiny datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConceptHierarchy,
+    Item,
+    ItemCatalog,
+    MOAHierarchy,
+    PromotionCode,
+    Sale,
+    Transaction,
+    TransactionDB,
+)
+from repro.data import build_dataset, dataset_i_config, dataset_ii_config
+
+
+def promo(code: str, price: float, cost: float, packing: int = 1) -> PromotionCode:
+    """Shorthand promotion-code constructor used across the test suite."""
+    return PromotionCode(code=code, price=price, cost=cost, packing=packing)
+
+
+@pytest.fixture
+def milk_codes() -> tuple[PromotionCode, ...]:
+    """The paper's 2%-Milk example codes (Example 1)."""
+    return (
+        promo("4pack-hi", 3.2, 2.0, packing=4),
+        promo("4pack-lo", 3.0, 1.8, packing=4),
+        promo("pack-hi", 1.2, 0.5),
+        promo("pack-lo", 1.0, 0.5),
+    )
+
+
+@pytest.fixture
+def small_catalog() -> ItemCatalog:
+    """Two non-target items, two target items, multi-price ladders."""
+    return ItemCatalog.from_items(
+        [
+            Item("Perfume", (promo("P1", 10.0, 6.0),)),
+            Item("Bread", (promo("P1", 2.0, 1.0), promo("P2", 2.4, 1.0))),
+            Item(
+                "Sunchip",
+                (
+                    promo("L", 3.8, 2.0),
+                    promo("M", 4.5, 2.0),
+                    promo("H", 5.0, 2.0),
+                ),
+                is_target=True,
+            ),
+            Item("Diamond", (promo("D", 100.0, 60.0),), is_target=True),
+        ]
+    )
+
+
+@pytest.fixture
+def small_hierarchy(small_catalog: ItemCatalog) -> ConceptHierarchy:
+    return ConceptHierarchy.for_catalog(
+        small_catalog, {"Grocery": ["Bread"], "Beauty": ["Perfume"]}
+    )
+
+
+@pytest.fixture
+def small_moa(
+    small_catalog: ItemCatalog, small_hierarchy: ConceptHierarchy
+) -> MOAHierarchy:
+    return MOAHierarchy(catalog=small_catalog, hierarchy=small_hierarchy)
+
+
+@pytest.fixture
+def small_db(small_catalog: ItemCatalog) -> TransactionDB:
+    """60 transactions with clear structure: perfume buyers pay more."""
+    transactions = []
+    tid = 0
+    for i in range(30):
+        transactions.append(
+            Transaction(
+                tid,
+                (Sale("Perfume", "P1"),),
+                Sale("Sunchip", "H" if i % 2 else "M"),
+            )
+        )
+        tid += 1
+    for _ in range(29):
+        transactions.append(
+            Transaction(tid, (Sale("Bread", "P1"),), Sale("Sunchip", "L"))
+        )
+        tid += 1
+    transactions.append(
+        Transaction(
+            tid,
+            (Sale("Perfume", "P1"), Sale("Bread", "P2")),
+            Sale("Diamond", "D"),
+        )
+    )
+    return TransactionDB(catalog=small_catalog, transactions=transactions)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_i():
+    """Dataset I at smoke-test scale (shared across the whole session)."""
+    return build_dataset(
+        dataset_i_config(n_transactions=600, n_items=80, n_patterns=24, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_ii():
+    """Dataset II at smoke-test scale (shared across the whole session)."""
+    return build_dataset(
+        dataset_ii_config(n_transactions=600, n_items=80, n_patterns=24, seed=3)
+    )

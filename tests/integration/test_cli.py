@@ -1,0 +1,196 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_figure_panel_choices(self):
+        args = build_parser().parse_args(["figure", "4d"])
+        assert args.panel == "4d"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "5a"])
+
+
+class TestGenerateAndFit:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "I",
+                "--transactions",
+                "200",
+                "--items",
+                "40",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote 200 transactions" in capsys.readouterr().out
+
+    def test_fit_reports_and_explains(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        main(
+            [
+                "generate",
+                "--transactions",
+                "300",
+                "--items",
+                "40",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "fit",
+                "--data",
+                str(out),
+                "--min-support",
+                "0.02",
+                "--explain",
+                "2",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "PROF+MOA" in text
+        assert "selected rule" in text
+
+    def test_fit_no_moa_label(self, tmp_path, capsys):
+        out = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(out)]
+        )
+        capsys.readouterr()
+        assert main(["fit", "--data", str(out), "--no-moa"]) == 0
+        assert "PROF-MOA" in capsys.readouterr().out
+
+    def test_missing_file_is_reported_not_raised(self, capsys):
+        code = main(["fit", "--data", "/nonexistent/x.jsonl"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommands:
+    def test_figure_3e_runs_at_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["figure", "3e"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3e" in out
+        assert "profit=" in out
+
+    def test_figure_4e_scale_flag(self, capsys):
+        assert main(["figure", "4e", "--scale", "tiny"]) == 0
+        assert "dataset II" in capsys.readouterr().out
+
+
+class TestExportCommand:
+    def test_export_writes_csv(self, tmp_path, capsys):
+        data = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
+        )
+        out = tmp_path / "rules.csv"
+        code = main(
+            ["export", "--data", str(data), "--min-support", "0.02", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("rank,")
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_prints_table_and_significance(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "I",
+                "--scale",
+                "tiny",
+                "--systems",
+                "PROF+MOA",
+                "MPI",
+                "DT",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROF+MOA" in out and "MPI" in out
+        assert "p=" in out  # the significance line
+
+    def test_compare_unknown_system_fails_cleanly(self, capsys):
+        code = main(
+            ["compare", "--scale", "tiny", "--systems", "PROF+MOA", "Bogus"]
+        )
+        assert code == 1
+        assert "unknown systems" in capsys.readouterr().err
+
+
+class TestModelPersistenceViaCli:
+    def test_fit_save_model_round_trip(self, tmp_path, capsys):
+        from repro.data.model_io import load_model
+
+        data = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
+        )
+        model_path = tmp_path / "model.json"
+        code = main(
+            [
+                "fit",
+                "--data",
+                str(data),
+                "--min-support",
+                "0.02",
+                "--save-model",
+                str(model_path),
+            ]
+        )
+        assert code == 0
+        assert "model saved" in capsys.readouterr().out
+        restored = load_model(model_path)
+        assert restored.model_size >= 1
+
+
+@pytest.mark.slow
+class TestSweepCommand:
+    def test_sweep_prints_three_metrics(self, capsys):
+        code = main(["sweep", "--dataset", "I", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gain" in out and "hit_rate" in out and "model_size" in out
+        assert "PROF+MOA" in out
+
+
+@pytest.mark.slow
+class TestReportCommand:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["report", "--dataset", "I", "--scale", "tiny", "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Figure 3 reproduction")
+        assert "Figure 3(d)" in text
+        assert "PROF+MOA" in text

@@ -1,0 +1,105 @@
+"""End-to-end pipeline tests on generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import KNNRecommender, MPIRecommender
+from repro.core import (
+    BinaryProfit,
+    MinerConfig,
+    ProfitMiner,
+    ProfitMinerConfig,
+)
+from repro.data.io import load_transactions, save_transactions
+from repro.eval import EvalConfig, cross_validate, evaluate
+from repro.eval.cross_validation import kfold_indices
+
+
+def miner_config(min_support=0.02, use_moa=True) -> ProfitMinerConfig:
+    return ProfitMinerConfig(
+        mining=MinerConfig(min_support=min_support, max_body_size=2),
+        use_moa=use_moa,
+    )
+
+
+class TestFullPipeline:
+    def test_fit_evaluate_dataset_i(self, tiny_dataset_i):
+        ds = tiny_dataset_i
+        n = len(ds.db)
+        train = ds.db.subset(range(int(n * 0.8)))
+        test = ds.db.subset(range(int(n * 0.8), n))
+        miner = ProfitMiner(ds.hierarchy, config=miner_config()).fit(train)
+        result = evaluate(miner, test, ds.hierarchy)
+        assert 0.0 < result.gain <= 1.0
+        assert 0.0 < result.hit_rate <= 1.0
+        assert miner.model_size >= 1
+
+    def test_gain_denominator_is_recorded_profit(self, tiny_dataset_i):
+        ds = tiny_dataset_i
+        miner = ProfitMiner(ds.hierarchy, config=miner_config()).fit(ds.db)
+        result = evaluate(miner, ds.db, ds.hierarchy)
+        assert result.recorded_profit == pytest.approx(
+            ds.db.total_recorded_profit()
+        )
+
+    def test_round_trip_through_disk_preserves_model_inputs(
+        self, tiny_dataset_i, tmp_path
+    ):
+        ds = tiny_dataset_i
+        path = tmp_path / "ds.jsonl"
+        save_transactions(ds.db, path)
+        restored = load_transactions(path)
+        a = ProfitMiner(ds.hierarchy, config=miner_config()).fit(ds.db)
+        b = ProfitMiner(ds.hierarchy, config=miner_config()).fit(restored)
+        assert [s.rule for s in a.rules] == [s.rule for s in b.rules]
+
+    def test_determinism_of_the_whole_pipeline(self, tiny_dataset_i):
+        ds = tiny_dataset_i
+        a = ProfitMiner(ds.hierarchy, config=miner_config()).fit(ds.db)
+        b = ProfitMiner(ds.hierarchy, config=miner_config()).fit(ds.db)
+        assert [s.rule for s in a.rules] == [s.rule for s in b.rules]
+        basket = ds.db[0].nontarget_sales
+        assert a.recommend(basket) == b.recommend(basket)
+
+    def test_all_six_systems_complete_cv(self, tiny_dataset_i):
+        ds = tiny_dataset_i
+        splits = kfold_indices(len(ds.db), k=3, seed=0)
+        systems = {
+            "PROF+MOA": lambda: ProfitMiner(ds.hierarchy, config=miner_config()),
+            "PROF-MOA": lambda: ProfitMiner(
+                ds.hierarchy, config=miner_config(use_moa=False)
+            ),
+            "CONF+MOA": lambda: ProfitMiner(
+                ds.hierarchy, profit_model=BinaryProfit(), config=miner_config()
+            ),
+            "kNN": KNNRecommender,
+            "MPI": MPIRecommender,
+        }
+        for name, factory in systems.items():
+            cv = cross_validate(
+                factory, ds.db, ds.hierarchy, EvalConfig(), splits=splits
+            )
+            assert 0 <= cv.gain <= 1.0, name
+            assert 0 <= cv.hit_rate <= 1.0, name
+
+    def test_pruning_reduces_rules_by_a_large_factor(self, tiny_dataset_i):
+        """Section 5.3: pre-cut rule count is typically 100s× the final."""
+        ds = tiny_dataset_i
+        miner = ProfitMiner(
+            ds.hierarchy, config=miner_config(min_support=0.01)
+        ).fit(ds.db)
+        mined = len(miner.mining_result.scored_rules)
+        kept = miner.model_size
+        assert mined / kept > 10
+
+    def test_moa_model_carries_more_rules(self, tiny_dataset_i):
+        """Section 5.3: MOA generally increases model size (extra prices)."""
+        ds = tiny_dataset_i
+        with_moa = ProfitMiner(ds.hierarchy, config=miner_config()).fit(ds.db)
+        without = ProfitMiner(
+            ds.hierarchy, config=miner_config(use_moa=False)
+        ).fit(ds.db)
+        mined_with = len(with_moa.mining_result.scored_rules)
+        mined_without = len(without.mining_result.scored_rules)
+        assert mined_with > mined_without

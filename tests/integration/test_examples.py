@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs and prints its headline output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 420) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Held-out evaluation" in out
+        assert "recommendation:" in out
+
+    def test_egg_promotion(self):
+        out = run_example("egg_promotion.py")
+        assert "$170.00" in out
+        assert "$240.00" in out
+        assert "4-pack" in out
+
+    def test_grocery_cross_sell(self):
+        out = run_example("grocery_cross_sell.py")
+        assert "Diamond" in out
+        assert "BBQ_Sauce" in out
+        assert "cross-selling plan" in out
+
+    def test_compare_recommenders(self):
+        out = run_example("compare_recommenders.py")
+        assert "PROF+MOA" in out
+        assert "kNN" in out
+
+    def test_figure1_moa_hierarchy(self):
+        out = run_example("figure1_moa_hierarchy.py", timeout=60)
+        assert "digraph MOAH" in out
+        assert "<FC @ $3.5>" in out
+
+    def test_bulk_upsell(self):
+        out = run_example("bulk_upsell.py")
+        assert "Recommendations by chain" in out
+        assert "restored; recommendations identical" in out

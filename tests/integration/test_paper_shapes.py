@@ -1,0 +1,146 @@
+"""The paper's qualitative claims, checked on reduced-scale data.
+
+These are the acceptance criteria from DESIGN.md §4: who wins, which
+direction the MOA and profit levers point, and the "profit smart" hit-rate
+profile of Figure 3(d).  Absolute values differ from the paper (different
+generator details, reduced scale); orderings must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.behavior import behavior_x2_y30, behavior_x3_y40
+from repro.eval.experiments import ExperimentScale, get_dataset
+from repro.eval.harness import run_single_support
+from repro.eval.metrics import EvalConfig
+
+
+SCALE = ExperimentScale(
+    label="shapes",
+    n_transactions=1800,
+    n_items=220,
+    n_patterns=176,
+    min_supports=(0.01,),
+    spot_support=0.01,
+    k_folds=3,
+)
+
+
+@pytest.fixture(scope="module")
+def results_i():
+    return run_single_support(
+        get_dataset("I", SCALE),
+        SCALE.spot_support,
+        k_folds=SCALE.k_folds,
+        max_body_size=SCALE.max_body_size,
+        seed=SCALE.seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def results_ii():
+    return run_single_support(
+        get_dataset("II", SCALE),
+        SCALE.spot_support,
+        k_folds=SCALE.k_folds,
+        max_body_size=SCALE.max_body_size,
+        seed=SCALE.seed,
+    )
+
+
+class TestDatasetIOrderings:
+    def test_prof_moa_wins(self, results_i):
+        gains = {name: cv.gain for name, cv in results_i.items()}
+        best = max(gains, key=gains.get)
+        assert best == "PROF+MOA", gains
+
+    def test_moa_beats_no_moa(self, results_i):
+        gains = {name: cv.gain for name, cv in results_i.items()}
+        assert gains["PROF+MOA"] > gains["PROF-MOA"]
+        assert gains["CONF+MOA"] > gains["CONF-MOA"]
+
+    def test_prof_beats_conf(self, results_i):
+        gains = {name: cv.gain for name, cv in results_i.items()}
+        assert gains["PROF+MOA"] > gains["CONF+MOA"]
+
+    def test_conf_moa_hit_rate_is_high(self, results_i):
+        assert results_i["CONF+MOA"].hit_rate > 0.8
+
+    def test_gain_capped_by_saving_moa(self, results_i):
+        assert all(cv.gain <= 1.0 + 1e-9 for cv in results_i.values())
+
+
+class TestDatasetIIOrderings:
+    def test_prof_moa_wins(self, results_ii):
+        gains = {name: cv.gain for name, cv in results_ii.items()}
+        assert max(gains, key=gains.get) == "PROF+MOA", gains
+
+    def test_moa_beats_no_moa(self, results_ii):
+        gains = {name: cv.gain for name, cv in results_ii.items()}
+        assert gains["PROF+MOA"] > gains["PROF-MOA"]
+        assert gains["CONF+MOA"] > gains["CONF-MOA"]
+
+    def test_mpi_is_weak_with_forty_pairs(self, results_ii):
+        """Dataset II's 40 item/price pairs defeat a constant recommender."""
+        gains = {name: cv.gain for name, cv in results_ii.items()}
+        assert gains["MPI"] < 0.6 * gains["PROF+MOA"]
+        hits = {name: cv.hit_rate for name, cv in results_ii.items()}
+        assert hits["MPI"] < 0.5 * hits["PROF+MOA"]
+
+
+class TestProfitSmartness:
+    def test_prof_moa_keeps_hit_rate_in_high_range(self, results_i):
+        """Figure 3(d): kNN collapses in the High range; PROF+MOA does not."""
+        prof_rows = dict(
+            (label, rate)
+            for label, rate, _ in results_i["PROF+MOA"].hit_rate_by_profit_range()
+        )
+        knn_rows = dict(
+            (label, rate)
+            for label, rate, _ in results_i["kNN"].hit_rate_by_profit_range()
+        )
+        assert prof_rows["High"] > knn_rows["High"]
+
+    def test_prof_moa_dominates_high_range(self, results_i):
+        """PROF+MOA is near-perfect on the most profitable recommendations.
+
+        (The paper additionally reports kNN collapsing to <10% in the High
+        range; our kNN identifies expensive-target segments better than the
+        original, so we assert dominance rather than collapse — recorded in
+        EXPERIMENTS.md.)
+        """
+        rows = dict(
+            (label, rate)
+            for label, rate, _ in results_i["PROF+MOA"].hit_rate_by_profit_range()
+        )
+        assert rows["High"] > 0.8
+
+
+class TestBehaviorModels:
+    def test_behavior_settings_lift_gain_in_order(self):
+        dataset = get_dataset("I", SCALE)
+        base = run_single_support(
+            dataset,
+            SCALE.spot_support,
+            systems=("PROF+MOA",),
+            k_folds=SCALE.k_folds,
+            seed=SCALE.seed,
+        )["PROF+MOA"].gain
+        x2 = run_single_support(
+            dataset,
+            SCALE.spot_support,
+            eval_config=EvalConfig(behavior=behavior_x2_y30(), seed=1),
+            systems=("PROF+MOA",),
+            k_folds=SCALE.k_folds,
+            seed=SCALE.seed,
+        )["PROF+MOA"].gain
+        x3 = run_single_support(
+            dataset,
+            SCALE.spot_support,
+            eval_config=EvalConfig(behavior=behavior_x3_y40(), seed=1),
+            systems=("PROF+MOA",),
+            k_folds=SCALE.k_folds,
+            seed=SCALE.seed,
+        )["PROF+MOA"].gain
+        assert base < x2 < x3

@@ -1,0 +1,102 @@
+"""Contract tests every Recommender implementation must satisfy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DecisionTreeRecommender,
+    KNNRecommender,
+    MPIRecommender,
+)
+from repro.core import (
+    BinaryProfit,
+    MinerConfig,
+    ProfitMiner,
+    ProfitMinerConfig,
+    Sale,
+)
+
+
+def miner_factory(hierarchy, **kwargs):
+    def build():
+        return ProfitMiner(
+            hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2), **kwargs
+            ),
+        )
+
+    return build
+
+
+RECOMMENDER_NAMES = [
+    "PROF+MOA",
+    "PROF-MOA",
+    "CONF+MOA",
+    "kNN",
+    "kNN(profit)",
+    "MPI",
+    "DT",
+    "DT(profit)",
+]
+
+
+@pytest.fixture
+def factories(small_hierarchy):
+    return {
+        "PROF+MOA": miner_factory(small_hierarchy),
+        "PROF-MOA": miner_factory(small_hierarchy, use_moa=False),
+        "CONF+MOA": lambda: ProfitMiner(
+            small_hierarchy,
+            profit_model=BinaryProfit(),
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2)
+            ),
+        ),
+        "kNN": KNNRecommender,
+        "kNN(profit)": lambda: KNNRecommender(profit_post_processing=True),
+        "MPI": MPIRecommender,
+        "DT": lambda: DecisionTreeRecommender(min_leaf=5),
+        "DT(profit)": lambda: DecisionTreeRecommender(min_leaf=5, profit_rerank=True),
+    }
+
+
+@pytest.mark.parametrize("name", RECOMMENDER_NAMES)
+class TestRecommenderContract:
+    def test_fit_returns_self_and_recommends_valid_pairs(
+        self, name, factories, small_db
+    ):
+        recommender = factories[name]()
+        assert recommender.fit(small_db) is recommender
+        catalog = small_db.catalog
+        for transaction in small_db.transactions[:10]:
+            pick = recommender.recommend(transaction.nontarget_sales)
+            item = catalog.get(pick.item_id)
+            assert item.is_target, name
+            assert item.has_promotion(pick.promo_code), name
+
+    def test_recommend_is_deterministic(self, name, factories, small_db):
+        recommender = factories[name]().fit(small_db)
+        basket = small_db[0].nontarget_sales
+        first = recommender.recommend(basket)
+        assert all(
+            recommender.recommend(basket) == first for _ in range(3)
+        ), name
+
+    def test_recommend_many_matches_loop(self, name, factories, small_db):
+        recommender = factories[name]().fit(small_db)
+        baskets = [t.nontarget_sales for t in small_db.transactions[:5]]
+        assert recommender.recommend_many(baskets) == [
+            recommender.recommend(b) for b in baskets
+        ]
+
+    def test_handles_unseen_basket(self, name, factories, small_db):
+        recommender = factories[name]().fit(small_db)
+        pick = recommender.recommend([Sale("Bread", "P2"), Sale("Perfume", "P1")])
+        assert small_db.catalog.get(pick.item_id).is_target
+
+    def test_model_size_is_none_or_positive(self, name, factories, small_db):
+        recommender = factories[name]().fit(small_db)
+        size = recommender.model_size
+        assert size is None or size >= 1

@@ -1,0 +1,38 @@
+"""Integration test for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentScale
+from repro.eval.report import generate_markdown_report
+
+
+@pytest.mark.slow
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> str:
+        return generate_markdown_report("I", ExperimentScale.tiny())
+
+    def test_has_every_panel_section(self, report):
+        for panel in "abcdef":
+            assert f"Figure 3({panel})" in report, panel
+
+    def test_contains_all_six_systems(self, report):
+        for system in (
+            "PROF+MOA",
+            "PROF-MOA",
+            "CONF+MOA",
+            "CONF-MOA",
+            "kNN",
+            "MPI",
+        ):
+            assert system in report
+
+    def test_parameters_documented(self, report):
+        assert "|T| = 800" in report
+        assert "3-fold CV" in report
+
+    def test_renders_as_markdown_code_blocks(self, report):
+        assert report.count("```") % 2 == 0
+        assert report.startswith("# Figure 3 reproduction")

@@ -1,0 +1,104 @@
+"""Brute-force verification of the cut-optimal theorems (Section 4.2).
+
+Theorem 1: a covering tree has exactly one optimal cut (maximum projected
+profit; smallest among maxima).  Theorem 2: the bottom-up traversal finds
+it.  These tests enumerate *every* cut of small covering trees and check
+the implementation's result against the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covering import CoveringNode, CoveringTree, build_covering_tree
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.pessimistic import DEFAULT_CF
+from repro.core.profit import SavingMOA
+from repro.core.pruning import PruneConfig, cut_optimal_prune, projected_profit
+
+from tests.property.test_mining_properties import mining_problems
+
+
+def all_cuts(node: CoveringNode) -> list[list[CoveringNode]]:
+    """Every cut of the subtree at ``node`` (Definition 9)."""
+    cuts: list[list[CoveringNode]] = [[node]]
+    if node.children:
+        per_child = [all_cuts(child) for child in node.children]
+        for combo in product(*per_child):
+            cuts.append([n for child_cut in combo for n in child_cut])
+    return cuts
+
+
+def cut_profit(tree: CoveringTree, cut: list[CoveringNode], cf: float) -> float:
+    """Projected profit of ``CT_C``: cut nodes as leaves, ancestors as-is."""
+    index = tree.index
+    in_cut = {id(n) for n in cut}
+
+    def head_id(node: CoveringNode) -> int:
+        return index.gsale_id(node.scored.rule.head)
+
+    total = 0.0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if id(node) in in_cut:
+            merged = 0
+            for member in node.subtree():
+                merged |= member.cover_mask
+            total += projected_profit(head_id(node), merged, index, cf)
+        else:
+            total += projected_profit(head_id(node), node.cover_mask, index, cf)
+            stack.extend(node.children)
+    return total
+
+
+def assert_bottom_up_matches_brute_force(problem) -> None:
+    db, moa, config = problem
+    result = mine_rules(db, moa, SavingMOA(), config)
+    tree = build_covering_tree(result)
+    if len(tree) > 14:
+        pytest.skip("tree too large for exhaustive cut enumeration")
+    cuts = all_cuts(tree.root)
+    profits = [cut_profit(tree, cut, DEFAULT_CF) for cut in cuts]
+    best_profit = max(profits)
+    best_sizes = [
+        len(cut)
+        for cut, profit in zip(cuts, profits)
+        if profit >= best_profit - 1e-9
+    ]
+
+    cut_optimal_prune(tree, PruneConfig())
+    achieved = [node for node in tree.root.subtree() if not node.children]
+    achieved_profit = cut_profit(tree, achieved, DEFAULT_CF)
+
+    assert achieved_profit == pytest.approx(best_profit)
+    assert len(achieved) == min(best_sizes)
+
+
+class TestCutOptimality:
+    @given(mining_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_bottom_up_finds_the_optimal_cut(self, problem):
+        assert_bottom_up_matches_brute_force(problem)
+
+    def test_on_the_small_fixture(self, small_db, small_moa):
+        assert_bottom_up_matches_brute_force(
+            (small_db, small_moa, MinerConfig(min_support=0.05, max_body_size=2))
+        )
+
+    @given(mining_problems())
+    @settings(max_examples=10, deadline=None)
+    def test_pruning_is_deterministic(self, problem):
+        db, moa, config = problem
+
+        def run() -> list[str]:
+            result = mine_rules(db, moa, SavingMOA(), config)
+            tree = build_covering_tree(result)
+            report = cut_optimal_prune(tree, PruneConfig())
+            return [s.rule.describe() for s in report.kept_rules]
+
+        assert run() == run()

@@ -1,0 +1,80 @@
+"""Property tests: generated datasets are always valid and well-shaped."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import (
+    build_dataset,
+    dataset_i_config,
+    dataset_ii_config,
+)
+from repro.data.pricing import price_code_name
+
+
+@st.composite
+def dataset_configs(draw):
+    which = draw(st.sampled_from([dataset_i_config, dataset_ii_config]))
+    config = which(
+        n_transactions=draw(st.integers(20, 120)),
+        n_items=draw(st.sampled_from([40, 60, 80])),
+        signal_strength=draw(st.floats(0.0, 1.0)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+    return dataclasses.replace(config)
+
+
+class TestGeneratedDatasets:
+    @given(dataset_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid_and_complete(self, config):
+        dataset = build_dataset(config)
+        db = dataset.db
+        assert len(db) == config.n_transactions
+        dataset.hierarchy.validate_against_catalog(db.catalog)
+        target_ids = set(db.catalog.target_ids())
+        for t in db:
+            assert t.target_sale.item_id in target_ids
+            assert t.nontarget_sales
+            # every promotion code resolves (TransactionDB validated it,
+            # but assert the price-step naming convention holds too)
+            step = int(t.target_sale.promo_code.removeprefix("P"))
+            assert 1 <= step <= config.pricing.m
+
+    @given(dataset_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_profit_histogram_consistent(self, config):
+        dataset = build_dataset(config)
+        histogram = dataset.target_profit_distribution()
+        assert sum(histogram.values()) == len(dataset.db)
+        assert all(profit > 0 for profit in histogram)
+
+    @given(dataset_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_stratified_windows_cover_every_target(self, config):
+        """With enough windows, every target item appears as a preferred
+        pair somewhere (stratification guarantees ≥ proportional shares)."""
+        dataset = build_dataset(
+            dataclasses.replace(config, n_transactions=300, signal_strength=1.0)
+        )
+        observed = {t.target_sale.item_id for t in dataset.db}
+        weights = {spec.item_id: spec.weight for spec in config.targets}
+        total = sum(weights.values())
+        n_windows = config.quest.n_windows
+        for item_id, weight in weights.items():
+            if round(weight / total * n_windows) >= 1 and weight / total > 0.1:
+                assert item_id in observed
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_price_code_convention(self, seed):
+        config = dataset_i_config(n_transactions=30, n_items=40, seed=seed)
+        dataset = build_dataset(config)
+        for t in dataset.db:
+            for sale in t.nontarget_sales:
+                assert sale.promo_code in {
+                    price_code_name(j) for j in range(1, config.pricing.m + 1)
+                }

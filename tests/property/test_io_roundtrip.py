@@ -1,0 +1,95 @@
+"""Property test: serialization round-trips arbitrary valid databases."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.items import Item, ItemCatalog
+from repro.core.promotion import PromotionCode
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.data.io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    transaction_from_dict,
+    transaction_to_dict,
+)
+
+item_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N")),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def databases(draw):
+    n_nontargets = draw(st.integers(1, 4))
+    n_targets = draw(st.integers(1, 2))
+    items = []
+    for i in range(n_nontargets + n_targets):
+        promos = tuple(
+            PromotionCode(
+                code=f"P{j}",
+                price=round(draw(st.floats(0.01, 100.0)), 4),
+                cost=round(draw(st.floats(0.0, 50.0)), 4),
+                packing=draw(st.integers(1, 6)),
+            )
+            for j in range(draw(st.integers(1, 3)))
+        )
+        items.append(Item(f"X{i}", promos, is_target=i >= n_nontargets))
+    catalog = ItemCatalog.from_items(items)
+    nontargets = catalog.nontarget_items
+    targets = catalog.target_items
+
+    transactions = []
+    for tid in range(draw(st.integers(1, 6))):
+        k = draw(st.integers(1, len(nontargets)))
+        basket = tuple(
+            Sale(
+                item.item_id,
+                item.promotions[
+                    draw(st.integers(0, len(item.promotions) - 1))
+                ].code,
+                float(draw(st.integers(1, 5))),
+            )
+            for item in nontargets[:k]
+        )
+        target_item = targets[draw(st.integers(0, len(targets) - 1))]
+        target = Sale(
+            target_item.item_id,
+            target_item.promotions[
+                draw(st.integers(0, len(target_item.promotions) - 1))
+            ].code,
+            float(draw(st.integers(1, 5))),
+        )
+        transactions.append(Transaction(tid, basket, target))
+    return TransactionDB(catalog, transactions)
+
+
+class TestRoundTrip:
+    @given(databases())
+    @settings(max_examples=50, deadline=None)
+    def test_catalog_round_trip(self, db):
+        restored = catalog_from_dict(catalog_to_dict(db.catalog))
+        assert {i.item_id for i in restored} == {i.item_id for i in db.catalog}
+        for item in db.catalog:
+            twin = restored.get(item.item_id)
+            assert twin.is_target == item.is_target
+            assert twin.promotions == item.promotions
+
+    @given(databases())
+    @settings(max_examples=50, deadline=None)
+    def test_transactions_round_trip(self, db):
+        for t in db:
+            assert transaction_from_dict(transaction_to_dict(t)) == t
+
+    @given(db=databases())
+    @settings(max_examples=30, deadline=None)
+    def test_file_round_trip(self, tmp_path_factory, db):
+        from repro.data.io import load_transactions, save_transactions
+
+        path = tmp_path_factory.mktemp("io") / "db.jsonl"
+        save_transactions(db, path)
+        restored = load_transactions(path)
+        assert restored.transactions == db.transactions

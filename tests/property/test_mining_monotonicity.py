@@ -1,0 +1,79 @@
+"""Monotonicity properties of the miner under threshold changes."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+
+from repro.core.mining import mine_rules
+from repro.core.profit import SavingMOA
+
+from tests.property.test_mining_properties import mining_problems
+
+
+def rule_keys(result) -> set:
+    return {(s.rule.body, s.rule.head) for s in result.scored_rules}
+
+
+class TestThresholdMonotonicity:
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_higher_support_yields_subset(self, problem):
+        """Raising min_support can only remove rules, never add or alter."""
+        db, moa, config = problem
+        loose = mine_rules(db, moa, SavingMOA(), config)
+        strict_config = replace(
+            config, min_support=min(1.0, config.min_support * 2.5)
+        )
+        strict = mine_rules(db, moa, SavingMOA(), strict_config)
+        assert rule_keys(strict) <= rule_keys(loose)
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_higher_confidence_yields_subset(self, problem):
+        db, moa, config = problem
+        loose = mine_rules(db, moa, SavingMOA(), config)
+        strict = mine_rules(
+            db, moa, SavingMOA(), replace(config, min_confidence=0.7)
+        )
+        assert rule_keys(strict) <= rule_keys(loose)
+        assert all(s.stats.confidence >= 0.7 for s in strict.scored_rules)
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_larger_bodies_extend_smaller(self, problem):
+        """Raising max_body_size only adds rules with bigger bodies."""
+        db, moa, config = problem
+        if config.max_body_size < 2:
+            return
+        shallow = mine_rules(
+            db, moa, SavingMOA(), replace(config, max_body_size=1)
+        )
+        deep = mine_rules(db, moa, SavingMOA(), config)
+        assert rule_keys(shallow) <= rule_keys(deep)
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_stats_independent_of_thresholds(self, problem):
+        """A rule surviving both runs carries identical statistics."""
+        db, moa, config = problem
+        loose = mine_rules(db, moa, SavingMOA(), config)
+        strict = mine_rules(
+            db, moa, SavingMOA(), replace(config, min_support=min(1.0, config.min_support * 2))
+        )
+        loose_stats = {
+            (s.rule.body, s.rule.head): (
+                s.stats.n_matched,
+                s.stats.n_hits,
+                round(s.stats.rule_profit, 9),
+            )
+            for s in loose.scored_rules
+        }
+        for s in strict.scored_rules:
+            key = (s.rule.body, s.rule.head)
+            assert loose_stats[key] == (
+                s.stats.n_matched,
+                s.stats.n_hits,
+                round(s.stats.rule_profit, 9),
+            )

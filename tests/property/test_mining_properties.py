@@ -1,0 +1,122 @@
+"""Property tests: miner invariants over random transaction databases."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covering import build_covering_tree
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.items import Item, ItemCatalog
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import SavingMOA
+from repro.core.promotion import PromotionCode
+from repro.core.pruning import PruneConfig, cut_optimal_prune
+from repro.core.sales import Sale, Transaction, TransactionDB
+
+
+@st.composite
+def mining_problems(draw):
+    """Small random world: catalog, hierarchy, transactions, config."""
+    n_nontargets = draw(st.integers(2, 5))
+    items = []
+    for i in range(n_nontargets):
+        promos = tuple(
+            PromotionCode(code=f"P{j}", price=1.0 + 0.5 * j, cost=0.5)
+            for j in range(draw(st.integers(1, 3)))
+        )
+        items.append(Item(f"N{i}", promos))
+    n_targets = draw(st.integers(1, 2))
+    for i in range(n_targets):
+        promos = tuple(
+            PromotionCode(code=f"P{j}", price=2.0 + j, cost=1.0)
+            for j in range(draw(st.integers(1, 3)))
+        )
+        items.append(Item(f"T{i}", promos, is_target=True))
+    catalog = ItemCatalog.from_items(items)
+    hierarchy = ConceptHierarchy.for_catalog(
+        catalog, {"G": [f"N{i}" for i in range(min(2, n_nontargets))]}
+    )
+
+    nontargets = catalog.nontarget_items
+    targets = catalog.target_items
+    transactions = []
+    for tid in range(draw(st.integers(5, 25))):
+        k = draw(st.integers(1, len(nontargets)))
+        picked = draw(
+            st.permutations(range(len(nontargets))).map(lambda p: p[:k])
+        )
+        basket = tuple(
+            Sale(
+                nontargets[idx].item_id,
+                draw(st.sampled_from(nontargets[idx].promotions)).code,
+            )
+            for idx in picked
+        )
+        target_item = draw(st.sampled_from(targets))
+        target = Sale(
+            target_item.item_id,
+            draw(st.sampled_from(target_item.promotions)).code,
+        )
+        transactions.append(Transaction(tid, basket, target))
+    db = TransactionDB(catalog, transactions)
+    moa = MOAHierarchy(catalog, hierarchy, use_moa=draw(st.booleans()))
+    config = MinerConfig(
+        min_support=draw(st.sampled_from([0.05, 0.1, 0.3])),
+        max_body_size=draw(st.integers(1, 3)),
+    )
+    return db, moa, config
+
+
+class TestMinerInvariants:
+    @given(mining_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_rule_worth_invariants(self, problem):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        minsup_count = max(1, math.ceil(config.min_support * len(db)))
+        for scored in result.scored_rules:
+            stats = scored.stats
+            assert stats.n_hits >= minsup_count
+            assert stats.n_hits <= stats.n_matched <= len(db)
+            assert 0 <= stats.confidence <= 1
+            assert stats.rule_profit >= 0
+            assert scored.rule.body_size <= config.max_body_size
+            assert moa.is_ancestor_free(scored.rule.body)
+
+    @given(mining_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_full_pipeline_invariants(self, problem):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        tree = build_covering_tree(result)
+
+        # Coverage partitions the database both before and after pruning.
+        def assert_partition():
+            union = 0
+            for node in tree.nodes():
+                assert union & node.cover_mask == 0
+                union |= node.cover_mask
+            assert union == (1 << len(db)) - 1
+
+        assert_partition()
+        report = cut_optimal_prune(tree, PruneConfig())
+        assert_partition()
+        assert report.tree_profit_after >= report.tree_profit_before - 1e-9
+        assert any(s.rule.is_default for s in report.kept_rules)
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_every_basket_gets_a_recommendation(self, problem):
+        from repro.core.mpf import MPFRecommender
+
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        for t in db:
+            rec = recommender.recommend(t.nontarget_sales)
+            assert db.catalog.get(rec.item_id).is_target
+            assert db.catalog.get(rec.item_id).has_promotion(rec.promo_code)

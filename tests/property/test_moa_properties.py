@@ -1,0 +1,116 @@
+"""Property tests on MOA(H) generalization over random catalogs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generalized import GSale
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.items import Item, ItemCatalog
+from repro.core.moa import MOAHierarchy
+from repro.core.promotion import PromotionCode
+from repro.core.sales import Sale
+
+
+@st.composite
+def worlds(draw):
+    """A random catalog (2–4 non-targets, 1–2 targets) plus MOA hierarchy."""
+    n_nontargets = draw(st.integers(2, 4))
+    n_targets = draw(st.integers(1, 2))
+    items = []
+    for i in range(n_nontargets + n_targets):
+        n_codes = draw(st.integers(1, 4))
+        promos = tuple(
+            PromotionCode(
+                code=f"P{j}",
+                price=round(draw(st.floats(0.5, 20.0)), 2),
+                cost=round(draw(st.floats(0.0, 10.0)), 2),
+                packing=draw(st.integers(1, 3)),
+            )
+            for j in range(n_codes)
+        )
+        items.append(
+            Item(f"X{i}", promos, is_target=i >= n_nontargets)
+        )
+    catalog = ItemCatalog.from_items(items)
+    # group the first two non-targets under a concept
+    hierarchy = ConceptHierarchy.for_catalog(
+        catalog, {"G": [items[0].item_id, items[1].item_id]}
+    )
+    use_moa = draw(st.booleans())
+    return MOAHierarchy(catalog, hierarchy, use_moa=use_moa)
+
+
+@st.composite
+def worlds_and_sales(draw):
+    moa = draw(worlds())
+    nontargets = moa.catalog.nontarget_items
+    item = nontargets[draw(st.integers(0, len(nontargets) - 1))]
+    promo = item.promotions[draw(st.integers(0, len(item.promotions) - 1))]
+    quantity = draw(st.integers(1, 5))
+    return moa, Sale(item.item_id, promo.code, quantity)
+
+
+class TestGeneralizationProperties:
+    @given(worlds_and_sales())
+    @settings(max_examples=60)
+    def test_exact_form_always_included(self, world_sale):
+        moa, sale = world_sale
+        gsales = moa.generalizations_of_sale(sale)
+        assert GSale.promo_form(sale.item_id, sale.promo_code) in gsales
+        assert GSale.item(sale.item_id) in gsales
+
+    @given(worlds_and_sales())
+    @settings(max_examples=60)
+    def test_generalization_set_is_upward_closed(self, world_sale):
+        """Ancestors of any generalization are themselves generalizations."""
+        moa, sale = world_sale
+        gsales = moa.generalizations_of_sale(sale)
+        for g in gsales:
+            assert moa.ancestors_of_gsale(g) <= gsales
+
+    @given(worlds_and_sales())
+    @settings(max_examples=60)
+    def test_subsumption_matches_membership(self, world_sale):
+        moa, sale = world_sale
+        gsales = moa.generalizations_of_sale(sale)
+        exact = GSale.promo_form(sale.item_id, sale.promo_code)
+        for g in gsales:
+            assert moa.generalizes_or_equal(g, exact)
+
+    @given(worlds())
+    @settings(max_examples=40)
+    def test_target_heads_consistent_with_hits(self, moa):
+        for item in moa.catalog.target_items:
+            for promo in item.promotions:
+                sale = Sale(item.item_id, promo.code)
+                heads = moa.target_heads_of_sale(sale)
+                for head in moa.all_candidate_heads():
+                    assert moa.hits(head, sale) == (head in heads)
+
+    @given(worlds())
+    @settings(max_examples=40)
+    def test_subsumption_is_transitive(self, moa):
+        gsales = set()
+        for item in moa.catalog.nontarget_items:
+            for promo in item.promotions:
+                gsales |= moa.generalizations_of_sale(
+                    Sale(item.item_id, promo.code)
+                )
+        gsales = sorted(gsales, key=GSale.sort_key)[:12]
+        for a in gsales:
+            for b in gsales:
+                for c in gsales:
+                    if moa.strictly_generalizes(a, b) and moa.strictly_generalizes(
+                        b, c
+                    ):
+                        assert moa.strictly_generalizes(a, c)
+
+    @given(worlds_and_sales())
+    @settings(max_examples=40)
+    def test_closure_idempotent(self, world_sale):
+        moa, sale = world_sale
+        body = {GSale.promo_form(sale.item_id, sale.promo_code)}
+        once = moa.closure(body)
+        assert moa.closure(once) == once

@@ -1,0 +1,74 @@
+"""Property tests for the pessimistic estimator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.pessimistic import pessimistic_hits, pessimistic_miss_rate
+
+
+@st.composite
+def n_and_e(draw):
+    n = draw(st.integers(1, 500))
+    e = draw(st.integers(0, n))
+    return n, e
+
+
+class TestMissRateProperties:
+    @given(n_and_e(), st.floats(0.01, 0.99))
+    @settings(max_examples=120)
+    def test_in_unit_interval(self, ne, cf):
+        n, e = ne
+        assert 0.0 <= pessimistic_miss_rate(n, e, cf) <= 1.0
+
+    @given(n_and_e(), st.floats(0.01, 0.5))
+    @settings(max_examples=120)
+    def test_pessimistic_above_observed_rate(self, ne, cf):
+        """For CF ≤ 0.5 (the pessimistic regime C4.5 operates in), the
+        limit sits at or above the observed miss rate."""
+        n, e = ne
+        assert pessimistic_miss_rate(n, e, cf) >= e / n - 1e-12
+
+    @given(n_and_e(), st.floats(0.01, 0.99))
+    @settings(max_examples=80)
+    def test_is_valid_upper_confidence_limit(self, ne, cf):
+        """P[Binomial(n, U) ≤ e] ≤ CF for e < n — the Clopper–Pearson bound
+        (at e = n the limit saturates at 1 and the bound is vacuous)."""
+        n, e = ne
+        if e == n:
+            assert pessimistic_miss_rate(n, e, cf) == 1.0
+            return
+        u = pessimistic_miss_rate(n, e, cf)
+        assert stats.binom.cdf(e, n, u) <= cf + 1e-6
+
+    @given(st.integers(1, 300), st.floats(0.05, 0.95))
+    @settings(max_examples=60)
+    def test_monotone_in_errors(self, n, cf):
+        rates = [pessimistic_miss_rate(n, e, cf) for e in range(n + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    @given(n_and_e())
+    @settings(max_examples=60)
+    def test_more_confidence_means_higher_limit(self, ne):
+        n, e = ne
+        assert pessimistic_miss_rate(n, e, cf=0.05) >= pessimistic_miss_rate(
+            n, e, cf=0.5
+        )
+
+
+class TestHitsProperties:
+    @given(n_and_e())
+    @settings(max_examples=100)
+    def test_hits_within_bounds(self, ne):
+        n, e = ne
+        hits = n - e
+        x = pessimistic_hits(n, hits)
+        assert 0.0 <= x <= hits + 1e-12
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_perfect_record_discounted_but_positive(self, n):
+        x = pessimistic_hits(n, n)
+        assert 0 < x < n

@@ -1,0 +1,99 @@
+"""Property tests: favorability is a strict partial order (Section 2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.promotion import (
+    PromotionCode,
+    favorability_covers,
+    is_at_least_as_favorable,
+    is_more_favorable,
+    maximal_codes,
+    sort_by_favorability,
+)
+
+prices = st.floats(min_value=0.01, max_value=1000, allow_nan=False)
+costs = st.floats(min_value=0.0, max_value=1000, allow_nan=False)
+packings = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def codes(draw, code_id: str | None = None) -> PromotionCode:
+    return PromotionCode(
+        code=code_id or draw(st.text(min_size=1, max_size=4)),
+        price=draw(prices),
+        cost=draw(costs),
+        packing=draw(packings),
+    )
+
+
+@st.composite
+def code_lists(draw, max_size: int = 6) -> list[PromotionCode]:
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    return [draw(codes(code_id=f"c{i}")) for i in range(n)]
+
+
+class TestStrictPartialOrder:
+    @given(codes())
+    def test_irreflexive(self, p):
+        assert not is_more_favorable(p, p)
+
+    @given(codes(), codes())
+    def test_asymmetric(self, p, q):
+        if is_more_favorable(p, q):
+            assert not is_more_favorable(q, p)
+
+    @given(codes(), codes(), codes())
+    def test_transitive(self, p, q, r):
+        if is_more_favorable(p, q) and is_more_favorable(q, r):
+            assert is_more_favorable(p, r)
+
+    @given(codes(), codes())
+    def test_strict_implies_reflexive_closure(self, p, q):
+        if is_more_favorable(p, q):
+            assert is_at_least_as_favorable(p, q)
+
+    @given(codes())
+    def test_reflexive_closure_is_reflexive(self, p):
+        assert is_at_least_as_favorable(p, p)
+
+
+class TestOrderHelpers:
+    @given(code_lists())
+    @settings(max_examples=60)
+    def test_maximal_codes_are_undominated(self, code_list):
+        roots = maximal_codes(code_list)
+        assert roots  # a finite strict partial order has maximal elements
+        for root in roots:
+            assert not any(
+                other is not root and is_more_favorable(other, root)
+                for other in code_list
+            )
+
+    @given(code_lists())
+    @settings(max_examples=60)
+    def test_topological_sort_respects_order(self, code_list):
+        ordered = sort_by_favorability(code_list)
+        assert sorted(c.code for c in ordered) == sorted(
+            c.code for c in code_list
+        )
+        position = {c.code: i for i, c in enumerate(ordered)}
+        for p in code_list:
+            for q in code_list:
+                if is_more_favorable(p, q):
+                    assert position[p.code] < position[q.code]
+
+    @given(code_lists(max_size=5))
+    @settings(max_examples=40)
+    def test_cover_edges_have_no_intermediate(self, code_list):
+        for parent, child in favorability_covers(code_list):
+            assert is_more_favorable(parent, child)
+            for mid in code_list:
+                if mid is parent or mid is child:
+                    continue
+                assert not (
+                    is_more_favorable(parent, mid)
+                    and is_more_favorable(mid, child)
+                )

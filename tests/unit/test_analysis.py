@@ -1,0 +1,114 @@
+"""Unit tests for the model inspection utilities."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    coverage_report,
+    export_rules_csv,
+    pruning_summary,
+    rules_table,
+)
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.errors import RecommenderError
+
+
+@pytest.fixture
+def fitted(small_hierarchy, small_db):
+    return ProfitMiner(
+        small_hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.05, max_body_size=2)
+        ),
+    ).fit(small_db)
+
+
+class TestRulesTable:
+    def test_unfitted_raises(self, small_hierarchy):
+        with pytest.raises(RecommenderError):
+            rules_table(ProfitMiner(small_hierarchy))
+
+    def test_rows_match_model(self, fitted):
+        rows = rules_table(fitted)
+        assert len(rows) == fitted.model_size
+        assert rows[0]["rank"] == 1
+        assert any(row["is_default"] for row in rows)
+        for row in rows:
+            assert 0 <= row["support"] <= 1
+            assert 0 <= row["confidence"] <= 1
+            assert row["n_hits"] <= row["n_matched"]
+
+    def test_ranks_follow_mpf_order(self, fitted):
+        rows = rules_table(fitted)
+        ranks = [row["rank"] for row in rows]
+        assert ranks == sorted(ranks)
+
+
+class TestCsvExport:
+    def test_round_trip(self, fitted, tmp_path):
+        path = tmp_path / "rules.csv"
+        n = export_rules_csv(fitted, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == n == fitted.model_size
+        assert rows[0]["target_item"] in ("Sunchip", "Diamond")
+
+
+class TestCoverageReport:
+    def test_coverage_partitions_training_set(self, fitted, small_db):
+        rows = coverage_report(fitted)
+        assert sum(row["coverage"] for row in rows) == len(small_db)
+        for row in rows:
+            assert 0 <= row["coverage_hit_rate"] <= 1
+            assert row["coverage_hits"] <= row["coverage"]
+
+    def test_unfitted_raises(self, small_hierarchy):
+        with pytest.raises(RecommenderError):
+            coverage_report(ProfitMiner(small_hierarchy))
+
+
+class TestPruningSummary:
+    def test_summary_consistency(self, fitted):
+        summary = pruning_summary(fitted)
+        assert summary["rules_kept"] == fitted.model_size
+        assert summary["rules_kept"] <= summary["tree_nodes"]
+        assert summary["reduction_factor"] >= 1
+        assert (
+            summary["projected_profit_after"]
+            >= summary["projected_profit_before"] - 1e-9
+        )
+
+    def test_unfitted_raises(self, small_hierarchy):
+        with pytest.raises(RecommenderError):
+            pruning_summary(ProfitMiner(small_hierarchy))
+
+
+class TestValidationReport:
+    def test_rows_cover_validation_set(self, fitted, small_db, small_hierarchy):
+        from repro.analysis import validation_report
+
+        rows = validation_report(fitted, small_db, small_hierarchy)
+        assert sum(row["uses"] for row in rows) == len(small_db)
+        for row in rows:
+            assert 0 <= row["validation_hit_rate"] <= 1
+            assert row["hits"] <= row["uses"]
+            assert row["credited_profit"] <= row["recorded_profit"] + 1e-9
+
+    def test_sorted_by_uses(self, fitted, small_db, small_hierarchy):
+        from repro.analysis import validation_report
+
+        rows = validation_report(fitted, small_db, small_hierarchy)
+        uses = [row["uses"] for row in rows]
+        assert uses == sorted(uses, reverse=True)
+
+    def test_unfitted_raises(self, small_hierarchy, small_db):
+        from repro.analysis import validation_report
+        from repro.core.miner import ProfitMiner
+        from repro.errors import RecommenderError
+
+        with pytest.raises(RecommenderError):
+            validation_report(ProfitMiner(small_hierarchy), small_db, small_hierarchy)

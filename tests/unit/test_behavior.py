@@ -1,0 +1,87 @@
+"""Unit tests for the quantity-increase behavior models (Section 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.behavior import (
+    BehaviorClause,
+    QuantityBehavior,
+    behavior_paper_combined,
+    behavior_x2_y30,
+    behavior_x3_y40,
+    price_step_gap,
+)
+
+
+class TestBehaviorClause:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="multiplier"):
+            BehaviorClause(multiplier=0.5, probability=0.3)
+        with pytest.raises(ValidationError, match="probability"):
+            BehaviorClause(multiplier=2, probability=1.5)
+        with pytest.raises(ValidationError, match="gaps"):
+            BehaviorClause(multiplier=2, probability=0.3, gaps=(0,))
+
+    def test_applies_to(self):
+        any_gap = BehaviorClause(multiplier=2, probability=0.3)
+        assert any_gap.applies_to(1) and any_gap.applies_to(4)
+        assert not any_gap.applies_to(0)
+        narrow = BehaviorClause(multiplier=2, probability=0.3, gaps=(1, 2))
+        assert narrow.applies_to(2) and not narrow.applies_to(3)
+
+
+class TestQuantityBehavior:
+    def test_expected_multiplier(self):
+        b = behavior_x2_y30()
+        assert b.expected_multiplier(1) == pytest.approx(1.3)
+        assert b.expected_multiplier(0) == 1.0
+        b3 = behavior_x3_y40()
+        assert b3.expected_multiplier(2) == pytest.approx(1.8)
+
+    def test_combined_profile(self):
+        b = behavior_paper_combined()
+        assert b.expected_multiplier(1) == pytest.approx(1.3)
+        assert b.expected_multiplier(2) == pytest.approx(1.3)
+        assert b.expected_multiplier(3) == pytest.approx(1.8)
+        assert b.expected_multiplier(4) == pytest.approx(1.8)
+        assert b.expected_multiplier(5) == 1.0  # no clause covers gap 5
+
+    def test_multiplier_sampling_matches_probability(self):
+        b = behavior_x2_y30()
+        rng = np.random.default_rng(0)
+        draws = [b.multiplier(1, rng) for _ in range(4000)]
+        doubled = sum(1 for d in draws if d == 2.0)
+        assert set(draws) <= {1.0, 2.0}
+        assert 0.25 < doubled / 4000 < 0.35
+
+    def test_no_gap_no_multiplier(self):
+        b = behavior_x3_y40()
+        rng = np.random.default_rng(0)
+        assert all(b.multiplier(0, rng) == 1.0 for _ in range(100))
+
+    def test_first_matching_clause_wins(self):
+        b = QuantityBehavior(
+            label="layered",
+            clauses=(
+                BehaviorClause(multiplier=2, probability=1.0, gaps=(1,)),
+                BehaviorClause(multiplier=3, probability=1.0),
+            ),
+        )
+        rng = np.random.default_rng(0)
+        assert b.multiplier(1, rng) == 2.0
+        assert b.multiplier(2, rng) == 3.0
+
+
+class TestPriceStepGap:
+    def test_gap_on_ladder(self, small_catalog):
+        assert price_step_gap(small_catalog, "Sunchip", "H", "L") == 2
+        assert price_step_gap(small_catalog, "Sunchip", "M", "L") == 1
+        assert price_step_gap(small_catalog, "Sunchip", "L", "H") == -2
+        assert price_step_gap(small_catalog, "Sunchip", "M", "M") == 0
+
+    def test_unknown_code_raises(self, small_catalog):
+        with pytest.raises(ValidationError, match="ladder"):
+            price_step_gap(small_catalog, "Sunchip", "H", "nope")

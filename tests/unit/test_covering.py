@@ -1,0 +1,129 @@
+"""Unit tests for the covering tree (Section 4.1, Definition 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covering import build_covering_tree
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.profit import SavingMOA
+
+
+@pytest.fixture
+def mined(small_db, small_moa):
+    return mine_rules(
+        small_db,
+        small_moa,
+        SavingMOA(),
+        MinerConfig(min_support=0.05, max_body_size=2),
+    )
+
+
+@pytest.fixture
+def tree(mined):
+    return build_covering_tree(mined)
+
+
+class TestTreeStructure:
+    def test_root_is_default_rule(self, tree):
+        assert tree.root.scored.rule.is_default
+        assert tree.root.parent is None
+
+    def test_parent_is_strictly_more_general(self, tree):
+        moa = tree.index.moa
+        for node in tree.nodes():
+            if node.parent is None:
+                continue
+            assert moa.body_generalizes(
+                node.parent.scored.rule.body, node.scored.rule.body
+            )
+            assert node.parent.scored.rule.body != node.scored.rule.body
+
+    def test_parent_ranks_below_child(self, tree):
+        # After dominated-rule removal, every more-general surviving rule is
+        # ranked lower — "rules are increasingly more specific and ranked
+        # higher walking down the tree".
+        for node in tree.nodes():
+            if node.parent is not None:
+                assert node.parent.scored.rank_key() > node.scored.rank_key()
+
+    def test_parent_is_highest_ranked_generalizer(self, tree):
+        moa = tree.index.moa
+        nodes = tree.nodes()
+        for node in nodes:
+            if node.parent is None:
+                continue
+            generalizers = [
+                other
+                for other in nodes
+                if other is not node
+                and other.scored.rule.body != node.scored.rule.body
+                and moa.body_generalizes(
+                    other.scored.rule.body, node.scored.rule.body
+                )
+            ]
+            best = min(generalizers, key=lambda n: n.scored.rank_key())
+            assert node.parent is best
+
+    def test_children_backlinks_consistent(self, tree):
+        for node in tree.nodes():
+            for child in node.children:
+                assert child.parent is node
+
+    def test_no_dominated_rules_survive(self, tree):
+        moa = tree.index.moa
+        survivors = [node.scored for node in tree.nodes()]
+        for scored in survivors:
+            for other in survivors:
+                if other is scored:
+                    continue
+                if (
+                    other.rank_key() < scored.rank_key()
+                    and moa.body_generalizes(other.rule.body, scored.rule.body)
+                ):
+                    pytest.fail(
+                        f"{scored.rule.describe()} is dominated by "
+                        f"{other.rule.describe()} but survived"
+                    )
+
+
+class TestCoverage:
+    def test_coverage_partitions_transactions(self, tree, small_db):
+        union = 0
+        total = 0
+        for node in tree.nodes():
+            assert union & node.cover_mask == 0, "coverage overlaps"
+            union |= node.cover_mask
+            total += node.n_covered
+        assert union == (1 << len(small_db)) - 1
+        assert total == len(small_db)
+
+    def test_coverage_is_mpf_assignment(self, tree, small_db):
+        """Each transaction must be covered by its highest-ranked match."""
+        moa = tree.index.moa
+        nodes_by_rank = sorted(tree.nodes(), key=lambda n: n.scored.rank_key())
+        for pos, transaction in enumerate(small_db):
+            gsales = moa.generalizations_of_basket(transaction.nontarget_sales)
+            expected = next(
+                node
+                for node in nodes_by_rank
+                if node.scored.rule.body <= gsales
+            )
+            assert expected.cover_mask >> pos & 1, (
+                f"transaction {pos} not covered by its MPF rule "
+                f"{expected.scored.rule.describe()}"
+            )
+
+    def test_postorder_visits_children_first(self, tree):
+        seen = set()
+        for node in tree.postorder():
+            for child in node.children:
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_len_counts_nodes(self, tree):
+        assert len(tree) == len(tree.nodes())
+
+    def test_dominated_removed_counter(self, mined, tree):
+        total_rules = len(mined.all_rules)
+        assert tree.n_dominated_removed == total_rules - len(tree)

@@ -1,0 +1,87 @@
+"""Unit tests for k-fold cross-validation (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mpi import MPIRecommender
+from repro.errors import EvaluationError
+from repro.eval.cross_validation import CVResult, cross_validate, kfold_indices
+from repro.eval.metrics import EvalConfig
+
+
+class TestKFoldIndices:
+    def test_partition_properties(self):
+        splits = kfold_indices(53, k=5, seed=0)
+        assert len(splits) == 5
+        all_test = [i for _, test in splits for i in test]
+        assert sorted(all_test) == list(range(53))
+        for train, test in splits:
+            assert set(train) | set(test) == set(range(53))
+            assert not set(train) & set(test)
+
+    def test_balanced_sizes(self):
+        splits = kfold_indices(100, k=5, seed=0)
+        assert all(len(test) == 20 for _, test in splits)
+
+    def test_deterministic(self):
+        assert kfold_indices(40, seed=3) == kfold_indices(40, seed=3)
+        assert kfold_indices(40, seed=3) != kfold_indices(40, seed=4)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError, match="k"):
+            kfold_indices(10, k=1)
+        with pytest.raises(EvaluationError, match="at least"):
+            kfold_indices(3, k=5)
+
+
+class TestCrossValidate:
+    def test_five_runs_reported(self, small_db, small_hierarchy):
+        cv = cross_validate(MPIRecommender, small_db, small_hierarchy, k=5, seed=0)
+        assert cv.k == 5
+        assert cv.recommender_name == "MPI"
+        assert 0 <= cv.hit_rate <= 1
+        assert cv.gain == pytest.approx(
+            sum(r.gain for r in cv.fold_results) / 5
+        )
+
+    def test_shared_splits_reused(self, small_db, small_hierarchy):
+        splits = kfold_indices(len(small_db), k=5, seed=1)
+        a = cross_validate(
+            MPIRecommender, small_db, small_hierarchy, splits=splits
+        )
+        b = cross_validate(
+            MPIRecommender, small_db, small_hierarchy, splits=splits
+        )
+        assert [r.gain for r in a.fold_results] == [r.gain for r in b.fold_results]
+
+    def test_eval_config_passed_through(self, small_db, small_hierarchy):
+        moa = cross_validate(
+            MPIRecommender,
+            small_db,
+            small_hierarchy,
+            EvalConfig(moa_hit_test=True),
+            k=3,
+        )
+        exact = cross_validate(
+            MPIRecommender,
+            small_db,
+            small_hierarchy,
+            EvalConfig(moa_hit_test=False),
+            k=3,
+        )
+        assert moa.hit_rate >= exact.hit_rate
+
+    def test_model_size_none_for_model_free(self, small_db, small_hierarchy):
+        cv = cross_validate(MPIRecommender, small_db, small_hierarchy, k=3)
+        assert cv.model_size is None
+
+    def test_profit_range_aggregation(self, small_db, small_hierarchy):
+        cv = cross_validate(MPIRecommender, small_db, small_hierarchy, k=3)
+        rows = cv.hit_rate_by_profit_range()
+        assert [r[0] for r in rows] == ["Low", "Medium", "High"]
+        assert sum(r[2] for r in rows) == len(small_db)
+
+    def test_empty_folds_rejected(self):
+        with pytest.raises(EvaluationError):
+            CVResult(recommender_name="x", fold_results=[])

@@ -1,0 +1,85 @@
+"""Unit tests for the decision-tree "quick solution" baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.decision_tree import DecisionTreeRecommender
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.errors import RecommenderError, ValidationError
+from repro.eval import evaluate
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="max_depth"):
+            DecisionTreeRecommender(max_depth=0)
+        with pytest.raises(ValidationError, match="min_leaf"):
+            DecisionTreeRecommender(min_leaf=0)
+
+    def test_names(self):
+        assert DecisionTreeRecommender().name == "DT"
+        assert DecisionTreeRecommender(profit_rerank=True).name == "DT(profit)"
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RecommenderError):
+            DecisionTreeRecommender().recommend([])
+
+    def test_empty_db_rejected(self, small_catalog):
+        with pytest.raises(ValidationError, match="empty"):
+            DecisionTreeRecommender().fit(TransactionDB(small_catalog, []))
+
+
+class TestLearning:
+    def test_splits_on_the_informative_item(self, small_db):
+        tree = DecisionTreeRecommender(min_leaf=5).fit(small_db)
+        assert tree.depth >= 1
+        assert tree.n_leaves >= 2
+        # Perfume buyers bought M/H Sunchip; bread buyers bought L.
+        perfume_pick = tree.recommend([Sale("Perfume", "P1")])
+        bread_pick = tree.recommend([Sale("Bread", "P1")])
+        assert perfume_pick.promo_code in ("M", "H")
+        assert bread_pick.promo_code == "L"
+
+    def test_depth_limit_respected(self, small_db):
+        stump = DecisionTreeRecommender(max_depth=1, min_leaf=5).fit(small_db)
+        assert stump.depth <= 1
+
+    def test_min_leaf_blocks_tiny_splits(self, small_db):
+        # min_leaf larger than any useful partition: the tree stays a stump.
+        blunt = DecisionTreeRecommender(min_leaf=40).fit(small_db)
+        assert blunt.depth == 0
+        assert blunt.n_leaves == 1
+
+    def test_deterministic(self, small_db):
+        a = DecisionTreeRecommender(min_leaf=5).fit(small_db)
+        b = DecisionTreeRecommender(min_leaf=5).fit(small_db)
+        basket = [Sale("Perfume", "P1")]
+        assert a.recommend(basket) == b.recommend(basket)
+
+    def test_model_free_size(self, small_db):
+        assert DecisionTreeRecommender().fit(small_db).model_size is None
+
+
+class TestProfitAfterthought:
+    def test_rerank_prefers_profitable_class(self, small_catalog):
+        # Leaf with 3× cheap Sunchip and 1× Diamond: plain DT picks the
+        # majority, the afterthought picks 0.25 × $40 > 0.75 × $1.8.
+        rows = [
+            Transaction(0, (Sale("Perfume", "P1"),), Sale("Sunchip", "L")),
+            Transaction(1, (Sale("Perfume", "P1"),), Sale("Sunchip", "L")),
+            Transaction(2, (Sale("Perfume", "P1"),), Sale("Sunchip", "L")),
+            Transaction(3, (Sale("Perfume", "P1"),), Sale("Diamond", "D")),
+        ]
+        db = TransactionDB(small_catalog, rows)
+        plain = DecisionTreeRecommender(min_leaf=1).fit(db)
+        greedy = DecisionTreeRecommender(min_leaf=1, profit_rerank=True).fit(db)
+        basket = [Sale("Perfume", "P1")]
+        assert plain.recommend(basket).item_id == "Sunchip"
+        assert greedy.recommend(basket).item_id == "Diamond"
+
+    def test_evaluable_with_the_harness(self, small_db, small_hierarchy):
+        tree = DecisionTreeRecommender(min_leaf=5).fit(small_db)
+        result = evaluate(tree, small_db, small_hierarchy)
+        assert 0 < result.hit_rate <= 1
+        assert 0 < result.gain <= 1

@@ -1,0 +1,183 @@
+"""Edge cases and failure injection across the pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConceptHierarchy,
+    Item,
+    ItemCatalog,
+    MinerConfig,
+    MOAHierarchy,
+    ProfitMiner,
+    ProfitMinerConfig,
+    PromotionCode,
+    Sale,
+    SavingMOA,
+    Transaction,
+    TransactionDB,
+)
+from repro.core.mining import mine_rules
+from repro.eval import evaluate
+
+from tests.conftest import promo
+
+
+def single_target_world(price: float, cost: float):
+    catalog = ItemCatalog.from_items(
+        [
+            Item("A", (promo("P", 1.0, 0.5),)),
+            Item("T", (promo("P", price, cost),), is_target=True),
+        ]
+    )
+    return catalog, ConceptHierarchy.for_catalog(catalog)
+
+
+class TestDegenerateDatabases:
+    def test_single_transaction(self):
+        catalog, hierarchy = single_target_world(2.0, 1.0)
+        db = TransactionDB(
+            catalog, [Transaction(0, (Sale("A", "P"),), Sale("T", "P"))]
+        )
+        miner = ProfitMiner(
+            hierarchy,
+            config=ProfitMinerConfig(mining=MinerConfig(min_support=0.5)),
+        ).fit(db)
+        rec = miner.recommend([Sale("A", "P")])
+        assert (rec.item_id, rec.promo_code) == ("T", "P")
+
+    def test_identical_transactions(self):
+        catalog, hierarchy = single_target_world(2.0, 1.0)
+        db = TransactionDB(
+            catalog,
+            [
+                Transaction(i, (Sale("A", "P"),), Sale("T", "P"))
+                for i in range(20)
+            ],
+        )
+        miner = ProfitMiner(
+            hierarchy,
+            config=ProfitMinerConfig(mining=MinerConfig(min_support=0.1)),
+        ).fit(db)
+        result = evaluate(miner, db, hierarchy)
+        assert result.gain == pytest.approx(1.0)
+        assert result.hit_rate == 1.0
+
+    def test_loss_leader_target(self):
+        """A target sold below cost: mining must survive negative profit."""
+        catalog, hierarchy = single_target_world(1.0, 1.5)
+        db = TransactionDB(
+            catalog,
+            [
+                Transaction(i, (Sale("A", "P"),), Sale("T", "P"))
+                for i in range(10)
+            ],
+        )
+        miner = ProfitMiner(
+            hierarchy,
+            config=ProfitMinerConfig(mining=MinerConfig(min_support=0.2)),
+        ).fit(db)
+        # The only target is loss-making; the recommender still recommends
+        # it (there is nothing else), and gain is negative/negative = 1.
+        result = evaluate(miner, db, hierarchy)
+        assert result.hit_rate == 1.0
+
+    def test_quantities_scale_rule_profit(self):
+        catalog, hierarchy = single_target_world(2.0, 1.0)
+        small_q = TransactionDB(
+            catalog,
+            [
+                Transaction(i, (Sale("A", "P"),), Sale("T", "P", quantity=1))
+                for i in range(10)
+            ],
+        )
+        big_q = TransactionDB(
+            catalog,
+            [
+                Transaction(i, (Sale("A", "P"),), Sale("T", "P", quantity=7))
+                for i in range(10)
+            ],
+        )
+        moa = MOAHierarchy(catalog, hierarchy)
+        config = MinerConfig(min_support=0.2, max_body_size=1)
+        small_res = mine_rules(small_q, moa, SavingMOA(), config)
+        big_res = mine_rules(big_q, moa, SavingMOA(), config)
+        assert big_res.default_rule.stats.rule_profit == pytest.approx(
+            7 * small_res.default_rule.stats.rule_profit
+        )
+
+
+class TestDeepHierarchies:
+    def test_five_level_chain(self):
+        parents = {"L1": ("ANY",)}
+        for depth in range(2, 6):
+            parents[f"L{depth}"] = (f"L{depth - 1}",)
+        parents["leaf"] = ("L5",)
+        parents["T"] = ("ANY",)
+        hierarchy = ConceptHierarchy(parents=parents, items={"leaf", "T"})
+        catalog = ItemCatalog.from_items(
+            [
+                Item("leaf", (promo("P", 1.0, 0.5),)),
+                Item("T", (promo("P", 2.0, 1.0),), is_target=True),
+            ]
+        )
+        hierarchy.validate_against_catalog(catalog)
+        moa = MOAHierarchy(catalog, hierarchy)
+        gsales = moa.generalizations_of_sale(Sale("leaf", "P"))
+        assert len([g for g in gsales if g.kind.value == "concept"]) == 5
+
+    def test_mining_uses_every_level(self):
+        parents = {
+            "Food": ("ANY",),
+            "Meat": ("Food",),
+            "chicken": ("Meat",),
+            "beef": ("Meat",),
+            "T": ("ANY",),
+        }
+        hierarchy = ConceptHierarchy(parents=parents, items={"chicken", "beef", "T"})
+        catalog = ItemCatalog.from_items(
+            [
+                Item("chicken", (promo("P", 1.0, 0.5),)),
+                Item("beef", (promo("P", 1.0, 0.5),)),
+                Item("T", (promo("P", 2.0, 1.0),), is_target=True),
+            ]
+        )
+        transactions = [
+            Transaction(i, (Sale("chicken" if i % 2 else "beef", "P"),), Sale("T", "P"))
+            for i in range(20)
+        ]
+        db = TransactionDB(catalog, transactions)
+        moa = MOAHierarchy(catalog, hierarchy)
+        result = mine_rules(
+            db, moa, SavingMOA(), MinerConfig(min_support=0.6, max_body_size=1)
+        )
+        bodies = {
+            next(iter(s.rule.body)).describe()
+            for s in result.scored_rules
+            if s.rule.body
+        }
+        # item-level bodies are below 60% support; concept bodies are not
+        assert "[Meat]" in bodies and "[Food]" in bodies
+        assert "chicken" not in bodies
+
+
+class TestManyPromotionCodes:
+    def test_wide_ladder_with_packings(self):
+        codes = tuple(
+            PromotionCode(code=f"c{i}", price=1.0 + 0.1 * i, cost=0.5, packing=1 + i % 3)
+            for i in range(10)
+        )
+        catalog = ItemCatalog.from_items(
+            [
+                Item("A", codes),
+                Item("T", codes, is_target=True),
+            ]
+        )
+        hierarchy = ConceptHierarchy.for_catalog(catalog)
+        moa = MOAHierarchy(catalog, hierarchy)
+        for code in codes:
+            lifted = moa.generalizations_of_sale(Sale("A", code.code))
+            assert any(g.kind.value == "promo" for g in lifted)
+            heads = moa.target_heads_of_sale(Sale("T", code.code))
+            assert heads  # at least the exact code

@@ -1,0 +1,42 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ValidationError,
+            errors.CatalogError,
+            errors.HierarchyError,
+            errors.MiningError,
+            errors.RecommenderError,
+            errors.DataGenerationError,
+            errors.SerializationError,
+            errors.EvaluationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.ProfitMiningError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ProfitMiningError):
+            raise errors.MiningError("boom")
+
+    def test_value_errors_remain_value_errors(self):
+        assert issubclass(errors.ValidationError, ValueError)
+        assert issubclass(errors.HierarchyError, ValueError)
+
+    def test_catalog_error_message_unquoted(self):
+        # KeyError normally repr-quotes its message; CatalogError must not.
+        err = errors.CatalogError("unknown item id 'X'")
+        assert str(err) == "unknown item id 'X'"
+
+    def test_all_exported(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name)

@@ -1,0 +1,106 @@
+"""Unit tests for the figure-reproduction experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentScale,
+    behavior_gain,
+    gain_and_size_sweep,
+    get_dataset,
+    knn_postprocessing_delta,
+    profit_distribution,
+    profit_range_hit_rates,
+    scale_from_env,
+)
+from repro.errors import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def tiny() -> ExperimentScale:
+    return ExperimentScale.tiny()
+
+
+class TestScale:
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env().label == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "PAPER")
+        assert scale_from_env().label == "paper"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env().label == "small"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(EvaluationError, match="REPRO_SCALE"):
+            scale_from_env()
+
+    def test_all_scales_constructible(self):
+        for factory in (
+            ExperimentScale.tiny,
+            ExperimentScale.small,
+            ExperimentScale.medium,
+            ExperimentScale.paper,
+        ):
+            scale = factory()
+            assert scale.n_transactions >= 100
+            assert scale.min_supports
+
+
+class TestDatasets:
+    def test_cached_per_scale(self, tiny):
+        assert get_dataset("I", tiny) is get_dataset("I", tiny)
+        assert get_dataset("I", tiny) is not get_dataset("II", tiny)
+
+    def test_unknown_dataset_rejected(self, tiny):
+        with pytest.raises(EvaluationError, match="'I' or 'II'"):
+            get_dataset("III", tiny)
+
+
+class TestExperiments:
+    def test_sweep_covers_all_panels(self, tiny):
+        sweep = gain_and_size_sweep("I", tiny)
+        assert sweep is gain_and_size_sweep("I", tiny)  # cached
+        assert set(sweep.series("gain"))
+        assert set(sweep.series("hit_rate"))
+        assert set(sweep.series("model_size"))
+
+    def test_profit_distribution_matches_ladder(self, tiny):
+        hist = profit_distribution("I", tiny)
+        assert sum(hist.values()) == tiny.n_transactions
+        assert all(p > 0 for p in hist)
+
+    def test_profit_range_rows(self, tiny):
+        rows = profit_range_hit_rates("I", tiny)
+        for system, ranges in rows.items():
+            assert [r[0] for r in ranges] == ["Low", "Medium", "High"]
+            assert all(0 <= r[1] <= 1 for r in ranges)
+
+    def test_behavior_gain_exceeds_plain(self, tiny):
+        gains = behavior_gain("I", tiny)
+        assert "(x=2,y=30%)" in gains and "(x=3,y=40%)" in gains
+        for label, per_system in gains.items():
+            assert per_system, label
+        x2 = gains["(x=2,y=30%)"]["PROF+MOA"]
+        x3 = gains["(x=3,y=40%)"]["PROF+MOA"]
+        assert x3 >= x2  # the stronger behavior lifts gain at least as much
+
+    def test_knn_postprocessing_delta(self, tiny):
+        gains = knn_postprocessing_delta("I", tiny)
+        assert set(gains) == {"kNN", "kNN(profit)"}
+        # the paper finds post-processing changes gain by only a few percent
+        assert abs(gains["kNN"] - gains["kNN(profit)"]) < 0.5
+
+
+class TestLearningCurve:
+    def test_shape_and_validation(self, tiny):
+        from repro.eval.experiments import learning_curve
+        from repro.errors import EvaluationError
+        import pytest
+
+        curve = learning_curve(
+            "I", tiny, fractions=(0.5, 1.0), systems=("MPI",)
+        )
+        assert set(curve) == {0.5, 1.0}
+        assert all("MPI" in row for row in curve.values())
+        with pytest.raises(EvaluationError, match="fractions"):
+            learning_curve("I", tiny, fractions=(0.0,), systems=("MPI",))

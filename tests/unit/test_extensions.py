@@ -1,0 +1,101 @@
+"""Unit tests for the paper's extension features.
+
+Covers the "more greedy estimation" profit model (Section 3.1's closing
+remark) and multi-pair top-k evaluation (Section 2's multi-rule variant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.profit import SavingMOA
+from repro.core.sales import Sale
+from repro.errors import EvaluationError
+from repro.eval.behavior import BehaviorAdjustedProfit, behavior_x2_y30
+from repro.eval.metrics import EvalConfig, evaluate, evaluate_top_k
+
+
+class TestBehaviorAdjustedProfit:
+    def test_scales_by_expected_multiplier(self, small_catalog):
+        base = SavingMOA()
+        greedy = BehaviorAdjustedProfit(base, behavior_x2_y30())
+        head = GSale.promo_form("Sunchip", "L")
+        sale = Sale("Sunchip", "H")  # gap 2 → expected multiplier 1.3
+        assert greedy.credited_profit(head, sale, small_catalog) == (
+            pytest.approx(base.credited_profit(head, sale, small_catalog) * 1.3)
+        )
+
+    def test_exact_match_unchanged(self, small_catalog):
+        base = SavingMOA()
+        greedy = BehaviorAdjustedProfit(base, behavior_x2_y30())
+        head = GSale.promo_form("Sunchip", "M")
+        sale = Sale("Sunchip", "M")  # gap 0 → no lift
+        assert greedy.credited_profit(head, sale, small_catalog) == (
+            pytest.approx(base.credited_profit(head, sale, small_catalog))
+        )
+
+    def test_name_composes(self):
+        greedy = BehaviorAdjustedProfit(SavingMOA(), behavior_x2_y30())
+        assert greedy.name == "saving×(x=2,y=30%)"
+
+    def test_usable_for_model_building(self, small_hierarchy, small_db):
+        miner = ProfitMiner(
+            small_hierarchy,
+            profit_model=BehaviorAdjustedProfit(SavingMOA(), behavior_x2_y30()),
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2)
+            ),
+        ).fit(small_db)
+        assert miner.recommend([Sale("Perfume", "P1")]).item_id == "Sunchip"
+
+
+class TestTopKEvaluation:
+    @pytest.fixture
+    def fitted(self, small_hierarchy, small_db):
+        return ProfitMiner(
+            small_hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2)
+            ),
+        ).fit(small_db)
+
+    def test_top1_matches_single_recommendation_hits(
+        self, fitted, small_db, small_hierarchy
+    ):
+        single = evaluate(fitted, small_db, small_hierarchy)
+        top1 = evaluate_top_k(
+            fitted.require_fitted_recommender(), small_db, small_hierarchy, k=1
+        )
+        assert top1.hit_rate == pytest.approx(single.hit_rate)
+
+    def test_hit_rate_monotone_in_k(self, fitted, small_db, small_hierarchy):
+        recommender = fitted.require_fitted_recommender()
+        rates = [
+            evaluate_top_k(recommender, small_db, small_hierarchy, k=k).hit_rate
+            for k in (1, 2, 4)
+        ]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_gain_monotone_in_k(self, fitted, small_db, small_hierarchy):
+        recommender = fitted.require_fitted_recommender()
+        gains = [
+            evaluate_top_k(recommender, small_db, small_hierarchy, k=k).gain
+            for k in (1, 3)
+        ]
+        assert gains[0] <= gains[1] + 1e-9
+
+    def test_result_name_carries_k(self, fitted, small_db, small_hierarchy):
+        result = evaluate_top_k(
+            fitted.require_fitted_recommender(), small_db, small_hierarchy, k=2
+        )
+        assert "top-2" in result.recommender_name
+
+    def test_validation(self, fitted, small_db, small_hierarchy):
+        recommender = fitted.require_fitted_recommender()
+        with pytest.raises(EvaluationError, match="k"):
+            evaluate_top_k(recommender, small_db, small_hierarchy, k=0)
+        with pytest.raises(EvaluationError, match="MPFRecommender"):
+            evaluate_top_k(fitted, small_db, small_hierarchy, k=1)  # type: ignore[arg-type]

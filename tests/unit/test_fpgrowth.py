@@ -1,0 +1,74 @@
+"""Unit tests for the FP-growth mining backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.fpgrowth import frequent_bodies_fpgrowth
+from repro.core.profit import SavingMOA
+from repro.errors import MiningError, ValidationError
+
+
+@pytest.fixture
+def index(small_db, small_moa):
+    return TransactionIndex(db=small_db, moa=small_moa, profit_model=SavingMOA())
+
+
+class TestConfig:
+    def test_algorithm_validated(self):
+        with pytest.raises(ValidationError, match="algorithm"):
+            MinerConfig(algorithm="eclat")
+        MinerConfig(algorithm="fpgrowth")
+
+
+class TestFrequentBodies:
+    def test_bodies_in_generation_order(self, index):
+        bodies = frequent_bodies_fpgrowth(
+            index, 3, MinerConfig(min_support=0.05, max_body_size=2)
+        )
+        keys = list(bodies)
+        assert keys == sorted(keys, key=lambda t: (len(t), t))
+
+    def test_masks_exact(self, index):
+        bodies = frequent_bodies_fpgrowth(
+            index, 3, MinerConfig(min_support=0.05, max_body_size=2)
+        )
+        for body_ids, mask in bodies.items():
+            assert mask == index.body_mask(body_ids)
+            assert mask.bit_count() >= 3
+
+    def test_bodies_ancestor_free(self, index, small_moa):
+        bodies = frequent_bodies_fpgrowth(
+            index, 3, MinerConfig(min_support=0.05, max_body_size=3)
+        )
+        for body_ids in bodies:
+            gsales = [index.gsales[g] for g in body_ids]
+            assert small_moa.is_ancestor_free(gsales)
+
+    def test_max_body_size_respected(self, index):
+        bodies = frequent_bodies_fpgrowth(
+            index, 3, MinerConfig(min_support=0.05, max_body_size=1)
+        )
+        assert all(len(body) == 1 for body in bodies)
+
+    def test_explosion_guard(self, index):
+        config = MinerConfig(
+            min_support=0.02, max_body_size=3, max_candidates_per_level=2
+        )
+        with pytest.raises(MiningError, match="explosion"):
+            frequent_bodies_fpgrowth(index, 1, config)
+
+
+class TestEndToEnd:
+    def test_miner_routes_to_fpgrowth(self, small_db, small_moa):
+        result = mine_rules(
+            small_db,
+            small_moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, max_body_size=2, algorithm="fpgrowth"),
+        )
+        assert result.scored_rules
+        assert result.frequent_body_count == len(result.body_tid_masks) or (
+            result.frequent_body_count >= len({s.rule.body for s in result.scored_rules})
+        )

@@ -1,0 +1,61 @@
+"""Unit tests for the GSale value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GKind, GSale
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_three_forms(self):
+        assert GSale.concept("Food").kind is GKind.CONCEPT
+        assert GSale.item("Egg").kind is GKind.ITEM
+        promo = GSale.promo_form("Egg", "P1")
+        assert promo.kind is GKind.PROMO
+        assert promo.promo == "P1"
+
+    def test_promo_form_requires_code(self):
+        with pytest.raises(ValidationError, match="needs a"):
+            GSale(GKind.PROMO, "Egg")
+
+    def test_non_promo_forms_reject_code(self):
+        with pytest.raises(ValidationError, match="must not carry"):
+            GSale(GKind.ITEM, "Egg", "P1")
+        with pytest.raises(ValidationError, match="must not carry"):
+            GSale(GKind.CONCEPT, "Food", "P1")
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            GSale.item("")
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = GSale.promo_form("Egg", "P1")
+        b = GSale.promo_form("Egg", "P1")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != GSale.promo_form("Egg", "P2")
+        assert GSale.item("Egg") != GSale.concept("Egg")
+
+    def test_sets_of_gsales(self):
+        body = frozenset({GSale.item("Egg"), GSale.concept("Food")})
+        assert GSale.item("Egg") in body
+
+    def test_ordering_is_total_and_stable(self):
+        gsales = [
+            GSale.promo_form("B", "P2"),
+            GSale.item("B"),
+            GSale.concept("A"),
+            GSale.promo_form("B", "P1"),
+        ]
+        ordered = sorted(gsales)
+        assert ordered == sorted(reversed(gsales))
+        assert ordered[0] == GSale.concept("A")
+
+    def test_describe_forms(self):
+        assert GSale.concept("Food").describe() == "[Food]"
+        assert GSale.item("Egg").describe() == "Egg"
+        assert GSale.promo_form("Egg", "P1").describe() == "<Egg @ P1>"

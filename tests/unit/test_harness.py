@@ -1,0 +1,120 @@
+"""Unit tests for the experiment harness (paper systems + sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.knn import KNNRecommender
+from repro.baselines.mpi import MPIRecommender
+from repro.core.miner import ProfitMiner
+from repro.errors import EvaluationError
+from repro.eval.harness import (
+    PAPER_SYSTEMS,
+    eval_config_for_system,
+    paper_recommenders,
+    run_single_support,
+    run_support_sweep,
+)
+from repro.eval.metrics import EvalConfig
+
+
+class TestPaperRecommenders:
+    def test_all_six_systems(self, small_hierarchy):
+        factories = paper_recommenders(small_hierarchy, min_support=0.05)
+        assert tuple(factories) == PAPER_SYSTEMS
+        built = {name: factory() for name, factory in factories.items()}
+        assert isinstance(built["PROF+MOA"], ProfitMiner)
+        assert built["PROF+MOA"].config.use_moa
+        assert not built["PROF-MOA"].config.use_moa
+        assert built["CONF+MOA"].profit_model.name == "binary"
+        assert isinstance(built["kNN"], KNNRecommender)
+        assert isinstance(built["MPI"], MPIRecommender)
+
+    def test_names_match_labels(self, small_hierarchy):
+        for name, factory in paper_recommenders(
+            small_hierarchy, min_support=0.05
+        ).items():
+            assert factory().name == name
+
+    def test_factories_build_fresh_instances(self, small_hierarchy):
+        factory = paper_recommenders(small_hierarchy, min_support=0.05)["PROF+MOA"]
+        assert factory() is not factory()
+
+    def test_unknown_system_rejected(self, small_hierarchy):
+        with pytest.raises(EvaluationError, match="unknown systems"):
+            paper_recommenders(small_hierarchy, 0.05, systems=("Bogus",))
+
+    def test_knn_profit_variant_available(self, small_hierarchy):
+        factories = paper_recommenders(
+            small_hierarchy, 0.05, systems=("kNN(profit)",)
+        )
+        assert factories["kNN(profit)"]().profit_post_processing
+
+
+class TestEvalConfigForSystem:
+    def test_moa_systems_judged_with_moa(self):
+        for system in ("PROF+MOA", "CONF+MOA", "kNN", "kNN(profit)", "MPI"):
+            assert eval_config_for_system(None, system).moa_hit_test
+
+    def test_no_moa_systems_judged_exactly(self):
+        for system in ("PROF-MOA", "CONF-MOA"):
+            assert not eval_config_for_system(None, system).moa_hit_test
+
+    def test_base_config_fields_preserved(self):
+        base = EvalConfig(seed=99)
+        assert eval_config_for_system(base, "PROF-MOA").seed == 99
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, tiny_dataset_i):
+        return run_support_sweep(
+            tiny_dataset_i,
+            min_supports=(0.02, 0.05),
+            systems=("PROF+MOA", "kNN", "MPI"),
+            k_folds=3,
+            max_body_size=1,
+        )
+
+    def test_rectangular_results(self, sweep):
+        assert len(sweep.points) == 3 * 2
+        systems = {p.system for p in sweep.points}
+        assert systems == {"PROF+MOA", "kNN", "MPI"}
+
+    def test_series_extraction(self, sweep):
+        gains = sweep.series("gain")
+        assert set(gains) == {"PROF+MOA", "kNN", "MPI"}
+        assert [x for x, _ in gains["PROF+MOA"]] == [0.02, 0.05]
+        sizes = sweep.series("model_size")
+        assert all(v is None for _, v in sizes["MPI"])
+        assert all(v >= 1 for _, v in sizes["PROF+MOA"])
+
+    def test_unknown_metric_rejected(self, sweep):
+        with pytest.raises(EvaluationError, match="metric"):
+            sweep.series("bogus")
+
+    def test_best_system(self, sweep):
+        assert sweep.best_system(0.02) in {"PROF+MOA", "kNN", "MPI"}
+        with pytest.raises(EvaluationError):
+            sweep.best_system(0.5)
+
+    def test_baselines_constant_across_supports(self, sweep):
+        knn = dict(sweep.series("gain")["kNN"])
+        assert knn[0.02] == knn[0.05]
+
+    def test_empty_supports_rejected(self, tiny_dataset_i):
+        with pytest.raises(EvaluationError, match="non-empty"):
+            run_support_sweep(tiny_dataset_i, min_supports=())
+
+
+class TestSingleSupport:
+    def test_returns_cv_per_system(self, tiny_dataset_i):
+        results = run_single_support(
+            tiny_dataset_i,
+            0.05,
+            systems=("MPI", "kNN"),
+            k_folds=3,
+        )
+        assert set(results) == {"MPI", "kNN"}
+        for cv in results.values():
+            assert cv.k == 3

@@ -1,0 +1,146 @@
+"""Unit tests for the concept hierarchy (rooted DAG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import ROOT_CONCEPT, ConceptHierarchy
+from repro.errors import HierarchyError
+
+
+@pytest.fixture
+def food_hierarchy() -> ConceptHierarchy:
+    """The paper's Flake_Chicken ∈ Chicken ⊂ Meat ⊂ Food ⊂ ANY chain."""
+    return ConceptHierarchy(
+        parents={
+            "Food": (ROOT_CONCEPT,),
+            "Meat": ("Food",),
+            "Chicken": ("Meat",),
+            "Flake_Chicken": ("Chicken",),
+            "Sunchip": (ROOT_CONCEPT,),
+        },
+        items={"Flake_Chicken", "Sunchip"},
+    )
+
+
+class TestConstruction:
+    def test_flat_hierarchy(self):
+        h = ConceptHierarchy.flat(["a", "b"])
+        assert h.parents_of("a") == (ROOT_CONCEPT,)
+        assert h.concepts == set()
+
+    def test_from_groups_attaches_orphans_to_root(self):
+        h = ConceptHierarchy.from_groups({"G": ["a"]}, items=["a", "b"])
+        assert h.parents_of("b") == (ROOT_CONCEPT,)
+        assert h.parents_of("a") == ("G",)
+        assert h.parents_of("G") == (ROOT_CONCEPT,)
+
+    def test_root_cannot_have_parents(self):
+        with pytest.raises(HierarchyError, match="root"):
+            ConceptHierarchy(parents={ROOT_CONCEPT: ("X",)}, items=set())
+
+    def test_cycle_detected(self):
+        with pytest.raises(HierarchyError, match="cycle"):
+            ConceptHierarchy(
+                parents={"A": ("B",), "B": ("A",)},
+                items=set(),
+            )
+
+    def test_item_cannot_be_parent(self):
+        with pytest.raises(HierarchyError, match="cannot be a parent"):
+            ConceptHierarchy(
+                parents={"a": (ROOT_CONCEPT,), "b": ("a",)},
+                items={"a", "b"},
+            )
+
+    def test_dangling_parent_rejected(self):
+        with pytest.raises(HierarchyError, match="unknown parent"):
+            ConceptHierarchy(parents={"a": ("Ghost",)}, items={"a"})
+
+    def test_detached_item_rejected(self):
+        with pytest.raises(HierarchyError, match="not attached"):
+            ConceptHierarchy(parents={}, items={"a"})
+
+    def test_empty_parent_tuple_rejected(self):
+        with pytest.raises(HierarchyError, match="empty"):
+            ConceptHierarchy(parents={"a": ()}, items={"a"})
+
+
+class TestQueries:
+    def test_ancestors_exclude_root_by_default(self, food_hierarchy):
+        assert food_hierarchy.ancestors_of("Flake_Chicken") == {
+            "Chicken",
+            "Meat",
+            "Food",
+        }
+
+    def test_ancestors_with_root(self, food_hierarchy):
+        assert ROOT_CONCEPT in food_hierarchy.ancestors_of(
+            "Flake_Chicken", include_root=True
+        )
+
+    def test_target_style_item_has_no_concept_ancestors(self, food_hierarchy):
+        assert food_hierarchy.ancestors_of("Sunchip") == set()
+
+    def test_is_ancestor(self, food_hierarchy):
+        assert food_hierarchy.is_ancestor("Meat", "Flake_Chicken")
+        assert not food_hierarchy.is_ancestor("Flake_Chicken", "Meat")
+        assert food_hierarchy.is_ancestor(ROOT_CONCEPT, "Meat")
+        assert not food_hierarchy.is_ancestor(ROOT_CONCEPT, ROOT_CONCEPT)
+
+    def test_depth(self, food_hierarchy):
+        assert food_hierarchy.depth_of(ROOT_CONCEPT) == 0
+        assert food_hierarchy.depth_of("Food") == 1
+        assert food_hierarchy.depth_of("Flake_Chicken") == 4
+
+    def test_children_of(self, food_hierarchy):
+        assert food_hierarchy.children_of("Meat") == ["Chicken"]
+
+    def test_unknown_node_raises(self, food_hierarchy):
+        with pytest.raises(HierarchyError, match="unknown"):
+            food_hierarchy.parents_of("Ghost")
+
+    def test_multiple_inheritance_dag(self):
+        h = ConceptHierarchy(
+            parents={
+                "Snack": (ROOT_CONCEPT,),
+                "Healthy": (ROOT_CONCEPT,),
+                "Granola": ("Snack", "Healthy"),
+            },
+            items={"Granola"},
+        )
+        assert h.ancestors_of("Granola") == {"Snack", "Healthy"}
+
+
+class TestCatalogValidation:
+    def test_targets_must_hang_off_root(self, small_catalog):
+        bad = ConceptHierarchy.for_catalog
+        with pytest.raises(HierarchyError, match="direct child"):
+            bad(small_catalog, {"Luxury": ["Diamond"]})
+
+    def test_missing_nontarget_rejected(self, small_catalog):
+        h = ConceptHierarchy.from_groups({}, items=["Perfume"])
+        with pytest.raises(HierarchyError, match="missing"):
+            h.validate_against_catalog(small_catalog)
+
+    def test_for_catalog_happy_path(self, small_catalog):
+        h = ConceptHierarchy.for_catalog(small_catalog, {"Grocery": ["Bread"]})
+        assert h.ancestors_of("Bread") == {"Grocery"}
+        assert h.parents_of("Sunchip") == (ROOT_CONCEPT,)
+
+
+class TestDotExport:
+    def test_dot_contains_all_nodes_and_edges(self, food_hierarchy):
+        from repro.core.hierarchy import to_dot
+
+        dot = to_dot(food_hierarchy)
+        assert dot.startswith("digraph H {")
+        assert '"Meat" -> "Chicken";' in dot
+        assert '"ANY" [shape=doublecircle];' in dot
+        assert '"Flake_Chicken" [shape=box];' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_deterministic(self, food_hierarchy):
+        from repro.core.hierarchy import to_dot
+
+        assert to_dot(food_hierarchy) == to_dot(food_hierarchy)

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic grouped hierarchy generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import ROOT_CONCEPT
+from repro.core.items import Item, ItemCatalog
+from repro.data.hierarchy_gen import grouped_hierarchy
+from repro.errors import DataGenerationError
+
+from tests.conftest import promo
+
+
+@pytest.fixture
+def catalog() -> ItemCatalog:
+    items = [Item(f"I{i:03d}", (promo("P1", 1.0, 0.5),)) for i in range(25)]
+    items.append(Item("T1", (promo("P1", 2.0, 1.0),), is_target=True))
+    return ItemCatalog.from_items(items)
+
+
+class TestGroupedHierarchy:
+    def test_group_sizes(self, catalog):
+        h = grouped_hierarchy(catalog, group_size=10, fanout=2, levels=2)
+        assert set(h.children_of("C1")) == {f"I{i:03d}" for i in range(10)}
+        assert len(h.children_of("C3")) == 5  # remainder group
+
+    def test_two_levels(self, catalog):
+        h = grouped_hierarchy(catalog, group_size=10, fanout=2, levels=2)
+        assert h.parents_of("C1") == ("D1",)
+        assert h.parents_of("C3") == ("D2",)
+        assert h.parents_of("D1") == (ROOT_CONCEPT,)
+
+    def test_single_level(self, catalog):
+        h = grouped_hierarchy(catalog, group_size=5, levels=1)
+        assert h.parents_of("C1") == (ROOT_CONCEPT,)
+        assert "D1" not in h.concepts
+
+    def test_targets_stay_under_root(self, catalog):
+        h = grouped_hierarchy(catalog, group_size=10)
+        assert h.parents_of("T1") == (ROOT_CONCEPT,)
+
+    def test_validates_against_catalog(self, catalog):
+        h = grouped_hierarchy(catalog)
+        h.validate_against_catalog(catalog)
+
+    def test_single_group_stops_stacking(self, catalog):
+        h = grouped_hierarchy(catalog, group_size=100, levels=3)
+        assert h.parents_of("C1") == (ROOT_CONCEPT,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"group_size": 0},
+            {"fanout": 0},
+            {"levels": 0},
+            {"levels": 99},
+        ],
+    )
+    def test_validation(self, catalog, kwargs):
+        with pytest.raises(DataGenerationError):
+            grouped_hierarchy(catalog, **kwargs)

@@ -1,0 +1,87 @@
+"""Unit tests for transaction serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.io import (
+    catalog_from_dict,
+    catalog_to_dict,
+    load_transactions,
+    save_transactions,
+    transaction_from_dict,
+    transaction_to_dict,
+)
+from repro.errors import SerializationError
+
+
+class TestCatalogRoundTrip:
+    def test_round_trip(self, small_catalog):
+        payload = catalog_to_dict(small_catalog)
+        restored = catalog_from_dict(json.loads(json.dumps(payload)))
+        assert {i.item_id for i in restored} == {i.item_id for i in small_catalog}
+        assert restored.get("Sunchip").is_target
+        assert restored.promotion("Sunchip", "M").price == 4.5
+        assert restored.promotion("Bread", "P1").packing == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            catalog_from_dict({"format": "other", "items": []})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            catalog_from_dict(
+                {"format": "repro-profit-mining-v1", "items": [{"nope": 1}]}
+            )
+
+
+class TestTransactionRoundTrip:
+    def test_round_trip(self, small_db):
+        t = small_db[0]
+        restored = transaction_from_dict(json.loads(json.dumps(transaction_to_dict(t))))
+        assert restored == t
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            transaction_from_dict({"tid": 0})
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, small_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_transactions(small_db, path)
+        restored = load_transactions(path)
+        assert len(restored) == len(small_db)
+        assert restored.transactions == small_db.transactions
+        assert restored.total_recorded_profit() == pytest.approx(
+            small_db.total_recorded_profit()
+        )
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SerializationError, match="empty"):
+            load_transactions(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SerializationError, match="catalog header"):
+            load_transactions(path)
+
+    def test_bad_line_reports_line_number(self, small_db, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_transactions(small_db, path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(SerializationError, match=str(len(small_db) + 2)):
+            load_transactions(path)
+
+    def test_blank_lines_tolerated(self, small_db, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_transactions(small_db, path)
+        content = path.read_text().replace("\n", "\n\n", 3)
+        path.write_text(content)
+        assert len(load_transactions(path)) == len(small_db)

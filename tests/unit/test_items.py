@@ -1,0 +1,99 @@
+"""Unit tests for items and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.items import Item, ItemCatalog
+from repro.errors import CatalogError, ValidationError
+
+from tests.conftest import promo
+
+
+class TestItem:
+    def test_target_item_requires_promotions(self):
+        with pytest.raises(ValidationError, match="promotion code"):
+            Item("T", (), is_target=True)
+
+    def test_nontarget_item_may_lack_promotions(self):
+        item = Item("descriptive")
+        assert item.promotions == ()
+
+    def test_duplicate_promo_code_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Item("X", (promo("P", 1, 0.5), promo("P", 2, 0.5)))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError, match="item_id"):
+            Item("")
+
+    def test_promotion_lookup(self):
+        item = Item("X", (promo("P1", 1, 0.5), promo("P2", 2, 0.5)))
+        assert item.promotion("P2").price == 2
+        assert item.has_promotion("P1")
+        assert not item.has_promotion("P3")
+
+    def test_unknown_promotion_raises(self):
+        item = Item("X", (promo("P1", 1, 0.5),))
+        with pytest.raises(CatalogError, match="no promotion code"):
+            item.promotion("nope")
+
+    def test_descriptive_convention(self):
+        item = Item.descriptive("Gender=Male")
+        assert item.promotions[0].price == 1.0
+        assert item.promotions[0].cost == 0.0
+        assert not item.is_target
+
+    def test_promotions_by_favorability(self, milk_codes):
+        item = Item("Milk", milk_codes)
+        ordered = item.promotions_by_favorability()
+        assert len(ordered) == 4
+        # $3.0/4-pack must precede $3.2/4-pack
+        codes = [c.code for c in ordered]
+        assert codes.index("4pack-lo") < codes.index("4pack-hi")
+
+
+class TestItemCatalog:
+    def test_duplicate_item_rejected(self):
+        catalog = ItemCatalog()
+        catalog.add(Item("X"))
+        with pytest.raises(CatalogError, match="duplicate"):
+            catalog.add(Item("X"))
+
+    def test_membership_len_iter(self, small_catalog):
+        assert "Perfume" in small_catalog
+        assert "Nope" not in small_catalog
+        assert len(small_catalog) == 4
+        assert {item.item_id for item in small_catalog} == {
+            "Perfume",
+            "Bread",
+            "Sunchip",
+            "Diamond",
+        }
+
+    def test_get_unknown_raises_with_readable_message(self, small_catalog):
+        with pytest.raises(CatalogError) as err:
+            small_catalog.get("Nope")
+        assert "Nope" in str(err.value)
+
+    def test_target_split(self, small_catalog):
+        assert small_catalog.target_ids() == ["Sunchip", "Diamond"]
+        assert small_catalog.nontarget_ids() == ["Perfume", "Bread"]
+
+    def test_promotion_resolution(self, small_catalog):
+        assert small_catalog.promotion("Sunchip", "M").price == 4.5
+
+    def test_validate_for_mining_needs_both_sides(self):
+        only_targets = ItemCatalog.from_items(
+            [Item("T", (promo("P", 1, 0),), is_target=True)]
+        )
+        with pytest.raises(ValidationError, match="non-target"):
+            only_targets.validate_for_mining()
+        only_nontargets = ItemCatalog.from_items([Item("X")])
+        with pytest.raises(ValidationError, match="no target"):
+            only_nontargets.validate_for_mining()
+
+    def test_items_view_is_a_copy(self, small_catalog):
+        view = small_catalog.items
+        view.pop("Perfume")
+        assert "Perfume" in small_catalog

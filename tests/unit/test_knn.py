@@ -1,0 +1,103 @@
+"""Unit tests for the kNN baseline (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.knn import KNNRecommender
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.errors import RecommenderError, ValidationError
+
+
+class TestConstruction:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValidationError, match="k"):
+            KNNRecommender(k=0)
+
+    def test_feature_space_validated(self):
+        with pytest.raises(ValidationError, match="features"):
+            KNNRecommender(features="bogus")
+
+    def test_names(self):
+        assert KNNRecommender().name == "kNN"
+        assert KNNRecommender(profit_post_processing=True).name == "kNN(profit)"
+        assert KNNRecommender(name="mine").name == "mine"
+
+    def test_unfitted_recommend_raises(self):
+        with pytest.raises(RecommenderError, match="fitted"):
+            KNNRecommender().recommend([Sale("Bread", "P1")])
+
+    def test_empty_db_rejected(self, small_catalog):
+        empty = TransactionDB(catalog=small_catalog, transactions=[])
+        with pytest.raises(ValidationError, match="empty"):
+            KNNRecommender().fit(empty)
+
+
+class TestVoting:
+    def test_identical_basket_votes_its_pair(self, small_db):
+        knn = KNNRecommender(k=5).fit(small_db)
+        pick = knn.recommend([Sale("Bread", "P1")])
+        assert (pick.item_id, pick.promo_code) == ("Sunchip", "L")
+
+    def test_perfume_basket_votes_expensive_prices(self, small_db):
+        knn = KNNRecommender(k=5).fit(small_db)
+        pick = knn.recommend([Sale("Perfume", "P1")])
+        assert pick.item_id == "Sunchip"
+        assert pick.promo_code in ("M", "H")
+
+    def test_unknown_items_fall_back_to_global_mode(self, small_db):
+        knn = KNNRecommender(k=5).fit(small_db)
+        pick = knn.recommend([Sale("Ghost", "P1")])
+        # (Sunchip, L) is the most common pair in small_db (29×)
+        assert (pick.item_id, pick.promo_code) == ("Sunchip", "L")
+
+    def test_model_free_baseline_has_no_size(self, small_db):
+        knn = KNNRecommender().fit(small_db)
+        assert knn.model_size is None
+
+    def test_item_features_ignore_prices(self, small_catalog):
+        # Two training transactions, same item at different bread prices.
+        db = TransactionDB(
+            small_catalog,
+            [
+                Transaction(0, (Sale("Bread", "P1"),), Sale("Sunchip", "M")),
+                Transaction(1, (Sale("Bread", "P1"),), Sale("Sunchip", "M")),
+                Transaction(2, (Sale("Perfume", "P1"),), Sale("Diamond", "D")),
+            ],
+        )
+        items_knn = KNNRecommender(k=1, features="items").fit(db)
+        pick = items_knn.recommend([Sale("Bread", "P2")])  # different price
+        assert pick.item_id == "Sunchip"
+
+    def test_sales_features_distinguish_prices(self, small_catalog):
+        db = TransactionDB(
+            small_catalog,
+            [
+                Transaction(0, (Sale("Bread", "P1"),), Sale("Sunchip", "L")),
+                Transaction(1, (Sale("Bread", "P2"),), Sale("Sunchip", "H")),
+            ],
+        )
+        sales_knn = KNNRecommender(k=1, features="sales").fit(db)
+        assert sales_knn.recommend([Sale("Bread", "P2")]).promo_code == "H"
+        assert sales_knn.recommend([Sale("Bread", "P1")]).promo_code == "L"
+
+
+class TestProfitPostProcessing:
+    def test_picks_most_profitable_neighbor_pair(self, small_catalog):
+        db = TransactionDB(
+            small_catalog,
+            [
+                Transaction(0, (Sale("Perfume", "P1"),), Sale("Sunchip", "L")),
+                Transaction(1, (Sale("Perfume", "P1"),), Sale("Sunchip", "L")),
+                Transaction(2, (Sale("Perfume", "P1"),), Sale("Diamond", "D")),
+            ],
+        )
+        plain = KNNRecommender(k=3).fit(db)
+        assert plain.recommend([Sale("Perfume", "P1")]).item_id == "Sunchip"
+        greedy = KNNRecommender(k=3, profit_post_processing=True).fit(db)
+        assert greedy.recommend([Sale("Perfume", "P1")]).item_id == "Diamond"
+
+    def test_deterministic_given_ties(self, small_db):
+        knn = KNNRecommender(k=5, profit_post_processing=True).fit(small_db)
+        basket = [Sale("Perfume", "P1")]
+        assert knn.recommend(basket) == knn.recommend(basket)

@@ -1,0 +1,149 @@
+"""Unit tests for evaluation metrics (gain, hit rate, profit ranges)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.sales import TransactionDB
+from repro.errors import EvaluationError
+from repro.eval.behavior import behavior_x2_y30
+from repro.eval.metrics import EvalConfig, EvalResult, TransactionOutcome, evaluate
+
+
+class ConstantRecommender(Recommender):
+    """Test double recommending one fixed pair."""
+
+    def __init__(self, item_id: str, promo_code: str) -> None:
+        super().__init__()
+        self.name = f"const({item_id},{promo_code})"
+        self._pair = (item_id, promo_code)
+        self._fitted = True
+
+    def fit(self, db: TransactionDB) -> "ConstantRecommender":
+        return self
+
+    def recommend(self, basket) -> Recommendation:
+        return Recommendation(*self._pair)
+
+
+class TestEvaluate:
+    def test_cheapest_head_hits_every_sunchip_sale(self, small_db, small_hierarchy):
+        rec = ConstantRecommender("Sunchip", "L")
+        result = evaluate(rec, small_db, small_hierarchy)
+        # 59 of 60 transactions bought Sunchip (1 bought Diamond)
+        assert result.hit_rate == pytest.approx(59 / 60)
+
+    def test_gain_saving_moa(self, small_db, small_hierarchy):
+        rec = ConstantRecommender("Sunchip", "L")
+        result = evaluate(rec, small_db, small_hierarchy)
+        # every hit credits the L profit of 1.8
+        expected_generated = 59 * 1.8
+        assert result.generated_profit == pytest.approx(expected_generated)
+        assert result.gain == pytest.approx(
+            expected_generated / small_db.total_recorded_profit()
+        )
+
+    def test_gain_capped_at_one_for_saving_moa(self, small_db, small_hierarchy):
+        for code in ("L", "M", "H"):
+            result = evaluate(
+                ConstantRecommender("Sunchip", code), small_db, small_hierarchy
+            )
+            assert result.gain <= 1.0 + 1e-9
+
+    def test_exact_hit_test_without_moa(self, small_db, small_hierarchy):
+        config = EvalConfig(moa_hit_test=False)
+        result = evaluate(
+            ConstantRecommender("Sunchip", "L"), small_db, small_hierarchy, config
+        )
+        assert result.hit_rate == pytest.approx(29 / 60)  # only exact L sales
+
+    def test_behavior_lifts_gain(self, small_db, small_hierarchy):
+        base = evaluate(
+            ConstantRecommender("Sunchip", "L"), small_db, small_hierarchy
+        )
+        lifted = evaluate(
+            ConstantRecommender("Sunchip", "L"),
+            small_db,
+            small_hierarchy,
+            EvalConfig(behavior=behavior_x2_y30(), seed=1),
+        )
+        assert lifted.generated_profit > base.generated_profit
+        multipliers = {o.quantity_multiplier for o in lifted.outcomes}
+        assert multipliers <= {1.0, 2.0}
+
+    def test_behavior_never_fires_on_exact_price(self, small_db, small_hierarchy):
+        result = evaluate(
+            ConstantRecommender("Sunchip", "H"),
+            small_db,
+            small_hierarchy,
+            EvalConfig(behavior=behavior_x2_y30(), seed=1),
+        )
+        # H is the top of the ladder: hits are exact, gap 0, no multiplier.
+        assert all(o.quantity_multiplier == 1.0 for o in result.outcomes)
+
+    def test_empty_validation_rejected(self, small_db, small_hierarchy):
+        empty = TransactionDB(catalog=small_db.catalog, transactions=[])
+        with pytest.raises(EvaluationError, match="empty"):
+            evaluate(ConstantRecommender("Sunchip", "L"), empty, small_hierarchy)
+
+    def test_works_with_fitted_miner(self, small_db, small_hierarchy):
+        miner = ProfitMiner(
+            small_hierarchy,
+            config=ProfitMinerConfig(mining=MinerConfig(min_support=0.05, max_body_size=2)),
+        ).fit(small_db)
+        result = evaluate(miner, small_db, small_hierarchy)
+        assert result.model_size == miner.model_size
+        assert 0 < result.gain <= 1.0
+
+
+class TestEvalResult:
+    def make(self, rows) -> EvalResult:
+        outcomes = [
+            TransactionOutcome(
+                tid=i,
+                recommendation=Recommendation("T", "P"),
+                hit=hit,
+                achieved_profit=achieved,
+                recorded_profit=recorded,
+            )
+            for i, (hit, achieved, recorded) in enumerate(rows)
+        ]
+        return EvalResult(recommender_name="x", outcomes=outcomes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            EvalResult(recommender_name="x", outcomes=[])
+
+    def test_zero_recorded_profit_rejected(self):
+        result = self.make([(True, 1.0, 0.0)])
+        with pytest.raises(EvaluationError, match="gain undefined"):
+            result.gain
+
+    def test_profit_ranges_bucket_by_recorded(self):
+        rows = [
+            (True, 1.0, 1.0),   # Low (max 9 → [0,3))
+            (True, 1.0, 2.0),   # Low
+            (False, 0.0, 5.0),  # Medium
+            (True, 9.0, 9.0),   # High
+        ]
+        ranges = self.make(rows).hit_rate_by_profit_range()
+        assert [r[0] for r in ranges] == ["Low", "Medium", "High"]
+        assert ranges[0][1] == pytest.approx(1.0)
+        assert ranges[1][1] == pytest.approx(0.0)
+        assert ranges[2][1] == pytest.approx(1.0)
+        assert [r[2] for r in ranges] == [2, 1, 1]
+
+    def test_empty_range_reports_zero(self):
+        ranges = self.make([(True, 1.0, 1.0), (True, 9.0, 9.0)]).hit_rate_by_profit_range()
+        assert ranges[1] == ("Medium", 0.0, 0)
+
+    def test_custom_range_count(self):
+        ranges = self.make([(True, 1.0, 1.0), (True, 2.0, 2.0)]).hit_rate_by_profit_range(2)
+        assert [r[0] for r in ranges] == ["range1", "range2"]
+
+    def test_bad_range_count(self):
+        with pytest.raises(EvaluationError):
+            self.make([(True, 1.0, 1.0)]).hit_rate_by_profit_range(0)

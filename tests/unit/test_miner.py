@@ -1,0 +1,117 @@
+"""Unit tests for the end-to-end ProfitMiner facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.profit import BinaryProfit, BuyingMOA, SavingMOA
+from repro.core.sales import Sale
+from repro.errors import RecommenderError
+
+
+def config(min_support=0.05, use_moa=True) -> ProfitMinerConfig:
+    return ProfitMinerConfig(
+        mining=MinerConfig(min_support=min_support, max_body_size=2),
+        use_moa=use_moa,
+    )
+
+
+class TestNaming:
+    def test_derived_names_match_paper_labels(self, small_hierarchy):
+        assert ProfitMiner(small_hierarchy).name == "PROF+MOA"
+        assert (
+            ProfitMiner(small_hierarchy, config=config(use_moa=False)).name
+            == "PROF-MOA"
+        )
+        assert (
+            ProfitMiner(small_hierarchy, profit_model=BinaryProfit()).name
+            == "CONF+MOA"
+        )
+        assert (
+            ProfitMiner(
+                small_hierarchy,
+                profit_model=BinaryProfit(),
+                config=config(use_moa=False),
+            ).name
+            == "CONF-MOA"
+        )
+
+    def test_explicit_name_wins(self, small_hierarchy):
+        miner = ProfitMiner(small_hierarchy, name="custom")
+        assert miner.name == "custom"
+
+
+class TestLifecycle:
+    def test_recommend_before_fit_raises(self, small_hierarchy):
+        miner = ProfitMiner(small_hierarchy, config=config())
+        with pytest.raises(RecommenderError, match="fitted"):
+            miner.recommend([Sale("Bread", "P1")])
+        with pytest.raises(RecommenderError):
+            miner.require_fitted_recommender()
+
+    def test_fit_returns_self_and_populates_state(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config())
+        assert miner.fit(small_db) is miner
+        assert miner.mining_result is not None
+        assert miner.covering_tree is not None
+        assert miner.prune_report is not None
+        assert miner.recommender is not None
+        assert miner.initial_recommender is not None
+        assert miner.model_size >= 1
+
+    def test_summary_reports_pipeline_numbers(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        text = miner.summary()
+        assert "mined" in text and "pruned" in text
+        assert str(len(small_db)) in text
+
+
+class TestBehaviour:
+    def test_learns_small_db_structure(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        perfume = miner.recommend([Sale("Perfume", "P1")])
+        assert perfume.item_id == "Sunchip"
+        assert perfume.promo_code == "M"  # the profitable price perfume buyers pay
+
+    def test_cut_model_is_subset_of_initial(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        initial = {s.rule for s in miner.initial_recommender.ranked_rules}
+        final = {s.rule for s in miner.recommender.ranked_rules}
+        assert final <= initial
+        assert len(final) <= len(initial)
+
+    def test_explain_runs(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        assert "recommendation" in miner.explain([Sale("Perfume", "P1")])
+
+    def test_rules_property_rank_ordered(self, small_hierarchy, small_db):
+        miner = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        keys = [s.rank_key() for s in miner.rules]
+        assert keys == sorted(keys)
+
+    def test_buying_moa_profit_model_runs(self, small_hierarchy, small_db):
+        miner = ProfitMiner(
+            small_hierarchy, profit_model=BuyingMOA(), config=config()
+        ).fit(small_db)
+        assert miner.recommend([Sale("Perfume", "P1")]).item_id == "Sunchip"
+
+    def test_conf_variant_prefers_likely_over_profitable(
+        self, small_hierarchy, small_db
+    ):
+        conf = ProfitMiner(
+            small_hierarchy, profit_model=BinaryProfit(), config=config()
+        ).fit(small_db)
+        prof = ProfitMiner(small_hierarchy, config=config()).fit(small_db)
+        basket = [Sale("Perfume", "P1")]
+        conf_pick = conf.recommend(basket)
+        prof_pick = prof.recommend(basket)
+        catalog = small_db.catalog
+        conf_profit = catalog.promotion(conf_pick.item_id, conf_pick.promo_code).profit
+        prof_profit = catalog.promotion(prof_pick.item_id, prof_pick.promo_code).profit
+        assert prof_profit >= conf_profit
+
+    def test_config_helpers(self):
+        assert ProfitMinerConfig.prof_moa(min_support=0.1).use_moa
+        assert not ProfitMinerConfig.prof_no_moa(min_support=0.1).use_moa

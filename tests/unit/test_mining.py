@@ -1,0 +1,202 @@
+"""Unit tests for the generalized association-rule miner (Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import BinaryProfit, SavingMOA
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.errors import MiningError, ValidationError
+
+
+@pytest.fixture
+def mined(small_db, small_moa):
+    return mine_rules(
+        small_db,
+        small_moa,
+        SavingMOA(),
+        MinerConfig(min_support=0.05, max_body_size=2),
+    )
+
+
+class TestMinerConfig:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_min_support_bounds(self, bad):
+        with pytest.raises(ValidationError, match="min_support"):
+            MinerConfig(min_support=bad)
+
+    def test_other_bounds(self):
+        with pytest.raises(ValidationError, match="min_confidence"):
+            MinerConfig(min_confidence=1.2)
+        with pytest.raises(ValidationError, match="min_rule_profit"):
+            MinerConfig(min_rule_profit=-1)
+        with pytest.raises(ValidationError, match="max_body_size"):
+            MinerConfig(max_body_size=0)
+
+
+class TestTransactionIndex:
+    def test_empty_db_rejected(self, small_catalog, small_moa):
+        empty = TransactionDB(catalog=small_catalog, transactions=[])
+        with pytest.raises(MiningError, match="empty"):
+            TransactionIndex(db=empty, moa=small_moa, profit_model=SavingMOA())
+
+    def test_masks_count_transactions(self, small_db, small_moa):
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        perfume_id = index.gsale_id(GSale.item("Perfume"))
+        assert index.body_masks[perfume_id].bit_count() == 31
+
+    def test_head_profits_follow_profit_model(self, small_db, small_moa):
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        low = index.gsale_id(GSale.promo_form("Sunchip", "L"))
+        # every hit with head L credits the L profit of $1.8 per unit
+        for pos in TransactionIndex.iter_bits(index.head_hits_mask(low)):
+            assert index.hit_profit(pos, low) == pytest.approx(1.8)
+
+    def test_iter_bits(self):
+        assert list(TransactionIndex.iter_bits(0b101001)) == [0, 3, 5]
+        assert list(TransactionIndex.iter_bits(0)) == []
+
+    def test_body_mask_intersection(self, small_db, small_moa):
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        perfume = index.gsale_id(GSale.item("Perfume"))
+        bread = index.gsale_id(GSale.item("Bread"))
+        both = index.body_mask([perfume, bread])
+        assert both.bit_count() == 1  # only the Diamond transaction
+
+    def test_unknown_gsale_raises(self, small_db, small_moa):
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        with pytest.raises(MiningError, match="not present"):
+            index.gsale_id(GSale.item("Ghost"))
+
+
+class TestMineRules:
+    def test_rule_supports_respect_threshold(self, mined, small_db):
+        minsup_count = math.ceil(0.05 * len(small_db))
+        for scored in mined.scored_rules:
+            assert scored.stats.n_hits >= minsup_count
+
+    def test_bodies_are_ancestor_free(self, mined, small_moa):
+        for scored in mined.scored_rules:
+            assert small_moa.is_ancestor_free(scored.rule.body)
+
+    def test_heads_never_appear_in_bodies(self, mined):
+        for scored in mined.scored_rules:
+            for g in scored.rule.body:
+                assert g.node != scored.rule.head.node
+
+    def test_expected_rule_found(self, mined):
+        # {Perfume} → ⟨Sunchip @ M⟩ captures the structure of small_db.
+        described = {s.rule.describe() for s in mined.scored_rules}
+        assert "{Perfume} -> <Sunchip @ M>" in described
+
+    def test_rule_stats_verifiable_by_brute_force(self, mined, small_db, small_moa):
+        for scored in mined.scored_rules[:25]:
+            body, head = scored.rule.body, scored.rule.head
+            matched = hits = 0
+            profit = 0.0
+            for t in small_db:
+                gsales = small_moa.generalizations_of_basket(t.nontarget_sales)
+                if not body <= gsales:
+                    continue
+                matched += 1
+                if small_moa.hits(head, t.target_sale):
+                    hits += 1
+                    profit += SavingMOA().credited_profit(
+                        head, t.target_sale, small_db.catalog
+                    )
+            assert scored.stats.n_matched == matched
+            assert scored.stats.n_hits == hits
+            assert scored.stats.rule_profit == pytest.approx(profit)
+
+    def test_generation_orders_unique(self, mined):
+        orders = [s.rule.order for s in mined.all_rules]
+        assert len(orders) == len(set(orders))
+
+    def test_default_rule_maximizes_recommendation_profit(
+        self, mined, small_db, small_moa
+    ):
+        default = mined.default_rule
+        assert default.rule.is_default
+        # brute force over all candidate heads
+        best = -1.0
+        for head in small_moa.all_candidate_heads():
+            total = sum(
+                SavingMOA().profit(head, t.target_sale, small_moa)
+                for t in small_db
+            )
+            best = max(best, total)
+        assert default.stats.rule_profit == pytest.approx(best)
+
+    def test_min_confidence_filters(self, small_db, small_moa):
+        strict = mine_rules(
+            small_db,
+            small_moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, min_confidence=0.9, max_body_size=2),
+        )
+        assert all(s.stats.confidence >= 0.9 for s in strict.scored_rules)
+
+    def test_min_rule_profit_filters(self, small_db, small_moa):
+        strict = mine_rules(
+            small_db,
+            small_moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, min_rule_profit=50.0, max_body_size=2),
+        )
+        assert all(s.stats.rule_profit >= 50.0 for s in strict.scored_rules)
+
+    def test_max_body_size_limits(self, small_db, small_moa):
+        shallow = mine_rules(
+            small_db, small_moa, SavingMOA(), MinerConfig(min_support=0.05, max_body_size=1)
+        )
+        assert all(s.rule.body_size <= 1 for s in shallow.scored_rules)
+
+    def test_binary_profit_counts_hits(self, small_db, small_moa):
+        result = mine_rules(
+            small_db,
+            small_moa,
+            BinaryProfit(),
+            MinerConfig(min_support=0.05, max_body_size=1),
+        )
+        for scored in result.scored_rules:
+            assert scored.stats.rule_profit == pytest.approx(scored.stats.n_hits)
+
+    def test_higher_support_yields_fewer_rules(self, small_db, small_moa):
+        few = mine_rules(
+            small_db, small_moa, SavingMOA(), MinerConfig(min_support=0.4, max_body_size=2)
+        )
+        many = mine_rules(
+            small_db, small_moa, SavingMOA(), MinerConfig(min_support=0.05, max_body_size=2)
+        )
+        assert len(few.scored_rules) < len(many.scored_rules)
+
+    def test_without_moa_no_cross_price_bodies(self, small_db, small_catalog, small_hierarchy):
+        plain = MOAHierarchy(small_catalog, small_hierarchy, use_moa=False)
+        result = mine_rules(
+            small_db, plain, SavingMOA(), MinerConfig(min_support=0.05, max_body_size=2)
+        )
+        # P2 bread sales exist only in one transaction; the P1 promo form
+        # must not pick up P2 sales without MOA.
+        for scored in result.scored_rules:
+            if GSale.promo_form("Bread", "P1") in scored.rule.body:
+                assert scored.stats.n_matched <= 29
+
+    def test_candidate_explosion_guard(self, small_db, small_moa):
+        config = MinerConfig(
+            min_support=0.02, max_body_size=3, max_candidates_per_level=1
+        )
+        with pytest.raises(MiningError, match="explosion"):
+            mine_rules(small_db, small_moa, SavingMOA(), config)

@@ -1,0 +1,177 @@
+"""Unit tests for MOA(H) generalization semantics (Definitions 2–3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.moa import MOAHierarchy
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+
+
+class TestSaleGeneralization:
+    def test_nontarget_sale_lifts_to_promos_item_concepts(self, small_moa):
+        gsales = small_moa.generalizations_of_sale(Sale("Bread", "P2"))
+        assert gsales == {
+            GSale.promo_form("Bread", "P1"),  # more favorable price
+            GSale.promo_form("Bread", "P2"),  # the sale itself
+            GSale.item("Bread"),
+            GSale.concept("Grocery"),
+        }
+
+    def test_most_favorable_code_lifts_only_to_itself(self, small_moa):
+        gsales = small_moa.generalizations_of_sale(Sale("Bread", "P1"))
+        assert GSale.promo_form("Bread", "P2") not in gsales
+        assert GSale.promo_form("Bread", "P1") in gsales
+
+    def test_without_moa_only_exact_promo(
+        self, small_catalog, small_hierarchy
+    ):
+        plain = MOAHierarchy(small_catalog, small_hierarchy, use_moa=False)
+        gsales = plain.generalizations_of_sale(Sale("Bread", "P2"))
+        assert GSale.promo_form("Bread", "P1") not in gsales
+        assert GSale.promo_form("Bread", "P2") in gsales
+        assert GSale.item("Bread") in gsales
+        assert GSale.concept("Grocery") in gsales
+
+    def test_target_sale_rejected(self, small_moa):
+        with pytest.raises(ValidationError, match="target"):
+            small_moa.generalizations_of_sale(Sale("Sunchip", "L"))
+
+    def test_basket_union(self, small_moa):
+        combined = small_moa.generalizations_of_basket(
+            [Sale("Bread", "P1"), Sale("Perfume", "P1")]
+        )
+        assert GSale.concept("Grocery") in combined
+        assert GSale.concept("Beauty") in combined
+
+
+class TestTargetHeads:
+    def test_heads_are_favorable_or_equal_codes(self, small_moa):
+        heads = small_moa.target_heads_of_sale(Sale("Sunchip", "M"))
+        assert heads == {
+            GSale.promo_form("Sunchip", "L"),
+            GSale.promo_form("Sunchip", "M"),
+        }
+
+    def test_hit_semantics(self, small_moa):
+        cheapest = GSale.promo_form("Sunchip", "L")
+        priciest = GSale.promo_form("Sunchip", "H")
+        assert small_moa.hits(cheapest, Sale("Sunchip", "H"))
+        assert not small_moa.hits(priciest, Sale("Sunchip", "L"))
+        assert not small_moa.hits(cheapest, Sale("Diamond", "D"))
+
+    def test_hit_requires_promo_form(self, small_moa):
+        with pytest.raises(ValidationError, match="promo-form"):
+            small_moa.hits(GSale.item("Sunchip"), Sale("Sunchip", "L"))
+
+    def test_without_moa_exact_match_only(self, small_catalog, small_hierarchy):
+        plain = MOAHierarchy(small_catalog, small_hierarchy, use_moa=False)
+        assert plain.hits(GSale.promo_form("Sunchip", "M"), Sale("Sunchip", "M"))
+        assert not plain.hits(
+            GSale.promo_form("Sunchip", "L"), Sale("Sunchip", "M")
+        )
+
+    def test_nontarget_rejected(self, small_moa):
+        with pytest.raises(ValidationError, match="not a target"):
+            small_moa.target_heads_of_sale(Sale("Bread", "P1"))
+
+    def test_all_candidate_heads(self, small_moa):
+        heads = small_moa.all_candidate_heads()
+        assert len(heads) == 3 + 1  # 3 Sunchip codes + 1 Diamond code
+
+
+class TestSubsumption:
+    def test_concept_subsumes_item_and_promos(self, small_moa):
+        grocery = GSale.concept("Grocery")
+        assert small_moa.strictly_generalizes(grocery, GSale.item("Bread"))
+        assert small_moa.strictly_generalizes(
+            grocery, GSale.promo_form("Bread", "P2")
+        )
+
+    def test_item_subsumes_own_promos_only(self, small_moa):
+        bread = GSale.item("Bread")
+        assert small_moa.strictly_generalizes(bread, GSale.promo_form("Bread", "P1"))
+        assert not small_moa.strictly_generalizes(
+            bread, GSale.promo_form("Perfume", "P1")
+        )
+
+    def test_promo_subsumes_less_favorable_promo_with_moa(self, small_moa):
+        cheap = GSale.promo_form("Bread", "P1")
+        dear = GSale.promo_form("Bread", "P2")
+        assert small_moa.strictly_generalizes(cheap, dear)
+        assert not small_moa.strictly_generalizes(dear, cheap)
+
+    def test_promo_subsumption_disabled_without_moa(
+        self, small_catalog, small_hierarchy
+    ):
+        plain = MOAHierarchy(small_catalog, small_hierarchy, use_moa=False)
+        assert not plain.strictly_generalizes(
+            GSale.promo_form("Bread", "P1"), GSale.promo_form("Bread", "P2")
+        )
+        # the item still subsumes the promo forms
+        assert plain.strictly_generalizes(
+            GSale.item("Bread"), GSale.promo_form("Bread", "P2")
+        )
+
+    def test_strictness(self, small_moa):
+        g = GSale.item("Bread")
+        assert not small_moa.strictly_generalizes(g, g)
+        assert small_moa.generalizes_or_equal(g, g)
+
+    def test_closure_and_body_generalizes(self, small_moa):
+        specific = {GSale.promo_form("Bread", "P2")}
+        closure = small_moa.closure(specific)
+        assert GSale.concept("Grocery") in closure
+        assert small_moa.body_generalizes({GSale.item("Bread")}, specific)
+        assert small_moa.body_generalizes(set(), specific)  # empty body
+        assert not small_moa.body_generalizes(
+            {GSale.item("Perfume")}, specific
+        )
+
+    def test_is_ancestor_free(self, small_moa):
+        ok = {GSale.item("Bread"), GSale.item("Perfume")}
+        assert small_moa.is_ancestor_free(ok)
+        bad = {GSale.item("Bread"), GSale.promo_form("Bread", "P1")}
+        assert not small_moa.is_ancestor_free(bad)
+        assert small_moa.is_ancestor_free(set())
+
+
+class TestMatchingSemanticsConsistency:
+    def test_generalization_set_equals_subsumption(self, small_moa):
+        """g ∈ generalizations(sale) ⟺ g subsumes the sale's exact form.
+
+        The miner relies on this equivalence to reduce body matching to a
+        subset test against extended transactions.
+        """
+        sale = Sale("Bread", "P2")
+        exact = GSale.promo_form("Bread", "P2")
+        lifted = small_moa.generalizations_of_sale(sale)
+        for g in lifted:
+            assert small_moa.generalizes_or_equal(g, exact)
+        for g in small_moa.closure({exact}):
+            assert g in lifted
+
+
+class TestDotExport:
+    def test_moa_dot_structure(self, small_moa):
+        from repro.core.moa import moa_to_dot
+
+        dot = moa_to_dot(small_moa)
+        assert dot.startswith("digraph MOAH {")
+        # favorability cover edge: Bread P1 ($2) is more favorable than P2
+        assert '"<Bread @ P1>" -> "<Bread @ P2>"' in dot
+        # the item roots the per-item sub-hierarchy at its maximal code
+        assert '"Bread" -> "<Bread @ P1>"' in dot
+        assert '"Bread" -> "<Bread @ P2>"' not in dot
+
+    def test_moa_dot_without_moa_flattens_codes(
+        self, small_catalog, small_hierarchy
+    ):
+        from repro.core.moa import MOAHierarchy, moa_to_dot
+
+        plain = MOAHierarchy(small_catalog, small_hierarchy, use_moa=False)
+        dot = moa_to_dot(plain)
+        assert '"Bread" -> "<Bread @ P2>"' in dot
+        assert '"<Bread @ P1>" -> "<Bread @ P2>"' not in dot

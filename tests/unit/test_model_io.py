@@ -1,0 +1,93 @@
+"""Unit tests for fitted-model persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.data.model_io import load_model, save_model
+from repro.errors import SerializationError
+
+
+@pytest.fixture
+def fitted(small_hierarchy, small_db):
+    return ProfitMiner(
+        small_hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.05, max_body_size=2)
+        ),
+    ).fit(small_db)
+
+
+class TestRoundTrip:
+    def test_recommendations_survive_round_trip(self, fitted, small_db, tmp_path):
+        path = tmp_path / "model.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path)
+        restored = load_model(path)
+        assert restored.name == original.name
+        assert restored.model_size == original.model_size
+        for transaction in small_db.transactions[:20]:
+            basket = transaction.nontarget_sales
+            a = original.recommend(basket)
+            b = restored.recommend(basket)
+            assert (a.item_id, a.promo_code) == (b.item_id, b.promo_code)
+
+    def test_rules_and_stats_identical(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path)
+        restored = load_model(path)
+        assert [s.rule for s in restored.ranked_rules] == [
+            s.rule for s in original.ranked_rules
+        ]
+        assert [s.stats for s in restored.ranked_rules] == [
+            s.stats for s in original.ranked_rules
+        ]
+
+    def test_moa_flag_preserved(self, small_hierarchy, small_db, tmp_path):
+        miner = ProfitMiner(
+            small_hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=1),
+                use_moa=False,
+            ),
+        ).fit(small_db)
+        path = tmp_path / "model.json"
+        save_model(miner.require_fitted_recommender(), path)
+        assert load_model(path).moa.use_moa is False
+
+
+class TestFailureInjection:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{broken")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_model(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(SerializationError, match="format"):
+            load_model(path)
+
+    def test_missing_fields(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        payload = json.loads(path.read_text())
+        del payload["rules"][0]["head"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="malformed"):
+            load_model(path)
+
+    def test_bad_gsale_kind(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        payload = json.loads(path.read_text())
+        payload["rules"][0]["head"]["kind"] = "galaxy"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            load_model(path)

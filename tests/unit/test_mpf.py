@@ -1,0 +1,130 @@
+"""Unit tests for the MPF recommender (Definitions 6–7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def recommender(small_db, small_moa):
+    result = mine_rules(
+        small_db,
+        small_moa,
+        SavingMOA(),
+        MinerConfig(min_support=0.05, max_body_size=2),
+    )
+    return MPFRecommender(result.all_rules, small_moa)
+
+
+def make_scored(body, head, prof_re, order, moa_total=100):
+    n_matched = 10
+    return ScoredRule(
+        rule=Rule(body=frozenset(body), head=head, order=order),
+        stats=RuleStats(
+            n_matched=n_matched,
+            n_hits=5,
+            rule_profit=prof_re * n_matched,
+            n_total=moa_total,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_requires_exactly_one_default(self, small_moa):
+        head = GSale.promo_form("Sunchip", "L")
+        no_default = [make_scored([GSale.item("Bread")], head, 1.0, 0)]
+        with pytest.raises(ValidationError, match="default"):
+            MPFRecommender(no_default, small_moa)
+        two_defaults = [
+            make_scored([], head, 1.0, 0),
+            make_scored([], head, 2.0, 1),
+        ]
+        with pytest.raises(ValidationError, match="default"):
+            MPFRecommender(two_defaults, small_moa)
+
+    def test_rules_sorted_by_rank(self, recommender):
+        keys = [s.rank_key() for s in recommender.ranked_rules]
+        assert keys == sorted(keys)
+
+
+class TestRecommendation:
+    def test_highest_ranked_matching_rule_selected(self, small_moa):
+        head_cheap = GSale.promo_form("Sunchip", "L")
+        head_mid = GSale.promo_form("Sunchip", "M")
+        bread = GSale.item("Bread")
+        rules = [
+            make_scored([], head_cheap, 0.5, 0),
+            make_scored([bread], head_mid, 2.0, 1),
+        ]
+        rec = MPFRecommender(rules, small_moa)
+        picked = rec.recommend([Sale("Bread", "P1")])
+        assert (picked.item_id, picked.promo_code) == ("Sunchip", "M")
+        fallback = rec.recommend([Sale("Perfume", "P1")])
+        assert (fallback.item_id, fallback.promo_code) == ("Sunchip", "L")
+
+    def test_body_matches_via_generalization(self, small_moa):
+        grocery = GSale.concept("Grocery")
+        rules = [
+            make_scored([], GSale.promo_form("Sunchip", "L"), 0.1, 0),
+            make_scored([grocery], GSale.promo_form("Sunchip", "M"), 5.0, 1),
+        ]
+        rec = MPFRecommender(rules, small_moa)
+        # Bread is under Grocery, so the concept rule fires.
+        picked = rec.recommend([Sale("Bread", "P2")])
+        assert picked.promo_code == "M"
+
+    def test_recommendation_carries_rule(self, recommender):
+        picked = recommender.recommend([Sale("Perfume", "P1")])
+        assert picked.rule is not None
+        assert picked.rule.rule.head.node == picked.item_id
+
+    def test_default_covers_unmatched_basket(self, recommender):
+        # A basket of items the miner never saw still gets a recommendation.
+        picked = recommender.recommend([Sale("Bread", "P2")])
+        assert picked.item_id in ("Sunchip", "Diamond")
+
+    def test_matching_rules_rank_ordered(self, recommender):
+        matches = recommender.matching_rules([Sale("Perfume", "P1")])
+        keys = [s.rank_key() for s in matches]
+        assert keys == sorted(keys)
+        assert any(s.rule.is_default for s in matches)
+
+    def test_recommend_many(self, recommender):
+        baskets = [[Sale("Perfume", "P1")], [Sale("Bread", "P1")]]
+        assert len(recommender.recommend_many(baskets)) == 2
+
+
+class TestTopK:
+    def test_distinct_pairs(self, recommender):
+        picks = recommender.recommend_top_k([Sale("Perfume", "P1")], k=3)
+        pairs = [(p.item_id, p.promo_code) for p in picks]
+        assert len(pairs) == len(set(pairs))
+        assert 1 <= len(picks) <= 3
+
+    def test_first_pick_equals_single_recommendation(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        single = recommender.recommend(basket)
+        top = recommender.recommend_top_k(basket, k=1)[0]
+        assert (single.item_id, single.promo_code) == (top.item_id, top.promo_code)
+
+    def test_k_validation(self, recommender):
+        with pytest.raises(ValidationError, match="k"):
+            recommender.recommend_top_k([Sale("Perfume", "P1")], k=0)
+
+
+class TestIntrospection:
+    def test_model_size(self, recommender):
+        assert recommender.model_size == len(recommender.ranked_rules)
+
+    def test_explain_mentions_rule_and_basket(self, recommender):
+        text = recommender.explain([Sale("Perfume", "P1")])
+        assert "Perfume" in text
+        assert "selected rule" in text

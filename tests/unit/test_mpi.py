@@ -1,0 +1,67 @@
+"""Unit tests for the MPI baseline (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mpi import MPIRecommender
+from repro.core.sales import Sale, Transaction, TransactionDB
+from repro.errors import RecommenderError, ValidationError
+
+
+class TestMPI:
+    def test_unfitted_raises(self):
+        with pytest.raises(RecommenderError, match="fitted"):
+            MPIRecommender().recommend([])
+
+    def test_empty_db_rejected(self, small_catalog):
+        with pytest.raises(ValidationError, match="empty"):
+            MPIRecommender().fit(TransactionDB(small_catalog, []))
+
+    def test_picks_max_total_recorded_profit(self, small_catalog):
+        # 3 × Sunchip@H = $9 total beats 1 × Diamond@D = $40? No: Diamond wins.
+        db = TransactionDB(
+            small_catalog,
+            [
+                Transaction(0, (Sale("Bread", "P1"),), Sale("Sunchip", "H")),
+                Transaction(1, (Sale("Bread", "P1"),), Sale("Sunchip", "H")),
+                Transaction(2, (Sale("Bread", "P1"),), Sale("Sunchip", "H")),
+                Transaction(3, (Sale("Perfume", "P1"),), Sale("Diamond", "D")),
+            ],
+        )
+        mpi = MPIRecommender().fit(db)
+        assert mpi.chosen_pair == ("Diamond", "D")
+        assert mpi.chosen_pair_profit == pytest.approx(40.0)
+
+    def test_frequency_can_beat_unit_profit(self, small_catalog):
+        transactions = [
+            Transaction(i, (Sale("Bread", "P1"),), Sale("Sunchip", "H"))
+            for i in range(20)
+        ]
+        transactions.append(
+            Transaction(20, (Sale("Perfume", "P1"),), Sale("Diamond", "D"))
+        )
+        mpi = MPIRecommender().fit(TransactionDB(small_catalog, transactions))
+        assert mpi.chosen_pair == ("Sunchip", "H")  # 20×$3 > 1×$40
+
+    def test_constant_recommendation_ignores_basket(self, small_db):
+        mpi = MPIRecommender().fit(small_db)
+        a = mpi.recommend([Sale("Bread", "P1")])
+        b = mpi.recommend([Sale("Perfume", "P1")])
+        assert (a.item_id, a.promo_code) == (b.item_id, b.promo_code)
+
+    def test_quantity_scales_recorded_profit(self, small_catalog):
+        db = TransactionDB(
+            small_catalog,
+            [
+                Transaction(
+                    0, (Sale("Bread", "P1"),), Sale("Sunchip", "L", quantity=30)
+                ),
+                Transaction(1, (Sale("Perfume", "P1"),), Sale("Diamond", "D")),
+            ],
+        )
+        mpi = MPIRecommender().fit(db)
+        assert mpi.chosen_pair == ("Sunchip", "L")  # 30 × $1.8 = $54 > $40
+
+    def test_model_free(self, small_db):
+        assert MPIRecommender().fit(small_db).model_size is None

@@ -1,0 +1,109 @@
+"""Unit tests for the multi-packing dataset III."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.moa import MOAHierarchy
+from repro.core.promotion import is_more_favorable
+from repro.core.sales import Sale
+from repro.data.packs import PacksConfig, make_dataset_packs, pack_code_name
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def packs():
+    return make_dataset_packs(
+        PacksConfig(n_transactions=400, n_items=60, seed=3)
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_transactions": 0},
+            {"bulk_share": 1.5},
+            {"dispersion": -0.1},
+            {"signal_strength": 2.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            PacksConfig(**kwargs)
+
+    def test_code_names(self):
+        assert pack_code_name("S", 1) == "S1"
+        assert pack_code_name("B", 2) == "B2"
+        with pytest.raises(DataGenerationError):
+            pack_code_name("X", 1)
+        with pytest.raises(DataGenerationError):
+            pack_code_name("S", 3)
+
+
+class TestChains:
+    def test_two_incomparable_chains(self, packs):
+        item = packs.db.catalog.get("T1")
+        s1, s2 = item.promotion("S1"), item.promotion("S2")
+        b1, b2 = item.promotion("B1"), item.promotion("B2")
+        assert is_more_favorable(s1, s2)
+        assert is_more_favorable(b1, b2)
+        for single in (s1, s2):
+            for bulk in (b1, b2):
+                assert not is_more_favorable(single, bulk)
+                assert not is_more_favorable(bulk, single)
+
+    def test_bulk_discounts_per_unit(self, packs):
+        item = packs.db.catalog.get("T1")
+        assert item.promotion("B1").unit_price < item.promotion("S1").unit_price
+        assert item.promotion("B1").packing == 4
+
+    def test_moa_never_crosses_modes(self, packs):
+        moa = MOAHierarchy(packs.db.catalog, packs.hierarchy)
+        heads = moa.target_heads_of_sale(Sale("T1", "S2"))
+        assert heads == {
+            GSale.promo_form("T1", "S1"),
+            GSale.promo_form("T1", "S2"),
+        }
+        heads = moa.target_heads_of_sale(Sale("T1", "B2"))
+        assert heads == {
+            GSale.promo_form("T1", "B1"),
+            GSale.promo_form("T1", "B2"),
+        }
+
+
+class TestGeneration:
+    def test_shapes(self, packs):
+        assert len(packs.db) == 400
+        assert packs.name == "dataset-III-packs"
+        modes = {t.target_sale.promo_code[0] for t in packs.db}
+        assert modes == {"S", "B"}
+
+    def test_bulk_buyers_buy_single_packages(self, packs):
+        for t in packs.db:
+            if t.target_sale.promo_code.startswith("B"):
+                assert t.target_sale.quantity == 1.0
+            else:
+                assert 1 <= t.target_sale.quantity <= 4
+
+    def test_deterministic(self):
+        config = PacksConfig(n_transactions=100, n_items=40, seed=5)
+        a = make_dataset_packs(config)
+        b = make_dataset_packs(config)
+        assert [t.target_sale for t in a.db] == [t.target_sale for t in b.db]
+
+    def test_bulk_share_zero_removes_bulk(self):
+        ds = make_dataset_packs(
+            PacksConfig(
+                n_transactions=200,
+                n_items=40,
+                bulk_share=0.0,
+                signal_strength=1.0,
+                seed=1,
+            )
+        )
+        assert all(t.target_sale.promo_code.startswith("S") for t in ds.db)
+
+    def test_hierarchy_valid(self, packs):
+        packs.hierarchy.validate_against_catalog(packs.db.catalog)

@@ -1,0 +1,81 @@
+"""Unit tests for the Clopper–Pearson pessimistic estimate (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats
+
+from repro.core.pessimistic import (
+    DEFAULT_CF,
+    pessimistic_hits,
+    pessimistic_miss_rate,
+)
+from repro.errors import ValidationError
+
+
+class TestMissRate:
+    def test_zero_errors_matches_c45_closed_form(self):
+        # C4.5: U_CF(N, 0) = 1 − CF^(1/N)
+        for n in (1, 5, 100):
+            assert pessimistic_miss_rate(n, 0) == pytest.approx(
+                1 - DEFAULT_CF ** (1 / n)
+            )
+
+    def test_all_errors_is_certain_miss(self):
+        assert pessimistic_miss_rate(10, 10) == 1.0
+
+    def test_upper_limit_exceeds_observed_rate(self):
+        for n, e in [(10, 2), (50, 5), (200, 20)]:
+            assert pessimistic_miss_rate(n, e) > e / n
+
+    def test_clopper_pearson_inversion(self):
+        # The upper limit p solves P[Binomial(n, p) <= e] = CF.
+        n, e = 30, 4
+        upper = pessimistic_miss_rate(n, e)
+        assert stats.binom.cdf(e, n, upper) == pytest.approx(DEFAULT_CF, rel=1e-6)
+
+    def test_monotone_in_errors(self):
+        rates = [pessimistic_miss_rate(20, e) for e in range(0, 21)]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_n_for_fixed_rate(self):
+        # More evidence at the same observed rate → tighter (smaller) limit.
+        assert pessimistic_miss_rate(100, 10) < pessimistic_miss_rate(10, 1)
+
+    def test_smaller_cf_is_more_pessimistic(self):
+        assert pessimistic_miss_rate(20, 2, cf=0.1) > pessimistic_miss_rate(
+            20, 2, cf=0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="N > 0"):
+            pessimistic_miss_rate(0, 0)
+        with pytest.raises(ValidationError, match="0 <= E <= N"):
+            pessimistic_miss_rate(5, 6)
+        with pytest.raises(ValidationError, match="0 <= E <= N"):
+            pessimistic_miss_rate(5, -1)
+        with pytest.raises(ValidationError, match="confidence"):
+            pessimistic_miss_rate(5, 1, cf=1.0)
+
+    def test_fractional_errors_accepted(self):
+        assert 0 < pessimistic_miss_rate(10, 1.5) < 1
+
+
+class TestPessimisticHits:
+    def test_zero_coverage_gives_zero(self):
+        assert pessimistic_hits(0, 0) == 0.0
+
+    def test_bounded_by_observed_hits(self):
+        for n, hits in [(10, 10), (50, 40), (200, 150)]:
+            assert pessimistic_hits(n, hits) < hits
+
+    def test_full_misses_give_zero(self):
+        assert pessimistic_hits(10, 0) == pytest.approx(0.0)
+
+    def test_scales_with_confidence_in_data(self):
+        # 90/100 hits should retain a larger *fraction* than 9/10 hits.
+        assert pessimistic_hits(100, 90) / 100 > pessimistic_hits(10, 9) / 10
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="hits"):
+            pessimistic_hits(10, 11)

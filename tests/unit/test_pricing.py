@@ -1,0 +1,71 @@
+"""Unit tests for the paper's pricing model (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.pricing import PricingModel, price_code_name
+from repro.errors import DataGenerationError
+
+
+class TestPricingModel:
+    def test_paper_defaults(self):
+        model = PricingModel()
+        assert model.m == 4
+        assert model.delta == pytest.approx(0.10)
+
+    def test_nontarget_cost_is_c_over_i(self):
+        model = PricingModel(max_cost=10.0)
+        assert model.nontarget_cost(1) == pytest.approx(10.0)
+        assert model.nontarget_cost(4) == pytest.approx(2.5)
+
+    def test_price_ladder_formula(self):
+        model = PricingModel()
+        ladder = model.price_ladder(2.0)
+        assert [p.code for p in ladder] == ["P1", "P2", "P3", "P4"]
+        assert [p.price for p in ladder] == pytest.approx([2.2, 2.4, 2.6, 2.8])
+        assert all(p.cost == 2.0 for p in ladder)
+        assert all(p.packing == 1 for p in ladder)
+
+    def test_profit_at_step_is_j_delta_cost(self):
+        model = PricingModel()
+        for j in range(1, 5):
+            assert model.profit_at_step(2.0, j) == pytest.approx(j * 0.1 * 2.0)
+            ladder = model.price_ladder(2.0)
+            assert ladder[j - 1].profit == pytest.approx(model.profit_at_step(2.0, j))
+
+    def test_item_builders(self):
+        model = PricingModel()
+        nt = model.nontarget_item("I0003", 3)
+        assert not nt.is_target
+        assert nt.promotions[0].cost == pytest.approx(10 / 3)
+        t = model.target_item("T1", 2.0)
+        assert t.is_target
+        assert len(t.promotions) == 4
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            PricingModel(m=0)
+        with pytest.raises(DataGenerationError):
+            PricingModel(delta=0)
+        with pytest.raises(DataGenerationError):
+            PricingModel(max_cost=0)
+        model = PricingModel()
+        with pytest.raises(DataGenerationError):
+            model.nontarget_cost(0)
+        with pytest.raises(DataGenerationError):
+            model.price_ladder(-1.0)
+        with pytest.raises(DataGenerationError):
+            model.profit_at_step(2.0, 5)
+
+    def test_price_code_name(self):
+        assert price_code_name(1) == "P1"
+        assert price_code_name(12) == "P12"
+
+    def test_ladder_is_totally_ordered_by_favorability(self):
+        from repro.core.promotion import is_more_favorable
+
+        ladder = PricingModel().price_ladder(5.0)
+        for i, cheap in enumerate(ladder):
+            for expensive in ladder[i + 1 :]:
+                assert is_more_favorable(cheap, expensive)

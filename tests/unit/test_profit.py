@@ -1,0 +1,102 @@
+"""Unit tests for the profit models (saving/buying MOA, binary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.items import Item, ItemCatalog
+from repro.core.profit import (
+    BinaryProfit,
+    BuyingMOA,
+    SavingMOA,
+    profit_model_from_name,
+)
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+
+from tests.conftest import promo
+
+
+@pytest.fixture
+def milk_catalog(milk_codes) -> ItemCatalog:
+    return ItemCatalog.from_items(
+        [
+            Item("Bread", (promo("P1", 2.0, 1.0),)),
+            Item("Milk", milk_codes, is_target=True),
+        ]
+    )
+
+
+class TestSavingMOA:
+    def test_keeps_units_constant(self, milk_catalog):
+        # Customer bought 4 single packs at $1.2 each; recommend $1.0/pack.
+        head = GSale.promo_form("Milk", "pack-lo")
+        sale = Sale("Milk", "pack-hi", quantity=4)
+        profit = SavingMOA().credited_profit(head, sale, milk_catalog)
+        assert profit == pytest.approx((1.0 - 0.5) * 4)
+
+    def test_cross_packing_units(self, milk_catalog):
+        # Bought 1 package of 4-pack at $3.2; recommend the $3.0/4-pack.
+        head = GSale.promo_form("Milk", "4pack-lo")
+        sale = Sale("Milk", "4pack-hi", quantity=1)
+        profit = SavingMOA().credited_profit(head, sale, milk_catalog)
+        assert profit == pytest.approx(3.0 - 1.8)
+
+    def test_paper_example_1(self, milk_catalog):
+        # ⟨Milk, ($3.2/4-pack, $2), 5⟩ generates 5 × (3.2 − 2) = $6.
+        head = GSale.promo_form("Milk", "4pack-hi")
+        sale = Sale("Milk", "4pack-hi", quantity=5)
+        assert SavingMOA().credited_profit(head, sale, milk_catalog) == (
+            pytest.approx(6.0)
+        )
+
+
+class TestBuyingMOA:
+    def test_keeps_spend_constant(self, milk_catalog):
+        # Spent $4.8 on 4 packs at $1.2; at $1.0 the customer buys 4.8 packs.
+        head = GSale.promo_form("Milk", "pack-lo")
+        sale = Sale("Milk", "pack-hi", quantity=4)
+        profit = BuyingMOA().credited_profit(head, sale, milk_catalog)
+        assert profit == pytest.approx(0.5 * 4.8)
+
+    def test_buying_credits_at_least_saving_for_nonnegative_profit(
+        self, milk_catalog
+    ):
+        head = GSale.promo_form("Milk", "pack-lo")
+        sale = Sale("Milk", "pack-hi", quantity=4)
+        assert BuyingMOA().credited_profit(
+            head, sale, milk_catalog
+        ) >= SavingMOA().credited_profit(head, sale, milk_catalog)
+
+
+class TestBinaryProfit:
+    def test_every_hit_worth_one(self, milk_catalog):
+        head = GSale.promo_form("Milk", "pack-lo")
+        sale = Sale("Milk", "pack-hi", quantity=7)
+        assert BinaryProfit().credited_profit(head, sale, milk_catalog) == 1.0
+
+
+class TestProfitDispatch:
+    def test_profit_zero_on_miss(self, small_moa, small_catalog):
+        head = GSale.promo_form("Sunchip", "H")
+        miss = Sale("Sunchip", "L")  # recorded cheaper than recommended
+        assert SavingMOA().profit(head, miss, small_moa) == 0.0
+
+    def test_profit_credits_on_hit(self, small_moa):
+        head = GSale.promo_form("Sunchip", "L")
+        hit = Sale("Sunchip", "H", quantity=2)
+        assert SavingMOA().profit(head, hit, small_moa) == pytest.approx(
+            (3.8 - 2.0) * 2
+        )
+
+    def test_rejects_non_promo_head(self, small_moa):
+        with pytest.raises(ValidationError, match="promo-form"):
+            SavingMOA().profit(GSale.item("Sunchip"), Sale("Sunchip", "L"), small_moa)
+
+    def test_registry(self):
+        assert isinstance(profit_model_from_name("saving"), SavingMOA)
+        assert isinstance(profit_model_from_name("buying"), BuyingMOA)
+        assert isinstance(profit_model_from_name("binary"), BinaryProfit)
+        with pytest.raises(ValidationError, match="unknown profit model"):
+            profit_model_from_name("bogus")

@@ -1,0 +1,134 @@
+"""Unit tests for promotion codes and the favorability order (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.promotion import (
+    PromotionCode,
+    favorability_covers,
+    favorable_or_equal_codes,
+    is_at_least_as_favorable,
+    is_more_favorable,
+    maximal_codes,
+    sort_by_favorability,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import promo
+
+
+class TestPromotionCodeValidation:
+    def test_valid_code_constructs(self):
+        code = promo("P1", 3.2, 2.0, packing=4)
+        assert code.price == 3.2
+        assert code.cost == 2.0
+        assert code.packing == 4
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            PromotionCode(code="", price=1.0, cost=0.5)
+
+    @pytest.mark.parametrize("price", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_price_rejected(self, price):
+        with pytest.raises(ValidationError, match="price"):
+            PromotionCode(code="P", price=price, cost=0.0)
+
+    @pytest.mark.parametrize("cost", [-0.01, float("inf"), float("nan")])
+    def test_bad_cost_rejected(self, cost):
+        with pytest.raises(ValidationError, match="cost"):
+            PromotionCode(code="P", price=1.0, cost=cost)
+
+    @pytest.mark.parametrize("packing", [0, -1])
+    def test_bad_packing_rejected(self, packing):
+        with pytest.raises(ValidationError, match="packing"):
+            PromotionCode(code="P", price=1.0, cost=0.5, packing=packing)
+
+    def test_cost_may_exceed_price(self):
+        loss_leader = promo("P", 1.0, 1.5)
+        assert loss_leader.profit == pytest.approx(-0.5)
+
+    def test_derived_quantities(self):
+        code = promo("P", 3.2, 2.0, packing=4)
+        assert code.profit == pytest.approx(1.2)
+        assert code.unit_price == pytest.approx(0.8)
+        assert code.unit_profit == pytest.approx(0.3)
+
+    def test_describe_mentions_price_and_cost(self):
+        text = promo("P", 3.2, 2.0, packing=4).describe()
+        assert "$3.20" in text and "4-pack" in text and "$2.00" in text
+
+
+class TestFavorability:
+    def test_lower_price_same_packing_is_more_favorable(self):
+        assert is_more_favorable(promo("a", 3.5, 1, 2), promo("b", 3.8, 1, 2))
+
+    def test_bigger_packing_same_price_is_more_favorable(self):
+        assert is_more_favorable(promo("a", 3.5, 1, 2), promo("b", 3.5, 1, 1))
+
+    def test_paper_example_incomparable(self):
+        # $3.80/2-pack is not more favorable than $3.50/pack: unwanted
+        # quantity at a higher price (Section 2).
+        two_pack = promo("a", 3.8, 1, 2)
+        one_pack = promo("b", 3.5, 1, 1)
+        assert not is_more_favorable(two_pack, one_pack)
+        assert not is_more_favorable(one_pack, two_pack)
+
+    def test_strictness_equal_codes_not_more_favorable(self):
+        a, b = promo("a", 3.5, 1.0), promo("b", 3.5, 2.0)
+        assert not is_more_favorable(a, b)
+        assert not is_more_favorable(b, a)
+
+    def test_cost_does_not_matter_to_the_customer(self):
+        cheap_cost = promo("a", 3.5, 0.1)
+        pricey_cost = promo("b", 3.6, 3.0)
+        assert is_more_favorable(cheap_cost, pricey_cost)
+
+    def test_reflexive_or_equal_variant(self):
+        a, b = promo("a", 3.5, 1.0), promo("b", 3.5, 2.0)
+        assert is_at_least_as_favorable(a, b)
+        assert is_at_least_as_favorable(a, a)
+
+    def test_antisymmetry_of_strict_order(self, milk_codes):
+        for p in milk_codes:
+            for q in milk_codes:
+                assert not (is_more_favorable(p, q) and is_more_favorable(q, p))
+
+    def test_transitivity_on_milk_ladder(self, milk_codes):
+        lo4, hi4 = milk_codes[1], milk_codes[0]
+        lo1 = milk_codes[3]
+        # $3.0/4-pack ≺ $3.2/4-pack; and both dominate nothing smaller-packed
+        assert is_more_favorable(lo4, hi4)
+        assert not is_more_favorable(lo1, lo4)
+
+
+class TestFavorabilityHelpers:
+    def test_favorable_or_equal_codes(self, milk_codes):
+        hi4 = milk_codes[0]  # $3.2/4-pack
+        lifted = favorable_or_equal_codes(hi4, milk_codes)
+        assert set(c.code for c in lifted) == {"4pack-hi", "4pack-lo"}
+
+    def test_covers_skip_transitive_edges(self):
+        a = promo("a", 3.0, 1)
+        b = promo("b", 3.5, 1)
+        c = promo("c", 4.0, 1)
+        edges = favorability_covers([a, b, c])
+        pairs = {(p.code, q.code) for p, q in edges}
+        assert pairs == {("a", "b"), ("b", "c")}  # no (a, c): b sits between
+
+    def test_maximal_codes_single_chain(self, milk_codes):
+        roots = maximal_codes(milk_codes)
+        assert {c.code for c in roots} == {"4pack-lo", "pack-lo"}
+
+    def test_sort_by_favorability_is_topological(self, milk_codes):
+        ordered = sort_by_favorability(milk_codes)
+        positions = {c.code: i for i, c in enumerate(ordered)}
+        for p in milk_codes:
+            for q in milk_codes:
+                if is_more_favorable(p, q):
+                    assert positions[p.code] < positions[q.code]
+
+    def test_sort_deterministic(self, milk_codes):
+        assert sort_by_favorability(milk_codes) == sort_by_favorability(
+            tuple(reversed(milk_codes))
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for cut-optimal pruning (Section 4.2, Theorems 1–2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.covering import build_covering_tree
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.pessimistic import pessimistic_hits
+from repro.core.profit import SavingMOA
+from repro.core.pruning import PruneConfig, cut_optimal_prune, projected_profit
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def mined(small_db, small_moa):
+    return mine_rules(
+        small_db,
+        small_moa,
+        SavingMOA(),
+        MinerConfig(min_support=0.05, max_body_size=2),
+    )
+
+
+def fresh_tree(mined):
+    return build_covering_tree(mined)
+
+
+class TestPruneConfig:
+    @pytest.mark.parametrize("cf", [0.0, 1.0, -0.5])
+    def test_cf_bounds(self, cf):
+        with pytest.raises(ValidationError, match="cf"):
+            PruneConfig(cf=cf)
+
+
+class TestProjectedProfit:
+    def test_empty_coverage_is_zero(self, mined):
+        index = mined.index
+        head_id = index.candidate_head_ids[0]
+        assert projected_profit(head_id, 0, index, 0.25) == 0.0
+
+    def test_no_hits_is_zero(self, mined):
+        index = mined.index
+        # Diamond head on transactions that all bought Sunchip
+        from repro.core.generalized import GSale
+
+        diamond = index.gsale_id(GSale.promo_form("Diamond", "D"))
+        sunchip_only = index.body_mask([index.gsale_id(GSale.item("Bread"))])
+        sunchip_only &= ~index.head_hits_mask(diamond)
+        assert projected_profit(diamond, sunchip_only, index, 0.25) == 0.0
+
+    def test_matches_definition(self, mined):
+        """Prof_pr = N·(1 − U_CF(N, E)) · (Σ p / hits), checked by hand."""
+        index = mined.index
+        from repro.core.generalized import GSale
+
+        head = index.gsale_id(GSale.promo_form("Sunchip", "L"))
+        cover = (1 << index.n) - 1  # everything
+        hits_mask = cover & index.head_hits_mask(head)
+        hits = hits_mask.bit_count()
+        total = sum(
+            index.hit_profit(pos, head)
+            for pos in TransactionIndex.iter_bits(hits_mask)
+        )
+        expected = pessimistic_hits(index.n, hits, 0.25) * (total / hits)
+        assert projected_profit(head, cover, index, 0.25) == pytest.approx(
+            expected
+        )
+
+
+class TestCutOptimalPrune:
+    def test_pruning_never_decreases_projected_profit(self, mined):
+        tree = fresh_tree(mined)
+        report = cut_optimal_prune(tree, PruneConfig())
+        assert report.tree_profit_after >= report.tree_profit_before - 1e-9
+
+    def test_disabled_pruning_keeps_all_nodes(self, mined):
+        tree = fresh_tree(mined)
+        n_before = len(tree)
+        report = cut_optimal_prune(tree, PruneConfig(enabled=False))
+        assert report.n_rules_after == n_before
+        assert report.n_subtrees_pruned == 0
+
+    def test_report_counts_consistent(self, mined):
+        tree = fresh_tree(mined)
+        report = cut_optimal_prune(tree, PruneConfig())
+        assert report.n_rules_after == len(tree)
+        assert report.n_rules_after <= report.n_rules_before
+        assert len(report.kept_rules) == report.n_rules_after
+
+    def test_kept_rules_in_rank_order(self, mined):
+        tree = fresh_tree(mined)
+        report = cut_optimal_prune(tree, PruneConfig())
+        keys = [s.rank_key() for s in report.kept_rules]
+        assert keys == sorted(keys)
+
+    def test_coverage_still_partitions_after_pruning(self, mined, small_db):
+        tree = fresh_tree(mined)
+        cut_optimal_prune(tree, PruneConfig())
+        union = 0
+        for node in tree.nodes():
+            assert union & node.cover_mask == 0
+            union |= node.cover_mask
+        assert union == (1 << len(small_db)) - 1
+
+    def test_default_rule_always_survives(self, mined):
+        tree = fresh_tree(mined)
+        report = cut_optimal_prune(tree, PruneConfig())
+        assert any(s.rule.is_default for s in report.kept_rules)
+
+    def test_local_optimality_of_the_cut(self, mined):
+        """No kept internal node would be better off pruned, and no pruning
+        decision could be improved by re-expanding (the DP invariant behind
+        Theorem 2)."""
+        tree = fresh_tree(mined)
+        config = PruneConfig()
+        cut_optimal_prune(tree, config)
+        index = tree.index
+        head_ids = {
+            node.scored.rule.order: index.gsale_id(node.scored.rule.head)
+            for node in tree.nodes()
+        }
+        for node in tree.nodes():
+            if not node.children:
+                continue
+            subtree_cover = 0
+            tree_prof = 0.0
+            for member in node.subtree():
+                subtree_cover |= member.cover_mask
+                tree_prof += projected_profit(
+                    head_ids[member.scored.rule.order],
+                    member.cover_mask,
+                    index,
+                    config.cf,
+                )
+            leaf_prof = projected_profit(
+                head_ids[node.scored.rule.order], subtree_cover, index, config.cf
+            )
+            assert leaf_prof < tree_prof, (
+                f"kept node {node.scored.rule.describe()} should have been "
+                "pruned"
+            )
+
+    def test_aggressive_cf_prunes_at_least_as_much(self, mined):
+        lenient = fresh_tree(mined)
+        cut_optimal_prune(lenient, PruneConfig(cf=0.4))
+        aggressive = fresh_tree(mined)
+        cut_optimal_prune(aggressive, PruneConfig(cf=0.01))
+        assert len(aggressive) <= len(lenient) + 2  # strong pessimism merges

@@ -1,0 +1,51 @@
+"""Unit tests for plain-text report rendering."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["system", "gain"],
+            [["PROF+MOA", 0.76], ["kNN", 0.4512349]],
+            title="Fig 3(a)",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig 3(a)"
+        assert "0.7600" in text and "0.4512" in text
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_systems_as_columns(self):
+        series = {
+            "A": [(0.01, 1.0), (0.02, 2.0)],
+            "B": [(0.01, 3.0)],
+        }
+        text = format_series(series, x_label="minsup")
+        lines = text.splitlines()
+        assert "minsup" in lines[1]
+        assert "A" in lines[1] and "B" in lines[1]
+        assert "3.0000" in text
+        # missing (B, 0.02) cell rendered as dash
+        assert lines[-1].strip().endswith("-")
+
+
+class TestFormatHistogram:
+    def test_bars_proportional(self):
+        text = format_histogram({1.0: 10, 2.0: 40}, title="profits")
+        lines = text.splitlines()
+        assert lines[0] == "profits"
+        short, long = lines[1], lines[2]
+        assert long.count("#") == 40
+        assert short.count("#") == 10
+
+    def test_empty(self):
+        assert "empty" in format_histogram({})

@@ -1,0 +1,112 @@
+"""Unit tests for rules, worth measures and MPF ranking (Definitions 4–6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.errors import ValidationError
+
+
+def rule(body_items=(), head=("T", "P1"), order=0) -> Rule:
+    return Rule(
+        body=frozenset(GSale.item(i) for i in body_items),
+        head=GSale.promo_form(*head),
+        order=order,
+    )
+
+
+def scored(prof_re=1.0, supp=0.1, body_size=1, order=0, n_total=100) -> ScoredRule:
+    """Build a scored rule with the given rank ingredients."""
+    n_hits = max(1, round(supp * n_total))
+    n_matched = min(n_total, n_hits * 2)
+    body = frozenset(GSale.item(f"i{k}") for k in range(body_size))
+    return ScoredRule(
+        rule=Rule(body=body, head=GSale.promo_form("T", "P1"), order=order),
+        stats=RuleStats(
+            n_matched=n_matched,
+            n_hits=n_hits,
+            rule_profit=prof_re * n_matched,
+            n_total=n_total,
+        ),
+    )
+
+
+class TestRule:
+    def test_head_must_be_promo_form(self):
+        with pytest.raises(ValidationError, match="item, promotion"):
+            Rule(body=frozenset(), head=GSale.item("T"), order=0)
+
+    def test_body_must_not_mention_head_item(self):
+        with pytest.raises(ValidationError, match="target item"):
+            Rule(
+                body=frozenset({GSale.promo_form("T", "P2")}),
+                head=GSale.promo_form("T", "P1"),
+                order=0,
+            )
+
+    def test_default_rule_detection(self):
+        assert rule().is_default
+        assert not rule(body_items=["a"]).is_default
+
+    def test_describe(self):
+        r = rule(body_items=["Egg"], head=("Sunchip", "P2"))
+        assert r.describe() == "{Egg} -> <Sunchip @ P2>"
+
+
+class TestRuleStats:
+    def test_measures(self):
+        stats = RuleStats(n_matched=40, n_hits=30, rule_profit=90.0, n_total=200)
+        assert stats.support == pytest.approx(30 / 200)
+        assert stats.body_support == pytest.approx(40 / 200)
+        assert stats.confidence == pytest.approx(0.75)
+        assert stats.recommendation_profit == pytest.approx(90 / 40)
+        assert stats.average_profit_per_hit == pytest.approx(3.0)
+
+    def test_zero_division_guards(self):
+        stats = RuleStats(n_matched=0, n_hits=0, rule_profit=0.0, n_total=10)
+        assert stats.confidence == 0.0
+        assert stats.recommendation_profit == 0.0
+        assert stats.average_profit_per_hit == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            RuleStats(n_matched=5, n_hits=6, rule_profit=0.0, n_total=10)
+        with pytest.raises(ValidationError, match="inconsistent"):
+            RuleStats(n_matched=11, n_hits=5, rule_profit=0.0, n_total=10)
+        with pytest.raises(ValidationError, match="positive"):
+            RuleStats(n_matched=0, n_hits=0, rule_profit=0.0, n_total=0)
+
+
+class TestMPFRanking:
+    def test_profit_per_recommendation_first(self):
+        hi = scored(prof_re=2.0, supp=0.01)
+        lo = scored(prof_re=1.0, supp=0.99)
+        assert sorted([lo, hi])[0] == hi
+
+    def test_support_breaks_profit_ties(self):
+        wide = scored(prof_re=1.0, supp=0.50, order=1)
+        narrow = scored(prof_re=1.0, supp=0.10, order=0)
+        assert sorted([narrow, wide])[0] == wide
+
+    def test_body_size_breaks_support_ties(self):
+        simple = scored(prof_re=1.0, supp=0.10, body_size=1, order=1)
+        complex_ = scored(prof_re=1.0, supp=0.10, body_size=3, order=0)
+        assert sorted([complex_, simple])[0] == simple
+
+    def test_generation_order_is_total(self):
+        first = scored(order=0)
+        second = scored(order=1)
+        assert sorted([second, first])[0] == first
+
+    def test_rank_key_shape(self):
+        s = scored(prof_re=2.0, supp=0.2, body_size=2, order=7)
+        key = s.rank_key()
+        assert key[0] == pytest.approx(-2.0)
+        assert key[2] == 2
+        assert key[3] == 7
+
+    def test_describe_contains_stats(self):
+        text = scored().describe()
+        assert "supp=" in text and "conf=" in text and "prof_re=" in text

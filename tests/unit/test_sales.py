@@ -1,0 +1,125 @@
+"""Unit tests for sales, transactions and the transaction database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sales import Sale, Transaction, TransactionDB, concat
+from repro.errors import CatalogError, ValidationError
+
+
+class TestSale:
+    def test_defaults_to_unit_quantity(self):
+        sale = Sale("X", "P1")
+        assert sale.quantity == 1.0
+
+    @pytest.mark.parametrize("qty", [0.0, -1.0])
+    def test_nonpositive_quantity_rejected(self, qty):
+        with pytest.raises(ValidationError, match="quantity"):
+            Sale("X", "P1", quantity=qty)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            Sale("", "P1")
+        with pytest.raises(ValidationError):
+            Sale("X", "")
+
+    def test_recorded_profit_and_spend(self, small_catalog):
+        sale = Sale("Sunchip", "M", quantity=3)
+        assert sale.recorded_profit(small_catalog) == pytest.approx(3 * 2.5)
+        assert sale.recorded_spend(small_catalog) == pytest.approx(3 * 4.5)
+
+    def test_units_accounts_for_packing(self, small_catalog):
+        assert Sale("Bread", "P1", quantity=2).units(small_catalog) == 2
+
+
+class TestTransaction:
+    def test_requires_nontarget_sales(self):
+        with pytest.raises(ValidationError, match="non-target"):
+            Transaction(0, (), Sale("Sunchip", "L"))
+
+    def test_rejects_duplicate_nontarget_items(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Transaction(
+                0,
+                (Sale("Bread", "P1"), Sale("Bread", "P2")),
+                Sale("Sunchip", "L"),
+            )
+
+    def test_rejects_target_in_basket(self):
+        with pytest.raises(ValidationError, match="also appears"):
+            Transaction(
+                0,
+                (Sale("Sunchip", "L"),),
+                Sale("Sunchip", "M"),
+            )
+
+    def test_negative_tid_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            Transaction(-1, (Sale("Bread", "P1"),), Sale("Sunchip", "L"))
+
+    def test_basket_property(self):
+        t = Transaction(
+            0, (Sale("Bread", "P1"), Sale("Perfume", "P1")), Sale("Sunchip", "L")
+        )
+        assert t.basket == ("Bread", "Perfume")
+
+
+class TestTransactionDB:
+    def test_validates_target_item_kind(self, small_catalog):
+        bad = Transaction(0, (Sale("Bread", "P1"),), Sale("Perfume", "P1"))
+        with pytest.raises(ValidationError, match="not a target"):
+            TransactionDB(small_catalog, [bad])
+
+    def test_validates_target_used_as_nontarget(self, small_catalog):
+        bad = Transaction(0, (Sale("Sunchip", "L"),), Sale("Diamond", "D"))
+        with pytest.raises(ValidationError, match="target item"):
+            TransactionDB(small_catalog, [bad])
+
+    def test_validates_promotion_codes_exist(self, small_catalog):
+        bad = Transaction(0, (Sale("Bread", "P9"),), Sale("Sunchip", "L"))
+        with pytest.raises(CatalogError):
+            TransactionDB(small_catalog, [bad])
+
+    def test_append_validates(self, small_catalog, small_db):
+        before = len(small_db)
+        small_db.append(
+            Transaction(999, (Sale("Bread", "P1"),), Sale("Sunchip", "L"))
+        )
+        assert len(small_db) == before + 1
+        with pytest.raises(ValidationError):
+            small_db.append(
+                Transaction(1000, (Sale("Bread", "P1"),), Sale("Bread", "P1"))
+            )
+
+    def test_subset_and_filtered(self, small_db):
+        sub = small_db.subset([0, 1, 2])
+        assert len(sub) == 3
+        assert sub.catalog is small_db.catalog
+        perfume_only = small_db.filtered(lambda t: "Perfume" in t.basket)
+        assert all("Perfume" in t.basket for t in perfume_only)
+        assert len(perfume_only) == 31
+
+    def test_total_recorded_profit(self, small_db):
+        # 15×M(2.5) + 15×H(3.0) + 29×L(1.8) + 1×Diamond(40)
+        expected = 15 * 2.5 + 15 * 3.0 + 29 * 1.8 + 40.0
+        assert small_db.total_recorded_profit() == pytest.approx(expected)
+
+    def test_target_sale_histogram(self, small_db):
+        hist = small_db.target_sale_histogram()
+        assert hist[("Sunchip", "L")] == 29
+        assert hist[("Diamond", "D")] == 1
+
+    def test_concat_requires_shared_catalog(self, small_db, small_catalog):
+        merged = concat([small_db.subset([0, 1]), small_db.subset([2, 3])])
+        assert len(merged) == 4
+        other = TransactionDB(
+            catalog=type(small_catalog).from_items(list(small_catalog)),
+            transactions=[],
+        )
+        with pytest.raises(ValidationError, match="share one catalog"):
+            concat([small_db, other])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValidationError, match="zero"):
+            concat([])

@@ -1,0 +1,72 @@
+"""Unit tests for the paired fold comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.knn import KNNRecommender
+from repro.baselines.mpi import MPIRecommender
+from repro.errors import EvaluationError
+from repro.eval.cross_validation import cross_validate, kfold_indices
+from repro.eval.stats import compare_gains, compare_hit_rates
+
+
+@pytest.fixture
+def paired_cv(small_db, small_hierarchy):
+    splits = kfold_indices(len(small_db), k=4, seed=0)
+    knn = cross_validate(KNNRecommender, small_db, small_hierarchy, splits=splits)
+    mpi = cross_validate(MPIRecommender, small_db, small_hierarchy, splits=splits)
+    return knn, mpi
+
+
+class TestPairedComparison:
+    def test_fields_and_direction(self, paired_cv):
+        knn, mpi = paired_cv
+        cmp = compare_gains(knn, mpi)
+        assert cmp.metric == "gain"
+        assert cmp.mean_a == pytest.approx(knn.gain)
+        assert cmp.mean_b == pytest.approx(mpi.gain)
+        assert cmp.mean_diff == pytest.approx(knn.gain - mpi.gain)
+        assert cmp.a_wins == (knn.gain > mpi.gain)
+        assert 0 <= cmp.p_value <= 1
+
+    def test_hit_rate_variant(self, paired_cv):
+        knn, mpi = paired_cv
+        cmp = compare_hit_rates(knn, mpi)
+        assert cmp.metric == "hit_rate"
+        assert cmp.mean_a == pytest.approx(knn.hit_rate)
+
+    def test_identical_systems_not_significant(self, paired_cv):
+        knn, _ = paired_cv
+        cmp = compare_gains(knn, knn)
+        assert cmp.mean_diff == 0
+        assert cmp.p_value == 1.0
+        assert not cmp.significant()
+
+    def test_symmetry(self, paired_cv):
+        knn, mpi = paired_cv
+        ab = compare_gains(knn, mpi)
+        ba = compare_gains(mpi, knn)
+        assert ab.mean_diff == pytest.approx(-ba.mean_diff)
+        assert ab.p_value == pytest.approx(ba.p_value)
+
+    def test_mismatched_folds_rejected(self, small_db, small_hierarchy):
+        a = cross_validate(
+            KNNRecommender,
+            small_db,
+            small_hierarchy,
+            splits=kfold_indices(len(small_db), k=3, seed=0),
+        )
+        b = cross_validate(
+            MPIRecommender,
+            small_db,
+            small_hierarchy,
+            splits=kfold_indices(len(small_db), k=4, seed=0),
+        )
+        with pytest.raises(EvaluationError, match="folds"):
+            compare_gains(a, b)
+
+    def test_describe(self, paired_cv):
+        knn, mpi = paired_cv
+        text = compare_gains(knn, mpi).describe()
+        assert "kNN" in text and "MPI" in text and "p=" in text

@@ -1,0 +1,73 @@
+"""Unit tests for the what-if decision-surface analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.sales import Sale
+from repro.whatif import what_if
+
+
+@pytest.fixture
+def fitted(small_hierarchy, small_db):
+    return ProfitMiner(
+        small_hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.05, max_body_size=2)
+        ),
+    ).fit(small_db)
+
+
+class TestWhatIf:
+    def test_covers_every_candidate_pair(self, fitted, small_db):
+        options = what_if(
+            fitted.require_fitted_recommender(), [Sale("Perfume", "P1")]
+        )
+        pairs = {(o.item_id, o.promo_code) for o in options}
+        expected = {
+            (item.item_id, promo.code)
+            for item in small_db.catalog.target_items
+            for promo in item.promotions
+        }
+        assert pairs == expected
+
+    def test_sorted_by_expected_profit(self, fitted):
+        options = what_if(
+            fitted.require_fitted_recommender(), [Sale("Perfume", "P1")]
+        )
+        values = [o.expected_profit for o in options]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_option_matches_mpf_choice(self, fitted):
+        recommender = fitted.require_fitted_recommender()
+        basket = [Sale("Perfume", "P1")]
+        top = what_if(recommender, basket)[0]
+        pick = recommender.recommend(basket)
+        assert (top.item_id, top.promo_code) == (pick.item_id, pick.promo_code)
+
+    def test_expected_profit_is_acceptance_times_margin(self, fitted):
+        for option in what_if(
+            fitted.require_fitted_recommender(), [Sale("Bread", "P1")]
+        ):
+            assert option.expected_profit == pytest.approx(
+                option.acceptance_estimate * option.profit_per_package
+            )
+            assert 0 <= option.acceptance_estimate <= 1
+
+    def test_unsupported_candidates_get_zero(self, fitted):
+        options = what_if(
+            fitted.require_fitted_recommender(), [Sale("Bread", "P1")]
+        )
+        unsupported = [o for o in options if o.supporting_rule is None]
+        for option in unsupported:
+            assert option.acceptance_estimate == 0.0
+            assert option.expected_profit == 0.0
+
+    def test_describe_readable(self, fitted):
+        option = what_if(
+            fitted.require_fitted_recommender(), [Sale("Perfume", "P1")]
+        )[0]
+        text = option.describe()
+        assert "E[profit]" in text and option.item_id in text
