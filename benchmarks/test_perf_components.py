@@ -67,20 +67,76 @@ def test_perf_covering_and_pruning(benchmark, mining_result):
     assert len(tree) >= 1
 
 
-def test_perf_recommend_latency(benchmark, dataset):
-    miner = ProfitMiner(
+@pytest.fixture(scope="module")
+def fitted_miner(dataset):
+    return ProfitMiner(
         dataset.hierarchy,
         config=ProfitMinerConfig(
             mining=MinerConfig(min_support=MINSUP, max_body_size=BODY)
         ),
     ).fit(dataset.db)
-    baskets = [t.nontarget_sales for t in dataset.db.transactions[:100]]
+
+
+@pytest.fixture(scope="module")
+def serving_baskets(dataset):
+    return [t.nontarget_sales for t in dataset.db.transactions[:100]]
+
+
+def test_perf_recommend_latency(benchmark, fitted_miner, serving_baskets):
+    """Indexed batch serving over the cut-optimal recommender."""
+    recommendations = benchmark(fitted_miner.recommend_many, serving_baskets)
+    assert len(recommendations) == 100
+
+
+def test_perf_recommend_latency_naive(benchmark, fitted_miner, serving_baskets):
+    """Reference linear scan (the pre-index serving path), same workload."""
+    recommender = fitted_miner.require_fitted_recommender()
 
     def recommend_batch():
-        return [miner.recommend(basket) for basket in baskets]
+        return [
+            recommender.recommendation_rule(basket, naive=True)
+            for basket in serving_baskets
+        ]
 
-    recommendations = benchmark(recommend_batch)
-    assert len(recommendations) == 100
+    picks = benchmark(recommend_batch)
+    assert len(picks) == 100
+
+
+def test_perf_recommend_latency_unpruned(benchmark, fitted_miner, serving_baskets):
+    """Indexed matching over the full mined rule list (pre-pruning scale)."""
+    initial = fitted_miner.initial_recommender
+    index = initial.rule_index  # built outside the timed region
+
+    def match_batch():
+        return [index.first_match(basket) for basket in serving_baskets]
+
+    picks = benchmark(match_batch)
+    assert len(picks) == 100
+
+
+def test_perf_recommend_latency_unpruned_naive(
+    benchmark, fitted_miner, serving_baskets
+):
+    """Linear scan over the full mined rule list — the quadratic shape."""
+    initial = fitted_miner.initial_recommender
+
+    def recommend_batch():
+        return [
+            initial.recommendation_rule(basket, naive=True)
+            for basket in serving_baskets
+        ]
+
+    picks = benchmark(recommend_batch)
+    assert len(picks) == 100
+
+
+def test_perf_rule_index_build(benchmark, fitted_miner):
+    """Compiling the inverted index over the full mined rule list."""
+    from repro.core.rule_index import RuleMatchIndex
+
+    initial = fitted_miner.initial_recommender
+    index = benchmark(RuleMatchIndex, initial.ranked_rules, initial.moa)
+    assert index.n_rules == initial.model_size
 
 
 def test_perf_quest_generator(benchmark):

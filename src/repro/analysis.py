@@ -26,6 +26,8 @@ from repro.errors import RecommenderError
 __all__ = [
     "rules_table",
     "export_rules_csv",
+    "recommendations_table",
+    "export_recommendations_csv",
     "coverage_report",
     "pruning_summary",
     "validation_report",
@@ -78,6 +80,61 @@ def export_rules_csv(miner: ProfitMiner, path: str | Path) -> int:
     path = Path(path)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=_RULE_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+_RECOMMENDATION_FIELDS = (
+    "tid",
+    "target_item",
+    "promotion",
+    "rule_rank",
+    "rule",
+    "recommendation_profit",
+)
+
+
+def recommendations_table(miner: ProfitMiner, db) -> list[dict[str, Any]]:
+    """Per-transaction recommendations as dict rows, batch-served.
+
+    Uses :meth:`~repro.core.mpf.MPFRecommender.recommend_many` — the
+    indexed batch path — so exporting recommendations for a large
+    transaction file costs one index walk per distinct basket.
+    """
+    recommender = miner.require_fitted_recommender()
+    ranks = {
+        s.rule.order: rank
+        for rank, s in enumerate(recommender.ranked_rules, start=1)
+    }
+    recommendations = recommender.recommend_many(
+        [t.nontarget_sales for t in db.transactions]
+    )
+    rows: list[dict[str, Any]] = []
+    for transaction, rec in zip(db.transactions, recommendations):
+        scored = rec.rule
+        assert scored is not None  # MPF recommendations always carry a rule
+        rows.append(
+            {
+                "tid": transaction.tid,
+                "target_item": rec.item_id,
+                "promotion": rec.promo_code,
+                "rule_rank": ranks[scored.rule.order],
+                "rule": scored.rule.describe(),
+                "recommendation_profit": scored.stats.recommendation_profit,
+            }
+        )
+    return rows
+
+
+def export_recommendations_csv(
+    miner: ProfitMiner, db, path: str | Path
+) -> int:
+    """Write :func:`recommendations_table` to ``path``; returns the row count."""
+    rows = recommendations_table(miner, db)
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_RECOMMENDATION_FIELDS)
         writer.writeheader()
         writer.writerows(rows)
     return len(rows)

@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--max-body-size", type=int, default=2)
     export.add_argument("--no-moa", action="store_true", help="disable MOA")
     export.add_argument("--out", required=True, help="output CSV path")
+    export.add_argument(
+        "--recommendations-out",
+        default=None,
+        metavar="PATH",
+        help="also export per-transaction recommendations (batch-served) "
+        "as CSV",
+    )
 
     sweep = sub.add_parser("sweep", help="run the six-system support sweep")
     sweep.add_argument("--dataset", choices=("I", "II"), default="I")
@@ -167,6 +174,18 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         ),
     ).fit(db)
     print(miner.summary())
+    recommendations = miner.recommend_many(
+        [t.nontarget_sales for t in db.transactions]
+    )
+    mix: dict[tuple[str, str], int] = {}
+    for rec in recommendations:
+        pair = (rec.item_id, rec.promo_code)
+        mix[pair] = mix.get(pair, 0) + 1
+    top = ", ".join(
+        f"{item}@{promo} x{count}"
+        for (item, promo), count in sorted(mix.items(), key=lambda kv: -kv[1])[:3]
+    )
+    print(f"recommendation mix over {len(recommendations)} baskets: {top}")
     for transaction in db.transactions[: args.explain]:
         print()
         print(miner.explain(transaction.nontarget_sales))
@@ -179,7 +198,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from repro.analysis import export_rules_csv, pruning_summary
+    from repro.analysis import (
+        export_recommendations_csv,
+        export_rules_csv,
+        pruning_summary,
+    )
 
     db = load_transactions(args.data)
     hierarchy = grouped_hierarchy(db.catalog)
@@ -199,6 +222,9 @@ def _cmd_export(args: argparse.Namespace) -> int:
         f"(mined {summary['rules_mined']}, reduction factor "
         f"{summary['reduction_factor']:.1f}x)"
     )
+    if args.recommendations_out:
+        n_recs = export_recommendations_csv(miner, db, args.recommendations_out)
+        print(f"wrote {n_recs} recommendations to {args.recommendations_out}")
     return 0
 
 

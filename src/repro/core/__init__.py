@@ -31,6 +31,7 @@ from repro.core.promotion import (
 )
 from repro.core.pruning import PruneConfig, PruneReport, cut_optimal_prune
 from repro.core.recommender import Recommendation, Recommender
+from repro.core.rule_index import RuleMatchIndex, basket_key
 from repro.core.rules import Rule, RuleStats, ScoredRule
 from repro.core.sales import Sale, Transaction, TransactionDB, concat
 
@@ -59,6 +60,7 @@ __all__ = [
     "Recommender",
     "ROOT_CONCEPT",
     "Rule",
+    "RuleMatchIndex",
     "RuleStats",
     "Sale",
     "SavingMOA",
@@ -66,6 +68,7 @@ __all__ = [
     "Transaction",
     "TransactionDB",
     "TransactionIndex",
+    "basket_key",
     "build_covering_tree",
     "concat",
     "cut_optimal_prune",

@@ -132,6 +132,14 @@ class ProfitMiner(Recommender):
         assert self.recommender is not None
         return self.recommender.recommend(basket)
 
+    def recommend_many(
+        self, baskets: Sequence[Sequence[Sale]]
+    ) -> list[Recommendation]:
+        """Batch recommendation through the indexed cut-optimal recommender."""
+        self._check_fitted()
+        assert self.recommender is not None
+        return self.recommender.recommend_many(baskets)
+
     def explain(self, basket: Sequence[Sale]) -> str:
         """Explain the recommendation for ``basket`` (Requirement 5)."""
         self._check_fitted()

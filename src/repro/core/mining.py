@@ -33,7 +33,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.core.generalized import GSale
+from repro.core.generalized import GKind, GSale
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import ProfitModel
 from repro.core.rules import Rule, RuleStats, ScoredRule
@@ -293,7 +293,19 @@ def mine_rules(
     def emit_rules_for_body(body_ids: tuple[int, ...], body_mask: int) -> None:
         nonlocal order
         n_matched = body_mask.bit_count()
+        # Items the body mentions in promo form.  A head for such an item
+        # would violate the body/head separation that Rule.__post_init__
+        # enforces — possible when a generalization engine lifts target
+        # promo-forms into basket extensions — so the combination is
+        # skipped rather than aborting the whole mining run.
+        blocked_items = {
+            index.gsales[gid].node
+            for gid in body_ids
+            if index.gsales[gid].kind is GKind.PROMO
+        }
         for hid in frequent_heads:
+            if index.gsales[hid].node in blocked_items:
+                continue
             hit_mask = body_mask & index.head_hits_mask(hid)
             n_hits = hit_mask.bit_count()
             if n_hits < minsup_count:
@@ -418,8 +430,12 @@ def _build_default_rule(index: TransactionIndex, order: int) -> ScoredRule:
     """The default rule ``∅ → g`` maximizing ``Prof_re`` (Section 3.1).
 
     Matched transactions are the whole database, so maximizing ``Prof_re``
-    reduces to maximizing total credited profit; ties break toward the
-    lexicographically first head for determinism.
+    reduces to maximizing total credited profit.  Ties break toward the
+    head generated first: candidate heads are enumerated
+    most-specific-first (deepest in the per-item MOA(H) sub-hierarchy,
+    i.e. least favorable price first), mirroring the "generated before"
+    tie-breaker applied to mined rules — so a tie keeps the most
+    *specific* head, not the lexicographically first one.
     """
     best_hid: int | None = None
     best_profit = -math.inf
@@ -428,8 +444,8 @@ def _build_default_rule(index: TransactionIndex, order: int) -> ScoredRule:
             index.hit_profit(pos, hid)
             for pos in TransactionIndex.iter_bits(index.head_hits_mask(hid))
         )
-        if total > best_profit:
-            best_profit = total
+        if total > best_profit:  # strict: a tie keeps the earlier, more
+            best_profit = total  # specific head in generation order
             best_hid = hid
     if best_hid is None:  # pragma: no cover - catalog validation prevents this
         raise MiningError("no candidate heads available for the default rule")

@@ -18,7 +18,7 @@ import math
 from dataclasses import dataclass
 from itertools import combinations
 
-from repro.core.generalized import GSale
+from repro.core.generalized import GKind, GSale
 from repro.core.mining import MinerConfig
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import ProfitModel
@@ -77,7 +77,14 @@ def mine_rules_reference(
             ]
             if len(matched) < minsup_count:
                 continue
+            blocked_items = {
+                g.node for g in body if g.kind is GKind.PROMO
+            }
             for head in candidate_heads:
+                if head.node in blocked_items:
+                    # Mirrors the fast miner: a head for an item the body
+                    # mentions in promo form violates the Rule invariant.
+                    continue
                 hits = [
                     pos for pos in matched if head in heads_per_transaction[pos]
                 ]

@@ -32,11 +32,7 @@ from typing import Iterable, Sequence
 from repro.core.generalized import GKind, GSale
 from repro.core.hierarchy import ConceptHierarchy
 from repro.core.items import ItemCatalog
-from repro.core.promotion import (
-    PromotionCode,
-    is_at_least_as_favorable,
-    is_more_favorable,
-)
+from repro.core.promotion import PromotionCode, is_more_favorable
 from repro.core.sales import Sale
 from repro.errors import ValidationError
 
@@ -120,10 +116,23 @@ class MOAHierarchy:
     def _codes_lifting(
         self, codes: Sequence[PromotionCode], sold_at: PromotionCode
     ) -> list[PromotionCode]:
-        """Promotion codes a sale at ``sold_at`` generalizes to."""
+        """Promotion codes a sale at ``sold_at`` generalizes to.
+
+        The code itself plus every *strictly* more favorable code — the
+        same relation :meth:`ancestors_of_gsale` walks, so membership in a
+        generalization set and subsumption in MOA(H) always agree.  A
+        distinct code with identical customer terms (same price and
+        packing) is not lifted to: it is a different offer, possibly at a
+        different cost to the seller, and crediting it would misstate the
+        profit.
+        """
         if not self.use_moa:
             return [sold_at]
-        return [c for c in codes if is_at_least_as_favorable(c, sold_at)]
+        return [
+            c
+            for c in codes
+            if c.code == sold_at.code or is_more_favorable(c, sold_at)
+        ]
 
     # ------------------------------------------------------------------
     # Target-sale hits

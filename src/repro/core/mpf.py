@@ -5,6 +5,14 @@ rule of highest MPF rank.  The same class serves both the *initial*
 recommender (all mined rules, Section 3) and the *cut-optimal* recommender
 (the rules surviving pruning, Section 4) — they differ only in the rule list
 handed to the constructor.
+
+Serving routes through a compiled :class:`~repro.core.rule_index.RuleMatchIndex`
+(built lazily on first use): matching touches only rules sharing a
+generalized sale with the basket instead of scanning the whole ranked list.
+Every matching method keeps the original linear scan behind ``naive=True``
+as the reference path for differential testing, and
+:meth:`MPFRecommender.recommend_many` adds the batch serving API with a
+persistent basket-level memo.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Sequence
 
 from repro.core.moa import MOAHierarchy
 from repro.core.recommender import Recommendation, Recommender
+from repro.core.rule_index import RuleMatchIndex, basket_key
 from repro.core.rules import ScoredRule
 from repro.core.sales import Sale, TransactionDB
 from repro.errors import RecommenderError, ValidationError
@@ -35,6 +44,10 @@ class MPFRecommender(Recommender):
         Display name for experiment tables.
     """
 
+    #: Cap on the basket-level memo used by :meth:`recommend_many`; the
+    #: memo is cleared (not evicted entry-wise) when it would exceed this.
+    _MEMO_LIMIT = 1 << 18
+
     def __init__(
         self,
         scored_rules: Sequence[ScoredRule],
@@ -51,7 +64,16 @@ class MPFRecommender(Recommender):
         self.name = name
         self.moa = moa
         self.ranked_rules: list[ScoredRule] = sorted(scored_rules)
+        self._index: RuleMatchIndex | None = None
+        self._batch_memo: dict[frozenset[tuple[str, str]], Recommendation] = {}
         self._fitted = True
+
+    @property
+    def rule_index(self) -> RuleMatchIndex:
+        """The compiled matching index (built lazily on first use)."""
+        if self._index is None:
+            self._index = RuleMatchIndex(self.ranked_rules, self.moa)
+        return self._index
 
     def fit(self, db: TransactionDB) -> "MPFRecommender":
         """No-op: the rules were mined before construction.
@@ -70,36 +92,89 @@ class MPFRecommender(Recommender):
             rule=scored,
         )
 
-    def recommendation_rule(self, basket: Sequence[Sale]) -> ScoredRule:
-        """The MPF recommendation rule covering ``basket``."""
-        self._check_fitted()
-        gsales = self.moa.generalizations_of_basket(basket)
-        for scored in self.ranked_rules:
-            if scored.rule.body <= gsales:
-                return scored
-        raise RecommenderError(  # pragma: no cover - default rule matches all
-            "no matching rule found; the default rule is missing"
-        )
+    def recommend_many(
+        self, baskets: Sequence[Sequence[Sale]]
+    ) -> list[Recommendation]:
+        """Batch serving: one recommendation per basket, memoized.
 
-    def matching_rules(self, basket: Sequence[Sale]) -> list[ScoredRule]:
+        Baskets with the same ``(item, promotion)`` pairs — regardless of
+        quantities or sale order — are matched once; the memo persists
+        across calls (cleared when it reaches ``_MEMO_LIMIT`` entries), so
+        repeated traffic is answered with a dictionary lookup.
+        """
+        self._check_fitted()
+        memo = self._batch_memo
+        first_match = self.rule_index.first_match
+        out: list[Recommendation] = []
+        for basket in baskets:
+            key = basket_key(basket)
+            rec = memo.get(key)
+            if rec is None:
+                scored = first_match(basket)
+                if scored is None:  # pragma: no cover - default rule matches all
+                    raise RecommenderError(
+                        "no matching rule found; the default rule is missing"
+                    )
+                rec = Recommendation(
+                    item_id=scored.rule.head.node,
+                    promo_code=scored.rule.head.promo or "",
+                    rule=scored,
+                )
+                if len(memo) >= self._MEMO_LIMIT:
+                    memo.clear()
+                memo[key] = rec
+            out.append(rec)
+        return out
+
+    def recommendation_rule(
+        self, basket: Sequence[Sale], naive: bool = False
+    ) -> ScoredRule:
+        """The MPF recommendation rule covering ``basket``.
+
+        ``naive=True`` runs the original linear scan over the ranked rules
+        — the reference path the indexed matcher is differentially tested
+        against; production serving always uses the index.
+        """
+        self._check_fitted()
+        if naive:
+            gsales = self.moa.generalizations_of_basket(basket)
+            for scored in self.ranked_rules:
+                if scored.rule.body <= gsales:
+                    return scored
+            raise RecommenderError(  # pragma: no cover - default matches all
+                "no matching rule found; the default rule is missing"
+            )
+        scored = self.rule_index.first_match(basket)
+        if scored is None:  # pragma: no cover - default rule matches all
+            raise RecommenderError(
+                "no matching rule found; the default rule is missing"
+            )
+        return scored
+
+    def matching_rules(
+        self, basket: Sequence[Sale], naive: bool = False
+    ) -> list[ScoredRule]:
         """All matching rules in rank order (for multi-rule recommendation).
 
         Section 2 notes that recommending several pairs per customer simply
         selects several rules; callers can take a prefix of this list.
+        ``naive=True`` selects the reference linear filter.
         """
         self._check_fitted()
-        gsales = self.moa.generalizations_of_basket(basket)
-        return [s for s in self.ranked_rules if s.rule.body <= gsales]
+        if naive:
+            gsales = self.moa.generalizations_of_basket(basket)
+            return [s for s in self.ranked_rules if s.rule.body <= gsales]
+        return self.rule_index.all_matches(basket)
 
     def recommend_top_k(
-        self, basket: Sequence[Sale], k: int
+        self, basket: Sequence[Sale], k: int, naive: bool = False
     ) -> list[Recommendation]:
         """Up to ``k`` recommendations with distinct (item, promotion) pairs."""
         if k < 1:
             raise ValidationError(f"k must be at least 1, got {k}")
         picks: list[Recommendation] = []
         seen: set[tuple[str, str]] = set()
-        for scored in self.matching_rules(basket):
+        for scored in self.matching_rules(basket, naive=naive):
             pair = (scored.rule.head.node, scored.rule.head.promo or "")
             if pair in seen:
                 continue

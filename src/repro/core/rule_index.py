@@ -1,0 +1,191 @@
+"""Indexed rule matching: the serving hot path of the MPF recommender.
+
+The original serving path (kept as the ``naive=True`` reference in
+:class:`~repro.core.mpf.MPFRecommender`) re-derives the basket's full
+generalization set on every call and linearly scans *every* ranked rule —
+``O(|basket gsales| + |R| · |body|)`` per recommendation, the same
+quadratic shape rule *mining* already eliminated with interned gsale ids
+and bitmasks (:mod:`repro.core.mining`).  Recommendation latency is the
+hot path of every cross-validation fold and every figure benchmark, so
+serving gets the same treatment:
+
+* each ranked rule's body is interned once into dense gsale ids;
+* an **inverted index** maps each gsale id to the (rank-ascending) list of
+  rules whose body contains it;
+* a **per-sale cache** maps ``(item, promotion)`` to the interned ids of
+  the sale's generalizations that occur in *any* rule body — in practice a
+  tiny subset of the ~20 generalized sales a basket expands to, so basket
+  preparation is a few small dict lookups instead of a frozenset union of
+  :class:`~repro.core.generalized.GSale` objects;
+* matching counts remaining body members per candidate rule, touching only
+  rules that share at least one generalized sale with the basket, with an
+  early cut-off at the best full match found so far.
+
+Matching one basket is therefore ``O(Σ_{g ∈ basket ids} |postings(g)|)``
+— proportional to how much of the rule set the basket can possibly fire,
+not to the rule set's size.  The index is exact: differential property
+tests (``tests/property/test_rule_index_differential.py``) require the
+same :class:`~repro.core.rules.ScoredRule` objects as the naive scan for
+random rule sets and baskets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.generalized import GSale
+from repro.core.moa import MOAHierarchy
+from repro.core.rules import ScoredRule
+from repro.core.sales import Sale
+
+__all__ = ["RuleMatchIndex", "basket_key"]
+
+
+def basket_key(basket: Sequence[Sale]) -> frozenset[tuple[str, str]]:
+    """Memoization key of a basket: its set of ``(item, promotion)`` pairs.
+
+    Quantities never enter rule matching (a sale's generalizations depend
+    only on its item and promotion code), so baskets differing only in
+    quantities or in sale order share a key — and a memoized result.
+    """
+    return frozenset((sale.item_id, sale.promo_code) for sale in basket)
+
+
+class RuleMatchIndex:
+    """Inverted index over the bodies of a ranked rule list.
+
+    Parameters
+    ----------
+    ranked_rules:
+        The rule list in MPF rank order (ascending = higher rank).  The
+        index answers queries in terms of positions in this list, so the
+        caller must pass it already sorted — :class:`MPFRecommender` hands
+        over its ``ranked_rules``.
+    moa:
+        The generalization engine the rules were mined against; used once
+        per distinct ``(item, promotion)`` pair to expand a sale, after
+        which the expansion is served from the per-sale cache.
+    """
+
+    def __init__(
+        self, ranked_rules: Sequence[ScoredRule], moa: MOAHierarchy
+    ) -> None:
+        self.moa = moa
+        self.rules: list[ScoredRule] = list(ranked_rules)
+        self._body_sizes: list[int] = []
+        self._gsale_ids: dict[GSale, int] = {}
+        self._postings: list[list[int]] = []
+        self._always_match: list[int] = []
+        for idx, scored in enumerate(self.rules):
+            body = scored.rule.body
+            self._body_sizes.append(len(body))
+            if not body:
+                self._always_match.append(idx)
+                continue
+            for gsale in body:
+                gid = self._gsale_ids.setdefault(gsale, len(self._postings))
+                if gid == len(self._postings):
+                    self._postings.append([])
+                self._postings[gid].append(idx)
+        self._sale_ids: dict[tuple[str, str], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rules(self) -> int:
+        """Number of indexed rules (including always-matching ones)."""
+        return len(self.rules)
+
+    @property
+    def n_indexed_gsales(self) -> int:
+        """Number of distinct generalized sales across all rule bodies."""
+        return len(self._postings)
+
+    @property
+    def n_postings(self) -> int:
+        """Total inverted-index size: Σ over gsales of |rules containing it|."""
+        return sum(len(p) for p in self._postings)
+
+    # ------------------------------------------------------------------
+    # Basket preparation
+    # ------------------------------------------------------------------
+    def _expand_sale(self, key: tuple[str, str], sale: Sale) -> tuple[int, ...]:
+        """Cache miss: intern the sale's generalizations that rules mention."""
+        gsale_ids = self._gsale_ids
+        ids = tuple(
+            sorted(
+                gsale_ids[g]
+                for g in self.moa.generalizations_of_sale(sale)
+                if g in gsale_ids
+            )
+        )
+        self._sale_ids[key] = ids
+        return ids
+
+    def candidate_ids(self, basket: Sequence[Sale]) -> list[int]:
+        """Interned ids of the basket's generalizations seen in rule bodies.
+
+        Deduplicated (a generalized sale reachable from two sales counts
+        once) but unordered.  Generalized sales that occur in no rule body
+        are dropped — they cannot influence matching.
+        """
+        sale_ids = self._sale_ids
+        gathered: list[int] = []
+        for sale in basket:
+            key = (sale.item_id, sale.promo_code)
+            ids = sale_ids.get(key)
+            if ids is None:
+                ids = self._expand_sale(key, sale)
+            gathered.extend(ids)
+        if len(gathered) > 1:
+            return list(set(gathered))
+        return gathered
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def first_match(self, basket: Sequence[Sale]) -> ScoredRule | None:
+        """The highest-ranked rule matching ``basket`` (Definition 6).
+
+        Returns ``None`` only when the rule list has no always-matching
+        (empty-body) rule and nothing else matches.
+        """
+        postings = self._postings
+        sizes = self._body_sizes
+        always = self._always_match
+        best = always[0] if always else len(self.rules)
+        counts: dict[int, int] = {}
+        for gid in self.candidate_ids(basket):
+            for ridx in postings[gid]:
+                if ridx >= best:
+                    # Postings are rank-ascending: nothing further in this
+                    # list can beat the best full match found so far.
+                    break
+                count = counts.get(ridx, 0) + 1
+                counts[ridx] = count
+                if count == sizes[ridx]:
+                    best = ridx
+        if best == len(self.rules):
+            return None
+        return self.rules[best]
+
+    def matching_indices(self, basket: Sequence[Sale]) -> list[int]:
+        """Rank positions of every rule matching ``basket``, ascending."""
+        postings = self._postings
+        sizes = self._body_sizes
+        counts: dict[int, int] = {}
+        matched = list(self._always_match)
+        for gid in self.candidate_ids(basket):
+            for ridx in postings[gid]:
+                count = counts.get(ridx, 0) + 1
+                counts[ridx] = count
+                if count == sizes[ridx]:
+                    matched.append(ridx)
+        matched.sort()
+        return matched
+
+    def all_matches(self, basket: Sequence[Sale]) -> list[ScoredRule]:
+        """Every matching rule in rank order — the naive filter, indexed."""
+        rules = self.rules
+        return [rules[i] for i in self.matching_indices(basket)]

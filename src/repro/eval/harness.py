@@ -10,6 +10,7 @@ the same cross-validation folds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -142,8 +143,19 @@ class SweepResult:
         return out
 
     def best_system(self, min_support: float) -> str:
-        """The system with the highest gain at one support level."""
-        candidates = [p for p in self.points if p.min_support == min_support]
+        """The system with the highest gain at one support level.
+
+        Support levels are compared with :func:`math.isclose`, so values
+        that went through float arithmetic (e.g. ``0.01 * 3``) still
+        select their sweep points instead of silently matching nothing.
+        """
+        candidates = [
+            p
+            for p in self.points
+            if math.isclose(
+                p.min_support, min_support, rel_tol=1e-9, abs_tol=1e-12
+            )
+        ]
         if not candidates:
             raise EvaluationError(f"no sweep points at min_support={min_support}")
         return max(candidates, key=lambda p: p.gain).system

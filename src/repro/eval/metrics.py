@@ -160,8 +160,12 @@ def evaluate(
     )
     rng = np.random.default_rng(config.seed)
     outcomes: list[TransactionOutcome] = []
-    for transaction in validation:
-        recommendation = recommender.recommend(transaction.nontarget_sales)
+    # Batch the recommendations: index-backed recommenders answer repeated
+    # baskets from their memo and only touch rules a basket can fire.
+    recommendations = recommender.recommend_many(
+        [t.nontarget_sales for t in validation]
+    )
+    for transaction, recommendation in zip(validation, recommendations):
         head = GSale.promo_form(recommendation.item_id, recommendation.promo_code)
         target = transaction.target_sale
         hit = judge.hits(head, target)

@@ -117,6 +117,32 @@ class TestExportCommand:
         assert text.startswith("rank,")
         assert "wrote" in capsys.readouterr().out
 
+    def test_export_recommendations_csv(self, tmp_path, capsys):
+        data = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
+        )
+        rules = tmp_path / "rules.csv"
+        recs = tmp_path / "recs.csv"
+        code = main(
+            [
+                "export",
+                "--data",
+                str(data),
+                "--min-support",
+                "0.02",
+                "--out",
+                str(rules),
+                "--recommendations-out",
+                str(recs),
+            ]
+        )
+        assert code == 0
+        lines = recs.read_text().splitlines()
+        assert lines[0].startswith("tid,")
+        assert len(lines) == 1 + 300  # header + one row per transaction
+        assert "recommendations" in capsys.readouterr().out
+
 
 class TestCompareCommand:
     def test_compare_prints_table_and_significance(self, capsys):

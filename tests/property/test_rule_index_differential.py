@@ -1,0 +1,123 @@
+"""Differential properties: the indexed matcher vs the naive linear scan.
+
+The compiled :class:`~repro.core.rule_index.RuleMatchIndex` is only an
+optimization — Definition 6's recommendation rule must be *identical* to
+the reference linear scan on every basket, down to object identity of the
+selected :class:`~repro.core.rules.ScoredRule`.  These properties drive
+both paths over random mining problems and random baskets.
+
+A second group stresses the miner's (body, head) separation guard: a
+generalization engine that leaks target promo-forms into basket
+extensions must never make :func:`~repro.core.mining.mine_rules` raise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generalized import GKind, GSale
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.core.sales import Sale
+
+from tests.property.test_mining_properties import mining_problems
+
+
+def _random_basket(draw, catalog):
+    """A basket of 0–4 non-target sales, possibly with repeated items."""
+    nontargets = catalog.nontarget_items
+    k = draw(st.integers(0, 4))
+    return [
+        Sale(
+            item.item_id,
+            draw(st.sampled_from(item.promotions)).code,
+        )
+        for item in (
+            draw(st.sampled_from(nontargets)) for _ in range(k)
+        )
+    ]
+
+
+class TestIndexNaiveParity:
+    @given(mining_problems(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_recommendation_rule_identical(self, problem, data):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        baskets = [t.nontarget_sales for t in db]
+        baskets += [
+            _random_basket(data.draw, db.catalog) for _ in range(3)
+        ]
+        for basket in baskets:
+            indexed = recommender.recommendation_rule(basket)
+            naive = recommender.recommendation_rule(basket, naive=True)
+            assert indexed is naive
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_matching_rules_identical(self, problem):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        for t in db:
+            basket = t.nontarget_sales
+            indexed = recommender.matching_rules(basket)
+            naive = recommender.matching_rules(basket, naive=True)
+            assert len(indexed) == len(naive)
+            assert all(a is b for a, b in zip(indexed, naive))
+
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_recommend_many_matches_naive_scan(self, problem):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        baskets = [t.nontarget_sales for t in db]
+        batch = recommender.recommend_many(baskets)
+        for basket, rec in zip(baskets, batch):
+            naive = recommender.recommendation_rule(basket, naive=True)
+            assert rec.rule is naive
+            assert rec.item_id == naive.rule.head.node
+            assert rec.promo_code == (naive.rule.head.promo or "")
+
+
+class _LeakyMOA(MOAHierarchy):
+    """Lifts every candidate head into every basket's generalizations."""
+
+    def generalizations_of_sale(self, sale):
+        """The real generalizations plus every target promo-form."""
+        return super().generalizations_of_sale(sale) | frozenset(
+            self.all_candidate_heads()
+        )
+
+
+class TestLeakedTargetFormsNeverCrashMining:
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_mining_never_raises(self, problem):
+        db, moa, config = problem
+        leaky = _LeakyMOA(db.catalog, moa.hierarchy, use_moa=moa.use_moa)
+        result = mine_rules(db, leaky, SavingMOA(), config)
+        # Every emitted rule still honors the body/head separation.
+        for scored in result.all_rules:
+            for g in scored.rule.body:
+                assert not (
+                    g.kind is GKind.PROMO and g.node == scored.rule.head.node
+                )
+
+    @given(mining_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_index_parity_survives_leaky_moa(self, problem):
+        db, moa, config = problem
+        leaky = _LeakyMOA(db.catalog, moa.hierarchy, use_moa=moa.use_moa)
+        result = mine_rules(db, leaky, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, leaky)
+        for t in db:
+            basket = t.nontarget_sales
+            assert recommender.recommendation_rule(
+                basket
+            ) is recommender.recommendation_rule(basket, naive=True)

@@ -106,6 +106,26 @@ class TestSweep:
         with pytest.raises(EvaluationError, match="non-empty"):
             run_support_sweep(tiny_dataset_i, min_supports=())
 
+    def test_best_system_tolerates_float_noise(self):
+        from repro.eval.harness import SweepPoint, SweepResult
+
+        # An accumulated support level drifts off the literal: exact
+        # equality used to match nothing for such values.
+        noisy = sum([0.005] * 6)  # 0.030000000000000002
+        assert noisy != 0.03
+        result = SweepResult(
+            dataset_name="synthetic",
+            min_supports=[noisy],
+            points=[
+                SweepPoint("PROF+MOA", noisy, gain=0.8, hit_rate=0.5, model_size=4),
+                SweepPoint("kNN", noisy, gain=0.6, hit_rate=0.4, model_size=None),
+            ],
+        )
+        assert result.best_system(0.03) == "PROF+MOA"
+        assert result.best_system(noisy) == "PROF+MOA"
+        with pytest.raises(EvaluationError, match="no sweep points"):
+            result.best_system(0.05)
+
 
 class TestSingleSupport:
     def test_returns_cv_per_system(self, tiny_dataset_i):

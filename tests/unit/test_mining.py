@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.core.generalized import GSale
+from repro.core.generalized import GKind, GSale
 from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import BinaryProfit, SavingMOA
@@ -200,3 +200,105 @@ class TestMineRules:
         )
         with pytest.raises(MiningError, match="explosion"):
             mine_rules(small_db, small_moa, SavingMOA(), config)
+
+
+class LeakyMOA(MOAHierarchy):
+    """Generalization engine that leaks a target promo-form into baskets.
+
+    ``Rule.__post_init__`` forbids a body promo-form naming the head's
+    item.  A consistent catalog can never produce that combination (target
+    items are not sold as non-target sales), but nothing in the
+    :class:`MOAHierarchy` contract prevents a generalization engine from
+    lifting one in — this subclass models that, reproducing the crash the
+    miner's (body, head) skip-guard fixes.
+    """
+
+    def generalizations_of_sale(self, sale):
+        """Every real generalization plus a leaked ``<Sunchip @ L>``."""
+        return super().generalizations_of_sale(sale) | {
+            GSale.promo_form("Sunchip", "L")
+        }
+
+
+class TestBodyHeadSeparationGuard:
+    def test_rule_invariant_rejects_head_item_in_body(self):
+        # The invariant the mining guard protects: a promo-form body member
+        # must not name the head's item.
+        from repro.core.rules import Rule
+
+        with pytest.raises(ValidationError, match="head's target item"):
+            Rule(
+                body=frozenset([GSale.promo_form("Sunchip", "L")]),
+                head=GSale.promo_form("Sunchip", "M"),
+                order=0,
+            )
+
+    def test_mining_survives_leaked_target_promo_form(
+        self, small_db, small_catalog, small_hierarchy
+    ):
+        leaky = LeakyMOA(small_catalog, small_hierarchy, use_moa=True)
+        # <Sunchip @ L> now appears in every extended transaction, so it
+        # becomes a frequent body; before the skip-guard this crashed with
+        # ValidationError when paired with a Sunchip head.
+        result = mine_rules(
+            small_db,
+            leaky,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, max_body_size=2),
+        )
+        for scored in result.scored_rules:
+            for g in scored.rule.body:
+                assert not (
+                    g.kind is GKind.PROMO and g.node == scored.rule.head.node
+                )
+
+    def test_leaked_body_still_allowed_with_other_item_heads(
+        self, small_db, small_catalog, small_hierarchy
+    ):
+        leaky = LeakyMOA(small_catalog, small_hierarchy, use_moa=True)
+        # At minsup=1 transaction the Diamond head is frequent; the leaked
+        # Sunchip body may legally pair with it — only Sunchip heads are
+        # blocked for that body.
+        result = mine_rules(
+            small_db,
+            leaky,
+            SavingMOA(),
+            MinerConfig(min_support=0.01, max_body_size=1),
+        )
+        leaked = GSale.promo_form("Sunchip", "L")
+        heads_for_leaked_body = {
+            s.rule.head.node
+            for s in result.scored_rules
+            if leaked in s.rule.body
+        }
+        assert "Diamond" in heads_for_leaked_body
+        assert "Sunchip" not in heads_for_leaked_body
+
+
+class TestDefaultRuleTieBreak:
+    def test_tie_keeps_most_specific_head(self, small_catalog, small_hierarchy):
+        # All target sales record the top price H.  Under MOA every Sunchip
+        # head (L, M, H) then hits every transaction, so with binary profit
+        # all three tie on total credit; the most specific head — the
+        # least favorable price, generated first — must win.
+        transactions = [
+            Transaction(tid, (Sale("Bread", "P1"),), Sale("Sunchip", "H"))
+            for tid in range(10)
+        ]
+        db = TransactionDB(catalog=small_catalog, transactions=transactions)
+        moa = MOAHierarchy(small_catalog, small_hierarchy, use_moa=True)
+        result = mine_rules(
+            db,
+            moa,
+            BinaryProfit(),
+            MinerConfig(min_support=0.1, max_body_size=1),
+        )
+        default = result.default_rule
+        assert default.rule.is_default
+        assert default.rule.head == GSale.promo_form("Sunchip", "H")
+        # The tie is real: every Sunchip head credits every transaction.
+        for code in ("L", "M", "H"):
+            assert all(
+                moa.hits(GSale.promo_form("Sunchip", code), t.target_sale)
+                for t in db
+            )

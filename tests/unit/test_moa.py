@@ -39,6 +39,39 @@ class TestSaleGeneralization:
         with pytest.raises(ValidationError, match="target"):
             small_moa.generalizations_of_sale(Sale("Sunchip", "L"))
 
+    def test_equivalent_codes_do_not_inter_generalize(self):
+        # Two codes with identical customer terms (price and packing) but
+        # different ids — e.g. different seller costs — are distinct offers:
+        # a sale at one must not lift to the other.  This keeps membership
+        # in a generalization set consistent with MOA(H) subsumption, which
+        # is strict.
+        from repro.core.hierarchy import ConceptHierarchy
+        from repro.core.items import Item, ItemCatalog
+        from repro.core.promotion import PromotionCode
+
+        catalog = ItemCatalog.from_items(
+            [
+                Item(
+                    "Soap",
+                    (
+                        PromotionCode("A", price=2.0, cost=1.0),
+                        PromotionCode("B", price=2.0, cost=0.5),
+                    ),
+                ),
+                Item(
+                    "Gem", (PromotionCode("G", 9.0, 5.0),), is_target=True
+                ),
+            ]
+        )
+        hierarchy = ConceptHierarchy.for_catalog(catalog, {})
+        moa = MOAHierarchy(catalog, hierarchy, use_moa=True)
+        gsales = moa.generalizations_of_sale(Sale("Soap", "A"))
+        assert GSale.promo_form("Soap", "A") in gsales
+        assert GSale.promo_form("Soap", "B") not in gsales
+        # Every lifted generalization is subsumption-consistent.
+        exact = GSale.promo_form("Soap", "A")
+        assert all(moa.generalizes_or_equal(g, exact) for g in gsales)
+
     def test_basket_union(self, small_moa):
         combined = small_moa.generalizations_of_basket(
             [Sale("Bread", "P1"), Sale("Perfume", "P1")]

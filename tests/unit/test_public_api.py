@@ -39,6 +39,7 @@ MODULES = [
     "repro.core.promotion",
     "repro.core.pruning",
     "repro.core.recommender",
+    "repro.core.rule_index",
     "repro.core.rules",
     "repro.core.sales",
     "repro.data",

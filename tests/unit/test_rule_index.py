@@ -1,0 +1,161 @@
+"""Unit tests for the inverted rule-matching index (serving hot path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.core.rule_index import RuleMatchIndex, basket_key
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.core.sales import Sale
+
+
+@pytest.fixture
+def recommender(small_db, small_moa):
+    result = mine_rules(
+        small_db,
+        small_moa,
+        SavingMOA(),
+        MinerConfig(min_support=0.05, max_body_size=2),
+    )
+    return MPFRecommender(result.all_rules, small_moa)
+
+
+@pytest.fixture
+def index(recommender):
+    return recommender.rule_index
+
+
+BASKETS = [
+    [Sale("Perfume", "P1")],
+    [Sale("Bread", "P1")],
+    [Sale("Bread", "P2")],
+    [Sale("Perfume", "P1"), Sale("Bread", "P2")],
+    [Sale("Perfume", "P1"), Sale("Bread", "P1")],
+]
+
+
+class TestBasketKey:
+    def test_ignores_quantity_and_order(self):
+        a = [Sale("Perfume", "P1", 1.0), Sale("Bread", "P2", 3.0)]
+        b = [Sale("Bread", "P2", 7.0), Sale("Perfume", "P1", 2.0)]
+        assert basket_key(a) == basket_key(b)
+
+    def test_distinguishes_promotions(self):
+        assert basket_key([Sale("Bread", "P1")]) != basket_key(
+            [Sale("Bread", "P2")]
+        )
+
+    def test_duplicate_sales_collapse(self):
+        once = [Sale("Bread", "P1")]
+        twice = [Sale("Bread", "P1"), Sale("Bread", "P1")]
+        assert basket_key(once) == basket_key(twice)
+
+
+class TestIndexStructure:
+    def test_counts(self, index, recommender):
+        assert index.n_rules == recommender.model_size
+        bodies = [s.rule.body for s in recommender.ranked_rules]
+        distinct = set().union(*bodies) if bodies else set()
+        assert index.n_indexed_gsales == len(distinct)
+        assert index.n_postings == sum(len(b) for b in bodies)
+
+    def test_postings_are_rank_ascending(self, index):
+        for posting in index._postings:
+            assert posting == sorted(posting)
+
+    def test_default_rule_always_matches(self, index):
+        # The mined rule list carries exactly one empty-body default rule.
+        assert len(index._always_match) == 1
+        scored = index.first_match([])
+        assert scored is not None
+
+    def test_no_default_returns_none(self, small_moa):
+        body = frozenset([GSale.item("Bread")])
+        head = GSale.promo_form("Sunchip", "L")
+        scored = ScoredRule(
+            rule=Rule(body=body, head=head, order=0),
+            stats=RuleStats(n_matched=4, n_hits=2, rule_profit=2.0, n_total=10),
+        )
+        index = RuleMatchIndex([scored], small_moa)
+        assert index.first_match([Sale("Perfume", "P1")]) is None
+        assert index.first_match([Sale("Bread", "P1")]) is scored
+
+
+class TestMatchingParity:
+    @pytest.mark.parametrize("basket", BASKETS)
+    def test_first_match_equals_naive(self, recommender, basket):
+        assert recommender.recommendation_rule(
+            basket
+        ) is recommender.recommendation_rule(basket, naive=True)
+
+    @pytest.mark.parametrize("basket", BASKETS)
+    def test_all_matches_equal_naive(self, recommender, basket):
+        indexed = recommender.matching_rules(basket)
+        naive = recommender.matching_rules(basket, naive=True)
+        assert [id(s) for s in indexed] == [id(s) for s in naive]
+
+    def test_parity_over_training_db(self, recommender, small_db):
+        for transaction in small_db:
+            basket = transaction.nontarget_sales
+            assert recommender.recommendation_rule(
+                basket
+            ) is recommender.recommendation_rule(basket, naive=True)
+
+    def test_top_k_parity(self, recommender):
+        for basket in BASKETS:
+            indexed = recommender.recommend_top_k(basket, k=3)
+            naive = recommender.recommend_top_k(basket, k=3, naive=True)
+            assert [(p.item_id, p.promo_code) for p in indexed] == [
+                (p.item_id, p.promo_code) for p in naive
+            ]
+
+
+class TestRecommendMany:
+    def test_matches_sequential_recommend(self, recommender):
+        batch = recommender.recommend_many(BASKETS)
+        singles = [recommender.recommend(b) for b in BASKETS]
+        assert [(r.item_id, r.promo_code) for r in batch] == [
+            (r.item_id, r.promo_code) for r in singles
+        ]
+        assert [r.rule for r in batch] == [r.rule for r in singles]
+
+    def test_memoizes_repeated_baskets(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        first, second = recommender.recommend_many([basket, list(basket)])
+        assert first is second  # served from the memo, same object
+        # The memo persists across calls.
+        (third,) = recommender.recommend_many([basket])
+        assert third is first
+
+    def test_memo_is_quantity_insensitive(self, recommender):
+        a, b = recommender.recommend_many(
+            [[Sale("Perfume", "P1", 1.0)], [Sale("Perfume", "P1", 5.0)]]
+        )
+        assert a is b
+
+    def test_memo_clears_at_limit(self, recommender, monkeypatch):
+        monkeypatch.setattr(MPFRecommender, "_MEMO_LIMIT", 1)
+        recommender.recommend_many(BASKETS)
+        assert len(recommender._batch_memo) <= 1
+
+    def test_empty_batch(self, recommender):
+        assert recommender.recommend_many([]) == []
+
+
+class TestCandidateIds:
+    def test_ids_deduplicated(self, index):
+        basket = [Sale("Bread", "P1"), Sale("Bread", "P2")]
+        ids = index.candidate_ids(basket)
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_item_yields_nothing(self, recommender, small_moa):
+        # An (item, promo) pair whose generalizations appear in no rule
+        # body contributes no candidates; the default rule still fires.
+        index = recommender.rule_index
+        sunk = [Sale("Perfume", "P1")]
+        ids = index.candidate_ids(sunk)
+        assert all(0 <= gid < index.n_indexed_gsales for gid in ids)
