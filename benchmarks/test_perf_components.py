@@ -3,22 +3,35 @@
 Unlike the figure benchmarks (single-shot experiments), these time the hot
 paths with proper repetition: rule mining, covering-tree construction with
 cut-optimal pruning, recommendation latency, the Quest generator and kNN
-queries.
+queries — plus the sweep-scale fit path (shared index cache + mine-once
+support sweeps) against the sequential per-level refit it replaces.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import statistics
+import time
+
 import pytest
 
 from repro.core.covering import build_covering_tree
+from repro.core.index_cache import FitCache
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
-from repro.core.mining import MinerConfig, mine_rules
+from repro.core.mining import MinerConfig, filter_mining_result, mine_rules
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import SavingMOA
 from repro.core.pruning import PruneConfig, cut_optimal_prune
 from repro.baselines.knn import KNNRecommender
 from repro.data.datasets import build_dataset, dataset_i_config
 from repro.data.quest import QuestConfig, QuestGenerator
+from repro.eval.cross_validation import cross_validate, kfold_indices
+from repro.eval.harness import (
+    eval_config_for_system,
+    paper_recommenders,
+    run_support_sweep,
+)
 
 MINSUP = 0.01
 BODY = 2
@@ -168,3 +181,245 @@ def test_perf_mine_rules_fpgrowth(benchmark, dataset, moa):
         MinerConfig(min_support=MINSUP, max_body_size=BODY, algorithm="fpgrowth"),
     )
     assert result.scored_rules
+
+
+# ----------------------------------------------------------------------
+# Sweep-scale fit path: shared index cache + mine-once support sweeps
+# ----------------------------------------------------------------------
+#
+# Workload: 4 rule systems x 4 support levels x 5 folds on the small
+# experiment scale (pinned explicitly — the asserted speedup floor was
+# calibrated at this size, so REPRO_SCALE must not move it).  The baseline
+# is the pre-acceleration fit path: every (system, level, fold) cell
+# builds its own index and mines from scratch.  The fast path shares one
+# FitCache across all systems and folds, mines each (system, fold) cell
+# once at the lowest support and derives the higher levels by
+# anti-monotone filtering.  Both paths must produce identical models —
+# the speedup is only meaningful if nothing was skipped.
+
+SWEEP_SUPPORTS = (0.01, 0.02, 0.04, 0.08)
+SWEEP_SYSTEMS = ("PROF+MOA", "PROF-MOA", "CONF+MOA", "CONF-MOA")
+SWEEP_FOLDS = 5
+SWEEP_SEED = 7
+SWEEP_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset():
+    return build_dataset(
+        dataset_i_config(
+            n_transactions=2500, n_items=300, n_patterns=240, seed=SWEEP_SEED
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_splits(sweep_dataset):
+    return kfold_indices(len(sweep_dataset.db), k=SWEEP_FOLDS, seed=SWEEP_SEED)
+
+
+def _sweep_factory(dataset, system, min_support):
+    return paper_recommenders(
+        dataset.hierarchy, min_support, max_body_size=BODY, systems=(system,)
+    )[system]
+
+
+def _model_signature(miner):
+    """Order-sensitive fingerprint of a fitted cut-optimal model."""
+    return [
+        (scored.rule.body, scored.rule.head, scored.stats.rule_profit)
+        for scored in miner.require_fitted_recommender().ranked_rules
+    ]
+
+
+def _fit_baseline(dataset, folds, cells):
+    """Per-level refits, no sharing: the pre-acceleration fit path."""
+    signatures = {}
+    for system in SWEEP_SYSTEMS:
+        for fold, train in enumerate(folds):
+            for min_support in SWEEP_SUPPORTS:
+                started = time.perf_counter()
+                miner = _sweep_factory(dataset, system, min_support)()
+                miner.fit(train)
+                cells.append(
+                    {
+                        "system": system,
+                        "fold": fold,
+                        "min_support": min_support,
+                        "seconds": time.perf_counter() - started,
+                    }
+                )
+                signatures[(system, min_support, fold)] = _model_signature(miner)
+    return signatures
+
+
+def _fit_fast(dataset, folds, cells):
+    """Shared FitCache + mine-once filtering: the accelerated fit path."""
+    signatures = {}
+    cache = FitCache()
+    for system in SWEEP_SYSTEMS:
+        factory = _sweep_factory(dataset, system, SWEEP_SUPPORTS[0])
+        for fold, train in enumerate(folds):
+            started = time.perf_counter()
+            base = factory()
+            base.fit(train, cache=cache)
+            signatures[(system, SWEEP_SUPPORTS[0], fold)] = _model_signature(base)
+            previous = base.mining_result
+            for min_support in SWEEP_SUPPORTS[1:]:
+                previous = filter_mining_result(previous, min_support)
+                miner = factory.at_support(min_support)
+                miner.fit_from_mining_result(previous)
+                signatures[(system, min_support, fold)] = _model_signature(miner)
+            cells.append(
+                {
+                    "system": system,
+                    "fold": fold,
+                    "seconds": time.perf_counter() - started,
+                }
+            )
+    return signatures
+
+
+def _bench_json_path() -> str:
+    return os.environ.get("REPRO_BENCH_JSON", "BENCH_fit_path.json")
+
+
+def test_perf_sweep_fit_path_speedup(sweep_dataset, sweep_splits):
+    """Fit path (mine + cover + prune per cell): fast vs per-level refit.
+
+    Asserts the accelerated path is at least ``SWEEP_SPEEDUP_FLOOR`` times
+    faster (median over rounds; both paths run on the same machine back to
+    back, so the ratio is robust to absolute machine speed) and that every
+    one of the 80 cells produced an identical model.  Timings land in
+    ``BENCH_fit_path.json`` for the CI artifact.
+    """
+    dataset = sweep_dataset
+    folds = [dataset.db.subset(train) for train, _ in sweep_splits]
+
+    fast_cells: list[dict] = []
+    baseline_cells: list[dict] = []
+    fast_rounds: list[float] = []
+    baseline_rounds: list[float] = []
+    fast_signatures = baseline_signatures = None
+
+    for _ in range(3):
+        started = time.perf_counter()
+        fast_signatures = _fit_fast(dataset, folds, fast_cells)
+        fast_rounds.append(time.perf_counter() - started)
+        fast_cells = fast_cells[: len(SWEEP_SYSTEMS) * SWEEP_FOLDS]
+    for _ in range(2):
+        started = time.perf_counter()
+        baseline_signatures = _fit_baseline(dataset, folds, baseline_cells)
+        baseline_rounds.append(time.perf_counter() - started)
+        baseline_cells = baseline_cells[
+            : len(SWEEP_SYSTEMS) * SWEEP_FOLDS * len(SWEEP_SUPPORTS)
+        ]
+
+    assert baseline_signatures == fast_signatures, (
+        "accelerated fit path diverged from the per-level refit"
+    )
+
+    median_fast = statistics.median(fast_rounds)
+    median_baseline = statistics.median(baseline_rounds)
+    speedup = median_baseline / median_fast
+
+    report = {
+        "workload": {
+            "n_transactions": 2500,
+            "n_items": 300,
+            "n_patterns": 240,
+            "seed": SWEEP_SEED,
+            "systems": list(SWEEP_SYSTEMS),
+            "min_supports": list(SWEEP_SUPPORTS),
+            "k_folds": SWEEP_FOLDS,
+        },
+        "fit_path": {
+            "fast_rounds_s": fast_rounds,
+            "baseline_rounds_s": baseline_rounds,
+            "median_fast_s": median_fast,
+            "median_baseline_s": median_baseline,
+            "speedup": speedup,
+            "floor": SWEEP_SPEEDUP_FLOOR,
+        },
+        "cells": {"fast": fast_cells, "baseline": baseline_cells},
+        "identical_models": True,
+    }
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.update(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+    print(
+        f"\nfit path: fast median {median_fast:.2f}s vs baseline median "
+        f"{median_baseline:.2f}s -> {speedup:.2f}x (floor "
+        f"{SWEEP_SPEEDUP_FLOOR:.1f}x), 80/80 cells identical"
+    )
+    assert speedup >= SWEEP_SPEEDUP_FLOOR, (
+        f"fit-path speedup {speedup:.2f}x below the {SWEEP_SPEEDUP_FLOOR}x "
+        f"floor (fast {fast_rounds}, baseline {baseline_rounds})"
+    )
+
+
+def test_perf_sweep_end_to_end(sweep_dataset, sweep_splits):
+    """Whole-sweep wall clock (fit + evaluate), reported without a gate.
+
+    Evaluation is identical work on both paths, so the end-to-end ratio
+    sits below the fit-only one; the number is recorded for the benchmark
+    log rather than asserted.  The baseline is an independent per-level
+    ``cross_validate`` loop — the literal pre-acceleration driver.
+    """
+    dataset = sweep_dataset
+
+    started = time.perf_counter()
+    sweep = run_support_sweep(
+        dataset,
+        SWEEP_SUPPORTS,
+        systems=SWEEP_SYSTEMS,
+        k_folds=SWEEP_FOLDS,
+        max_body_size=BODY,
+        seed=SWEEP_SEED,
+    )
+    fast_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    baseline_gains = {}
+    for system in SWEEP_SYSTEMS:
+        for min_support in SWEEP_SUPPORTS:
+            factory = _sweep_factory(dataset, system, min_support)
+            cv = cross_validate(
+                factory,
+                dataset.db,
+                dataset.hierarchy,
+                eval_config_for_system(None, system),
+                splits=sweep_splits,
+            )
+            baseline_gains[(system, min_support)] = cv.gain
+    baseline_s = time.perf_counter() - started
+
+    fast_gains = {
+        (point.system, point.min_support): point.gain for point in sweep.points
+    }
+    assert fast_gains == baseline_gains
+
+    speedup = baseline_s / fast_s
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing["sweep_end_to_end"] = {
+        "fast_s": fast_s,
+        "baseline_s": baseline_s,
+        "speedup": speedup,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+    print(
+        f"\nend-to-end sweep: {fast_s:.2f}s vs per-level cross_validate "
+        f"{baseline_s:.2f}s -> {speedup:.2f}x"
+    )

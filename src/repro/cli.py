@@ -97,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="run the six-system support sweep")
     sweep.add_argument("--dataset", choices=("I", "II"), default="I")
     _add_scale_argument(sweep)
+    _add_jobs_argument(sweep)
 
     compare = sub.add_parser(
         "compare", help="cross-validate systems and test significance"
@@ -109,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="systems to compare (first one is the reference)",
     )
     _add_scale_argument(compare)
+    _add_jobs_argument(compare)
 
     report = sub.add_parser(
         "report", help="reproduce a full figure as a markdown report"
@@ -126,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper panel id, e.g. 3a",
     )
     _add_scale_argument(figure)
+    _add_jobs_argument(figure)
     return parser
 
 
@@ -138,10 +141,31 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for cross-validation cells "
+        "(default: $REPRO_JOBS or 1; results are identical at any setting)",
+    )
+
+
 def _resolve_scale(label: str | None) -> ExperimentScale:
     if label is None:
         return scale_from_env()
     return _SCALES[label]()
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import jobs_from_env
+
+    if getattr(args, "jobs", None) is None:
+        return jobs_from_env()
+    if args.jobs < 1:
+        raise ProfitMiningError(f"--jobs must be >= 1, got {args.jobs}")
+    return args.jobs
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -230,7 +254,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = _resolve_scale(args.scale)
-    sweep = gain_and_size_sweep(args.dataset, scale)
+    sweep = gain_and_size_sweep(args.dataset, scale, n_jobs=_resolve_jobs(args))
     for metric in ("gain", "hit_rate", "model_size"):
         print(
             format_series(
@@ -256,6 +280,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         max_body_size=scale.max_body_size,
         systems=tuple(args.systems),
     )
+    n_jobs = _resolve_jobs(args)
     results = {
         system: cross_validate(
             factory,
@@ -263,6 +288,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             dataset.hierarchy,
             eval_config_for_system(None, system),
             splits=splits,
+            n_jobs=n_jobs,
         )
         for system, factory in factories.items()
     }
@@ -304,12 +330,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     panel = args.panel[1]
     scale = _resolve_scale(args.scale)
     title = f"Figure {args.panel} — dataset {which} ({scale.label} scale)"
+    n_jobs = _resolve_jobs(args)
     if panel in "acf":
         metric = {"a": "gain", "c": "hit_rate", "f": "model_size"}[panel]
-        sweep = gain_and_size_sweep(which, scale)
+        sweep = gain_and_size_sweep(which, scale, n_jobs=n_jobs)
         print(format_series(sweep.series(metric), y_label=title))
     elif panel == "b":
-        gains = behavior_gain(which, scale)
+        gains = behavior_gain(which, scale, n_jobs=n_jobs)
         rows = [
             [label, *(per.get(s) for s in sorted(per))]
             for label, per in gains.items()
@@ -317,7 +344,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         systems = sorted(next(iter(gains.values())))
         print(format_table(["behavior", *systems], rows, title=title))
     elif panel == "d":
-        ranges = profit_range_hit_rates(which, scale)
+        ranges = profit_range_hit_rates(which, scale, n_jobs=n_jobs)
         rows = [
             [system, *(rate for _, rate, _ in triples)]
             for system, triples in ranges.items()

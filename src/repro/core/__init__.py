@@ -8,9 +8,16 @@ Import the high-level pieces from here::
 from repro.core.covering import CoveringNode, CoveringTree, build_covering_tree
 from repro.core.generalized import GKind, GSale
 from repro.core.hierarchy import ROOT_CONCEPT, ConceptHierarchy
+from repro.core.index_cache import FitCache
 from repro.core.items import Item, ItemCatalog
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
-from repro.core.mining import MinerConfig, MiningResult, TransactionIndex, mine_rules
+from repro.core.mining import (
+    MinerConfig,
+    MiningResult,
+    TransactionIndex,
+    filter_mining_result,
+    mine_rules,
+)
 from repro.core.moa import MOAHierarchy
 from repro.core.mpf import MPFRecommender
 from repro.core.pessimistic import DEFAULT_CF, pessimistic_hits, pessimistic_miss_rate
@@ -42,6 +49,7 @@ __all__ = [
     "CoveringNode",
     "CoveringTree",
     "DEFAULT_CF",
+    "FitCache",
     "GKind",
     "GSale",
     "Item",
@@ -73,6 +81,7 @@ __all__ = [
     "concat",
     "cut_optimal_prune",
     "favorability_covers",
+    "filter_mining_result",
     "is_at_least_as_favorable",
     "is_more_favorable",
     "maximal_codes",

@@ -27,11 +27,12 @@ frozensets for speed.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.core.mining import MiningResult, TransactionIndex
-from repro.core.rules import ScoredRule
+from repro.core.rules import ScoredRule, rank_key
 from repro.errors import MiningError
 
 __all__ = ["CoveringNode", "CoveringTree", "build_covering_tree"]
@@ -89,7 +90,14 @@ class CoveringTree:
 def build_covering_tree(result: MiningResult) -> CoveringTree:
     """Build ``CT`` from a mining result (Definition 8)."""
     index = result.index
-    ranked = sorted(result.all_rules)
+    # Keyed sort: computing rank_key once per rule beats the comparison
+    # protocol, which would recompute it on every __lt__ call.  The order
+    # is cached on the result — sweep levels derived by filtering inherit
+    # theirs from the base run and skip the sort entirely.
+    ranked = result.ranked_cache
+    if ranked is None:
+        ranked = sorted(result.all_rules, key=rank_key)
+        result.ranked_cache = ranked
     n_rules = len(ranked)
 
     # The default rule's empty body generalizes every body, so every rule
@@ -101,9 +109,17 @@ def build_covering_tree(result: MiningResult) -> CoveringTree:
     )
     ranked = ranked[: default_pos + 1]
 
-    body_ids, closure_ids = _intern_bodies(index, ranked)
-    survivors = _remove_dominated(ranked, body_ids, closure_ids)
+    body_ids, closure_ids = _intern_bodies(index, ranked, result.body_ids_by_order)
+    survivors = _remove_dominated(
+        ranked, body_ids, closure_ids, result.undominated_orders
+    )
     n_removed = n_rules - len(survivors)
+    # Record the survivors so results filtered from this one (raised
+    # support levels of a sweep) can skip their subset tests — a rule
+    # undominated here stays undominated in every subset of the rule set.
+    result.undominated_orders = frozenset(
+        scored.rule.order for scored in survivors
+    )
 
     nodes = _assign_coverage(result, survivors)
     _link_parents(nodes, body_ids, closure_ids)
@@ -115,21 +131,46 @@ def build_covering_tree(result: MiningResult) -> CoveringTree:
 
 
 def _intern_bodies(
-    index: TransactionIndex, ranked: list[ScoredRule]
+    index: TransactionIndex,
+    ranked: list[ScoredRule],
+    mined_ids: dict[int, tuple[int, ...]] | None = None,
 ) -> tuple[dict[int, frozenset[int]], dict[int, frozenset[int]]]:
-    """Map rule order → interned body ids and interned body closures."""
+    """Map rule order → interned body ids and interned body closures.
+
+    ``mined_ids`` is the miner's order → body-id mapping
+    (:attr:`~repro.core.mining.MiningResult.body_ids_by_order`); when
+    present the bodies are never re-interned.  Closures come from the
+    index's precomputed per-gsale closure tables (already restricted to
+    interned ids), so each body is a few frozenset unions over ints — no
+    GSale re-hashing through the MOA engine.
+    """
     body_ids: dict[int, frozenset[int]] = {}
     closure_ids: dict[int, frozenset[int]] = {}
+    empty: frozenset[int] = frozenset()
+    closure_cache = index.closure_cache
+    frozen_cache = index.frozen_body_cache
     for scored in ranked:
         rule = scored.rule
-        body_ids[rule.order] = frozenset(
-            index.gsale_id(g) for g in rule.body
-        )
-        closure_ids[rule.order] = frozenset(
-            index.gsale_ids[g]
-            for g in index.moa.closure(rule.body)
-            if g in index.gsale_ids
-        )
+        if mined_ids is not None:
+            id_tuple = mined_ids[rule.order]
+            closure = closure_cache.get(id_tuple)
+            if closure is None:
+                closure = empty.union(
+                    *(index.closure_ids[gid] for gid in id_tuple)
+                )
+                closure_cache[id_tuple] = closure
+            frozen = frozen_cache.get(id_tuple)
+            if frozen is None:
+                frozen = frozenset(id_tuple)
+                frozen_cache[id_tuple] = frozen
+            body_ids[rule.order] = frozen
+            closure_ids[rule.order] = closure
+        else:
+            ids = frozenset(index.gsale_id(g) for g in rule.body)
+            body_ids[rule.order] = ids
+            closure_ids[rule.order] = empty.union(
+                *(index.closure_ids[gid] for gid in ids)
+            )
     return body_ids, closure_ids
 
 
@@ -137,6 +178,7 @@ def _remove_dominated(
     ranked: list[ScoredRule],
     body_ids: dict[int, frozenset[int]],
     closure_ids: dict[int, frozenset[int]],
+    known_undominated: frozenset[int] | None = None,
 ) -> list[ScoredRule]:
     """Drop rules more special than and ranked lower than another rule.
 
@@ -147,14 +189,20 @@ def _remove_dominated(
 
     Survivor bodies are indexed by one member id, so a query only runs the
     subset test against bodies whose key id lies in the query's closure —
-    near-linear in practice instead of quadratic.
+    near-linear in practice instead of quadratic.  Orders listed in
+    ``known_undominated`` (survivor hints carried over from the covering
+    pass of the result this rule set was filtered from) skip the test
+    outright; their bodies are still indexed so later rules check against
+    them.
     """
     survivors: list[ScoredRule] = []
     by_key_id: dict[int, list[frozenset[int]]] = {}
+    if known_undominated is None:
+        known_undominated = frozenset()
     for scored in ranked:
         order = scored.rule.order
         closure = closure_ids[order]
-        dominated = any(
+        dominated = order not in known_undominated and any(
             body <= closure
             for key_id in closure
             for body in by_key_id.get(key_id, ())
@@ -202,16 +250,38 @@ def _link_parents(
 
     ``nodes`` is in rank order; every strictly-more-general surviving rule
     sits later in the list, so the first match scanning forward is the
-    highest-ranked one.
+    highest-ranked one.  As in :func:`_remove_dominated`, non-empty bodies
+    are indexed by one member id — a parent's body lies inside the child's
+    closure, so only lists keyed by a closure member can hold it, and the
+    earliest position across those lists is the scan-forward winner.  The
+    default rule's empty body generalizes everything and (being ranked
+    below every rule it could tie with) sits last, so it serves as the
+    fallback parent instead of being indexed.
     """
-    for i, node in enumerate(nodes):
+    if not nodes:
+        return
+    last = len(nodes) - 1
+    by_key_pos: dict[int, list[int]] = {}
+    for pos, node in enumerate(nodes):
+        body = body_ids[node.scored.rule.order]
+        if body:
+            by_key_pos.setdefault(min(body), []).append(pos)
+    for i, node in enumerate(nodes[:last]):
         order = node.scored.rule.order
         closure = closure_ids[order]
         my_body = body_ids[order]
-        for candidate in nodes[i + 1 :]:
-            cand_order = candidate.scored.rule.order
-            cand_body = body_ids[cand_order]
-            if cand_body != my_body and cand_body <= closure:
-                node.parent = candidate
-                candidate.children.append(node)
-                break
+        best = last
+        for key_id in closure:
+            positions = by_key_pos.get(key_id)
+            if not positions:
+                continue
+            for pos in positions[bisect_right(positions, i):]:
+                if pos >= best:
+                    break
+                cand_body = body_ids[nodes[pos].scored.rule.order]
+                if cand_body != my_body and cand_body <= closure:
+                    best = pos
+                    break
+        parent = nodes[best]
+        node.parent = parent
+        parent.children.append(node)

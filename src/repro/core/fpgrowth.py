@@ -150,10 +150,9 @@ def frequent_bodies_fpgrowth(
 
 
 def _ancestor_free(index: TransactionIndex, itemset: tuple[int, ...]) -> bool:
-    moa = index.moa
-    gsales = [index.gsales[gid] for gid in itemset]
-    for i, a in enumerate(gsales):
-        for b in gsales[i + 1 :]:
-            if moa.generalizes_or_equal(a, b) or moa.generalizes_or_equal(b, a):
+    ancestor_ids = index.ancestor_ids
+    for i, a in enumerate(itemset):
+        for b in itemset[i + 1 :]:
+            if a in ancestor_ids[b] or b in ancestor_ids[a]:
                 return False
     return True

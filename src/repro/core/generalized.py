@@ -17,7 +17,7 @@ mining-on-availability is enabled.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
 
@@ -44,6 +44,11 @@ class GSale:
     kind: GKind
     node: str
     promo: str | None = None
+    #: Hash of the identity fields, computed once at construction.  GSales
+    #: are interned and then hashed over and over (body interning, inverted
+    #: index lookups, basket expansion), so the precomputed value replaces
+    #: a per-call field-tuple hash on one of the hottest call sites.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if not self.node:
@@ -59,6 +64,10 @@ class GSale:
                 f"{self.kind.value}-form generalized sale of {self.node!r} "
                 "must not carry a promotion code"
             )
+        object.__setattr__(self, "_hash", hash((self.kind, self.node, self.promo)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Constructors

@@ -1,0 +1,143 @@
+"""Shared fit-path state: cached MOA hierarchies and transaction indexes.
+
+Fitting one rule-based system builds, before any mining happens, two
+expensive structures: the :class:`~repro.core.moa.MOAHierarchy` (memoized
+generalization engine over the catalog) and the
+:class:`~repro.core.mining.TransactionIndex` (per-transaction extension
+sets, interned gsales and tid bitmasks).  A support sweep rebuilds both for
+every (system, support level, fold) cell even though
+
+* the MOA hierarchy depends only on (catalog, hierarchy, ``use_moa``) —
+  every fold and every support level shares it;
+* the index's *structural* part depends only on (db, ``use_moa``) — the
+  PROF and CONF variants over one fold differ solely in the credited-profit
+  tables, which :meth:`TransactionIndex.with_profit_model` recomputes in a
+  fraction of a full build;
+* the full index depends on (db, ``use_moa``, profit model) — every support
+  level shares it outright.
+
+:class:`FitCache` memoizes all three layers.  One cache instance is scoped
+to a job (a sweep, a cross-validation run); entries hold strong references
+to their databases, which both bounds the cache's lifetime to the job's and
+keeps the ``id()``-based keys stable (a live referent cannot be recycled).
+
+Thread-safety: a cache is meant to be used from one thread.  The parallel
+cross-validation path gives each worker *process* its own cache rather than
+sharing one, so no locking is needed — and results are bit-identical either
+way because a cache hit returns exactly what a fresh build would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.items import ItemCatalog
+from repro.core.mining import TransactionIndex
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import ProfitModel
+from repro.core.sales import TransactionDB
+
+__all__ = ["FitCache"]
+
+
+@dataclass
+class FitCacheStats:
+    """Hit/miss counters, mostly for tests and benchmark reporting."""
+
+    moa_hits: int = 0
+    moa_misses: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    structural_shares: int = 0  # index misses served by a profit-model twin
+
+
+@dataclass
+class FitCache:
+    """Memoizes MOA hierarchies and transaction indexes across fits.
+
+    Keys are object identities (``id()``), which is the right equality for
+    the fit path: the sweep/CV drivers build each fold's training subset
+    once and hand the *same* objects to every system, and two structurally
+    equal databases that are distinct objects would still produce
+    identical results — a conservative miss, never a wrong hit.  Every
+    entry pins its key objects, so a cached id cannot be recycled while
+    the cache lives.
+    """
+
+    _moas: dict[tuple[int, int, bool], MOAHierarchy] = field(
+        default_factory=dict, repr=False
+    )
+    _indexes: dict[tuple[int, bool, str], TransactionIndex] = field(
+        default_factory=dict, repr=False
+    )
+    _structural: dict[tuple[int, bool], TransactionIndex] = field(
+        default_factory=dict, repr=False
+    )
+    _pins: list[object] = field(default_factory=list, repr=False)
+    stats: FitCacheStats = field(default_factory=FitCacheStats)
+
+    # ------------------------------------------------------------------
+    def moa_for(
+        self,
+        catalog: ItemCatalog,
+        hierarchy: ConceptHierarchy,
+        use_moa: bool,
+    ) -> MOAHierarchy:
+        """The generalization engine for (catalog, hierarchy, use_moa).
+
+        Shared across folds and support levels: a k-fold sweep needs at
+        most two engines (±MOA), not ``2 · k · len(min_supports)``.
+        Reusing one engine also concentrates its internal memo tables,
+        so later fits start warm.
+        """
+        key = (id(catalog), id(hierarchy), use_moa)
+        cached = self._moas.get(key)
+        if cached is not None:
+            self.stats.moa_hits += 1
+            return cached
+        self.stats.moa_misses += 1
+        moa = MOAHierarchy(catalog=catalog, hierarchy=hierarchy, use_moa=use_moa)
+        self._moas[key] = moa
+        self._pins.extend((catalog, hierarchy))
+        return moa
+
+    def index_for(
+        self,
+        db: TransactionDB,
+        moa: MOAHierarchy,
+        profit_model: ProfitModel,
+    ) -> TransactionIndex:
+        """A transaction index for (db, moa.use_moa, profit model name).
+
+        A full hit returns the previously built index.  A *structural*
+        hit — same db and MOA setting, different profit model — derives a
+        twin via :meth:`TransactionIndex.with_profit_model`, recomputing
+        only the credited-profit tables.  Only a cold miss pays for the
+        extension/interning/mask pass.
+        """
+        key = (id(db), moa.use_moa, profit_model.name)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            self.stats.index_hits += 1
+            return cached
+        self.stats.index_misses += 1
+        structural_key = (id(db), moa.use_moa)
+        base = self._structural.get(structural_key)
+        if base is not None:
+            index = TransactionIndex.with_profit_model(base, profit_model)
+            self.stats.structural_shares += 1
+        else:
+            index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
+            self._structural[structural_key] = index
+            self._pins.append(db)
+        self._indexes[key] = index
+        return index
+
+    def clear(self) -> None:
+        """Drop every cached structure (and the object pins with them)."""
+        self._moas.clear()
+        self._indexes.clear()
+        self._structural.clear()
+        self._pins.clear()
+        self.stats = FitCacheStats()

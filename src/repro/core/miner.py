@@ -30,6 +30,7 @@ from typing import Sequence
 
 from repro.core.covering import CoveringTree, build_covering_tree
 from repro.core.hierarchy import ConceptHierarchy
+from repro.core.index_cache import FitCache
 from repro.core.mining import MinerConfig, MiningResult, mine_rules
 from repro.core.moa import MOAHierarchy
 from repro.core.mpf import MPFRecommender
@@ -96,7 +97,7 @@ class ProfitMiner(Recommender):
         self.covering_tree: CoveringTree | None = None
         self.prune_report: PruneReport | None = None
         self.recommender: MPFRecommender | None = None
-        self.initial_recommender: MPFRecommender | None = None
+        self._initial_recommender: MPFRecommender | None = None
 
     def _derive_name(self) -> str:
         profit = "CONF" if self.profit_model.name == "binary" else "PROF"
@@ -104,27 +105,87 @@ class ProfitMiner(Recommender):
         return profit + moa
 
     # ------------------------------------------------------------------
-    def fit(self, db: TransactionDB) -> "ProfitMiner":
-        """Run the full pipeline on ``db``; returns ``self``."""
+    def fit(self, db: TransactionDB, cache: FitCache | None = None) -> "ProfitMiner":
+        """Run the full pipeline on ``db``; returns ``self``.
+
+        ``cache`` shares MOA hierarchies and transaction indexes across
+        fits (see :class:`~repro.core.index_cache.FitCache`): sweeps and
+        cross-validation runs that fit several systems over the same fold
+        pay the extension/interning/mask cost once instead of per system.
+        Results are identical with or without a cache.
+        """
         db.catalog.validate_for_mining()
-        self.moa = MOAHierarchy(
-            catalog=db.catalog,
-            hierarchy=self.hierarchy,
-            use_moa=self.config.use_moa,
-        )
+        if cache is not None:
+            self.moa = cache.moa_for(db.catalog, self.hierarchy, self.config.use_moa)
+            index = cache.index_for(db, self.moa, self.profit_model)
+        else:
+            self.moa = MOAHierarchy(
+                catalog=db.catalog,
+                hierarchy=self.hierarchy,
+                use_moa=self.config.use_moa,
+            )
+            index = None
         self.mining_result = mine_rules(
-            db, self.moa, self.profit_model, self.config.mining
+            db, self.moa, self.profit_model, self.config.mining, index=index
         )
-        self.initial_recommender = MPFRecommender(
-            self.mining_result.all_rules, self.moa, name=f"{self.name} (initial)"
-        )
+        return self._finish_fit()
+
+    def fit_from_mining_result(self, mining_result: MiningResult) -> "ProfitMiner":
+        """Finish the pipeline from an already-computed mining result.
+
+        Runs covering-tree construction, cut-optimal pruning and
+        recommender assembly on ``mining_result`` without re-mining.  This
+        is the mine-once sweep's entry point: mine a fold once at the
+        sweep's lowest support, then fit each higher level from
+        :func:`~repro.core.mining.filter_mining_result` of that base run.
+        The result must have been mined with this miner's MOA setting and
+        profit model.
+        """
+        index = mining_result.index
+        if index.moa.use_moa != self.config.use_moa:
+            raise RecommenderError(
+                "mining result disagrees with this miner's use_moa setting"
+            )
+        if index.profit_model.name != self.profit_model.name:
+            raise RecommenderError(
+                f"mining result credits profit with "
+                f"{index.profit_model.name!r}, not {self.profit_model.name!r}"
+            )
+        self.moa = index.moa
+        self.mining_result = mining_result
+        return self._finish_fit()
+
+    def _finish_fit(self) -> "ProfitMiner":
+        """Covering, pruning and recommender assembly (fit steps 2–4)."""
+        assert self.mining_result is not None and self.moa is not None
+        self._initial_recommender = None  # rebuilt lazily against this fit
         self.covering_tree = build_covering_tree(self.mining_result)
         self.prune_report = cut_optimal_prune(self.covering_tree, self.config.pruning)
         self.recommender = MPFRecommender(
-            self.prune_report.kept_rules, self.moa, name=self.name
+            self.prune_report.kept_rules, self.moa, name=self.name, presorted=True
         )
         self._fitted = True
         return self
+
+    @property
+    def initial_recommender(self) -> MPFRecommender | None:
+        """The unpruned MPF recommender over all mined rules (Section 3).
+
+        Only ablations and the figure reproductions comparing initial vs
+        cut-optimal recommenders need this, so it is assembled on first
+        access rather than on every fit — sweeps that evaluate only the
+        pruned recommender never pay for ranking the full rule list twice.
+        """
+        if self._initial_recommender is None and self.mining_result is not None:
+            assert self.moa is not None
+            ranked = self.mining_result.ranked_cache
+            self._initial_recommender = MPFRecommender(
+                ranked if ranked is not None else self.mining_result.all_rules,
+                self.moa,
+                name=f"{self.name} (initial)",
+                presorted=ranked is not None,
+            )
+        return self._initial_recommender
 
     def recommend(self, basket: Sequence[Sale]) -> Recommendation:
         """Recommend with the cut-optimal recommender."""

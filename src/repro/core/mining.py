@@ -40,7 +40,13 @@ from repro.core.rules import Rule, RuleStats, ScoredRule
 from repro.core.sales import TransactionDB
 from repro.errors import MiningError, ValidationError
 
-__all__ = ["MinerConfig", "TransactionIndex", "MiningResult", "mine_rules"]
+__all__ = [
+    "MinerConfig",
+    "TransactionIndex",
+    "MiningResult",
+    "mine_rules",
+    "filter_mining_result",
+]
 
 
 def _positions_to_mask(positions: list[int], n: int) -> int:
@@ -130,6 +136,42 @@ class TransactionIndex:
     head_masks: dict[int, int] = field(init=False, default_factory=dict)
     head_profits: list[dict[int, float]] = field(init=False, default_factory=list)
     candidate_head_ids: list[int] = field(init=False, default_factory=list)
+    ancestor_ids: list[frozenset[int]] = field(init=False, default_factory=list)
+    closure_ids: list[frozenset[int]] = field(init=False, default_factory=list)
+    #: Frequent-body discovery results keyed by the structural parameters
+    #: (minsup count, body-size cap, candidate cap, algorithm).  Body
+    #: discovery never looks at credited profit, so profit-model twins
+    #: share this dict by reference and a CONF mine reuses the level-wise
+    #: search its PROF sibling already ran.
+    body_cache: dict[tuple, tuple[list[tuple[tuple[int, ...], int]], int]] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    #: Emitted-rule skeletons keyed by (discovery key, minsup count,
+    #: min confidence).  When no rule-profit threshold applies, which
+    #: rules pass is decided entirely by structural counts, so the rule
+    #: list (bodies, heads, orders, masks — everything except the credited
+    #: profit) is identical across profit models and replayed by twins.
+    emit_cache: dict[
+        tuple, list[tuple["Rule", tuple[int, ...], int, int, int, int, int]]
+    ] = field(init=False, default_factory=dict, repr=False, compare=False)
+    #: Per-body interned closures (union of the members' closure tables),
+    #: reused by every covering-tree build over this index.
+    closure_cache: dict[tuple[int, ...], frozenset[int]] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    #: Per-body id tuples frozen once (``frozenset(ids)``), companion to
+    #: ``closure_cache`` for the covering tree's interning pass.
+    frozen_body_cache: dict[tuple[int, ...], frozenset[int]] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    #: ``Prof_pr`` memo keyed by ``(cf, head id, cover mask)``, shared by
+    #: every pruning pass over this index: sweep levels derived from one
+    #: base mine re-evaluate many identical (head, coverage) pairs.  Profit
+    #: values depend on this index's profit model, so the cache is *not*
+    #: shared with :meth:`with_profit_model` twins.
+    projected_profit_cache: dict[tuple[float, int, int], float] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.n = len(self.db)
@@ -161,6 +203,20 @@ class TransactionIndex:
             self.gsale_ids[h]
             for h in sorted(self.moa.all_candidate_heads(), key=head_depth_key)
         ]
+        # Interned-id subsumption tables.  Restricting ancestors to interned
+        # gsales is sound for every use below: the queries (ancestor-free
+        # pair checks, body closures for the covering tree) only ever
+        # compare against other *interned* gsales, and an ancestor outside
+        # the index can never appear in a rule body.  Hot loops then run on
+        # small int sets instead of re-hashing GSale objects per query.
+        for gid, gsale in enumerate(self.gsales):
+            ancestors = frozenset(
+                self.gsale_ids[a]
+                for a in self.moa.ancestors_of_gsale(gsale)
+                if a in self.gsale_ids
+            )
+            self.ancestor_ids.append(ancestors)
+            self.closure_ids.append(ancestors | {gid})
 
     def _index_transactions(self) -> None:
         # Accumulate per-gsale transaction positions first and build each
@@ -202,15 +258,71 @@ class TransactionIndex:
         }
 
     # ------------------------------------------------------------------
+    @classmethod
+    def with_profit_model(
+        cls, base: "TransactionIndex", profit_model: ProfitModel
+    ) -> "TransactionIndex":
+        """A twin of ``base`` rebound to a different profit model.
+
+        Everything *structural* — gsale interning, extended transaction
+        sets, body/head bitmasks, the candidate-head order — depends only
+        on (db, MOA), not on how hit profit is credited, so it is shared
+        by reference with ``base``; only the per-transaction credited-
+        profit tables are recomputed.  This is how PROF and CONF variants
+        over the same fold split the cost of one index build.
+
+        The shared structures are treated as immutable after
+        construction; neither twin may mutate them.
+        """
+        index = cls.__new__(cls)
+        index.db = base.db
+        index.moa = base.moa
+        index.profit_model = profit_model
+        index.n = base.n
+        index.gsale_ids = base.gsale_ids
+        index.gsales = base.gsales
+        index.ext_sets = base.ext_sets
+        index.body_masks = base.body_masks
+        index.head_sets = base.head_sets
+        index.head_masks = base.head_masks
+        index.candidate_head_ids = base.candidate_head_ids
+        index.ancestor_ids = base.ancestor_ids
+        index.closure_ids = base.closure_ids
+        index.body_cache = base.body_cache
+        index.emit_cache = base.emit_cache
+        index.closure_cache = base.closure_cache
+        index.frozen_body_cache = base.frozen_body_cache
+        # Not shared: projected profits credit hits with the profit model.
+        index.projected_profit_cache = {}
+        index.head_profits = [
+            {
+                hid: profit_model.credited_profit(
+                    base.gsales[hid], transaction.target_sale, base.db.catalog
+                )
+                for hid in heads
+            }
+            for transaction, heads in zip(base.db, base.head_sets)
+        ]
+        return index
+
+    # ------------------------------------------------------------------
     # Queries shared with covering / pruning
     # ------------------------------------------------------------------
     def body_mask(self, body_ids: Sequence[int]) -> int:
-        """Bitmask of transactions matched by the body ``body_ids``."""
-        mask = (1 << self.n) - 1
-        for gid in body_ids:
-            mask &= self.body_masks.get(gid, 0)
+        """Bitmask of transactions matched by the body ``body_ids``.
+
+        The empty body matches every transaction (the default rule's
+        semantics).  Non-empty bodies start from the first gsale's mask
+        rather than a freshly built all-ones mask, which would cost an
+        O(n)-bit allocation per call on large databases.
+        """
+        if not body_ids:
+            return (1 << self.n) - 1
+        mask = self.body_masks.get(body_ids[0], 0)
+        for gid in body_ids[1:]:
             if not mask:
                 return 0
+            mask &= self.body_masks.get(gid, 0)
         return mask
 
     def gsale_id(self, gsale: GSale) -> int:
@@ -256,6 +368,24 @@ class MiningResult:
     default_rule: ScoredRule
     body_tid_masks: dict[int, int]  # rule.order -> matched-transaction mask
     frequent_body_count: int
+    #: rule.order -> interned body ids (the default rule maps to ``()``).
+    #: Lets downstream passes (covering) reuse the miner's interning
+    #: instead of re-hashing GSale objects; ``None`` for results built by
+    #: hand without the mapping.
+    body_ids_by_order: dict[int, tuple[int, ...]] | None = None
+    #: ``all_rules`` in MPF rank order, filled in by the first pass that
+    #: sorts them (covering) and reused by every later consumer.  Filtered
+    #: results derive theirs from the base run's order — renumbering
+    #: preserves the rank order, so no re-sort is needed per sweep level.
+    ranked_cache: list[ScoredRule] | None = None
+    #: Orders of rules known *not* to be dominated (covering's step-1
+    #: survivors), recorded by ``build_covering_tree`` and translated by
+    #: :func:`filter_mining_result`.  Sound under support raising: a
+    #: dominator in the filtered set is also a base rule, and transitivity
+    #: lifts any base dominator to a base *surviving* dominator, so a rule
+    #: undominated at the base support stays undominated at every higher
+    #: level.  ``None`` means no covering pass has run yet.
+    undominated_orders: frozenset[int] | None = None
 
     @property
     def all_rules(self) -> list[ScoredRule]:
@@ -268,6 +398,7 @@ def mine_rules(
     moa: MOAHierarchy,
     profit_model: ProfitModel,
     config: MinerConfig,
+    index: TransactionIndex | None = None,
 ) -> MiningResult:
     """Generate the rule set ``R`` of Section 3.1.
 
@@ -275,8 +406,28 @@ def mine_rules(
     extended transactions, emits every (body, head) combination passing the
     support / confidence / rule-profit thresholds, and appends the default
     rule ``∅ → g`` with ``g`` maximizing ``Prof_re(∅ → g)``.
+
+    ``index`` injects a prebuilt :class:`TransactionIndex` (e.g. from a
+    :class:`~repro.core.index_cache.FitCache`), skipping the extension /
+    interning / mask-building pass — the dominant fixed cost when the same
+    fold is mined repeatedly.  It must have been built over exactly this
+    ``db`` with this ``profit_model``.
     """
-    index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
+    if index is None:
+        index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
+    elif index.db is not db:
+        raise MiningError(
+            "injected TransactionIndex was built over a different database"
+        )
+    elif index.profit_model.name != profit_model.name:
+        raise MiningError(
+            f"injected TransactionIndex credits profit with "
+            f"{index.profit_model.name!r}, not {profit_model.name!r}"
+        )
+    elif index.moa.use_moa != moa.use_moa:
+        raise MiningError(
+            "injected TransactionIndex disagrees with the miner on use_moa"
+        )
     minsup_count = max(1, math.ceil(config.min_support * index.n))
 
     frequent_heads = [
@@ -285,88 +436,335 @@ def mine_rules(
         if index.head_hits_mask(hid).bit_count() >= minsup_count
     ]
 
+    # Per-head profit rows for the emission loop.  ``prof_at`` re-keys the
+    # per-transaction credit tables by position so the hot sum is one dict
+    # per head instead of one per transaction; ``totals`` pre-adds each
+    # head's full credit in the same ascending-position order, so a body
+    # that matches every hit of a head reuses the sum bit-for-bit.
+    head_prof_at: dict[int, dict[int, float]] = {}
+    head_totals: dict[int, tuple[int, float]] = {}
+    profits_nonnegative = True
+    for hid in frequent_heads:
+        prof_at = {
+            pos: index.head_profits[pos].get(hid, 0.0)
+            for pos in TransactionIndex.iter_bits(index.head_hits_mask(hid))
+        }
+        head_prof_at[hid] = prof_at
+        head_totals[hid] = (len(prof_at), sum(prof_at.values()))
+        if profits_nonnegative and prof_at and min(prof_at.values()) < 0.0:
+            profits_nonnegative = False
+    # Distinct (head, hit-mask) pairs are far rarer than (body, head)
+    # candidates — many bodies intersect a head identically — so the
+    # credited-profit sum is memoized on the pair.
+    profit_memo: dict[tuple[int, int], float] = {}
+
     scored: list[ScoredRule] = []
     body_tid_masks: dict[int, int] = {}
+    body_ids_by_order: dict[int, tuple[int, ...]] = {}
     order = 0
     frequent_body_count = 0
+
+    # Hot-loop tables: promo-form item per gsale id (None otherwise), the
+    # frequent heads with their masks/nodes, and local aliases that keep
+    # attribute lookups out of the per-candidate path.
+    gsales = index.gsales
+    promo_node = [
+        g.node if g.kind is GKind.PROMO else None for g in gsales
+    ]
+    head_rows = [
+        (hid, index.head_hits_mask(hid), gsales[hid].node)
+        for hid in frequent_heads
+    ]
+    min_confidence = config.min_confidence
+    min_rule_profit = config.min_rule_profit
+    iter_bits = TransactionIndex.iter_bits
+    n_total = index.n
+
+    def rule_profit_of(hid: int, hit_mask: int, n_hits: int) -> float:
+        head_count, head_total = head_totals[hid]
+        if n_hits == head_count:
+            return head_total
+        memo_key = (hid, hit_mask)
+        cached = profit_memo.get(memo_key)
+        if cached is None:
+            cached = sum(
+                map(head_prof_at[hid].__getitem__, iter_bits(hit_mask))
+            )
+            profit_memo[memo_key] = cached
+        return cached
+
+    # Skeletons recorded for profit-model twins (see ``emit_cache``).
+    skeletons: list[tuple[Rule, tuple[int, ...], int, int, int, int, int]] = []
 
     def emit_rules_for_body(body_ids: tuple[int, ...], body_mask: int) -> None:
         nonlocal order
         n_matched = body_mask.bit_count()
+        body_gsales: frozenset[GSale] | None = None
         # Items the body mentions in promo form.  A head for such an item
         # would violate the body/head separation that Rule.__post_init__
         # enforces — possible when a generalization engine lifts target
         # promo-forms into basket extensions — so the combination is
         # skipped rather than aborting the whole mining run.
         blocked_items = {
-            index.gsales[gid].node
-            for gid in body_ids
-            if index.gsales[gid].kind is GKind.PROMO
+            node for gid in body_ids if (node := promo_node[gid]) is not None
         }
-        for hid in frequent_heads:
-            if index.gsales[hid].node in blocked_items:
+        for hid, head_mask, head_node in head_rows:
+            if head_node in blocked_items:
                 continue
-            hit_mask = body_mask & index.head_hits_mask(hid)
+            hit_mask = body_mask & head_mask
             n_hits = hit_mask.bit_count()
             if n_hits < minsup_count:
                 continue
-            if n_matched and n_hits / n_matched < config.min_confidence:
+            if n_matched and n_hits / n_matched < min_confidence:
                 continue
-            rule_profit = sum(
-                index.hit_profit(pos, hid)
-                for pos in TransactionIndex.iter_bits(hit_mask)
-            )
-            if rule_profit < config.min_rule_profit:
+            rule_profit = rule_profit_of(hid, hit_mask, n_hits)
+            if rule_profit < min_rule_profit:
                 continue
-            rule = Rule(
-                body=frozenset(index.gsales[gid] for gid in body_ids),
-                head=index.gsales[hid],
-                order=order,
-            )
+            if body_gsales is None:
+                body_gsales = frozenset(gsales[gid] for gid in body_ids)
+            rule = Rule(body=body_gsales, head=gsales[hid], order=order)
             stats = RuleStats(
                 n_matched=n_matched,
                 n_hits=n_hits,
                 rule_profit=rule_profit,
-                n_total=index.n,
+                n_total=n_total,
             )
             body_tid_masks[order] = body_mask
+            body_ids_by_order[order] = body_ids
             scored.append(ScoredRule(rule=rule, stats=stats))
+            skeletons.append(
+                (rule, body_ids, hid, n_matched, n_hits, body_mask, hit_mask)
+            )
             order += 1
 
-    if config.algorithm == "fpgrowth":
-        from repro.core.fpgrowth import frequent_bodies_fpgrowth
+    # Frequent-body discovery is independent of the profit model, so its
+    # generation-ordered output is cached on the (structural) index and
+    # shared between profit-model twins mining the same fold.
+    discovery_key = (
+        minsup_count,
+        config.max_body_size,
+        config.max_candidates_per_level,
+        config.algorithm,
+    )
+    discovered = index.body_cache.get(discovery_key)
+    if discovered is None:
+        # A cached run at a *lower* threshold subsumes this one: frequent
+        # bodies here are exactly its bodies meeting the raised count, in
+        # the same generation order (filtering a sorted key set preserves
+        # both the per-level sort and the join order, and a search that
+        # did not explode at the lower threshold cannot explode above it).
+        for (count, *rest), (bodies, _) in index.body_cache.items():
+            if count <= minsup_count and tuple(rest) == discovery_key[1:]:
+                ordered = [
+                    (body, mask)
+                    for body, mask in bodies
+                    if mask.bit_count() >= minsup_count
+                ]
+                discovered = (ordered, len(ordered))
+                index.body_cache[discovery_key] = discovered
+                break
+    if discovered is None:
+        ordered_bodies: list[tuple[tuple[int, ...], int]] = []
+        if config.algorithm == "fpgrowth":
+            from repro.core.fpgrowth import frequent_bodies_fpgrowth
 
-        bodies = frequent_bodies_fpgrowth(index, minsup_count, config)
-        frequent_body_count = len(bodies)
-        for body_ids, mask in bodies.items():
-            emit_rules_for_body(body_ids, mask)
-    else:
-        # Level 1: frequent single generalized non-target sales.
-        level: dict[tuple[int, ...], int] = {}
-        for gid in sorted(index.body_masks):
-            mask = index.body_masks[gid]
-            if mask.bit_count() >= minsup_count:
-                level[(gid,)] = mask
-        frequent_body_count += len(level)
-        for body_ids, mask in level.items():
-            emit_rules_for_body(body_ids, mask)
-
-        size = 1
-        while level and size < config.max_body_size:
-            level = _next_level(index, level, minsup_count, config, size)
+            bodies = frequent_bodies_fpgrowth(index, minsup_count, config)
+            frequent_body_count = len(bodies)
+            ordered_bodies.extend(bodies.items())
+        else:
+            # Level 1: frequent single generalized non-target sales.
+            level: dict[tuple[int, ...], int] = {}
+            for gid in sorted(index.body_masks):
+                mask = index.body_masks[gid]
+                if mask.bit_count() >= minsup_count:
+                    level[(gid,)] = mask
             frequent_body_count += len(level)
-            for body_ids, mask in level.items():
-                emit_rules_for_body(body_ids, mask)
-            size += 1
+            ordered_bodies.extend(level.items())
+
+            size = 1
+            while level and size < config.max_body_size:
+                level = _next_level(index, level, minsup_count, config, size)
+                frequent_body_count += len(level)
+                ordered_bodies.extend(level.items())
+                size += 1
+        index.body_cache[discovery_key] = (ordered_bodies, frequent_body_count)
+    else:
+        ordered_bodies, frequent_body_count = discovered
+
+    # When the rule-profit threshold can never fire (no positive threshold,
+    # no negative credits), which (body, head) pairs become rules is decided
+    # entirely by structural counts — identical for every profit model over
+    # this index — so a twin replays the recorded skeletons (sharing the
+    # frozen Rule objects) and only re-credits profit.  The same guard
+    # gates both storing and replaying, each side checking its own credits.
+    emit_key = (discovery_key, min_confidence)
+    replayable = min_rule_profit <= 0 and profits_nonnegative
+    replay = index.emit_cache.get(emit_key) if replayable else None
+    if replay is not None:
+        for rule, body_ids, hid, n_matched, n_hits, body_mask, hit_mask in replay:
+            # The counts were validated when the skeleton was first emitted
+            # and only the credited profit changes, so the stats are
+            # assembled without re-running ``__post_init__``.
+            stats = _stats_of(
+                n_matched, n_hits, rule_profit_of(hid, hit_mask, n_hits), n_total
+            )
+            body_tid_masks[rule.order] = body_mask
+            body_ids_by_order[rule.order] = body_ids
+            scored.append(ScoredRule(rule=rule, stats=stats))
+        order = len(scored)
+    else:
+        for body_ids, mask in ordered_bodies:
+            emit_rules_for_body(body_ids, mask)
+        if replayable:
+            index.emit_cache[emit_key] = skeletons
 
     default_rule = _build_default_rule(index, order)
+    body_ids_by_order[order] = ()
     return MiningResult(
         index=index,
         scored_rules=scored,
         default_rule=default_rule,
         body_tid_masks=body_tid_masks,
         frequent_body_count=frequent_body_count,
+        body_ids_by_order=body_ids_by_order,
     )
+
+
+def filter_mining_result(
+    result: MiningResult, min_support: float
+) -> MiningResult:
+    """Derive the mining result at a *higher* minimum support by filtering.
+
+    Itemset support is anti-monotone in the threshold: every body (and
+    every (body, head) combination) frequent at ``min_support`` is also
+    frequent at the lower support ``result`` was mined with, and the
+    Apriori/FP-growth searches are complete over frequent bodies.  The rule
+    set at ``min_support`` is therefore exactly the subset of ``result``'s
+    rules whose hit count meets the raised threshold — ``n_hits ≥
+    ⌈min_support · n⌉`` implies the body, head and combination supports all
+    do (``n_hits ≤ min(n_matched, head support)``) — with generation order
+    renumbered consecutively.  Confidence and rule-profit thresholds do not
+    depend on the support level, so they are inherited from the base run.
+    This is what lets a support sweep mine each (system, fold) cell once at
+    the sweep's minimum and derive every higher level for free.
+
+    The derived result is *identical* to mining at ``min_support``
+    directly (same rules, stats, orders, tid masks and default rule)
+    except for ``frequent_body_count``, which here counts only the
+    distinct bodies among the surviving rules — a lower bound, since a
+    direct run also counts frequent bodies that emit no rule.
+
+    ``result`` must have been mined with the same configuration apart from
+    ``min_support``; raising past the base threshold is the only supported
+    direction (a *lower* threshold would need rules the base run never
+    generated).
+    """
+    index = result.index
+    minsup_count = max(1, math.ceil(min_support * index.n))
+    base_ids = result.body_ids_by_order
+    scored: list[ScoredRule] = []
+    body_tid_masks: dict[int, int] = {}
+    body_ids_by_order: dict[int, tuple[int, ...]] | None = (
+        {} if base_ids is not None else None
+    )
+    # Orders are assigned consecutively at generation time (default last),
+    # so base order → filtered rule is a flat list, not a dict.
+    n_orders = result.default_rule.rule.order + 1
+    if result.scored_rules:
+        n_orders = max(n_orders, result.scored_rules[-1].rule.order + 1)
+    new_of_base: list[ScoredRule | None] = [None] * n_orders
+    base_undominated = result.undominated_orders
+    undominated: set[int] | None = (
+        set() if base_undominated is not None else None
+    )
+    for sr in result.scored_rules:
+        if sr.stats.n_hits < minsup_count:
+            continue
+        order = len(scored)
+        if undominated is not None and sr.rule.order in base_undominated:
+            undominated.add(order)
+        body_tid_masks[order] = result.body_tid_masks[sr.rule.order]
+        if body_ids_by_order is not None and base_ids is not None:
+            body_ids_by_order[order] = base_ids[sr.rule.order]
+        if order == sr.rule.order:
+            # Nothing dropped before this rule: the renumbering is the
+            # identity so far and the scored rule is reused as-is.
+            copy = sr
+        else:
+            copy = ScoredRule(rule=_with_order(sr.rule, order), stats=sr.stats)
+            base_key = getattr(sr, "_rank_key", None)
+            if base_key is not None:
+                # Only the order component changes under renumbering.
+                object.__setattr__(copy, "_rank_key", (*base_key[:3], order))
+        scored.append(copy)
+        new_of_base[sr.rule.order] = copy
+    base_default = result.default_rule
+    default_rule = ScoredRule(
+        rule=Rule(
+            body=frozenset(), head=base_default.rule.head, order=len(scored)
+        ),
+        stats=base_default.stats,
+    )
+    new_of_base[base_default.rule.order] = default_rule
+    if undominated is not None and base_default.rule.order in base_undominated:
+        undominated.add(default_rule.rule.order)
+    # Interning is injective, so distinct id tuples count distinct bodies
+    # without re-hashing frozensets of GSales.
+    if body_ids_by_order is not None:
+        frequent_body_count = len(set(body_ids_by_order.values()))
+        body_ids_by_order[len(scored)] = ()
+    else:
+        frequent_body_count = len({sr.rule.body for sr in scored})
+    # Renumbering is monotone in generation order and every other rank-key
+    # component is unchanged, so the filtered rank order is the base rank
+    # order restricted to the survivors — derive it instead of re-sorting.
+    ranked_cache: list[ScoredRule] | None = None
+    if result.ranked_cache is not None:
+        ranked_cache = [
+            kept
+            for sr in result.ranked_cache
+            if (kept := new_of_base[sr.rule.order]) is not None
+        ]
+    return MiningResult(
+        index=index,
+        scored_rules=scored,
+        default_rule=default_rule,
+        body_tid_masks=body_tid_masks,
+        frequent_body_count=frequent_body_count,
+        body_ids_by_order=body_ids_by_order,
+        ranked_cache=ranked_cache,
+        undominated_orders=(
+            frozenset(undominated) if undominated is not None else None
+        ),
+    )
+
+
+def _with_order(rule: Rule, order: int) -> Rule:
+    """``rule`` renumbered to ``order``, skipping re-validation.
+
+    The body/head separation was checked when ``rule`` was first built and
+    does not depend on the order, so the copy is assembled directly instead
+    of going through ``Rule.__post_init__`` — this runs once per surviving
+    rule per derived support level.
+    """
+    copy = Rule.__new__(Rule)
+    object.__setattr__(copy, "body", rule.body)
+    object.__setattr__(copy, "head", rule.head)
+    object.__setattr__(copy, "order", order)
+    return copy
+
+
+def _stats_of(
+    n_matched: int, n_hits: int, rule_profit: float, n_total: int
+) -> RuleStats:
+    """A :class:`RuleStats` from already-validated counts, skipping init."""
+    stats = RuleStats.__new__(RuleStats)
+    set_field = object.__setattr__
+    set_field(stats, "n_matched", n_matched)
+    set_field(stats, "n_hits", n_hits)
+    set_field(stats, "rule_profit", rule_profit)
+    set_field(stats, "n_total", n_total)
+    return stats
 
 
 def _next_level(
@@ -403,12 +801,13 @@ def _next_level(
 
 
 def _pair_is_ancestor_free(index: TransactionIndex, a: int, b: int) -> bool:
-    """Definition 4's constraint checked on a candidate pair."""
-    ga, gb = index.gsales[a], index.gsales[b]
-    return not (
-        index.moa.generalizes_or_equal(ga, gb)
-        or index.moa.generalizes_or_equal(gb, ga)
-    )
+    """Definition 4's constraint checked on a candidate pair.
+
+    Runs on the index's interned-id ancestor tables: integer set-membership
+    instead of re-hashing GSale objects through the MOA engine, which this
+    check — the level-2 join's inner loop — used to dominate with.
+    """
+    return a != b and a not in index.ancestor_ids[b] and b not in index.ancestor_ids[a]
 
 
 def _all_subsets_frequent(

@@ -30,6 +30,7 @@ not interact, which is the independence Theorem 2's proof relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.covering import CoveringTree
 from repro.core.mining import TransactionIndex
@@ -103,7 +104,25 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
         for node in tree.root.subtree()
     }
     n_before = len(tree)
-    profit_before = _total_projected_profit(tree, head_ids, config.cf)
+
+    # ``Prof_pr`` is a pure function of (head, coverage mask, cf), and the
+    # postorder walk re-evaluates each node once per ancestor, so memoizing
+    # turns the O(n·depth) recomputation into O(distinct).  The memo lives
+    # on the index: support-sweep levels pruned over the same fold repeat
+    # most (head, coverage) pairs, and the index is model-bound, so shared
+    # entries are exact.
+    memo = index.projected_profit_cache
+    cf = config.cf
+
+    def prof(head_id: int, cover_mask: int) -> float:
+        key = (cf, head_id, cover_mask)
+        value = memo.get(key)
+        if value is None:
+            value = projected_profit(head_id, cover_mask, index, cf)
+            memo[key] = value
+        return value
+
+    profit_before = _total_projected_profit(tree, head_ids, config.cf, prof)
 
     pruned_subtrees = 0
     if config.enabled:
@@ -115,14 +134,11 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
             tree_prof = 0.0
             for member in node.subtree():
                 subtree_cover |= member.cover_mask
-                tree_prof += projected_profit(
-                    head_ids[member.scored.rule.order],
-                    member.cover_mask,
-                    index,
-                    config.cf,
+                tree_prof += prof(
+                    head_ids[member.scored.rule.order], member.cover_mask
                 )
-            leaf_prof = projected_profit(
-                head_ids[node.scored.rule.order], subtree_cover, index, config.cf
+            leaf_prof = prof(
+                head_ids[node.scored.rule.order], subtree_cover
             )
             if leaf_prof >= tree_prof:
                 node.cover_mask = subtree_cover
@@ -135,19 +151,24 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
         n_rules_after=len(kept_nodes),
         n_subtrees_pruned=pruned_subtrees,
         tree_profit_before=profit_before,
-        tree_profit_after=_total_projected_profit(tree, head_ids, config.cf),
+        tree_profit_after=_total_projected_profit(tree, head_ids, config.cf, prof),
         kept_rules=[node.scored for node in kept_nodes],
     )
     return report
 
 
 def _total_projected_profit(
-    tree: CoveringTree, head_ids: dict[int, int], cf: float
+    tree: CoveringTree,
+    head_ids: dict[int, int],
+    cf: float,
+    prof: Callable[[int, int], float] | None = None,
 ) -> float:
     """Projected profit of the whole recommender (sum over its rules)."""
-    return sum(
-        projected_profit(
-            head_ids[node.scored.rule.order], node.cover_mask, tree.index, cf
+    if prof is None:
+        prof = lambda head_id, mask: projected_profit(  # noqa: E731
+            head_id, mask, tree.index, cf
         )
+    return sum(
+        prof(head_ids[node.scored.rule.order], node.cover_mask)
         for node in tree.root.subtree()
     )

@@ -111,14 +111,18 @@ class RuleMatchIndex:
     # Basket preparation
     # ------------------------------------------------------------------
     def _expand_sale(self, key: tuple[str, str], sale: Sale) -> tuple[int, ...]:
-        """Cache miss: intern the sale's generalizations that rules mention."""
+        """Cache miss: intern the sale's generalizations that rules mention.
+
+        The ids keep the (deterministic) expansion order: matching counts
+        per-rule occurrences, so candidate order never affects which rule
+        wins, and sorting here would be pure overhead.
+        """
         gsale_ids = self._gsale_ids
+        get = gsale_ids.get
         ids = tuple(
-            sorted(
-                gsale_ids[g]
-                for g in self.moa.generalizations_of_sale(sale)
-                if g in gsale_ids
-            )
+            gid
+            for g in self.moa.generalizations_of_sale(sale)
+            if (gid := get(g)) is not None
         )
         self._sale_ids[key] = ids
         return ids

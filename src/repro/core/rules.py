@@ -170,10 +170,19 @@ def rank_key(scored: ScoredRule) -> tuple[float, float, int, int]:
 
     Profit per recommendation (descending), then support (descending), then
     body size (ascending), then generation order (ascending).
+
+    The key is cached on the scored rule (both dataclasses are immutable),
+    so rules sorted repeatedly — covering, the initial recommender, the
+    pruned recommender — pay for the arithmetic once.
     """
-    return (
-        -scored.stats.recommendation_profit,
-        -scored.stats.support,
-        scored.rule.body_size,
-        scored.rule.order,
-    )
+    key: tuple[float, float, int, int] | None
+    key = getattr(scored, "_rank_key", None)
+    if key is None:
+        key = (
+            -scored.stats.recommendation_profit,
+            -scored.stats.support,
+            scored.rule.body_size,
+            scored.rule.order,
+        )
+        object.__setattr__(scored, "_rank_key", key)
+    return key

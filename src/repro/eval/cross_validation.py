@@ -10,10 +10,19 @@ returning a fresh, unfitted recommender) so that each fold trains an
 independent model; :class:`CVResult` aggregates the per-fold
 :class:`~repro.eval.metrics.EvalResult` objects exactly as the paper
 reports them (simple means over folds).
+
+Folds are independent, so ``n_jobs > 1`` fits and evaluates them in
+worker processes (:class:`concurrent.futures.ProcessPoolExecutor`).  The
+factory and the database are pickled to the workers — module-level
+callables, :func:`functools.partial` of them, and the picklable factory
+objects of :func:`repro.eval.harness.paper_recommenders` all work;
+closures do not.  Fold results are gathered in split order, so the
+returned :class:`CVResult` is identical to a sequential run.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from statistics import mean
 from typing import Callable, Sequence
@@ -99,6 +108,25 @@ class CVResult:
         return rows
 
 
+def _fit_eval_fold(
+    factory: Callable[[], Recommender],
+    db: TransactionDB,
+    train_idx: Sequence[int],
+    test_idx: Sequence[int],
+    hierarchy: ConceptHierarchy,
+    eval_config: EvalConfig | None,
+) -> tuple[str, EvalResult]:
+    """Fit a fresh recommender on one fold and score the held-back part.
+
+    Module-level so :func:`cross_validate` can ship it to worker processes.
+    """
+    recommender = factory()
+    recommender.fit(db.subset(train_idx))
+    return recommender.name, evaluate(
+        recommender, db.subset(test_idx), hierarchy, eval_config
+    )
+
+
 def cross_validate(
     factory: Callable[[], Recommender],
     db: TransactionDB,
@@ -107,22 +135,44 @@ def cross_validate(
     k: int = 5,
     seed: int = 0,
     splits: Sequence[tuple[list[int], list[int]]] | None = None,
+    n_jobs: int = 1,
 ) -> CVResult:
     """Run k-fold cross-validation of one recommender family.
 
     ``splits`` lets callers evaluate several recommenders on identical folds
     (as the paper's comparisons require); otherwise folds are derived from
     ``seed``.
+
+    ``n_jobs > 1`` distributes folds over worker processes; the factory
+    must then be picklable (see the module docstring).  Outputs are
+    identical to the sequential run — folds are deterministic given the
+    splits, and results are gathered in split order.
     """
+    if n_jobs < 1:
+        raise EvaluationError(f"n_jobs must be >= 1, got {n_jobs}")
     if splits is None:
         splits = kfold_indices(len(db), k=k, seed=seed)
-    fold_results: list[EvalResult] = []
-    name = ""
-    for train_idx, test_idx in splits:
-        recommender = factory()
-        name = recommender.name
-        recommender.fit(db.subset(train_idx))
-        fold_results.append(
-            evaluate(recommender, db.subset(test_idx), hierarchy, eval_config)
-        )
-    return CVResult(recommender_name=name, fold_results=fold_results)
+    if n_jobs == 1:
+        per_fold = [
+            _fit_eval_fold(factory, db, train_idx, test_idx, hierarchy, eval_config)
+            for train_idx, test_idx in splits
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            futures = [
+                pool.submit(
+                    _fit_eval_fold,
+                    factory,
+                    db,
+                    train_idx,
+                    test_idx,
+                    hierarchy,
+                    eval_config,
+                )
+                for train_idx, test_idx in splits
+            ]
+            per_fold = [future.result() for future in futures]
+    name = per_fold[-1][0] if per_fold else ""
+    return CVResult(
+        recommender_name=name, fold_results=[result for _, result in per_fold]
+    )

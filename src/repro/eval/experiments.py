@@ -50,6 +50,7 @@ from repro.eval.metrics import EvalConfig
 __all__ = [
     "ExperimentScale",
     "scale_from_env",
+    "jobs_from_env",
     "get_dataset",
     "gain_and_size_sweep",
     "behavior_gain",
@@ -146,6 +147,28 @@ def scale_from_env(default: str = "small") -> ExperimentScale:
         ) from None
 
 
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default: sequential).
+
+    Parallelism never changes results (fold cells are gathered in a fixed
+    order), so the knob is environmental rather than per-experiment: set
+    ``REPRO_JOBS=4`` and every sweep in the process fans out, including the
+    benchmark runs.  The CLI's ``--jobs`` flag overrides it per invocation.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return default
+    try:
+        n_jobs = int(raw)
+    except ValueError:
+        raise EvaluationError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+    if n_jobs < 1:
+        raise EvaluationError(f"REPRO_JOBS must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
 # ----------------------------------------------------------------------
 # Caches (benchmarks request several panels of the same sweep)
 # ----------------------------------------------------------------------
@@ -172,8 +195,15 @@ def get_dataset(which: str, scale: ExperimentScale) -> Dataset:
     return _DATASETS[key]
 
 
-def gain_and_size_sweep(which: str, scale: ExperimentScale) -> SweepResult:
-    """Panels (a), (c) and (f): one support sweep over all six systems."""
+def gain_and_size_sweep(
+    which: str, scale: ExperimentScale, n_jobs: int | None = None
+) -> SweepResult:
+    """Panels (a), (c) and (f): one support sweep over all six systems.
+
+    ``n_jobs`` (default: ``REPRO_JOBS`` or sequential) spreads the
+    (system, fold) cells over worker processes; the cached result is
+    identical either way, so the sweep cache ignores the setting.
+    """
     key = (which.upper(), scale.label)
     if key not in _SWEEPS:
         dataset = get_dataset(which, scale)
@@ -186,6 +216,7 @@ def gain_and_size_sweep(which: str, scale: ExperimentScale) -> SweepResult:
             max_body_size=scale.max_body_size,
             knn_k=scale.knn_k,
             seed=scale.seed,
+            n_jobs=n_jobs if n_jobs is not None else jobs_from_env(),
         )
     return _SWEEPS[key]
 
@@ -194,6 +225,7 @@ def behavior_gain(
     which: str,
     scale: ExperimentScale,
     behaviors: tuple[QuantityBehavior, ...] | None = None,
+    n_jobs: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Panels (b): gain of the MOA recommenders under quantity behaviors.
 
@@ -217,6 +249,7 @@ def behavior_gain(
             max_body_size=scale.max_body_size,
             knn_k=scale.knn_k,
             seed=scale.seed,
+            n_jobs=n_jobs if n_jobs is not None else jobs_from_env(),
         )
         out[behavior.label] = {
             system: cv.gain for system, cv in cv_results.items()
@@ -225,7 +258,7 @@ def behavior_gain(
 
 
 def profit_range_hit_rates(
-    which: str, scale: ExperimentScale
+    which: str, scale: ExperimentScale, n_jobs: int | None = None
 ) -> dict[str, list[tuple[str, float, int]]]:
     """Panels (d): per-system hit rate in Low/Medium/High profit ranges."""
     dataset = get_dataset(which, scale)
@@ -238,6 +271,7 @@ def profit_range_hit_rates(
         max_body_size=scale.max_body_size,
         knn_k=scale.knn_k,
         seed=scale.seed,
+        n_jobs=n_jobs if n_jobs is not None else jobs_from_env(),
     )
     return {
         system: cv.hit_rate_by_profit_range() for system, cv in cv_results.items()
@@ -296,7 +330,7 @@ def learning_curve(
 
 
 def knn_postprocessing_delta(
-    which: str, scale: ExperimentScale
+    which: str, scale: ExperimentScale, n_jobs: int | None = None
 ) -> Mapping[str, float]:
     """Section 5.3's kNN post-processing comparison.
 
@@ -314,5 +348,6 @@ def knn_postprocessing_delta(
         max_body_size=scale.max_body_size,
         knn_k=scale.knn_k,
         seed=scale.seed,
+        n_jobs=n_jobs if n_jobs is not None else jobs_from_env(),
     )
     return {system: cv.gain for system, cv in cv_results.items()}

@@ -6,31 +6,59 @@ every figure-reproduction experiment instantiates them identically.
 :func:`run_support_sweep` drives the minimum-support sweeps that
 Figures 3(a)/(c)/(f) and 4(a)/(c)/(f) plot, evaluating all recommenders on
 the same cross-validation folds.
+
+Sweep acceleration
+------------------
+A sweep touches every (system, support level, fold) cell, but most of that
+work is redundant, and the fast fit path removes it in three layers:
+
+* one :class:`~repro.core.index_cache.FitCache` per sequential sweep
+  shares MOA hierarchies and transaction indexes, so the PROF and CONF
+  variants over a fold split one extension/interning/mask build;
+* ``mine_once=True`` (the default) mines each (system, fold) cell once at
+  the sweep's *lowest* support and derives every higher level with
+  :func:`~repro.core.mining.filter_mining_result` — support is
+  anti-monotone in the threshold, so filtering on the already-computed hit
+  counts and re-running covering + pruning reproduces the per-level refit
+  exactly;
+* ``n_jobs > 1`` distributes (system, fold) cells over worker processes,
+  gathering results in a fixed order so outputs are bit-identical to the
+  sequential run.
+
+``mine_once=False`` keeps the per-level refit path as the differential
+reference; the equivalence is asserted by tests and benchmarked in
+``benchmarks/test_perf_components.py``.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Sequence
 
 from repro.baselines.decision_tree import DecisionTreeRecommender
 from repro.baselines.knn import KNNRecommender
 from repro.baselines.mpi import MPIRecommender
 from repro.core.hierarchy import ConceptHierarchy
+from repro.core.index_cache import FitCache
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
-from repro.core.mining import MinerConfig
+from repro.core.mining import MinerConfig, filter_mining_result
 from repro.core.profit import BinaryProfit, ProfitModel, SavingMOA
 from repro.core.pruning import PruneConfig
 from repro.core.recommender import Recommender
+from repro.core.sales import TransactionDB
 from repro.data.datasets import Dataset
 from repro.errors import EvaluationError
-from repro.eval.cross_validation import CVResult, cross_validate, kfold_indices
-from repro.eval.metrics import EvalConfig
+from repro.eval.cross_validation import CVResult, kfold_indices
+from repro.eval.metrics import EvalConfig, EvalResult, evaluate
 
 __all__ = [
     "RecommenderFactory",
+    "MinerFactory",
     "PAPER_SYSTEMS",
+    "SUPPORT_FREE_SYSTEMS",
     "eval_config_for_system",
     "paper_recommenders",
     "SweepPoint",
@@ -43,6 +71,12 @@ RecommenderFactory = Callable[[], Recommender]
 
 #: Display order used in every figure, matching the paper's legends.
 PAPER_SYSTEMS = ("PROF+MOA", "PROF-MOA", "CONF+MOA", "CONF-MOA", "kNN", "MPI")
+
+#: Systems whose models do not depend on the minimum support; a sweep fits
+#: each of these once per fold and reuses the result at every level.
+SUPPORT_FREE_SYSTEMS = frozenset(
+    {"kNN", "kNN(profit)", "MPI", "DT", "DT(profit)"}
+)
 
 
 def eval_config_for_system(base: EvalConfig | None, system: str) -> EvalConfig:
@@ -60,6 +94,42 @@ def eval_config_for_system(base: EvalConfig | None, system: str) -> EvalConfig:
     return replace(base, moa_hit_test=uses_moa)
 
 
+@dataclass(frozen=True)
+class MinerFactory:
+    """Picklable zero-argument factory for one rule-based paper system.
+
+    Replaces the closures :func:`paper_recommenders` used to return:
+    parallel cross-validation pickles factories to worker processes, and
+    closures cannot cross that boundary.  The configuration is carried as
+    data, which also lets the sweep's fast path rebuild the same system at
+    a different support level (:meth:`at_support`).
+    """
+
+    hierarchy: ConceptHierarchy
+    profit_model: ProfitModel
+    config: ProfitMinerConfig
+
+    def __call__(self) -> ProfitMiner:
+        """A fresh, unfitted miner with this factory's configuration."""
+        return ProfitMiner(
+            hierarchy=self.hierarchy,
+            profit_model=self.profit_model,
+            config=self.config,
+        )
+
+    def at_support(self, min_support: float) -> ProfitMiner:
+        """A fresh miner with only the minimum support replaced."""
+        config = replace(
+            self.config,
+            mining=replace(self.config.mining, min_support=min_support),
+        )
+        return ProfitMiner(
+            hierarchy=self.hierarchy,
+            profit_model=self.profit_model,
+            config=config,
+        )
+
+
 def paper_recommenders(
     hierarchy: ConceptHierarchy,
     min_support: float,
@@ -69,36 +139,39 @@ def paper_recommenders(
     prune_config: PruneConfig | None = None,
     systems: Sequence[str] = PAPER_SYSTEMS,
 ) -> dict[str, RecommenderFactory]:
-    """Factories for the requested paper systems at one minimum support."""
+    """Factories for the requested paper systems at one minimum support.
+
+    Every returned factory is picklable, so any of them can be handed to
+    :func:`~repro.eval.cross_validation.cross_validate` with ``n_jobs > 1``.
+    """
     profit_model = profit_model or SavingMOA()
     prune_config = prune_config or PruneConfig()
 
-    def miner(model: ProfitModel, use_moa: bool) -> RecommenderFactory:
-        def build() -> Recommender:
-            return ProfitMiner(
-                hierarchy=hierarchy,
-                profit_model=model,
-                config=ProfitMinerConfig(
-                    mining=MinerConfig(
-                        min_support=min_support, max_body_size=max_body_size
-                    ),
-                    pruning=prune_config,
-                    use_moa=use_moa,
+    def miner(model: ProfitModel, use_moa: bool) -> MinerFactory:
+        return MinerFactory(
+            hierarchy=hierarchy,
+            profit_model=model,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(
+                    min_support=min_support, max_body_size=max_body_size
                 ),
-            )
-
-        return build
+                pruning=prune_config,
+                use_moa=use_moa,
+            ),
+        )
 
     registry: dict[str, RecommenderFactory] = {
         "PROF+MOA": miner(profit_model, use_moa=True),
         "PROF-MOA": miner(profit_model, use_moa=False),
         "CONF+MOA": miner(BinaryProfit(), use_moa=True),
         "CONF-MOA": miner(BinaryProfit(), use_moa=False),
-        "kNN": lambda: KNNRecommender(k=knn_k),
-        "kNN(profit)": lambda: KNNRecommender(k=knn_k, profit_post_processing=True),
+        "kNN": partial(KNNRecommender, k=knn_k),
+        "kNN(profit)": partial(
+            KNNRecommender, k=knn_k, profit_post_processing=True
+        ),
         "MPI": MPIRecommender,
         "DT": DecisionTreeRecommender,
-        "DT(profit)": lambda: DecisionTreeRecommender(profit_rerank=True),
+        "DT(profit)": partial(DecisionTreeRecommender, profit_rerank=True),
     }
     unknown = [name for name in systems if name not in registry]
     if unknown:
@@ -136,7 +209,7 @@ class SweepResult:
             raise EvaluationError(f"unknown metric {metric!r}")
         out: dict[str, list[tuple[float, float | None]]] = {}
         for point in self.points:
-            value = getattr(point, metric if metric != "model_size" else "model_size")
+            value = getattr(point, metric)
             out.setdefault(point.system, []).append((point.min_support, value))
         for series in out.values():
             series.sort()
@@ -161,6 +234,152 @@ class SweepResult:
         return max(candidates, key=lambda p: p.gain).system
 
 
+# ----------------------------------------------------------------------
+# Sweep execution: (system, fold) cells
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepSpec:
+    """Everything a (system, fold) cell needs beyond its own identity.
+
+    Picklable, so the same spec drives the sequential loop and the worker
+    processes of ``n_jobs > 1``.
+    """
+
+    db: TransactionDB
+    hierarchy: ConceptHierarchy
+    eval_config: EvalConfig | None
+    min_supports: tuple[float, ...]  # ascending
+    max_body_size: int
+    knn_k: int
+    mine_once: bool
+
+
+@dataclass(frozen=True)
+class _SweepCell:
+    """One (system, fold) unit of sweep work."""
+
+    system: str
+    fold: int
+    train_idx: tuple[int, ...]
+    test_idx: tuple[int, ...]
+
+
+def _run_sweep_cell(
+    spec: _SweepSpec,
+    cell: _SweepCell,
+    train: TransactionDB,
+    test: TransactionDB,
+    cache: FitCache | None,
+) -> tuple[str, dict[float, EvalResult]]:
+    """Fit one (system, fold) cell and score it at every support level.
+
+    Rule-based systems with ``mine_once`` fit once at the lowest support
+    and derive the higher levels by anti-monotone filtering; with it off
+    they refit per level (the differential reference).  Support-free
+    baselines fit and evaluate once, reused at every level.  Returns the
+    recommender's display name and the per-level evaluation results.
+    """
+    factory = paper_recommenders(
+        spec.hierarchy,
+        spec.min_supports[0],
+        max_body_size=spec.max_body_size,
+        knn_k=spec.knn_k,
+        systems=(cell.system,),
+    )[cell.system]
+    eval_cfg = eval_config_for_system(spec.eval_config, cell.system)
+    per_level: dict[float, EvalResult] = {}
+
+    if cell.system in SUPPORT_FREE_SYSTEMS:
+        recommender = factory()
+        recommender.fit(train)
+        result = evaluate(recommender, test, spec.hierarchy, eval_cfg)
+        for min_support in spec.min_supports:
+            per_level[min_support] = result
+        return recommender.name, per_level
+
+    assert isinstance(factory, MinerFactory)
+    if spec.mine_once:
+        base = factory()  # configured at the sweep's lowest support
+        base.fit(train, cache=cache)
+        assert base.mining_result is not None
+        # Levels are ascending, so each one filters the previous level's
+        # (already much smaller) result instead of rescanning the base:
+        # ``n_hits >= level`` composes, and the renumbering is monotone,
+        # so chained filtering is exact.
+        prev = base.mining_result
+        for min_support in spec.min_supports:
+            if min_support == spec.min_supports[0]:
+                miner = base
+            else:
+                prev = filter_mining_result(prev, min_support)
+                miner = factory.at_support(min_support)
+                miner.fit_from_mining_result(prev)
+            per_level[min_support] = evaluate(
+                miner, test, spec.hierarchy, eval_cfg
+            )
+        return base.name, per_level
+
+    name = ""
+    for min_support in spec.min_supports:
+        miner = factory.at_support(min_support)
+        miner.fit(train, cache=cache)
+        name = miner.name
+        per_level[min_support] = evaluate(miner, test, spec.hierarchy, eval_cfg)
+    return name, per_level
+
+
+def _run_sweep_cell_task(
+    spec: _SweepSpec, cell: _SweepCell
+) -> tuple[str, dict[float, EvalResult]]:
+    """Self-contained cell runner for worker processes.
+
+    Builds the fold subsets and a private cache locally: worker processes
+    share nothing, so the only cross-system reuse they keep is the
+    mine-once derivation within the cell (the dominant saving).
+    """
+    train = spec.db.subset(list(cell.train_idx))
+    test = spec.db.subset(list(cell.test_idx))
+    return _run_sweep_cell(spec, cell, train, test, FitCache())
+
+
+def _run_cells(
+    spec: _SweepSpec, cells: list[_SweepCell], n_jobs: int
+) -> dict[tuple[str, int], tuple[str, dict[float, EvalResult]]]:
+    """Execute cells, sequentially or across processes; keyed results.
+
+    The sequential path walks cells fold-major with one shared
+    :class:`FitCache` and per-fold subsets, so every system over a fold
+    reuses one index build.  The parallel path ships each cell to a
+    worker.  Either way the returned mapping is complete and the caller
+    assembles results in a fixed order, so outputs are identical.
+    """
+    out: dict[tuple[str, int], tuple[str, dict[float, EvalResult]]] = {}
+    if n_jobs == 1:
+        cache = FitCache()
+        folds: dict[int, tuple[TransactionDB, TransactionDB]] = {}
+        for cell in cells:
+            if cell.fold not in folds:
+                folds[cell.fold] = (
+                    spec.db.subset(list(cell.train_idx)),
+                    spec.db.subset(list(cell.test_idx)),
+                )
+            train, test = folds[cell.fold]
+            out[(cell.system, cell.fold)] = _run_sweep_cell(
+                spec, cell, train, test, cache
+            )
+        return out
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = {
+            (cell.system, cell.fold): pool.submit(_run_sweep_cell_task, spec, cell)
+            for cell in cells
+        }
+        for key, future in futures.items():
+            out[key] = future.result()
+    return out
+
+
 def run_support_sweep(
     dataset: Dataset,
     min_supports: Sequence[float],
@@ -170,6 +389,8 @@ def run_support_sweep(
     max_body_size: int = 2,
     knn_k: int = 5,
     seed: int = 0,
+    n_jobs: int = 1,
+    mine_once: bool = True,
 ) -> SweepResult:
     """Cross-validate every system at every minimum support.
 
@@ -177,37 +398,73 @@ def run_support_sweep(
     directly comparable (the paper's methodology).  Model-free baselines do
     not depend on the support, but re-evaluating them per level keeps the
     result table rectangular, as in the figures.
+
+    The fit path is accelerated by default (see the module docstring):
+    ``mine_once=True`` mines each rule-based (system, fold) cell once at
+    the lowest support and derives higher levels by filtering;
+    ``n_jobs > 1`` spreads cells over worker processes.  Both switches
+    leave the results bit-identical to the sequential per-level refit
+    (``mine_once=False, n_jobs=1``), which is kept as the reference path.
     """
     if not min_supports:
         raise EvaluationError("min_supports must be non-empty")
-    splits = kfold_indices(len(dataset.db), k=k_folds, seed=seed)
-    result = SweepResult(
-        dataset_name=dataset.name, min_supports=sorted(min_supports)
+    if n_jobs < 1:
+        raise EvaluationError(f"n_jobs must be >= 1, got {n_jobs}")
+    sorted_supports = sorted(min_supports)
+    # Validates the requested system names before any work starts.
+    paper_recommenders(
+        dataset.hierarchy,
+        sorted_supports[0],
+        max_body_size=max_body_size,
+        knn_k=knn_k,
+        systems=systems,
     )
-    baseline_cache: dict[str, CVResult] = {}
-    for min_support in result.min_supports:
-        factories = paper_recommenders(
-            dataset.hierarchy,
-            min_support,
-            max_body_size=max_body_size,
-            knn_k=knn_k,
-            systems=systems,
+    splits = kfold_indices(len(dataset.db), k=k_folds, seed=seed)
+    spec = _SweepSpec(
+        db=dataset.db,
+        hierarchy=dataset.hierarchy,
+        eval_config=eval_config,
+        min_supports=tuple(sorted_supports),
+        max_body_size=max_body_size,
+        knn_k=knn_k,
+        mine_once=mine_once,
+    )
+    cells = [
+        _SweepCell(
+            system=system,
+            fold=fold,
+            train_idx=tuple(train_idx),
+            test_idx=tuple(test_idx),
         )
-        for system, factory in factories.items():
-            support_free = system in ("kNN", "kNN(profit)", "MPI", "DT", "DT(profit)")
-            if support_free and system in baseline_cache:
-                cv = baseline_cache[system]
-            else:
-                cv = cross_validate(
-                    factory,
-                    dataset.db,
-                    dataset.hierarchy,
-                    eval_config_for_system(eval_config, system),
-                    splits=splits,
+        for fold, (train_idx, test_idx) in enumerate(splits)
+        for system in systems
+    ]
+    cell_results = _run_cells(spec, cells, n_jobs)
+
+    result = SweepResult(dataset_name=dataset.name, min_supports=sorted_supports)
+    for system in systems:
+        per_fold = [cell_results[(system, fold)] for fold in range(len(splits))]
+        name = per_fold[-1][0]
+        if system in SUPPORT_FREE_SYSTEMS:
+            # One CVResult shared across levels, as the baselines' models
+            # do not depend on the support threshold.
+            cv = CVResult(
+                recommender_name=name,
+                fold_results=[
+                    levels[sorted_supports[0]] for _, levels in per_fold
+                ],
+            )
+            for min_support in sorted_supports:
+                result.cv_results[(system, min_support)] = cv
+        else:
+            for min_support in sorted_supports:
+                result.cv_results[(system, min_support)] = CVResult(
+                    recommender_name=name,
+                    fold_results=[levels[min_support] for _, levels in per_fold],
                 )
-                if support_free:
-                    baseline_cache[system] = cv
-            result.cv_results[(system, min_support)] = cv
+    for min_support in sorted_supports:
+        for system in systems:
+            cv = result.cv_results[(system, min_support)]
             result.points.append(
                 SweepPoint(
                     system=system,
@@ -229,23 +486,25 @@ def run_single_support(
     max_body_size: int = 2,
     knn_k: int = 5,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> dict[str, CVResult]:
-    """Cross-validate every system at one support level (Figures 3(d)/4(d))."""
-    splits = kfold_indices(len(dataset.db), k=k_folds, seed=seed)
-    factories = paper_recommenders(
-        dataset.hierarchy,
-        min_support,
+    """Cross-validate every system at one support level (Figures 3(d)/4(d)).
+
+    A one-level sweep: the shared index cache still lets the PROF and CONF
+    variants split each fold's index build, and ``n_jobs > 1`` spreads the
+    (system, fold) cells over worker processes.
+    """
+    sweep = run_support_sweep(
+        dataset,
+        [min_support],
+        eval_config=eval_config,
+        systems=systems,
+        k_folds=k_folds,
         max_body_size=max_body_size,
         knn_k=knn_k,
-        systems=systems,
+        seed=seed,
+        n_jobs=n_jobs,
     )
     return {
-        system: cross_validate(
-            factory,
-            dataset.db,
-            dataset.hierarchy,
-            eval_config_for_system(eval_config, system),
-            splits=splits,
-        )
-        for system, factory in factories.items()
+        system: sweep.cv_results[(system, min_support)] for system in systems
     }

@@ -55,6 +55,60 @@ class EvalConfig:
     seed: int = 0
 
 
+#: Judge hierarchies keyed by (catalog, hierarchy, use_moa) identity.  A
+#: sweep evaluates dozens of (system, level, fold) cells over the same few
+#: fold catalogs; sharing the judge shares its generalization memos instead
+#: of re-deriving them per cell.  Judges are pure apart from those memos,
+#: so sharing cannot change any outcome.  Strong references keep the keyed
+#: objects alive, which is what makes ``id()`` keys safe: an id cannot be
+#: recycled while its entry pins the object.
+_judge_cache: dict[tuple[int, int, bool], MOAHierarchy] = {}
+_JUDGE_CACHE_LIMIT = 16
+
+#: Per-validation-db preparation (baskets and recorded target profits),
+#: keyed by db identity with the db pinned by the entry.  A sweep scores
+#: every (system, level) cell against the same few fold databases, and
+#: these inputs depend only on the database — not on the recommender.
+#: Databases are treated as immutable after construction (they validate
+#: eagerly and expose no mutation API), which is what makes reuse sound.
+_eval_prep_cache: dict[int, tuple[TransactionDB, list, list[float]]] = {}
+_EVAL_PREP_CACHE_LIMIT = 16
+
+
+def _eval_prep(
+    validation: TransactionDB,
+) -> tuple[list, list[float]]:
+    """Cached (baskets, recorded target profits) of a validation db."""
+    key = id(validation)
+    entry = _eval_prep_cache.get(key)
+    if entry is None:
+        if len(_eval_prep_cache) >= _EVAL_PREP_CACHE_LIMIT:
+            _eval_prep_cache.clear()
+        baskets = [t.nontarget_sales for t in validation]
+        recorded = [
+            t.recorded_target_profit(validation.catalog) for t in validation
+        ]
+        entry = (validation, baskets, recorded)
+        _eval_prep_cache[key] = entry
+    return entry[1], entry[2]
+
+
+def _judge_for(
+    validation: TransactionDB, hierarchy: ConceptHierarchy, use_moa: bool
+) -> MOAHierarchy:
+    """A (cached) MOA judge for scoring hits against ``validation``."""
+    key = (id(validation.catalog), id(hierarchy), use_moa)
+    judge = _judge_cache.get(key)
+    if judge is None:
+        if len(_judge_cache) >= _JUDGE_CACHE_LIMIT:
+            _judge_cache.clear()
+        judge = MOAHierarchy(
+            catalog=validation.catalog, hierarchy=hierarchy, use_moa=use_moa
+        )
+        _judge_cache[key] = judge
+    return judge
+
+
 @dataclass(frozen=True)
 class TransactionOutcome:
     """Scoring of one validation transaction."""
@@ -153,23 +207,26 @@ def evaluate(
     config = config or EvalConfig()
     if len(validation) == 0:
         raise EvaluationError("validation database is empty")
-    judge = MOAHierarchy(
-        catalog=validation.catalog,
-        hierarchy=hierarchy,
-        use_moa=config.moa_hit_test,
-    )
+    judge = _judge_for(validation, hierarchy, config.moa_hit_test)
     rng = np.random.default_rng(config.seed)
     outcomes: list[TransactionOutcome] = []
+    baskets, recorded_profits = _eval_prep(validation)
     # Batch the recommendations: index-backed recommenders answer repeated
     # baskets from their memo and only touch rules a basket can fire.
-    recommendations = recommender.recommend_many(
-        [t.nontarget_sales for t in validation]
-    )
-    for transaction, recommendation in zip(validation, recommendations):
-        head = GSale.promo_form(recommendation.item_id, recommendation.promo_code)
+    recommendations = recommender.recommend_many(baskets)
+    # A cell recommends few distinct pairs across many transactions, so
+    # the promo-form heads are interned per call.
+    heads: dict[tuple[str, str], GSale] = {}
+    for transaction, recommendation, recorded in zip(
+        validation, recommendations, recorded_profits
+    ):
+        pair = (recommendation.item_id, recommendation.promo_code)
+        head = heads.get(pair)
+        if head is None:
+            head = GSale.promo_form(*pair)
+            heads[pair] = head
         target = transaction.target_sale
         hit = judge.hits(head, target)
-        recorded = transaction.recorded_target_profit(validation.catalog)
         multiplier = 1.0
         achieved = 0.0
         if hit:
@@ -227,11 +284,7 @@ def evaluate_top_k(
     config = config or EvalConfig()
     if len(validation) == 0:
         raise EvaluationError("validation database is empty")
-    judge = MOAHierarchy(
-        catalog=validation.catalog,
-        hierarchy=hierarchy,
-        use_moa=config.moa_hit_test,
-    )
+    judge = _judge_for(validation, hierarchy, config.moa_hit_test)
     outcomes: list[TransactionOutcome] = []
     for transaction in validation:
         offers = recommender.recommend_top_k(transaction.nontarget_sales, k)

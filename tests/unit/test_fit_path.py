@@ -1,0 +1,305 @@
+"""Differential tests of the accelerated fit path.
+
+The sweep acceleration (shared :class:`~repro.core.index_cache.FitCache`,
+mine-once support sweeps, parallel cross-validation) is only admissible
+because every layer is exact: these tests pin the fast paths point-for-point
+against the independent per-level refits they replace.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.index_cache import FitCache
+from repro.core.mining import (
+    MinerConfig,
+    TransactionIndex,
+    filter_mining_result,
+    mine_rules,
+)
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import BinaryProfit, SavingMOA
+from repro.data.datasets import build_dataset, dataset_i_config
+from repro.eval.cross_validation import cross_validate, kfold_indices
+from repro.eval.harness import (
+    MinerFactory,
+    eval_config_for_system,
+    paper_recommenders,
+    run_support_sweep,
+)
+
+SUPPORTS = (0.01, 0.02, 0.05)
+SYSTEMS = ("PROF+MOA", "CONF-MOA", "kNN")
+K_FOLDS = 3
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        dataset_i_config(n_transactions=600, n_items=80, n_patterns=60, seed=SEED)
+    )
+
+
+@pytest.fixture(scope="module")
+def splits(dataset):
+    return kfold_indices(len(dataset.db), k=K_FOLDS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def moa(dataset):
+    return MOAHierarchy(dataset.db.catalog, dataset.hierarchy, use_moa=True)
+
+
+def _rule_signature(result):
+    return [
+        (s.rule.body, s.rule.head, s.rule.order, s.stats) for s in result.scored_rules
+    ]
+
+
+def _ranked_signature(miner):
+    return [
+        (s.rule.body, s.rule.head, s.stats.rule_profit)
+        for s in miner.require_fitted_recommender().ranked_rules
+    ]
+
+
+def _sweep_kwargs(**overrides):
+    kwargs = dict(
+        systems=SYSTEMS, k_folds=K_FOLDS, max_body_size=2, seed=SEED
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Mine-once filtering
+# ----------------------------------------------------------------------
+
+
+class TestFilterMiningResult:
+    def test_matches_direct_mining(self, dataset, moa):
+        base = mine_rules(
+            dataset.db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=SUPPORTS[0], max_body_size=2),
+        )
+        for min_support in SUPPORTS[1:]:
+            direct = mine_rules(
+                dataset.db,
+                moa,
+                SavingMOA(),
+                MinerConfig(min_support=min_support, max_body_size=2),
+            )
+            filtered = filter_mining_result(base, min_support)
+            assert _rule_signature(filtered) == _rule_signature(direct)
+            assert filtered.default_rule.rule.head == direct.default_rule.rule.head
+            assert filtered.default_rule.stats == direct.default_rule.stats
+            # Documented deviation: the filter counts only rule-emitting
+            # bodies, a lower bound on the direct run's frequent-body count.
+            assert filtered.frequent_body_count <= direct.frequent_body_count
+
+    def test_chained_equals_one_shot(self, dataset, moa):
+        base = mine_rules(
+            dataset.db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=SUPPORTS[0], max_body_size=2),
+        )
+        chained = filter_mining_result(
+            filter_mining_result(base, SUPPORTS[1]), SUPPORTS[2]
+        )
+        one_shot = filter_mining_result(base, SUPPORTS[2])
+        assert _rule_signature(chained) == _rule_signature(one_shot)
+        assert chained.frequent_body_count == one_shot.frequent_body_count
+
+    def test_full_fit_path_matches_refit(self, dataset):
+        """fit_from_mining_result on a filtered result == a fresh fit.
+
+        Covers the covering + pruning stages on top of the filter,
+        including the undominated-order hints the filter translates.
+        """
+        factory = paper_recommenders(
+            dataset.hierarchy, SUPPORTS[0], max_body_size=2, systems=("PROF+MOA",)
+        )["PROF+MOA"]
+        base = factory()
+        base.fit(dataset.db)
+        previous = base.mining_result
+        for min_support in SUPPORTS[1:]:
+            previous = filter_mining_result(previous, min_support)
+            derived = factory.at_support(min_support)
+            derived.fit_from_mining_result(previous)
+            refit = factory.at_support(min_support)
+            refit.fit(dataset.db)
+            assert _ranked_signature(derived) == _ranked_signature(refit)
+
+
+# ----------------------------------------------------------------------
+# FitCache sharing
+# ----------------------------------------------------------------------
+
+
+class TestFitCache:
+    def test_moa_and_index_reuse(self, dataset):
+        cache = FitCache()
+        catalog = dataset.db.catalog
+        moa = cache.moa_for(catalog, dataset.hierarchy, True)
+        assert cache.moa_for(catalog, dataset.hierarchy, True) is moa
+        assert cache.moa_for(catalog, dataset.hierarchy, False) is not moa
+        index = cache.index_for(dataset.db, moa, SavingMOA())
+        assert cache.index_for(dataset.db, moa, SavingMOA()) is index
+        assert cache.stats.moa_hits == 1
+        assert cache.stats.index_hits == 1
+
+    def test_structural_twin_matches_fresh_index(self, dataset, moa):
+        """A with_profit_model twin mines exactly like a cold build."""
+        cache = FitCache()
+        shared_moa = cache.moa_for(dataset.db.catalog, dataset.hierarchy, True)
+        cache.index_for(dataset.db, shared_moa, SavingMOA())
+        twin = cache.index_for(dataset.db, shared_moa, BinaryProfit())
+        assert cache.stats.structural_shares == 1
+        fresh = TransactionIndex(
+            db=dataset.db, moa=moa, profit_model=BinaryProfit()
+        )
+        config = MinerConfig(min_support=SUPPORTS[1], max_body_size=2)
+        from_twin = mine_rules(dataset.db, shared_moa, BinaryProfit(), config, index=twin)
+        from_fresh = mine_rules(dataset.db, moa, BinaryProfit(), config, index=fresh)
+        assert _rule_signature(from_twin) == _rule_signature(from_fresh)
+
+    def test_cached_fit_matches_uncached(self, dataset):
+        cache = FitCache()
+        for system in ("PROF+MOA", "CONF+MOA", "PROF-MOA"):
+            factory = paper_recommenders(
+                dataset.hierarchy, SUPPORTS[1], max_body_size=2, systems=(system,)
+            )[system]
+            cached = factory()
+            cached.fit(dataset.db, cache=cache)
+            plain = factory()
+            plain.fit(dataset.db)
+            assert _ranked_signature(cached) == _ranked_signature(plain)
+        # Three systems over one db: one structural build, twins for the
+        # profit-model variants, a fresh index only for the -MOA setting.
+        assert cache.stats.index_misses == 3
+        assert cache.stats.structural_shares == 1
+
+    def test_clear_resets(self, dataset):
+        cache = FitCache()
+        cache.moa_for(dataset.db.catalog, dataset.hierarchy, True)
+        cache.clear()
+        assert cache.stats.moa_misses == 0
+        cache.moa_for(dataset.db.catalog, dataset.hierarchy, True)
+        assert cache.stats.moa_misses == 1
+
+
+# ----------------------------------------------------------------------
+# Sweep differentials
+# ----------------------------------------------------------------------
+
+
+def _sweep_table(sweep):
+    return {
+        (p.system, p.min_support): (p.gain, p.hit_rate, p.model_size)
+        for p in sweep.points
+    }
+
+
+class TestSweepEquivalence:
+    def test_mine_once_matches_per_level_refit(self, dataset):
+        fast = run_support_sweep(dataset, SUPPORTS, **_sweep_kwargs())
+        reference = run_support_sweep(
+            dataset, SUPPORTS, **_sweep_kwargs(mine_once=False)
+        )
+        assert _sweep_table(fast) == _sweep_table(reference)
+        for key, cv in reference.cv_results.items():
+            assert fast.cv_results[key].fold_results == cv.fold_results
+
+    def test_sweep_matches_independent_cross_validation(self, dataset, splits):
+        """The whole accelerated stack vs a driver with no sharing at all."""
+        sweep = run_support_sweep(dataset, SUPPORTS, **_sweep_kwargs())
+        for system in SYSTEMS:
+            for min_support in SUPPORTS:
+                factory = paper_recommenders(
+                    dataset.hierarchy,
+                    min_support,
+                    max_body_size=2,
+                    systems=(system,),
+                )[system]
+                cv = cross_validate(
+                    factory,
+                    dataset.db,
+                    dataset.hierarchy,
+                    eval_config_for_system(None, system),
+                    splits=splits,
+                )
+                fast = sweep.cv_results[(system, min_support)]
+                assert fast.fold_results == cv.fold_results, (
+                    f"{system} at {min_support} diverged"
+                )
+
+    def test_parallel_sweep_matches_sequential(self, dataset):
+        sequential = run_support_sweep(dataset, SUPPORTS[:2], **_sweep_kwargs())
+        parallel = run_support_sweep(
+            dataset, SUPPORTS[:2], **_sweep_kwargs(n_jobs=2)
+        )
+        assert _sweep_table(parallel) == _sweep_table(sequential)
+        for key, cv in sequential.cv_results.items():
+            assert parallel.cv_results[key].fold_results == cv.fold_results
+
+
+class TestParallelCrossValidation:
+    def test_miner_factory_is_picklable(self, dataset):
+        factory = paper_recommenders(
+            dataset.hierarchy, SUPPORTS[1], max_body_size=2, systems=("PROF+MOA",)
+        )["PROF+MOA"]
+        assert isinstance(factory, MinerFactory)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert _ranked_signature(clone().fit(dataset.db)) == _ranked_signature(
+            factory().fit(dataset.db)
+        )
+
+    def test_parallel_folds_match_sequential(self, dataset, splits):
+        factory = paper_recommenders(
+            dataset.hierarchy, SUPPORTS[1], max_body_size=2, systems=("PROF+MOA",)
+        )["PROF+MOA"]
+        sequential = cross_validate(
+            factory,
+            dataset.db,
+            dataset.hierarchy,
+            eval_config_for_system(None, "PROF+MOA"),
+            splits=splits,
+        )
+        parallel = cross_validate(
+            factory,
+            dataset.db,
+            dataset.hierarchy,
+            eval_config_for_system(None, "PROF+MOA"),
+            splits=splits,
+            n_jobs=2,
+        )
+        assert parallel.fold_results == sequential.fold_results
+        assert parallel.gain == sequential.gain
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes
+# ----------------------------------------------------------------------
+
+
+def test_body_mask_empty_body_matches_every_transaction(dataset, moa):
+    index = TransactionIndex(db=dataset.db, moa=moa, profit_model=SavingMOA())
+    mask = index.body_mask([])
+    assert mask.bit_count() == len(dataset.db)
+    assert mask == (1 << index.n) - 1
+
+
+def test_sweep_series_uses_plain_attributes(dataset):
+    sweep = run_support_sweep(
+        dataset, SUPPORTS[1:], **_sweep_kwargs(systems=("CONF+MOA",))
+    )
+    series = sweep.series("model_size")
+    assert set(series) == {"CONF+MOA"}
+    points = {p.min_support: p.model_size for p in sweep.points}
+    assert series["CONF+MOA"] == sorted(points.items())

@@ -59,3 +59,18 @@ class TestValueSemantics:
         assert GSale.concept("Food").describe() == "[Food]"
         assert GSale.item("Egg").describe() == "Egg"
         assert GSale.promo_form("Egg", "P1").describe() == "<Egg @ P1>"
+
+    def test_precomputed_hash_matches_field_tuple(self):
+        """The cached hash is exactly the identity-tuple hash, so any two
+        equal GSales — including pickle round-trips — collide correctly."""
+        import pickle
+
+        for gsale in (
+            GSale.concept("Food"),
+            GSale.item("Egg"),
+            GSale.promo_form("Egg", "P1"),
+        ):
+            assert hash(gsale) == hash((gsale.kind, gsale.node, gsale.promo))
+            clone = pickle.loads(pickle.dumps(gsale))
+            assert clone == gsale
+            assert hash(clone) == hash(gsale)

@@ -28,6 +28,7 @@ MODULES = [
     "repro.core.fpgrowth",
     "repro.core.generalized",
     "repro.core.hierarchy",
+    "repro.core.index_cache",
     "repro.core.items",
     "repro.core.miner",
     "repro.core.mining",
