@@ -11,6 +11,13 @@ cross-selling plan".  This module turns a fitted
 * :func:`coverage_report` — training coverage and within-coverage hit rate
   per rule, straight from the covering tree;
 * :func:`pruning_summary` — what the cut-optimal phase did.
+
+The rule and recommendation exporters accept either a fitted
+:class:`~repro.core.miner.ProfitMiner` or a bare
+:class:`~repro.core.mpf.MPFRecommender` — so a model restored with
+:func:`repro.data.model_io.load_model` can be audited without refitting.
+The coverage and pruning reports need the miner's training artifacts and
+keep requiring the miner itself.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Any
 
 from repro.core.miner import ProfitMiner
 from repro.core.mining import TransactionIndex
+from repro.core.mpf import MPFRecommender
 from repro.errors import RecommenderError
 
 __all__ = [
@@ -49,9 +57,16 @@ _RULE_FIELDS = (
 )
 
 
-def rules_table(miner: ProfitMiner) -> list[dict[str, Any]]:
+def _as_recommender(model: ProfitMiner | MPFRecommender) -> MPFRecommender:
+    """A fitted recommender from either a miner or the recommender itself."""
+    if isinstance(model, ProfitMiner):
+        return model.require_fitted_recommender()
+    return model
+
+
+def rules_table(model: ProfitMiner | MPFRecommender) -> list[dict[str, Any]]:
     """The final recommender's rules as dict rows, in MPF rank order."""
-    recommender = miner.require_fitted_recommender()
+    recommender = _as_recommender(model)
     rows: list[dict[str, Any]] = []
     for rank, scored in enumerate(recommender.ranked_rules, start=1):
         rule, stats = scored.rule, scored.stats
@@ -74,9 +89,11 @@ def rules_table(miner: ProfitMiner) -> list[dict[str, Any]]:
     return rows
 
 
-def export_rules_csv(miner: ProfitMiner, path: str | Path) -> int:
+def export_rules_csv(
+    model: ProfitMiner | MPFRecommender, path: str | Path
+) -> int:
     """Write :func:`rules_table` to ``path``; returns the number of rules."""
-    rows = rules_table(miner)
+    rows = rules_table(model)
     path = Path(path)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=_RULE_FIELDS)
@@ -95,14 +112,16 @@ _RECOMMENDATION_FIELDS = (
 )
 
 
-def recommendations_table(miner: ProfitMiner, db) -> list[dict[str, Any]]:
+def recommendations_table(
+    model: ProfitMiner | MPFRecommender, db
+) -> list[dict[str, Any]]:
     """Per-transaction recommendations as dict rows, batch-served.
 
     Uses :meth:`~repro.core.mpf.MPFRecommender.recommend_many` — the
     indexed batch path — so exporting recommendations for a large
     transaction file costs one index walk per distinct basket.
     """
-    recommender = miner.require_fitted_recommender()
+    recommender = _as_recommender(model)
     ranks = {
         s.rule.order: rank
         for rank, s in enumerate(recommender.ranked_rules, start=1)
@@ -128,10 +147,10 @@ def recommendations_table(miner: ProfitMiner, db) -> list[dict[str, Any]]:
 
 
 def export_recommendations_csv(
-    miner: ProfitMiner, db, path: str | Path
+    model: ProfitMiner | MPFRecommender, db, path: str | Path
 ) -> int:
     """Write :func:`recommendations_table` to ``path``; returns the row count."""
-    rows = recommendations_table(miner, db)
+    rows = recommendations_table(model, db)
     path = Path(path)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=_RECOMMENDATION_FIELDS)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro import __version__
@@ -79,9 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     export = sub.add_parser(
-        "export", help="fit a recommender and export its rules as CSV"
+        "export", help="export the rules of a fitted or saved model as CSV"
     )
-    export.add_argument("--data", required=True, help="JSON-lines transactions")
+    export.add_argument(
+        "--data", default=None, help="JSON-lines transactions to fit on"
+    )
+    export.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="export from a saved model (see 'fit --save-model') "
+        "instead of fitting",
+    )
     export.add_argument("--min-support", type=float, default=0.01)
     export.add_argument("--max-body-size", type=int, default=2)
     export.add_argument("--no-moa", action="store_true", help="disable MOA")
@@ -91,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also export per-transaction recommendations (batch-served) "
-        "as CSV",
+        "as CSV; with --model this still needs --data to serve",
     )
 
     sweep = sub.add_parser("sweep", help="run the six-system support sweep")
@@ -108,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["PROF+MOA", "PROF-MOA", "CONF+MOA", "CONF-MOA", "kNN", "MPI"],
         help="systems to compare (first one is the reference)",
+    )
+    compare.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="also score a saved model (see 'fit --save-model') on the "
+        "same folds, as row 'saved:<name>'",
     )
     _add_scale_argument(compare)
     _add_jobs_argument(compare)
@@ -228,6 +245,30 @@ def _cmd_export(args: argparse.Namespace) -> int:
         pruning_summary,
     )
 
+    if args.model is None and args.data is None:
+        raise ProfitMiningError("export needs --data (fit) or --model (load)")
+    if args.model is not None:
+        from repro.data.model_io import load_model
+
+        recommender = load_model(args.model)
+        n_rules = export_rules_csv(recommender, args.out)
+        print(
+            f"wrote {n_rules} rules from saved model {recommender.name} "
+            f"to {args.out}"
+        )
+        if args.recommendations_out:
+            if args.data is None:
+                raise ProfitMiningError(
+                    "--recommendations-out needs --data to serve against"
+                )
+            db = load_transactions(args.data)
+            n_recs = export_recommendations_csv(
+                recommender, db, args.recommendations_out
+            )
+            print(
+                f"wrote {n_recs} recommendations to {args.recommendations_out}"
+            )
+        return 0
     db = load_transactions(args.data)
     hierarchy = grouped_hierarchy(db.catalog)
     miner = ProfitMiner(
@@ -266,9 +307,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+@dataclass(frozen=True)
+class _SavedModelFactory:
+    """Picklable factory serving one saved recommender on every fold.
+
+    :meth:`~repro.core.mpf.MPFRecommender.fit` is a no-op, so handing the
+    loaded model to :func:`~repro.eval.cross_validation.cross_validate`
+    scores the *same* persisted rules against each held-back fold — an
+    out-of-sample audit of a production artifact rather than a refit.
+    Carrying the path (not the model) keeps the factory picklable for
+    ``n_jobs > 1``.
+    """
+
+    path: str
+
+    def __call__(self):
+        from repro.data.model_io import load_model
+
+        return load_model(self.path)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.eval.cross_validation import cross_validate, kfold_indices
     from repro.eval.harness import eval_config_for_system, paper_recommenders
+    from repro.eval.metrics import EvalConfig
     from repro.eval.stats import compare_gains
 
     scale = _resolve_scale(args.scale)
@@ -292,6 +356,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         for system, factory in factories.items()
     }
+    extra_rows: list[str] = []
+    if args.model:
+        from repro.data.model_io import load_model
+
+        saved = load_model(args.model)
+        label = f"saved:{saved.name}"
+        results[label] = cross_validate(
+            _SavedModelFactory(str(args.model)),
+            dataset.db,
+            dataset.hierarchy,
+            # Judge the artifact by its own generalization relation, like
+            # eval_config_for_system does for the named systems.
+            replace(EvalConfig(), moa_hit_test=saved.moa.use_moa),
+            splits=splits,
+            n_jobs=n_jobs,
+        )
+        extra_rows.append(label)
     rows = [
         [system, cv.gain, cv.hit_rate, cv.model_size]
         for system, cv in results.items()
@@ -306,7 +387,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print()
     reference = args.systems[0]
-    for system in args.systems[1:]:
+    for system in [*args.systems[1:], *extra_rows]:
         print(compare_gains(results[reference], results[system]).describe())
     return 0
 

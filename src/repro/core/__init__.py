@@ -6,6 +6,7 @@ Import the high-level pieces from here::
 """
 
 from repro.core.covering import CoveringNode, CoveringTree, build_covering_tree
+from repro.core.engine import CompiledModel, SymbolTable
 from repro.core.generalized import GKind, GSale
 from repro.core.hierarchy import ROOT_CONCEPT, ConceptHierarchy
 from repro.core.index_cache import FitCache
@@ -45,6 +46,7 @@ from repro.core.sales import Sale, Transaction, TransactionDB, concat
 __all__ = [
     "BinaryProfit",
     "BuyingMOA",
+    "CompiledModel",
     "ConceptHierarchy",
     "CoveringNode",
     "CoveringTree",
@@ -73,6 +75,7 @@ __all__ = [
     "Sale",
     "SavingMOA",
     "ScoredRule",
+    "SymbolTable",
     "Transaction",
     "TransactionDB",
     "TransactionIndex",

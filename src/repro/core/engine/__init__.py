@@ -1,0 +1,28 @@
+"""The compiled engine layer: one symbol table, one compiled model.
+
+Everything the pipeline computes over — transaction extensions, rule
+bodies, candidate heads, inverted postings — is phrased in terms of
+generalized sales.  Before this layer existed, three different modules
+each built their own ``GSale ↔ dense id`` interning (mining's
+:class:`~repro.core.mining.TransactionIndex`, the covering tree's body
+pass, and serving's :class:`~repro.core.rule_index.RuleMatchIndex`), and
+:func:`~repro.data.model_io.load_model` re-derived all of it from JSON
+strings on every deploy.
+
+The engine layer replaces those with two shared structures:
+
+* :class:`SymbolTable` — the dense interning plus ancestor/closure
+  subsumption tables for one (catalog, hierarchy, MOA) triple, built once
+  and borrowed by mining, covering/pruning and serving alike;
+* :class:`CompiledModel` — a fitted recommender's ranked rules, default
+  rule and inverted postings entirely in dense-id form, ready to serve
+  and to persist (``model_io`` format v2 round-trips it directly).
+
+See ``docs/ARCHITECTURE.md`` for how this layer sits between the data
+layer and the algorithms built on top of it.
+"""
+
+from repro.core.engine.compiled import CompiledModel
+from repro.core.engine.symbols import SymbolTable
+
+__all__ = ["CompiledModel", "SymbolTable"]

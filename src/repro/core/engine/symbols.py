@@ -1,0 +1,249 @@
+"""The shared symbol table: dense gsale ↔ id interning for one world.
+
+A :class:`SymbolTable` owns the canonical integer naming of every
+generalized sale a (catalog, hierarchy, MOA) triple can produce, plus the
+derived tables every pipeline stage needs:
+
+* ``gsales`` / ``ids`` — the dense interning itself, sorted by
+  :meth:`~repro.core.generalized.GSale.sort_key` so ids are deterministic;
+* ``ancestor_ids`` / ``closure_ids`` — per-gsale subsumption tables in id
+  form (built lazily: serving never asks for them);
+* ``candidate_head_ids`` — every recommendable head, most-specific-first;
+* per-sale expansion caches mapping a concrete ``(item, promotion)`` pair
+  to the id tuple of its generalizations (basket extension) or of the
+  heads that hit it.
+
+The table spans the *full* universe derivable from the catalog — every
+concept, every non-target item and promo form, every candidate head — not
+just the gsales observed in one database.  That makes it database-free
+(one table serves every fold, sweep level and deployed model of a world)
+while preserving the exact outputs of the old per-database interning:
+restricting a sort-ordered universe to any subset keeps the subset's
+relative order, and every consumer (Apriori's sorted joins, FP-growth's
+tie-breaks, covering's ``min(body)`` buckets, the head enumeration) is
+either order-isomorphic in the ids or independent of them.
+
+Obtain the canonical instance for a generalization engine through
+:meth:`SymbolTable.of`, which caches the table on the
+:class:`~repro.core.moa.MOAHierarchy` itself — everything already sharing
+an engine (every fold of a sweep under one :class:`~repro.core.index_cache.FitCache`)
+then shares the symbols automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.generalized import GSale
+from repro.core.moa import MOAHierarchy
+from repro.core.sales import Sale
+
+__all__ = ["SymbolTable"]
+
+#: Attribute under which :meth:`SymbolTable.of` caches the canonical table
+#: on a ``MOAHierarchy`` instance.
+_MOA_ATTR = "_engine_symbol_table"
+
+
+def _enumerate_universe(moa: MOAHierarchy) -> list[GSale]:
+    """Every generalized sale the world can produce, in canonical order.
+
+    Concepts of the hierarchy, bare-item and promo forms of every
+    non-target item, and the promo forms of every target item (the
+    candidate heads).  This is a superset of anything a transaction
+    database over the catalog can mention.
+    """
+    seen: set[GSale] = set()
+    for concept in moa.hierarchy.concepts:
+        seen.add(GSale.concept(concept))
+    for item in moa.catalog.nontarget_items:
+        seen.add(GSale.item(item.item_id))
+        for promo in item.promotions:
+            seen.add(GSale.promo_form(item.item_id, promo.code))
+    for item in moa.catalog.target_items:
+        for promo in item.promotions:
+            seen.add(GSale.promo_form(item.item_id, promo.code))
+    return sorted(seen, key=GSale.sort_key)
+
+
+class SymbolTable:
+    """Dense interning + subsumption tables for one (catalog, H, MOA) world.
+
+    Parameters
+    ----------
+    moa:
+        The generalization engine whose world this table names.
+    gsales:
+        Optional explicit symbol list (ids are positions in it).  Passed
+        when adopting the table persisted in a model artifact, so saved
+        ids stay valid verbatim; omitted, the full universe is enumerated
+        from the engine's catalog and hierarchy.
+    """
+
+    __slots__ = (
+        "moa",
+        "gsales",
+        "ids",
+        "_ancestor_ids",
+        "_closure_ids",
+        "_candidate_head_ids",
+        "_sale_cache",
+        "_head_cache",
+    )
+
+    def __init__(
+        self, moa: MOAHierarchy, gsales: Sequence[GSale] | None = None
+    ) -> None:
+        self.moa = moa
+        self.gsales: list[GSale] = (
+            list(gsales) if gsales is not None else _enumerate_universe(moa)
+        )
+        self.ids: dict[GSale, int] = {g: i for i, g in enumerate(self.gsales)}
+        self._ancestor_ids: list[frozenset[int]] | None = None
+        self._closure_ids: list[frozenset[int]] | None = None
+        self._candidate_head_ids: list[int] | None = None
+        self._sale_cache: dict[tuple[str, str], tuple[int, ...]] = {}
+        self._head_cache: dict[tuple[str, str], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, moa: MOAHierarchy) -> "SymbolTable":
+        """The canonical table of ``moa`` (built once, cached on the engine).
+
+        Caching on the engine instance means every structure keyed to the
+        same :class:`~repro.core.moa.MOAHierarchy` — all folds of a sweep,
+        profit-model twins, serving indexes — shares one table without
+        any extra plumbing.
+        """
+        table = getattr(moa, _MOA_ATTR, None)
+        if table is None:
+            table = cls(moa)
+            setattr(moa, _MOA_ATTR, table)
+        return table
+
+    @classmethod
+    def adopt(cls, moa: MOAHierarchy, gsales: Sequence[GSale]) -> "SymbolTable":
+        """Install an explicit symbol list as ``moa``'s canonical table.
+
+        Used when loading a persisted model: the artifact's ids must stay
+        valid verbatim, so its symbol list is adopted as-is instead of
+        re-enumerated.  Refuses to replace an existing table (the engine
+        is freshly built on the load path, so there never is one).
+        """
+        existing = getattr(moa, _MOA_ATTR, None)
+        if existing is not None:
+            return existing
+        table = cls(moa, gsales=gsales)
+        setattr(moa, _MOA_ATTR, table)
+        return table
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gsales)
+
+    def id_of(self, gsale: GSale) -> int:
+        """Dense id of ``gsale`` (raises ``KeyError`` for unknown symbols)."""
+        return self.ids[gsale]
+
+    def intern_body(self, body: Iterable[GSale]) -> tuple[int, ...]:
+        """A rule body as its sorted dense-id tuple (the canonical form)."""
+        ids = self.ids
+        return tuple(sorted(ids[g] for g in body))
+
+    # ------------------------------------------------------------------
+    # Subsumption tables (lazy: only mining and covering need them)
+    # ------------------------------------------------------------------
+    def _build_subsumption(self) -> None:
+        ancestor_ids: list[frozenset[int]] = []
+        closure_ids: list[frozenset[int]] = []
+        ids = self.ids
+        ancestors_of = self.moa.ancestors_of_gsale
+        for gid, gsale in enumerate(self.gsales):
+            # Restricting to interned ids is sound (and for the canonical
+            # universe, vacuous): subsumption queries only ever compare
+            # against other interned gsales.
+            ancestors = frozenset(
+                ids[a] for a in ancestors_of(gsale) if a in ids
+            )
+            ancestor_ids.append(ancestors)
+            closure_ids.append(ancestors | {gid})
+        self._ancestor_ids = ancestor_ids
+        self._closure_ids = closure_ids
+
+    @property
+    def ancestor_ids(self) -> list[frozenset[int]]:
+        """Per-gsale proper-ancestor ids (``ancestor_ids[gid]``)."""
+        if self._ancestor_ids is None:
+            self._build_subsumption()
+        assert self._ancestor_ids is not None
+        return self._ancestor_ids
+
+    @property
+    def closure_ids(self) -> list[frozenset[int]]:
+        """Per-gsale reflexive closures: the gsale's id plus its ancestors'."""
+        if self._closure_ids is None:
+            self._build_subsumption()
+        assert self._closure_ids is not None
+        return self._closure_ids
+
+    # ------------------------------------------------------------------
+    # Candidate heads
+    # ------------------------------------------------------------------
+    @property
+    def candidate_head_ids(self) -> list[int]:
+        """Every recommendable head id, most-specific-first.
+
+        Heads are enumerated deepest-in-MOA(H)-first (least favorable
+        price first) per target item — the order that realizes the
+        paper's "generated before" tie-breaker for default-rule selection
+        and head emission (see :func:`repro.core.mining.mine_rules`).
+        """
+        if self._candidate_head_ids is None:
+            catalog = self.moa.catalog
+
+            def head_depth_key(head: GSale) -> tuple[str, float, str]:
+                promo = catalog.promotion(head.node, head.promo or "")
+                return (head.node, -promo.unit_price, head.promo or "")
+
+            ids = self.ids
+            self._candidate_head_ids = [
+                ids[h]
+                for h in sorted(self.moa.all_candidate_heads(), key=head_depth_key)
+            ]
+        return self._candidate_head_ids
+
+    # ------------------------------------------------------------------
+    # Per-sale expansion caches
+    # ------------------------------------------------------------------
+    def sale_ids(self, sale: Sale) -> tuple[int, ...]:
+        """Ids of a non-target sale's generalizations (Definition 3).
+
+        Cached per distinct ``(item, promotion)`` pair — quantities never
+        affect generalization.  Symbols the table does not know (possible
+        only for adopted tables from older artifacts) are skipped: an
+        unknown symbol occurs in no rule body, so it cannot affect
+        matching.
+        """
+        key = (sale.item_id, sale.promo_code)
+        cached = self._sale_cache.get(key)
+        if cached is None:
+            get = self.ids.get
+            cached = tuple(
+                gid
+                for g in self.moa.generalizations_of_sale(sale)
+                if (gid := get(g)) is not None
+            )
+            self._sale_cache[key] = cached
+        return cached
+
+    def head_ids(self, target_sale: Sale) -> tuple[int, ...]:
+        """Ids of the heads that hit ``target_sale``, cached per pair."""
+        key = (target_sale.item_id, target_sale.promo_code)
+        cached = self._head_cache.get(key)
+        if cached is None:
+            ids = self.ids
+            cached = tuple(
+                ids[h] for h in self.moa.target_heads_of_sale(target_sale)
+            )
+            self._head_cache[key] = cached
+        return cached

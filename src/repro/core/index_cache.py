@@ -60,9 +60,18 @@ class FitCache:
     the fit path: the sweep/CV drivers build each fold's training subset
     once and hand the *same* objects to every system, and two structurally
     equal databases that are distinct objects would still produce
-    identical results — a conservative miss, never a wrong hit.  Every
-    entry pins its key objects, so a cached id cannot be recycled while
-    the cache lives.
+    identical results — a conservative miss, never a wrong hit.
+
+    **The pinning invariant.**  An ``id()`` is only unique among *live*
+    objects: if a key object were garbage-collected, a later, unrelated
+    object could be allocated at the same address and silently hit a stale
+    entry — returning an index built over a different database.  The cache
+    therefore holds a strong reference (a *pin*) to every object whose id
+    appears in a key, for as long as the entry lives; :meth:`clear` drops
+    entries and pins together.  The invariant is asserted at every
+    insertion and can be audited wholesale with
+    :meth:`check_pins`; ``tests/unit/test_index_cache.py`` keeps a
+    regression test on it.
     """
 
     _moas: dict[tuple[int, int, bool], MOAHierarchy] = field(
@@ -75,7 +84,39 @@ class FitCache:
         default_factory=dict, repr=False
     )
     _pins: list[object] = field(default_factory=list, repr=False)
+    #: ids of the pinned objects — the O(1) membership side of ``_pins``.
+    _pinned_ids: set[int] = field(default_factory=set, repr=False)
     stats: FitCacheStats = field(default_factory=FitCacheStats)
+
+    # ------------------------------------------------------------------
+    def _pin(self, *objects: object) -> None:
+        """Hold strong references to key objects (see the class docstring)."""
+        for obj in objects:
+            if id(obj) not in self._pinned_ids:
+                self._pins.append(obj)
+                self._pinned_ids.add(id(obj))
+
+    def check_pins(self) -> None:
+        """Assert the pinning invariant over every cached entry.
+
+        Every object id used in a cache key must belong to a pinned (and
+        therefore live) object.  Raises ``AssertionError`` on violation —
+        which would mean a key id could be recycled and alias a stale
+        entry.
+        """
+        pinned = self._pinned_ids
+        for catalog_id, hierarchy_id, _ in self._moas:
+            assert catalog_id in pinned and hierarchy_id in pinned, (
+                "FitCache invariant violated: MOA key object not pinned"
+            )
+        for db_id, _, _ in self._indexes:
+            assert db_id in pinned, (
+                "FitCache invariant violated: index key database not pinned"
+            )
+        for db_id, _ in self._structural:
+            assert db_id in pinned, (
+                "FitCache invariant violated: structural key database not pinned"
+            )
 
     # ------------------------------------------------------------------
     def moa_for(
@@ -99,7 +140,8 @@ class FitCache:
         self.stats.moa_misses += 1
         moa = MOAHierarchy(catalog=catalog, hierarchy=hierarchy, use_moa=use_moa)
         self._moas[key] = moa
-        self._pins.extend((catalog, hierarchy))
+        self._pin(catalog, hierarchy)
+        assert key[0] in self._pinned_ids and key[1] in self._pinned_ids
         return moa
 
     def index_for(
@@ -130,8 +172,9 @@ class FitCache:
         else:
             index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
             self._structural[structural_key] = index
-            self._pins.append(db)
+            self._pin(db)
         self._indexes[key] = index
+        assert key[0] in self._pinned_ids
         return index
 
     def clear(self) -> None:
@@ -140,4 +183,5 @@ class FitCache:
         self._indexes.clear()
         self._structural.clear()
         self._pins.clear()
+        self._pinned_ids.clear()
         self.stats = FitCacheStats()

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.covering import CoveringTree, build_covering_tree
+from repro.core.engine.compiled import CompiledModel
 from repro.core.hierarchy import ConceptHierarchy
 from repro.core.index_cache import FitCache
 from repro.core.mining import MinerConfig, MiningResult, mine_rules
@@ -161,8 +162,21 @@ class ProfitMiner(Recommender):
         self._initial_recommender = None  # rebuilt lazily against this fit
         self.covering_tree = build_covering_tree(self.mining_result)
         self.prune_report = cut_optimal_prune(self.covering_tree, self.config.pruning)
+        # Compile against the mining index's shared symbol table, reusing
+        # the miner's body interning — the recommender is born serving-
+        # ready, with no interning left on the request path.
+        compiled = CompiledModel.compile(
+            self.prune_report.kept_rules,
+            self.mining_result.index.symbols,
+            name=self.name,
+            body_ids_by_order=self.mining_result.body_ids_by_order,
+        )
         self.recommender = MPFRecommender(
-            self.prune_report.kept_rules, self.moa, name=self.name, presorted=True
+            compiled.ranked_rules,
+            self.moa,
+            name=self.name,
+            presorted=True,
+            compiled=compiled,
         )
         self._fitted = True
         return self

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.core.engine.symbols import SymbolTable
 from repro.core.generalized import GKind, GSale
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import ProfitModel
@@ -119,25 +120,28 @@ class MinerConfig:
 class TransactionIndex:
     """Preprocessed, interned view of a transaction database.
 
-    Generalized sales are interned to dense integer ids (sorted by their
-    canonical key, so ids are deterministic).  All masks index transactions
-    by their position in ``db.transactions``.
+    Generalized sales are named by the dense ids of a shared
+    :class:`~repro.core.engine.symbols.SymbolTable` (sorted by their
+    canonical key, so ids are deterministic); the interning, subsumption
+    tables and candidate-head order are borrowed from the table rather
+    than rebuilt per database — every fold and profit-model twin over one
+    generalization engine shares them.  All masks index transactions by
+    their position in ``db.transactions``.
     """
 
     db: TransactionDB
     moa: MOAHierarchy
     profit_model: ProfitModel
+    #: The shared symbol table; defaults to the MOA engine's canonical one
+    #: (:meth:`SymbolTable.of`).  Injecting a different table is only for
+    #: tests — it must name the same world.
+    symbols: SymbolTable | None = None
     n: int = field(init=False)
-    gsale_ids: dict[GSale, int] = field(init=False, default_factory=dict)
-    gsales: list[GSale] = field(init=False, default_factory=list)
     ext_sets: list[frozenset[int]] = field(init=False, default_factory=list)
     body_masks: dict[int, int] = field(init=False, default_factory=dict)
     head_sets: list[frozenset[int]] = field(init=False, default_factory=list)
     head_masks: dict[int, int] = field(init=False, default_factory=dict)
     head_profits: list[dict[int, float]] = field(init=False, default_factory=list)
-    candidate_head_ids: list[int] = field(init=False, default_factory=list)
-    ancestor_ids: list[frozenset[int]] = field(init=False, default_factory=list)
-    closure_ids: list[frozenset[int]] = field(init=False, default_factory=list)
     #: Frequent-body discovery results keyed by the structural parameters
     #: (minsup count, body-size cap, candidate cap, algorithm).  Body
     #: discovery never looks at credited profit, so profit-model twins
@@ -177,75 +181,84 @@ class TransactionIndex:
         self.n = len(self.db)
         if self.n == 0:
             raise MiningError("cannot mine an empty transaction database")
-        self._intern_gsales()
+        if self.symbols is None:
+            self.symbols = SymbolTable.of(self.moa)
+        elif self.symbols.moa.use_moa != self.moa.use_moa:
+            raise MiningError(
+                "injected SymbolTable disagrees with the MOA engine on use_moa"
+            )
         self._index_transactions()
 
     # ------------------------------------------------------------------
-    def _intern_gsales(self) -> None:
-        seen: set[GSale] = set()
-        for transaction in self.db:
-            seen.update(self.moa.generalizations_of_basket(transaction.nontarget_sales))
-            seen.update(self.moa.target_heads_of_sale(transaction.target_sale))
-        seen.update(self.moa.all_candidate_heads())
-        self.gsales = sorted(seen, key=GSale.sort_key)
-        self.gsale_ids = {g: i for i, g in enumerate(self.gsales)}
-        # Candidate heads are enumerated most-specific-first (deepest in the
-        # per-item MOA(H) sub-hierarchy, i.e. least favorable price first).
-        # This fixes the paper's "generated before" tie-breaker: when two
-        # heads tie on recommendation profit and support — which happens
-        # systematically under MOA, where every cheaper price hits a
-        # superset — the most specific recommendation wins.
-        def head_depth_key(head: GSale) -> tuple[str, float, str]:
-            promo = self.db.catalog.promotion(head.node, head.promo or "")
-            return (head.node, -promo.unit_price, head.promo or "")
+    # Views borrowed from the shared symbol table
+    # ------------------------------------------------------------------
+    @property
+    def gsales(self) -> list[GSale]:
+        """Dense id → generalized sale (the shared table's symbol list)."""
+        assert self.symbols is not None
+        return self.symbols.gsales
 
-        self.candidate_head_ids = [
-            self.gsale_ids[h]
-            for h in sorted(self.moa.all_candidate_heads(), key=head_depth_key)
-        ]
-        # Interned-id subsumption tables.  Restricting ancestors to interned
-        # gsales is sound for every use below: the queries (ancestor-free
-        # pair checks, body closures for the covering tree) only ever
-        # compare against other *interned* gsales, and an ancestor outside
-        # the index can never appear in a rule body.  Hot loops then run on
-        # small int sets instead of re-hashing GSale objects per query.
-        for gid, gsale in enumerate(self.gsales):
-            ancestors = frozenset(
-                self.gsale_ids[a]
-                for a in self.moa.ancestors_of_gsale(gsale)
-                if a in self.gsale_ids
-            )
-            self.ancestor_ids.append(ancestors)
-            self.closure_ids.append(ancestors | {gid})
+    @property
+    def gsale_ids(self) -> dict[GSale, int]:
+        """Generalized sale → dense id (the shared table's interning)."""
+        assert self.symbols is not None
+        return self.symbols.ids
+
+    @property
+    def candidate_head_ids(self) -> list[int]:
+        """Recommendable head ids, most-specific-first.
+
+        The order realizes the paper's "generated before" tie-breaker:
+        heads are enumerated deepest in the per-item MOA(H) sub-hierarchy
+        first (least favorable price first), so when two heads tie on
+        recommendation profit and support — systematic under MOA, where
+        every cheaper price hits a superset — the most specific
+        recommendation wins.
+        """
+        assert self.symbols is not None
+        return self.symbols.candidate_head_ids
+
+    @property
+    def ancestor_ids(self) -> list[frozenset[int]]:
+        """Per-gsale proper-ancestor id sets (shared subsumption table)."""
+        assert self.symbols is not None
+        return self.symbols.ancestor_ids
+
+    @property
+    def closure_ids(self) -> list[frozenset[int]]:
+        """Per-gsale reflexive closure id sets (shared subsumption table)."""
+        assert self.symbols is not None
+        return self.symbols.closure_ids
 
     def _index_transactions(self) -> None:
         # Accumulate per-gsale transaction positions first and build each
         # bitmask once at the end: OR-ing single bits into a growing Python
         # int copies the whole mask every time (quadratic at 100K
         # transactions), whereas one bytes conversion per gsale is linear.
+        assert self.symbols is not None
+        sale_ids = self.symbols.sale_ids
+        head_ids = self.symbols.head_ids
+        gsales = self.symbols.gsales
+        credited = self.profit_model.credited_profit
+        catalog = self.db.catalog
         body_positions: dict[int, list[int]] = {}
         head_positions: dict[int, list[int]] = {}
         for pos, transaction in enumerate(self.db):
-            ext = frozenset(
-                self.gsale_ids[g]
-                for g in self.moa.generalizations_of_basket(
-                    transaction.nontarget_sales
-                )
-            )
+            ext_ids: set[int] = set()
+            for sale in transaction.nontarget_sales:
+                ext_ids.update(sale_ids(sale))
+            ext = frozenset(ext_ids)
             self.ext_sets.append(ext)
             for gid in ext:
                 body_positions.setdefault(gid, []).append(pos)
 
-            heads = frozenset(
-                self.gsale_ids[h]
-                for h in self.moa.target_heads_of_sale(transaction.target_sale)
-            )
+            heads = frozenset(head_ids(transaction.target_sale))
             self.head_sets.append(heads)
             profits: dict[int, float] = {}
             for hid in heads:
                 head_positions.setdefault(hid, []).append(pos)
-                profits[hid] = self.profit_model.credited_profit(
-                    self.gsales[hid], transaction.target_sale, self.db.catalog
+                profits[hid] = credited(
+                    gsales[hid], transaction.target_sale, catalog
                 )
             self.head_profits.append(profits)
         self.body_masks = {
@@ -278,16 +291,12 @@ class TransactionIndex:
         index.db = base.db
         index.moa = base.moa
         index.profit_model = profit_model
+        index.symbols = base.symbols
         index.n = base.n
-        index.gsale_ids = base.gsale_ids
-        index.gsales = base.gsales
         index.ext_sets = base.ext_sets
         index.body_masks = base.body_masks
         index.head_sets = base.head_sets
         index.head_masks = base.head_masks
-        index.candidate_head_ids = base.candidate_head_ids
-        index.ancestor_ids = base.ancestor_ids
-        index.closure_ids = base.closure_ids
         index.body_cache = base.body_cache
         index.emit_cache = base.emit_cache
         index.closure_cache = base.closure_cache

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.engine.compiled import CompiledModel
+from repro.core.engine.symbols import SymbolTable
 from repro.core.moa import MOAHierarchy
 from repro.core.recommender import Recommendation, Recommender
 from repro.core.rule_index import RuleMatchIndex, basket_key
@@ -46,6 +48,13 @@ class MPFRecommender(Recommender):
         Promise that ``scored_rules`` is already in MPF rank order, so the
         constructor's sort is skipped.  Covering and pruning both hand
         over rank-sorted lists; re-sorting them per fit is pure overhead.
+    compiled:
+        The rules' :class:`~repro.core.engine.compiled.CompiledModel`,
+        when the caller already has one (the fit pipeline compiles from
+        the miner's interning; ``load_model`` restores a persisted one).
+        Implies ``presorted`` — a compiled model is rank-ordered by
+        construction — and makes the first recommendation free of any
+        interning work.
     """
 
     #: Cap on the basket-level memo used by :meth:`recommend_many`; the
@@ -58,9 +67,19 @@ class MPFRecommender(Recommender):
         moa: MOAHierarchy,
         name: str = "MPF",
         presorted: bool = False,
+        compiled: CompiledModel | None = None,
     ) -> None:
         super().__init__()
-        defaults = [s for s in scored_rules if s.rule.is_default]
+        if compiled is not None:
+            rules_list = list(compiled.ranked_rules)
+        else:
+            # Keyed sort: one rank_key per rule instead of one per comparison.
+            rules_list = (
+                list(scored_rules)
+                if presorted
+                else sorted(scored_rules, key=rank_key)
+            )
+        defaults = [s for s in rules_list if s.rule.is_default]
         if len(defaults) != 1:
             raise ValidationError(
                 f"MPF recommender needs exactly one default rule, got "
@@ -68,19 +87,34 @@ class MPFRecommender(Recommender):
             )
         self.name = name
         self.moa = moa
-        # Keyed sort: one rank_key per rule instead of one per comparison.
-        self.ranked_rules: list[ScoredRule] = (
-            list(scored_rules) if presorted else sorted(scored_rules, key=rank_key)
-        )
+        self.ranked_rules: list[ScoredRule] = rules_list
+        self._compiled = compiled
         self._index: RuleMatchIndex | None = None
         self._batch_memo: dict[frozenset[tuple[str, str]], Recommendation] = {}
         self._fitted = True
 
     @property
+    def compiled(self) -> CompiledModel:
+        """The dense-id compiled form of this recommender's rules.
+
+        Compiled lazily against the MOA engine's canonical symbol table
+        when the constructor was not handed one; recommenders built by
+        the fit pipeline or by ``load_model`` (format v2) carry theirs
+        from construction.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledModel.compile(
+                self.ranked_rules, SymbolTable.of(self.moa), name=self.name
+            )
+        return self._compiled
+
+    @property
     def rule_index(self) -> RuleMatchIndex:
         """The compiled matching index (built lazily on first use)."""
         if self._index is None:
-            self._index = RuleMatchIndex(self.ranked_rules, self.moa)
+            self._index = RuleMatchIndex(
+                self.ranked_rules, self.moa, compiled=self.compiled
+            )
         return self._index
 
     def fit(self, db: TransactionDB) -> "MPFRecommender":

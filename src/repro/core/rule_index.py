@@ -3,29 +3,24 @@
 The original serving path (kept as the ``naive=True`` reference in
 :class:`~repro.core.mpf.MPFRecommender`) re-derives the basket's full
 generalization set on every call and linearly scans *every* ranked rule —
-``O(|basket gsales| + |R| · |body|)`` per recommendation, the same
-quadratic shape rule *mining* already eliminated with interned gsale ids
-and bitmasks (:mod:`repro.core.mining`).  Recommendation latency is the
-hot path of every cross-validation fold and every figure benchmark, so
-serving gets the same treatment:
+``O(|basket gsales| + |R| · |body|)`` per recommendation.  Serving instead
+routes through a :class:`~repro.core.engine.compiled.CompiledModel`: each
+body is a tuple of shared :class:`~repro.core.engine.symbols.SymbolTable`
+ids, an inverted index maps each symbol to the rank-ascending rules whose
+body contains it, and matching counts remaining body members per candidate
+rule with an early cut-off at the best full match found — proportional to
+how much of the rule set the basket can possibly fire, not to the rule
+set's size.
 
-* each ranked rule's body is interned once into dense gsale ids;
-* an **inverted index** maps each gsale id to the (rank-ascending) list of
-  rules whose body contains it;
-* a **per-sale cache** maps ``(item, promotion)`` to the interned ids of
-  the sale's generalizations that occur in *any* rule body — in practice a
-  tiny subset of the ~20 generalized sales a basket expands to, so basket
-  preparation is a few small dict lookups instead of a frozenset union of
-  :class:`~repro.core.generalized.GSale` objects;
-* matching counts remaining body members per candidate rule, touching only
-  rules that share at least one generalized sale with the basket, with an
-  early cut-off at the best full match found so far.
-
-Matching one basket is therefore ``O(Σ_{g ∈ basket ids} |postings(g)|)``
-— proportional to how much of the rule set the basket can possibly fire,
-not to the rule set's size.  The index is exact: differential property
-tests (``tests/property/test_rule_index_differential.py``) require the
-same :class:`~repro.core.rules.ScoredRule` objects as the naive scan for
+:class:`RuleMatchIndex` is the thin serving facade over that compiled
+form.  It no longer interns anything itself: the symbol table is the one
+shared with mining and covering (one interning implementation for the
+whole pipeline), and a recommender restored from a format-v2 artifact
+hands over its persisted :class:`CompiledModel` so no interning happens
+on the load path at all.  The index is exact: differential property tests
+(``tests/property/test_rule_index_differential.py`` and
+``tests/property/test_compiled_differential.py``) require the same
+:class:`~repro.core.rules.ScoredRule` objects as the naive scan for
 random rule sets and baskets.
 """
 
@@ -33,7 +28,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.generalized import GSale
+from repro.core.engine.compiled import CompiledModel
+from repro.core.engine.symbols import SymbolTable
 from repro.core.moa import MOAHierarchy
 from repro.core.rules import ScoredRule
 from repro.core.sales import Sale
@@ -52,7 +48,7 @@ def basket_key(basket: Sequence[Sale]) -> frozenset[tuple[str, str]]:
 
 
 class RuleMatchIndex:
-    """Inverted index over the bodies of a ranked rule list.
+    """Serving facade over the compiled form of a ranked rule list.
 
     Parameters
     ----------
@@ -62,32 +58,30 @@ class RuleMatchIndex:
         caller must pass it already sorted — :class:`MPFRecommender` hands
         over its ``ranked_rules``.
     moa:
-        The generalization engine the rules were mined against; used once
-        per distinct ``(item, promotion)`` pair to expand a sale, after
-        which the expansion is served from the per-sale cache.
+        The generalization engine the rules were mined against; its
+        canonical :class:`SymbolTable` supplies the interning and the
+        per-sale expansion cache.
+    compiled:
+        An already-compiled model (e.g. carried out of the fit pipeline or
+        restored from a v2 artifact); when given, ``ranked_rules`` is
+        ignored and nothing is re-interned.
     """
 
     def __init__(
-        self, ranked_rules: Sequence[ScoredRule], moa: MOAHierarchy
+        self,
+        ranked_rules: Sequence[ScoredRule],
+        moa: MOAHierarchy,
+        compiled: CompiledModel | None = None,
     ) -> None:
         self.moa = moa
-        self.rules: list[ScoredRule] = list(ranked_rules)
-        self._body_sizes: list[int] = []
-        self._gsale_ids: dict[GSale, int] = {}
-        self._postings: list[list[int]] = []
-        self._always_match: list[int] = []
-        for idx, scored in enumerate(self.rules):
-            body = scored.rule.body
-            self._body_sizes.append(len(body))
-            if not body:
-                self._always_match.append(idx)
-                continue
-            for gsale in body:
-                gid = self._gsale_ids.setdefault(gsale, len(self._postings))
-                if gid == len(self._postings):
-                    self._postings.append([])
-                self._postings[gid].append(idx)
-        self._sale_ids: dict[tuple[str, str], tuple[int, ...]] = {}
+        if compiled is None:
+            compiled = CompiledModel.compile(ranked_rules, SymbolTable.of(moa))
+        self.compiled = compiled
+
+    @property
+    def rules(self) -> list[ScoredRule]:
+        """The compiled rule list in rank order (position = rank)."""
+        return self.compiled.ranked_rules
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,101 +89,37 @@ class RuleMatchIndex:
     @property
     def n_rules(self) -> int:
         """Number of indexed rules (including always-matching ones)."""
-        return len(self.rules)
+        return self.compiled.n_rules
 
     @property
     def n_indexed_gsales(self) -> int:
         """Number of distinct generalized sales across all rule bodies."""
-        return len(self._postings)
+        return self.compiled.n_indexed_gsales
 
     @property
     def n_postings(self) -> int:
         """Total inverted-index size: Σ over gsales of |rules containing it|."""
-        return sum(len(p) for p in self._postings)
+        return self.compiled.n_postings
 
     # ------------------------------------------------------------------
-    # Basket preparation
+    # Matching (delegated to the compiled model)
     # ------------------------------------------------------------------
-    def _expand_sale(self, key: tuple[str, str], sale: Sale) -> tuple[int, ...]:
-        """Cache miss: intern the sale's generalizations that rules mention.
-
-        The ids keep the (deterministic) expansion order: matching counts
-        per-rule occurrences, so candidate order never affects which rule
-        wins, and sorting here would be pure overhead.
-        """
-        gsale_ids = self._gsale_ids
-        get = gsale_ids.get
-        ids = tuple(
-            gid
-            for g in self.moa.generalizations_of_sale(sale)
-            if (gid := get(g)) is not None
-        )
-        self._sale_ids[key] = ids
-        return ids
-
     def candidate_ids(self, basket: Sequence[Sale]) -> list[int]:
-        """Interned ids of the basket's generalizations seen in rule bodies.
+        """Symbol ids of the basket's generalizations seen in rule bodies."""
+        return self.compiled.candidate_ids(basket)
 
-        Deduplicated (a generalized sale reachable from two sales counts
-        once) but unordered.  Generalized sales that occur in no rule body
-        are dropped — they cannot influence matching.
-        """
-        sale_ids = self._sale_ids
-        gathered: list[int] = []
-        for sale in basket:
-            key = (sale.item_id, sale.promo_code)
-            ids = sale_ids.get(key)
-            if ids is None:
-                ids = self._expand_sale(key, sale)
-            gathered.extend(ids)
-        if len(gathered) > 1:
-            return list(set(gathered))
-        return gathered
-
-    # ------------------------------------------------------------------
-    # Matching
-    # ------------------------------------------------------------------
     def first_match(self, basket: Sequence[Sale]) -> ScoredRule | None:
         """The highest-ranked rule matching ``basket`` (Definition 6).
 
         Returns ``None`` only when the rule list has no always-matching
         (empty-body) rule and nothing else matches.
         """
-        postings = self._postings
-        sizes = self._body_sizes
-        always = self._always_match
-        best = always[0] if always else len(self.rules)
-        counts: dict[int, int] = {}
-        for gid in self.candidate_ids(basket):
-            for ridx in postings[gid]:
-                if ridx >= best:
-                    # Postings are rank-ascending: nothing further in this
-                    # list can beat the best full match found so far.
-                    break
-                count = counts.get(ridx, 0) + 1
-                counts[ridx] = count
-                if count == sizes[ridx]:
-                    best = ridx
-        if best == len(self.rules):
-            return None
-        return self.rules[best]
+        return self.compiled.first_match(basket)
 
     def matching_indices(self, basket: Sequence[Sale]) -> list[int]:
         """Rank positions of every rule matching ``basket``, ascending."""
-        postings = self._postings
-        sizes = self._body_sizes
-        counts: dict[int, int] = {}
-        matched = list(self._always_match)
-        for gid in self.candidate_ids(basket):
-            for ridx in postings[gid]:
-                count = counts.get(ridx, 0) + 1
-                counts[ridx] = count
-                if count == sizes[ridx]:
-                    matched.append(ridx)
-        matched.sort()
-        return matched
+        return self.compiled.matching_indices(basket)
 
     def all_matches(self, basket: Sequence[Sale]) -> list[ScoredRule]:
         """Every matching rule in rank order — the naive filter, indexed."""
-        rules = self.rules
-        return [rules[i] for i in self.matching_indices(basket)]
+        return self.compiled.all_matches(basket)

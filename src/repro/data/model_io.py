@@ -6,9 +6,25 @@ against, the concept hierarchy, and the MOA switch.  This module
 serializes all of that to a single JSON document so a model mined once can
 be deployed, versioned and diffed without re-mining.
 
+Two formats are written and read:
+
+* **v1** (``repro-profit-mining-model-v1``) — rules with string-form
+  generalized sales.  Loading rebuilds every GSale from its dict and pays
+  for rule validation, ranking and a full serving-index build on first
+  use.  Kept as a write option (``save_model(..., version=1)``) and read
+  transparently for old artifacts.
+* **v2** (``repro-profit-mining-model-v2``, the default) — additionally
+  persists the engine layer: the
+  :class:`~repro.core.engine.symbols.SymbolTable`'s symbol list, each
+  rule's body/head as dense symbol ids, and the inverted postings of the
+  :class:`~repro.core.engine.compiled.CompiledModel`.  Loading adopts the
+  symbol list verbatim (ids = positions), restores the postings directly,
+  and hands the recommender a ready compiled model — ``load_model`` →
+  first recommendation performs no re-interning and no index build.
+
 Round trip::
 
-    save_model(miner.require_fitted_recommender(), moa, "model.json")
+    save_model(miner.require_fitted_recommender(), "model.json")
     recommender = load_model("model.json")
     recommender.recommend(basket)
 """
@@ -19,6 +35,8 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.engine.compiled import CompiledModel
+from repro.core.engine.symbols import SymbolTable
 from repro.core.generalized import GKind, GSale
 from repro.core.hierarchy import ConceptHierarchy
 from repro.core.moa import MOAHierarchy
@@ -29,7 +47,12 @@ from repro.errors import SerializationError
 
 __all__ = ["save_model", "load_model"]
 
-_FORMAT = "repro-profit-mining-model-v1"
+_FORMAT_V1 = "repro-profit-mining-model-v1"
+_FORMAT_V2 = "repro-profit-mining-model-v2"
+
+#: Compact symbol encodings used by the v2 ``symbols`` list.
+_KIND_TAGS = {GKind.CONCEPT: "c", GKind.ITEM: "i", GKind.PROMO: "p"}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
 
 
 def _gsale_to_dict(gsale: GSale) -> dict[str, Any]:
@@ -47,13 +70,27 @@ def _gsale_from_dict(payload: dict[str, Any]) -> GSale:
         raise SerializationError(f"malformed generalized sale: {exc}") from exc
 
 
-def save_model(
-    recommender: MPFRecommender, path: str | Path
-) -> None:
-    """Write a fitted MPF recommender (rules + world) to ``path``."""
+def _symbol_entry(gsale: GSale) -> list[str]:
+    """A gsale as the compact v2 list form ``[tag, node(, promo)]``."""
+    entry = [_KIND_TAGS[gsale.kind], gsale.node]
+    if gsale.promo is not None:
+        entry.append(gsale.promo)
+    return entry
+
+
+def _symbol_from_entry(entry: list[str]) -> GSale:
+    """Decode one v2 symbol entry (validated by ``GSale.__post_init__``)."""
+    try:
+        kind = _TAG_KINDS[entry[0]]
+        return GSale(kind, entry[1], entry[2] if len(entry) > 2 else None)
+    except (KeyError, IndexError, TypeError) as exc:
+        raise SerializationError(f"malformed symbol entry {entry!r}") from exc
+
+
+def _world_to_dict(recommender: MPFRecommender) -> dict[str, Any]:
+    """The shared (catalog, hierarchy, MOA-switch) section of both formats."""
     moa = recommender.moa
-    payload = {
-        "format": _FORMAT,
+    return {
         "name": recommender.name,
         "use_moa": moa.use_moa,
         "catalog": catalog_to_dict(moa.catalog),
@@ -64,7 +101,21 @@ def save_model(
             },
             "items": sorted(moa.hierarchy.items),
         },
-        "rules": [
+    }
+
+
+def save_model(
+    recommender: MPFRecommender, path: str | Path, version: int = 2
+) -> None:
+    """Write a fitted MPF recommender (rules + world) to ``path``.
+
+    ``version=2`` (the default) also persists the symbol table and the
+    compiled inverted postings so loading skips re-interning; ``version=1``
+    writes the legacy string-form document.
+    """
+    if version == 1:
+        payload: dict[str, Any] = {"format": _FORMAT_V1, **_world_to_dict(recommender)}
+        payload["rules"] = [
             {
                 "body": [_gsale_to_dict(g) for g in sorted(scored.rule.body)],
                 "head": _gsale_to_dict(scored.rule.head),
@@ -75,35 +126,57 @@ def save_model(
                 "n_total": scored.stats.n_total,
             }
             for scored in recommender.ranked_rules
-        ],
-    }
+        ]
+    elif version == 2:
+        compiled = recommender.compiled
+        symbols = compiled.symbols
+        head_id = symbols.id_of
+        payload = {"format": _FORMAT_V2, **_world_to_dict(recommender)}
+        payload["symbols"] = [_symbol_entry(g) for g in symbols.gsales]
+        # One array per rule, in rank order:
+        # [body ids, head id, order, n_matched, n_hits, rule_profit, n_total]
+        payload["rules"] = [
+            [
+                list(body_ids),
+                head_id(scored.rule.head),
+                scored.rule.order,
+                scored.stats.n_matched,
+                scored.stats.n_hits,
+                scored.stats.rule_profit,
+                scored.stats.n_total,
+            ]
+            for scored, body_ids in zip(compiled.ranked_rules, compiled.body_ids)
+        ]
+        # Inverted postings as [symbol id, [rank positions]] pairs.
+        payload["postings"] = [
+            [gid, positions] for gid, positions in sorted(compiled.postings.items())
+        ]
+    else:
+        raise SerializationError(f"unsupported model format version {version}")
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
-def load_model(path: str | Path) -> MPFRecommender:
-    """Reconstruct a recommender written by :func:`save_model`."""
+def _load_world(payload: dict[str, Any]) -> MOAHierarchy:
+    """Rebuild the MOA engine from a payload's world section."""
+    catalog = catalog_from_dict(payload["catalog"])
+    hierarchy = ConceptHierarchy(
+        parents={
+            node: tuple(parents)
+            for node, parents in payload["hierarchy"]["parents"].items()
+        },
+        items=set(payload["hierarchy"]["items"]),
+    )
+    return MOAHierarchy(
+        catalog=catalog,
+        hierarchy=hierarchy,
+        use_moa=bool(payload["use_moa"]),
+    )
+
+
+def _load_v1(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
+    """Reconstruct a legacy v1 document (string-form rules)."""
     try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"{path}: not valid JSON: {exc}") from exc
-    if payload.get("format") != _FORMAT:
-        raise SerializationError(
-            f"{path}: unexpected model format {payload.get('format')!r}"
-        )
-    try:
-        catalog = catalog_from_dict(payload["catalog"])
-        hierarchy = ConceptHierarchy(
-            parents={
-                node: tuple(parents)
-                for node, parents in payload["hierarchy"]["parents"].items()
-            },
-            items=set(payload["hierarchy"]["items"]),
-        )
-        moa = MOAHierarchy(
-            catalog=catalog,
-            hierarchy=hierarchy,
-            use_moa=bool(payload["use_moa"]),
-        )
+        moa = _load_world(payload)
         scored_rules = [
             ScoredRule(
                 rule=Rule(
@@ -125,3 +198,64 @@ def load_model(path: str | Path) -> MPFRecommender:
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"{path}: malformed model payload: {exc}") from exc
     return MPFRecommender(scored_rules, moa, name=str(payload.get("name", "MPF")))
+
+
+def _load_v2(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
+    """Reconstruct a v2 document: adopt symbols, restore postings verbatim."""
+    try:
+        moa = _load_world(payload)
+        gsales = [_symbol_from_entry(entry) for entry in payload["symbols"]]
+        symbols = SymbolTable.adopt(moa, gsales)
+        name = str(payload.get("name", "MPF"))
+        ranked: list[ScoredRule] = []
+        body_ids: list[tuple[int, ...]] = []
+        for entry in payload["rules"]:
+            ids, head_id, order, n_matched, n_hits, rule_profit, n_total = entry
+            id_tuple = tuple(ids)
+            body_ids.append(id_tuple)
+            # Bodies/heads share the adopted GSale objects; the separation
+            # constraint was validated at save time, so the rule is
+            # assembled without re-running ``Rule.__post_init__``.
+            rule = Rule.__new__(Rule)
+            object.__setattr__(
+                rule, "body", frozenset(gsales[gid] for gid in id_tuple)
+            )
+            object.__setattr__(rule, "head", gsales[head_id])
+            object.__setattr__(rule, "order", int(order))
+            ranked.append(
+                ScoredRule(
+                    rule=rule,
+                    stats=RuleStats(
+                        n_matched=int(n_matched),
+                        n_hits=int(n_hits),
+                        rule_profit=float(rule_profit),
+                        n_total=int(n_total),
+                    ),
+                )
+            )
+        postings = {
+            int(gid): [int(pos) for pos in positions]
+            for gid, positions in payload["postings"]
+        }
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SerializationError(f"{path}: malformed model payload: {exc}") from exc
+    compiled = CompiledModel(
+        symbols, ranked, body_ids, postings=postings, name=name
+    )
+    return MPFRecommender(
+        ranked, moa, name=name, presorted=True, compiled=compiled
+    )
+
+
+def load_model(path: str | Path) -> MPFRecommender:
+    """Reconstruct a recommender written by :func:`save_model` (v1 or v2)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: not valid JSON: {exc}") from exc
+    fmt = payload.get("format") if isinstance(payload, dict) else None
+    if fmt == _FORMAT_V1:
+        return _load_v1(payload, path)
+    if fmt == _FORMAT_V2:
+        return _load_v2(payload, path)
+    raise SerializationError(f"{path}: unexpected model format {fmt!r}")

@@ -173,29 +173,167 @@ class TestCompareCommand:
 
 
 class TestModelPersistenceViaCli:
-    def test_fit_save_model_round_trip(self, tmp_path, capsys):
-        from repro.data.model_io import load_model
-
+    @pytest.fixture
+    def saved_model(self, tmp_path, capsys):
+        """A dataset file and a model fitted on it via the CLI."""
         data = tmp_path / "data.jsonl"
         main(
             ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
         )
         model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "fit",
+                    "--data",
+                    str(data),
+                    "--min-support",
+                    "0.02",
+                    "--save-model",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        assert "model saved" in capsys.readouterr().out
+        return data, model_path
+
+    def test_fit_save_model_round_trip(self, saved_model):
+        from repro.data.model_io import load_model
+
+        _, model_path = saved_model
+        restored = load_model(model_path)
+        assert restored.model_size >= 1
+
+    def test_export_from_saved_model(self, saved_model, tmp_path, capsys):
+        _, model_path = saved_model
+        capsys.readouterr()
+        out = tmp_path / "rules.csv"
+        code = main(["export", "--model", str(model_path), "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("rank,")
+        assert len(text.splitlines()) > 1
+        assert "saved model" in capsys.readouterr().out
+
+    def test_export_saved_model_matches_refit_export(
+        self, saved_model, tmp_path, capsys
+    ):
+        data, model_path = saved_model
+        fitted_csv = tmp_path / "fitted.csv"
+        loaded_csv = tmp_path / "loaded.csv"
+        assert (
+            main(
+                [
+                    "export",
+                    "--data",
+                    str(data),
+                    "--min-support",
+                    "0.02",
+                    "--out",
+                    str(fitted_csv),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["export", "--model", str(model_path), "--out", str(loaded_csv)])
+            == 0
+        )
+        assert loaded_csv.read_text() == fitted_csv.read_text()
+
+    def test_export_saved_model_serves_recommendations(
+        self, saved_model, tmp_path, capsys
+    ):
+        data, model_path = saved_model
+        capsys.readouterr()
+        rules = tmp_path / "rules.csv"
+        recs = tmp_path / "recs.csv"
         code = main(
             [
-                "fit",
+                "export",
+                "--model",
+                str(model_path),
                 "--data",
                 str(data),
-                "--min-support",
-                "0.02",
-                "--save-model",
+                "--out",
+                str(rules),
+                "--recommendations-out",
+                str(recs),
+            ]
+        )
+        assert code == 0
+        lines = recs.read_text().splitlines()
+        assert lines[0].startswith("tid,")
+        assert len(lines) == 1 + 300
+
+    def test_export_recommendations_from_model_needs_data(
+        self, saved_model, tmp_path, capsys
+    ):
+        _, model_path = saved_model
+        capsys.readouterr()
+        code = main(
+            [
+                "export",
+                "--model",
+                str(model_path),
+                "--out",
+                str(tmp_path / "rules.csv"),
+                "--recommendations-out",
+                str(tmp_path / "recs.csv"),
+            ]
+        )
+        assert code == 1
+        assert "--data" in capsys.readouterr().err
+
+    def test_export_needs_data_or_model(self, tmp_path, capsys):
+        code = main(["export", "--out", str(tmp_path / "rules.csv")])
+        assert code == 1
+        assert "--data" in capsys.readouterr().err
+
+    def test_compare_scores_saved_model_on_shared_folds(self, tmp_path, capsys):
+        # Serving a model requires its catalog to cover the evaluation
+        # items, so fit the saved model on the same dataset compare uses.
+        from repro.data.io import save_transactions
+        from repro.eval.experiments import ExperimentScale, get_dataset
+
+        data = tmp_path / "tiny.jsonl"
+        save_transactions(get_dataset("I", ExperimentScale.tiny()).db, data)
+        model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "fit",
+                    "--data",
+                    str(data),
+                    "--min-support",
+                    "0.02",
+                    "--save-model",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "I",
+                "--scale",
+                "tiny",
+                "--systems",
+                "PROF+MOA",
+                "MPI",
+                "--model",
                 str(model_path),
             ]
         )
         assert code == 0
-        assert "model saved" in capsys.readouterr().out
-        restored = load_model(model_path)
-        assert restored.model_size >= 1
+        out = capsys.readouterr().out
+        assert "saved:PROF+MOA" in out
+        # Significance lines: one for MPI, one for the saved row.
+        assert out.count("p=") == 2
 
 
 @pytest.mark.slow

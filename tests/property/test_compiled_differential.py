@@ -1,0 +1,110 @@
+"""Differential properties of the compiled engine vs the naive reference.
+
+The :class:`~repro.core.engine.compiled.CompiledModel` behind every
+serving path — whether compiled out of the fit pipeline, lazily from a
+rule list, or restored from a format-v2 artifact — is only an
+optimization: ``recommendation_rule``, ``matching_rules`` and
+``recommend_top_k`` must agree with their ``naive=True`` linear-scan
+references on every basket, down to object identity of the selected
+:class:`~repro.core.rules.ScoredRule`.  These properties drive all three
+over random mining problems and random baskets, including the empty
+basket and recommenders holding only the default rule.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mining import mine_rules
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.data.model_io import load_model, save_model
+
+from tests.property.test_mining_properties import mining_problems
+from tests.property.test_rule_index_differential import _random_basket
+
+
+def _baskets_for(db, data):
+    """Training baskets plus random ones, always including the empty basket."""
+    baskets = [t.nontarget_sales for t in db]
+    baskets.append([])
+    baskets += [_random_basket(data.draw, db.catalog) for _ in range(3)]
+    return baskets
+
+
+class TestCompiledNaiveParity:
+    @given(mining_problems(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_recommendation_rule_identical(self, problem, data):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        for basket in _baskets_for(db, data):
+            assert recommender.recommendation_rule(
+                basket
+            ) is recommender.recommendation_rule(basket, naive=True)
+
+    @given(mining_problems(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_matching_rules_identical(self, problem, data):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        for basket in _baskets_for(db, data):
+            indexed = recommender.matching_rules(basket)
+            naive = recommender.matching_rules(basket, naive=True)
+            assert len(indexed) == len(naive)
+            assert all(a is b for a, b in zip(indexed, naive))
+
+    @given(mining_problems(), st.data(), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_recommend_top_k_identical(self, problem, data, k):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        for basket in _baskets_for(db, data):
+            indexed = recommender.recommend_top_k(basket, k)
+            naive = recommender.recommend_top_k(basket, k, naive=True)
+            assert [(p.item_id, p.promo_code, id(p.rule)) for p in indexed] == [
+                (p.item_id, p.promo_code, id(p.rule)) for p in naive
+            ]
+
+    @given(mining_problems(), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_default_rule_only_recommender(self, problem, data):
+        """A recommender holding just the default rule serves every basket."""
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender([result.default_rule], moa)
+        for basket in _baskets_for(db, data):
+            scored = recommender.recommendation_rule(basket)
+            assert scored is recommender.recommendation_rule(basket, naive=True)
+            assert scored.rule.is_default
+            assert recommender.matching_rules(basket) == [result.default_rule]
+            top = recommender.recommend_top_k(basket, 3)
+            assert len(top) == 1 and top[0].rule is result.default_rule
+
+
+class TestPersistedCompiledParity:
+    """A v2-restored compiled model matches its own naive scan too."""
+
+    @given(problem=mining_problems(), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_v2_round_trip_serves_identically(self, tmp_path_factory, problem, data):
+        db, moa, config = problem
+        result = mine_rules(db, moa, SavingMOA(), config)
+        recommender = MPFRecommender(result.all_rules, moa)
+        path = tmp_path_factory.mktemp("models") / "model.json"
+        save_model(recommender, path, version=2)
+        restored = load_model(path)
+        for basket in _baskets_for(db, data):
+            indexed = restored.recommendation_rule(basket)
+            naive = restored.recommendation_rule(basket, naive=True)
+            assert indexed is naive
+            original = recommender.recommendation_rule(basket)
+            assert (
+                indexed.rule.head == original.rule.head
+                and indexed.rule.body == original.rule.body
+                and indexed.stats == original.stats
+            )

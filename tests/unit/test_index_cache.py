@@ -1,0 +1,99 @@
+"""Regression tests for FitCache's id()-keyed pinning invariant.
+
+``FitCache`` keys entries by ``id()`` of the database / catalog /
+hierarchy objects.  An id is only unique among *live* objects, so the
+cache must hold a strong reference to every key object for as long as the
+entry lives — otherwise a recycled address could silently alias a stale
+entry.  These tests assert the invariant directly (``check_pins``), show
+that pins actually keep referents alive against the garbage collector,
+and demonstrate the failure mode the invariant guards against.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core.index_cache import FitCache
+from repro.core.profit import BinaryProfit, SavingMOA
+from repro.core.sales import TransactionDB
+
+
+@pytest.fixture
+def cache():
+    return FitCache()
+
+
+def _subset_db(db):
+    """A fresh TransactionDB object over a subset of ``db``'s transactions."""
+    return TransactionDB(
+        catalog=db.catalog, transactions=list(db.transactions[:30])
+    )
+
+
+class TestPinningInvariant:
+    def test_invariant_holds_after_typical_use(self, cache, small_db, small_hierarchy):
+        moa = cache.moa_for(small_db.catalog, small_hierarchy, True)
+        cache.index_for(small_db, moa, SavingMOA())
+        cache.index_for(small_db, moa, BinaryProfit())  # structural twin
+        fold = _subset_db(small_db)
+        cache.index_for(fold, moa, SavingMOA())
+        cache.check_pins()  # every key id belongs to a pinned object
+
+    def test_pins_keep_referents_alive(self, cache, small_db, small_hierarchy):
+        fold = _subset_db(small_db)
+        moa = cache.moa_for(fold.catalog, small_hierarchy, True)
+        cache.index_for(fold, moa, SavingMOA())
+        ref = weakref.ref(fold)
+        del fold
+        gc.collect()
+        # The cache's pin must be the thing keeping the fold alive: the
+        # id()-based key would otherwise dangle and could be recycled.
+        assert ref() is not None
+        cache.check_pins()
+        cache.clear()
+        gc.collect()
+        assert ref() is None, "clear() must drop the pins with the entries"
+
+    def test_check_pins_detects_violations(self, cache, small_db, small_hierarchy):
+        moa = cache.moa_for(small_db.catalog, small_hierarchy, True)
+        cache.index_for(small_db, moa, SavingMOA())
+        # Simulate the bug the invariant exists to prevent: entries
+        # surviving without their pins.
+        cache._pins.clear()
+        cache._pinned_ids.clear()
+        with pytest.raises(AssertionError, match="not pinned"):
+            cache.check_pins()
+
+    def test_clear_resets_everything(self, cache, small_db, small_hierarchy):
+        moa = cache.moa_for(small_db.catalog, small_hierarchy, False)
+        cache.index_for(small_db, moa, SavingMOA())
+        cache.clear()
+        assert not cache._pins and not cache._pinned_ids
+        cache.check_pins()  # vacuously true on an empty cache
+        # The cache is usable again after clearing.
+        moa2 = cache.moa_for(small_db.catalog, small_hierarchy, False)
+        cache.index_for(small_db, moa2, SavingMOA())
+        cache.check_pins()
+
+    def test_pins_are_deduplicated(self, cache, small_db, small_hierarchy):
+        for use_moa in (True, False):
+            moa = cache.moa_for(small_db.catalog, small_hierarchy, use_moa)
+            cache.index_for(small_db, moa, SavingMOA())
+            cache.index_for(small_db, moa, BinaryProfit())
+        # catalog, hierarchy and db pinned once each, not once per entry.
+        assert len(cache._pins) == 3
+        assert len(cache._pinned_ids) == 3
+
+
+class TestSymbolSharingThroughCache:
+    def test_folds_share_one_symbol_table(self, cache, small_db, small_hierarchy):
+        """Indexes built through one cached MOA share its symbol table."""
+        moa = cache.moa_for(small_db.catalog, small_hierarchy, True)
+        a = cache.index_for(small_db, moa, SavingMOA())
+        fold = _subset_db(small_db)
+        b = cache.index_for(fold, moa, SavingMOA())
+        twin = cache.index_for(small_db, moa, BinaryProfit())
+        assert a.symbols is b.symbols is twin.symbols

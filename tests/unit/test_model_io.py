@@ -1,4 +1,4 @@
-"""Unit tests for fitted-model persistence."""
+"""Unit tests for fitted-model persistence (formats v1 and v2)."""
 
 from __future__ import annotations
 
@@ -22,11 +22,18 @@ def fitted(small_hierarchy, small_db):
     ).fit(small_db)
 
 
+@pytest.fixture(params=[1, 2], ids=["v1", "v2"])
+def version(request):
+    return request.param
+
+
 class TestRoundTrip:
-    def test_recommendations_survive_round_trip(self, fitted, small_db, tmp_path):
+    def test_recommendations_survive_round_trip(
+        self, fitted, small_db, tmp_path, version
+    ):
         path = tmp_path / "model.json"
         original = fitted.require_fitted_recommender()
-        save_model(original, path)
+        save_model(original, path, version=version)
         restored = load_model(path)
         assert restored.name == original.name
         assert restored.model_size == original.model_size
@@ -36,10 +43,10 @@ class TestRoundTrip:
             b = restored.recommend(basket)
             assert (a.item_id, a.promo_code) == (b.item_id, b.promo_code)
 
-    def test_rules_and_stats_identical(self, fitted, tmp_path):
+    def test_rules_and_stats_identical(self, fitted, tmp_path, version):
         path = tmp_path / "model.json"
         original = fitted.require_fitted_recommender()
-        save_model(original, path)
+        save_model(original, path, version=version)
         restored = load_model(path)
         assert [s.rule for s in restored.ranked_rules] == [
             s.rule for s in original.ranked_rules
@@ -60,6 +67,68 @@ class TestRoundTrip:
         save_model(miner.require_fitted_recommender(), path)
         assert load_model(path).moa.use_moa is False
 
+    def test_unsupported_version_rejected(self, fitted, tmp_path):
+        with pytest.raises(SerializationError, match="version"):
+            save_model(
+                fitted.require_fitted_recommender(),
+                tmp_path / "model.json",
+                version=3,
+            )
+
+
+class TestV2Format:
+    def test_v2_is_the_default_and_persists_the_engine(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-profit-mining-model-v2"
+        assert payload["symbols"], "v2 must persist the symbol table"
+        assert payload["postings"], "v2 must persist the inverted postings"
+
+    def test_v2_load_restores_postings_without_reindexing(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path, version=2)
+        restored = load_model(path)
+        # The compiled model is installed at construction — the serving
+        # index wraps it rather than re-interning the rules.
+        assert restored._compiled is not None
+        assert restored.rule_index.compiled is restored._compiled
+        assert restored.compiled.postings == original.compiled.postings
+        assert restored.compiled.body_ids == original.compiled.body_ids
+        assert restored.compiled.always_match == original.compiled.always_match
+
+    def test_v2_round_trips_through_resave(self, fitted, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_model(fitted.require_fitted_recommender(), first, version=2)
+        save_model(load_model(first), second, version=2)
+        assert json.loads(first.read_text())["rules"] == (
+            json.loads(second.read_text())["rules"]
+        )
+
+
+class TestV1Compatibility:
+    """A v1 document written by the old code must keep loading."""
+
+    def test_v1_fixture_document_loads(self, fitted, small_db, tmp_path):
+        # Write the legacy format exactly as the v1 code did, then load it
+        # through the transparent dispatch.
+        path = tmp_path / "model_v1.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path, version=1)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-profit-mining-model-v1"
+        assert "symbols" not in payload and "postings" not in payload
+        assert isinstance(payload["rules"][0], dict)  # string-form rules
+        restored = load_model(path)
+        assert restored.model_size == original.model_size
+        for transaction in small_db.transactions[:20]:
+            basket = transaction.nontarget_sales
+            a = original.recommend(basket)
+            b = restored.recommend(basket)
+            assert (a.item_id, a.promo_code) == (b.item_id, b.promo_code)
+
 
 class TestFailureInjection:
     def test_not_json(self, tmp_path):
@@ -74,20 +143,38 @@ class TestFailureInjection:
         with pytest.raises(SerializationError, match="format"):
             load_model(path)
 
-    def test_missing_fields(self, fitted, tmp_path):
+    def test_missing_fields_v1(self, fitted, tmp_path):
         path = tmp_path / "model.json"
-        save_model(fitted.require_fitted_recommender(), path)
+        save_model(fitted.require_fitted_recommender(), path, version=1)
         payload = json.loads(path.read_text())
         del payload["rules"][0]["head"]
         path.write_text(json.dumps(payload))
         with pytest.raises(SerializationError, match="malformed"):
             load_model(path)
 
-    def test_bad_gsale_kind(self, fitted, tmp_path):
+    def test_bad_gsale_kind_v1(self, fitted, tmp_path):
         path = tmp_path / "model.json"
-        save_model(fitted.require_fitted_recommender(), path)
+        save_model(fitted.require_fitted_recommender(), path, version=1)
         payload = json.loads(path.read_text())
         payload["rules"][0]["head"]["kind"] = "galaxy"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+    def test_missing_sections_v2(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path, version=2)
+        payload = json.loads(path.read_text())
+        del payload["postings"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="malformed"):
+            load_model(path)
+
+    def test_bad_symbol_entry_v2(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path, version=2)
+        payload = json.loads(path.read_text())
+        payload["symbols"][0] = ["galaxy", "Nope"]
         path.write_text(json.dumps(payload))
         with pytest.raises(SerializationError):
             load_model(path)

@@ -25,6 +25,9 @@ MODULES = [
     "repro.cli",
     "repro.core",
     "repro.core.covering",
+    "repro.core.engine",
+    "repro.core.engine.compiled",
+    "repro.core.engine.symbols",
     "repro.core.fpgrowth",
     "repro.core.generalized",
     "repro.core.hierarchy",

@@ -64,12 +64,12 @@ class TestIndexStructure:
         assert index.n_postings == sum(len(b) for b in bodies)
 
     def test_postings_are_rank_ascending(self, index):
-        for posting in index._postings:
+        for posting in index.compiled.postings.values():
             assert posting == sorted(posting)
 
     def test_default_rule_always_matches(self, index):
         # The mined rule list carries exactly one empty-body default rule.
-        assert len(index._always_match) == 1
+        assert len(index.compiled.always_match) == 1
         scored = index.first_match([])
         assert scored is not None
 
@@ -158,4 +158,4 @@ class TestCandidateIds:
         index = recommender.rule_index
         sunk = [Sale("Perfume", "P1")]
         ids = index.candidate_ids(sunk)
-        assert all(0 <= gid < index.n_indexed_gsales for gid in ids)
+        assert all(gid in index.compiled.postings for gid in ids)
