@@ -1,0 +1,171 @@
+"""Single-mine scale benchmark: dense chunked-bitset kernel vs big-int.
+
+After PR 2/3 the orchestration and serving paths amortize everything
+they can across fits; what remains is the cost of *one* mine on a large
+database, where the big-int backend intersects tid-masks one candidate
+at a time.  The dense kernel (``repro.core.engine.kernel``) evaluates
+whole candidate batches as vectorized AND + popcount over chunked
+``uint64`` matrices.  This benchmark times a single ``mine_rules`` call
+per backend on a ~100k-transaction workload (the ROADMAP's
+production-scale target) and asserts
+
+* the dense backend is at least ``MINING_SPEEDUP_FLOOR`` times faster
+  (median over rounds, both backends back to back on the same machine),
+* the two :class:`~repro.core.mining.MiningResult`\\ s are 100%
+  identical — every rule, stat, order, tid-mask and the default rule,
+  compared bit-for-bit, not approximately.
+
+Each timed run gets its *own* :class:`TransactionIndex` (built untimed):
+the index's body/emit caches would otherwise let the second backend
+replay the first one's discovery and poison the comparison.
+
+Scale knobs (for the CI perf-smoke job, which runs reduced):
+
+* ``REPRO_BENCH_MINING_TXNS`` — transactions (default 100 000),
+* ``REPRO_BENCH_MINING_ROUNDS`` — timing rounds per backend (default 1),
+* ``REPRO_BENCH_MINING_JSON`` — report path (default
+  ``BENCH_mining_scale.json``, merged like the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.core.engine.kernel import HAVE_NUMPY
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import SavingMOA
+from repro.data.datasets import build_dataset, dataset_i_config
+
+N_TRANSACTIONS = int(os.environ.get("REPRO_BENCH_MINING_TXNS", "100000"))
+N_ROUNDS = int(os.environ.get("REPRO_BENCH_MINING_ROUNDS", "1"))
+N_ITEMS = 150
+SEED = 13
+MINSUP = 0.005
+BODY = 2
+MINING_SPEEDUP_FLOOR = 3.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = build_dataset(
+        dataset_i_config(
+            n_transactions=N_TRANSACTIONS, n_items=N_ITEMS, seed=SEED
+        )
+    )
+    moa = MOAHierarchy(
+        catalog=dataset.db.catalog,
+        hierarchy=dataset.hierarchy,
+        use_moa=True,
+    )
+    return dataset.db, moa, SavingMOA()
+
+
+def _mine_seconds(db, moa, profit_model, backend: str):
+    """One timed mine on a fresh index (index build stays untimed)."""
+    config = MinerConfig(
+        min_support=MINSUP, max_body_size=BODY, backend=backend
+    )
+    index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
+    started = time.perf_counter()
+    result = mine_rules(db, moa, profit_model, config, index=index)
+    return time.perf_counter() - started, result
+
+
+def _result_signature(result):
+    """Everything a MiningResult asserts equality on, bit-for-bit."""
+    return (
+        [
+            (
+                scored.rule.order,
+                tuple(sorted(g.describe() for g in scored.rule.body)),
+                scored.rule.head.describe(),
+                scored.stats.n_matched,
+                scored.stats.n_hits,
+                scored.stats.rule_profit,
+            )
+            for scored in result.all_rules
+        ],
+        result.body_tid_masks,
+        result.body_ids_by_order,
+        result.frequent_body_count,
+        result.minsup_count,
+    )
+
+
+def _bench_json_path() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_MINING_JSON", "BENCH_mining_scale.json"
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="dense kernel needs numpy")
+def test_perf_mining_scale(workload):
+    """Single-mine speedup: dense kernel vs big-int, identical results."""
+    db, moa, profit_model = workload
+
+    dense_runs = [
+        _mine_seconds(db, moa, profit_model, "dense")
+        for _ in range(N_ROUNDS)
+    ]
+    bigint_runs = [
+        _mine_seconds(db, moa, profit_model, "bigint")
+        for _ in range(N_ROUNDS)
+    ]
+
+    # Identity before speed: the results must match in full, bit-for-bit.
+    dense_result = dense_runs[0][1]
+    bigint_result = bigint_runs[0][1]
+    assert _result_signature(dense_result) == _result_signature(bigint_result)
+    n_rules = len(dense_result.all_rules)
+
+    dense_rounds = [seconds for seconds, _ in dense_runs]
+    bigint_rounds = [seconds for seconds, _ in bigint_runs]
+    median_dense = statistics.median(dense_rounds)
+    median_bigint = statistics.median(bigint_rounds)
+    speedup = median_bigint / median_dense
+
+    report = {
+        "mining_scale": {
+            "workload": {
+                "n_transactions": N_TRANSACTIONS,
+                "n_items": N_ITEMS,
+                "seed": SEED,
+                "min_support": MINSUP,
+                "max_body_size": BODY,
+                "n_rules": n_rules,
+                "rounds": N_ROUNDS,
+            },
+            "bigint_rounds_s": bigint_rounds,
+            "dense_rounds_s": dense_rounds,
+            "median_bigint_s": median_bigint,
+            "median_dense_s": median_dense,
+            "speedup": speedup,
+            "floor": MINING_SPEEDUP_FLOOR,
+            "identical_results": True,
+        }
+    }
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.update(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+    print(
+        f"\nsingle mine over {N_TRANSACTIONS} transactions ({n_rules} "
+        f"rules): dense median {median_dense:.2f}s vs big-int median "
+        f"{median_bigint:.2f}s -> {speedup:.2f}x "
+        f"(floor {MINING_SPEEDUP_FLOOR:.1f}x), results identical"
+    )
+    assert speedup >= MINING_SPEEDUP_FLOOR, (
+        f"dense mining {speedup:.2f}x below the {MINING_SPEEDUP_FLOOR}x "
+        f"floor (big-int {bigint_rounds}, dense {dense_rounds})"
+    )

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Verify the numpy-free footprint: big-int mining + serving end to end.
+
+The mining + serving core must stay functional with no third-party
+packages at all — the dense kernel is an optional accelerator, never a
+dependency (`docs/ALGORITHMS.md` §9).  This script *blocks* numpy and
+scipy imports before touching ``repro`` (so it exercises the fallback
+even on machines that have them installed), then:
+
+* imports the package and checks the kernel reports numpy as absent,
+* mines a small hand-built database on ``backend="auto"`` (which must
+  fall back to big-int) and on an explicit ``backend="bigint"``,
+  asserting identical non-empty rule sets,
+* checks an explicit ``backend="dense"`` fails loudly,
+* serves recommendations for every training basket through the compiled
+  inverted index.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_numpy_free.py
+
+Exits non-zero on any failure.  The CI perf-smoke workflow runs it on a
+leg with no numpy installed; locally the import blocker makes that
+environment reproducible anywhere.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class _BlockNumpy:
+    """Meta-path hook that makes numpy/scipy imports fail."""
+
+    BLOCKED = ("numpy", "scipy")
+
+    def find_spec(self, name, path=None, target=None):
+        root = name.partition(".")[0]
+        if root in self.BLOCKED:
+            raise ImportError(f"{name} is blocked: simulating a numpy-free install")
+        return None
+
+
+def main() -> None:
+    for module_name in list(sys.modules):
+        if module_name.partition(".")[0] in _BlockNumpy.BLOCKED:
+            raise SystemExit(
+                f"{module_name} already imported; run this script directly, "
+                "not from a process that loaded numpy"
+            )
+    sys.meta_path.insert(0, _BlockNumpy())
+
+    from repro import (
+        Item,
+        ItemCatalog,
+        MinerConfig,
+        MOAHierarchy,
+        MPFRecommender,
+        PromotionCode,
+        Sale,
+        SavingMOA,
+        Transaction,
+        TransactionDB,
+        ConceptHierarchy,
+    )
+    from repro.core.engine.kernel import HAVE_NUMPY, resolve_backend
+    from repro.core.mining import mine_rules
+    from repro.errors import MiningError
+
+    assert not HAVE_NUMPY, "numpy import should have been blocked"
+    assert resolve_backend("auto", 10**9) == "bigint"
+
+    def promo(code: str, price: float, cost: float) -> PromotionCode:
+        return PromotionCode(code=code, price=price, cost=cost)
+
+    catalog = ItemCatalog.from_items(
+        [
+            Item("Perfume", (promo("P1", 10.0, 6.0),)),
+            Item("Bread", (promo("P1", 2.0, 1.0), promo("P2", 2.4, 1.0))),
+            Item(
+                "Sunchip",
+                (promo("L", 3.8, 2.0), promo("M", 4.5, 2.0), promo("H", 5.0, 2.0)),
+                is_target=True,
+            ),
+        ]
+    )
+    hierarchy = ConceptHierarchy.for_catalog(catalog, {"Grocery": ["Bread"]})
+    transactions = [
+        Transaction(
+            tid,
+            (Sale("Perfume", "P1"),) if tid % 2 else (Sale("Bread", "P1"),),
+            Sale("Sunchip", "H" if tid % 2 else "L"),
+        )
+        for tid in range(80)
+    ]
+    db = TransactionDB(catalog=catalog, transactions=transactions)
+    moa = MOAHierarchy(catalog=catalog, hierarchy=hierarchy, use_moa=True)
+
+    config = MinerConfig(min_support=0.05, max_body_size=2)
+    auto = mine_rules(db, moa, SavingMOA(), config)
+    bigint = mine_rules(
+        db, moa, SavingMOA(), MinerConfig(min_support=0.05, max_body_size=2, backend="bigint")
+    )
+    assert auto.all_rules, "the fallback mine produced no rules"
+    signature = lambda result: [  # noqa: E731 - tiny local comparator
+        (s.rule.order, s.stats.n_hits, s.stats.rule_profit)
+        for s in result.all_rules
+    ]
+    assert signature(auto) == signature(bigint), "auto != bigint without numpy"
+
+    try:
+        mine_rules(
+            db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, backend="dense"),
+        )
+    except MiningError as error:
+        assert "numpy" in str(error)
+    else:
+        raise AssertionError("backend='dense' without numpy must raise")
+
+    recommender = MPFRecommender(auto.all_rules, moa)
+    served = sum(
+        recommender.recommendation_rule(t.nontarget_sales) is not None
+        for t in db
+    )
+    assert served == len(db), "serving must cover every training basket"
+
+    print(
+        f"numpy-free fallback OK: {len(auto.all_rules)} rules mined on "
+        f"big-int backend, {served}/{len(db)} baskets served"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,122 +17,86 @@ Quickstart::
     miner = ProfitMiner(dataset.hierarchy).fit(dataset.db)
     basket = dataset.db[0].nontarget_sales
     print(miner.recommend(basket).describe())
+
+The top-level names are resolved lazily (PEP 562): the mining + serving
+core (``repro.core``) depends only on the standard library, while the
+baselines, synthetic data generators and evaluation harness need numpy
+(and scipy).  Deferring their import keeps ``import repro`` — and the
+big-int mining backend behind it — functional on a numpy-free install;
+touching a numpy-backed name then raises the usual ``ImportError`` at
+the point of use.
 """
 
-from repro.baselines import (
-    DecisionTreeRecommender,
-    KNNRecommender,
-    MPIRecommender,
-)
-from repro.core import (
-    BinaryProfit,
-    BuyingMOA,
-    ConceptHierarchy,
-    GSale,
-    Item,
-    ItemCatalog,
-    MinerConfig,
-    MOAHierarchy,
-    MPFRecommender,
-    ProfitMiner,
-    ProfitMinerConfig,
-    PromotionCode,
-    PruneConfig,
-    Recommendation,
-    Recommender,
-    Rule,
-    RuleStats,
-    Sale,
-    SavingMOA,
-    ScoredRule,
-    Transaction,
-    TransactionDB,
-)
-from repro.data import (
-    Dataset,
-    DatasetConfig,
-    PricingModel,
-    QuestConfig,
-    QuestGenerator,
-    load_model,
-    load_transactions,
-    make_dataset_i,
-    make_dataset_ii,
-    save_model,
-    save_transactions,
-)
-from repro.analysis import (
-    coverage_report,
-    export_rules_csv,
-    pruning_summary,
-    rules_table,
-)
-from repro.errors import ProfitMiningError
-from repro.whatif import OfferOption, what_if
-from repro.eval import (
-    BehaviorAdjustedProfit,
-    EvalConfig,
-    EvalResult,
-    ExperimentScale,
-    cross_validate,
-    evaluate,
-    evaluate_top_k,
-    run_support_sweep,
-)
+from importlib import import_module
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "BinaryProfit",
-    "BuyingMOA",
-    "ConceptHierarchy",
-    "Dataset",
-    "DecisionTreeRecommender",
-    "DatasetConfig",
-    "EvalConfig",
-    "EvalResult",
-    "ExperimentScale",
-    "GSale",
-    "Item",
-    "ItemCatalog",
-    "KNNRecommender",
-    "MinerConfig",
-    "MOAHierarchy",
-    "MPFRecommender",
-    "MPIRecommender",
-    "PricingModel",
-    "ProfitMiner",
-    "ProfitMinerConfig",
-    "ProfitMiningError",
-    "PromotionCode",
-    "PruneConfig",
-    "QuestConfig",
-    "QuestGenerator",
-    "Recommendation",
-    "Recommender",
-    "Rule",
-    "RuleStats",
-    "Sale",
-    "SavingMOA",
-    "ScoredRule",
-    "Transaction",
-    "TransactionDB",
-    "OfferOption",
-    "__version__",
-    "BehaviorAdjustedProfit",
-    "coverage_report",
-    "cross_validate",
-    "evaluate",
-    "evaluate_top_k",
-    "export_rules_csv",
-    "pruning_summary",
-    "rules_table",
-    "load_model",
-    "load_transactions",
-    "make_dataset_i",
-    "make_dataset_ii",
-    "run_support_sweep",
-    "save_model",
-    "save_transactions",
-    "what_if",
-]
+#: Public name → defining submodule, imported on first attribute access.
+_EXPORTS = {
+    "DecisionTreeRecommender": "repro.baselines",
+    "KNNRecommender": "repro.baselines",
+    "MPIRecommender": "repro.baselines",
+    "BinaryProfit": "repro.core",
+    "BuyingMOA": "repro.core",
+    "ConceptHierarchy": "repro.core",
+    "GSale": "repro.core",
+    "Item": "repro.core",
+    "ItemCatalog": "repro.core",
+    "MinerConfig": "repro.core",
+    "MOAHierarchy": "repro.core",
+    "MPFRecommender": "repro.core",
+    "ProfitMiner": "repro.core",
+    "ProfitMinerConfig": "repro.core",
+    "PromotionCode": "repro.core",
+    "PruneConfig": "repro.core",
+    "Recommendation": "repro.core",
+    "Recommender": "repro.core",
+    "Rule": "repro.core",
+    "RuleStats": "repro.core",
+    "Sale": "repro.core",
+    "SavingMOA": "repro.core",
+    "ScoredRule": "repro.core",
+    "Transaction": "repro.core",
+    "TransactionDB": "repro.core",
+    "Dataset": "repro.data",
+    "DatasetConfig": "repro.data",
+    "PricingModel": "repro.data",
+    "QuestConfig": "repro.data",
+    "QuestGenerator": "repro.data",
+    "load_model": "repro.data",
+    "load_transactions": "repro.data",
+    "make_dataset_i": "repro.data",
+    "make_dataset_ii": "repro.data",
+    "save_model": "repro.data",
+    "save_transactions": "repro.data",
+    "coverage_report": "repro.analysis",
+    "export_rules_csv": "repro.analysis",
+    "pruning_summary": "repro.analysis",
+    "rules_table": "repro.analysis",
+    "ProfitMiningError": "repro.errors",
+    "OfferOption": "repro.whatif",
+    "what_if": "repro.whatif",
+    "BehaviorAdjustedProfit": "repro.eval",
+    "EvalConfig": "repro.eval",
+    "EvalResult": "repro.eval",
+    "ExperimentScale": "repro.eval",
+    "cross_validate": "repro.eval",
+    "evaluate": "repro.eval",
+    "evaluate_top_k": "repro.eval",
+    "run_support_sweep": "repro.eval",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro import __version__
+from repro.core.engine import BACKENDS
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
 from repro.core.mining import MinerConfig
 from repro.data.datasets import build_dataset, dataset_i_config, dataset_ii_config
@@ -65,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--min-support", type=float, default=0.01)
     fit.add_argument("--max-body-size", type=int, default=2)
     fit.add_argument("--no-moa", action="store_true", help="disable MOA")
+    _add_backend_arguments(fit)
     fit.add_argument(
         "--explain",
         type=int,
@@ -95,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--min-support", type=float, default=0.01)
     export.add_argument("--max-body-size", type=int, default=2)
     export.add_argument("--no-moa", action="store_true", help="disable MOA")
+    _add_backend_arguments(export)
     export.add_argument("--out", required=True, help="output CSV path")
     export.add_argument(
         "--recommendations-out",
@@ -169,6 +172,27 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="auto",
+        help="support-counting backend: 'dense' (chunked uint64 kernel, "
+        "needs the numpy extra), 'bigint' (no dependencies) or 'auto' "
+        "(dense on large databases when numpy is available); the "
+        "backends produce bit-identical results",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for within-mine candidate batches on the "
+        "dense backend (default: $REPRO_JOBS or 1; results are "
+        "identical at any setting)",
+    )
+
+
 def _resolve_scale(label: str | None) -> ExperimentScale:
     if label is None:
         return scale_from_env()
@@ -209,7 +233,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         hierarchy,
         config=ProfitMinerConfig(
             mining=MinerConfig(
-                min_support=args.min_support, max_body_size=args.max_body_size
+                min_support=args.min_support,
+                max_body_size=args.max_body_size,
+                backend=args.backend,
+                n_jobs=args.jobs,
             ),
             use_moa=not args.no_moa,
         ),
@@ -275,7 +302,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
         hierarchy,
         config=ProfitMinerConfig(
             mining=MinerConfig(
-                min_support=args.min_support, max_body_size=args.max_body_size
+                min_support=args.min_support,
+                max_body_size=args.max_body_size,
+                backend=args.backend,
+                n_jobs=args.jobs,
             ),
             use_moa=not args.no_moa,
         ),

@@ -18,11 +18,35 @@ The engine layer replaces those with two shared structures:
   rule and inverted postings entirely in dense-id form, ready to serve
   and to persist (``model_io`` format v2 round-trips it directly).
 
+A third, optional structure accelerates both: the
+:mod:`~repro.core.engine.kernel` dense chunked-bitset backend
+(:class:`DenseBitsetKernel`) mirrors an index's tid-masks into shared
+``uint64`` matrices so support counting runs as batched AND + popcount.
+It requires the ``numpy`` extra; everything above falls back to the
+big-int masks when it is absent, with bit-identical results.
+
 See ``docs/ARCHITECTURE.md`` for how this layer sits between the data
 layer and the algorithms built on top of it.
 """
 
 from repro.core.engine.compiled import CompiledModel
+from repro.core.engine.kernel import (
+    BACKENDS,
+    DENSE_MIN_TRANSACTIONS,
+    HAVE_NUMPY,
+    DenseBitsetKernel,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.core.engine.symbols import SymbolTable
 
-__all__ = ["CompiledModel", "SymbolTable"]
+__all__ = [
+    "BACKENDS",
+    "CompiledModel",
+    "DENSE_MIN_TRANSACTIONS",
+    "DenseBitsetKernel",
+    "HAVE_NUMPY",
+    "SymbolTable",
+    "resolve_backend",
+    "resolve_jobs",
+]

@@ -21,11 +21,23 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.core.engine.kernel import HAVE_NUMPY
 from repro.core.engine.symbols import SymbolTable
 from repro.core.rules import ScoredRule
 from repro.core.sales import Sale
 
+try:  # optional "dense" extra; matching falls back to the dict loop.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the numpy-free leg
+    np = None  # type: ignore[assignment]
+
 __all__ = ["CompiledModel"]
+
+#: Below this many rules the per-call ``bincount`` allocation costs more
+#: than the dict-counting loop it replaces; above it the vectorized
+#: gather wins.  Purely a performance threshold — both paths return the
+#: same positions.
+_DENSE_MATCH_MIN_RULES = 512
 
 
 class CompiledModel:
@@ -60,6 +72,7 @@ class CompiledModel:
         "body_sizes",
         "name",
         "_sale_ids",
+        "_dense_match",
     )
 
     def __init__(
@@ -90,6 +103,10 @@ class CompiledModel:
         # Per-model filter of the symbols-level expansion: only ids that
         # occur in some body of *this* model can influence matching.
         self._sale_ids: dict[tuple[str, str], tuple[int, ...]] = {}
+        # Lazily built (postings arrays, sizes array) pair for the
+        # vectorized all-matches path; None until first use or when the
+        # model is too small for it to pay off.
+        self._dense_match = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -193,12 +210,47 @@ class CompiledModel:
         return self.ranked_rules[best]
 
     def matching_indices(self, basket: Sequence[Sale]) -> list[int]:
-        """Rank positions of every rule matching ``basket``, ascending."""
+        """Rank positions of every rule matching ``basket``, ascending.
+
+        On models large enough for it to pay off (and with numpy
+        available) the per-rule occurrence counting runs as one
+        concatenated-postings ``bincount`` instead of a Python dict loop;
+        a rule matches iff its occurrence count equals its body size, so
+        both paths select exactly the same positions.
+        """
+        candidates = self.candidate_ids(basket)
+        if (
+            HAVE_NUMPY
+            and candidates
+            and len(self.ranked_rules) >= _DENSE_MATCH_MIN_RULES
+        ):
+            dense = self._dense_match
+            if dense is None:
+                dense = (
+                    {
+                        gid: np.asarray(rows, dtype=np.intp)
+                        for gid, rows in self.postings.items()
+                    },
+                    np.asarray(self.body_sizes, dtype=np.intp),
+                )
+                self._dense_match = dense
+            arrays, sizes_row = dense
+            occurrences = np.concatenate(
+                [arrays[gid] for gid in candidates]
+            )
+            counts = np.bincount(occurrences, minlength=len(sizes_row))
+            # counts > 0 excludes always-match rules (size 0), which are
+            # appended separately, mirroring the dict loop.
+            full = np.flatnonzero((counts > 0) & (counts == sizes_row))
+            matched = list(self.always_match)
+            matched.extend(full.tolist())
+            matched.sort()
+            return matched
         postings = self.postings
         sizes = self.body_sizes
         counts: dict[int, int] = {}
         matched = list(self.always_match)
-        for gid in self.candidate_ids(basket):
+        for gid in candidates:
             for ridx in postings[gid]:
                 count = counts.get(ridx, 0) + 1
                 counts[ridx] = count

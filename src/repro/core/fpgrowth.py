@@ -26,9 +26,13 @@ join-plus-closure implements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.mining import MinerConfig, TransactionIndex
 from repro.errors import MiningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine.kernel import DenseBitsetKernel
 
 __all__ = ["frequent_bodies_fpgrowth"]
 
@@ -85,19 +89,34 @@ def frequent_bodies_fpgrowth(
     index: TransactionIndex,
     minsup_count: int,
     config: MinerConfig,
+    kernel: "DenseBitsetKernel | None" = None,
 ) -> dict[tuple[int, ...], int]:
     """All frequent ancestor-free bodies with their transaction masks.
 
     Returns the same mapping Apriori's level-wise pass accumulates:
     canonical (sorted) id tuples → bitmask of matched transactions, keyed
     in generation order (size, then ids).
+
+    ``kernel`` (the dense backend's
+    :class:`~repro.core.engine.kernel.DenseBitsetKernel`) vectorizes the
+    two mask-facing steps — singles counting and the final per-body mask
+    attachment — without touching the tree walk; counts and masks are
+    exact either way, so the returned mapping is identical.
     """
     # Frequency-ordered item list (FP-growth's canonical ordering).
-    singles = {
-        gid: mask.bit_count()
-        for gid, mask in index.body_masks.items()
-        if mask.bit_count() >= minsup_count
-    }
+    if kernel is not None:
+        counts = kernel.single_counts()
+        singles = {
+            gid: count
+            for gid, count in counts.items()
+            if count >= minsup_count
+        }
+    else:
+        singles = {
+            gid: count
+            for gid, mask in index.body_masks.items()
+            if (count := mask.bit_count()) >= minsup_count
+        }
     order = {gid: rank for rank, gid in enumerate(sorted(singles, key=lambda g: (-singles[g], g)))}
 
     tree = _FPTree()
@@ -139,11 +158,17 @@ def frequent_bodies_fpgrowth(
 
     # Filter to ancestor-free bodies and attach transaction masks, in
     # Apriori's generation order.
+    kept = [
+        itemset
+        for itemset in sorted(itemsets, key=lambda t: (len(t), t))
+        if len(itemset) == 1 or _ancestor_free(index, itemset)
+    ]
+    if kernel is not None:
+        masks = kernel.masks_for_bodies(kept)
+    else:
+        masks = [index.body_mask(itemset) for itemset in kept]
     bodies: dict[tuple[int, ...], int] = {}
-    for itemset in sorted(itemsets, key=lambda t: (len(t), t)):
-        if len(itemset) > 1 and not _ancestor_free(index, itemset):
-            continue
-        mask = index.body_mask(itemset)
+    for itemset, mask in zip(kept, masks):
         if mask.bit_count() >= minsup_count:
             bodies[itemset] = mask
     return bodies

@@ -14,7 +14,13 @@ Implementation notes
   support counting reduces to set intersections.
 * Tid-sets are Python integers used as bitmasks; intersection is ``&`` and
   support is ``int.bit_count()``, which keeps the level-wise Apriori passes
-  fast without any native-code dependency.
+  fast without any native-code dependency.  On large databases the
+  selectable *dense* backend (``MinerConfig.backend``) mirrors the masks
+  into the chunked ``uint64`` matrices of
+  :mod:`repro.core.engine.kernel` and evaluates whole candidate batches
+  as vectorized AND + popcount; the big-int path remains the
+  no-dependency fallback and the two backends produce bit-identical
+  results (see ``docs/ALGORITHMS.md`` §9).
 * Candidate bodies are kept ancestor-free (Definition 4).  Rejecting
   subsuming *pairs* at level 2 suffices: any larger body containing such a
   pair fails the standard all-subsets-frequent check.
@@ -30,9 +36,17 @@ tables.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.core.engine.kernel import (
+    BACKENDS,
+    DenseBitsetKernel,
+    map_chunks,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.core.engine.symbols import SymbolTable
 from repro.core.generalized import GKind, GSale
 from repro.core.moa import MOAHierarchy
@@ -48,6 +62,16 @@ __all__ = [
     "mine_rules",
     "filter_mining_result",
 ]
+
+
+#: Dense-backend batch sizes.  Join chunks bound peak memory — a chunk
+#: gathers two ``(chunk, n_chunks)`` uint64 matrices (~16 MB each at 1024
+#: pairs × 100k transactions) no matter how many candidates a level has;
+#: emission chunks amortize the per-batch Python overhead while keeping
+#: the (bodies × heads) count matrix small.  Both are pure performance
+#: knobs: results are identical at any chunking.
+_JOIN_CHUNK = 1024
+_EMIT_CHUNK = 256
 
 
 def _positions_to_mask(positions: list[int], n: int) -> int:
@@ -81,6 +105,20 @@ class MinerConfig:
         Cap on ``|body|``; bounds the level-wise search.
     max_candidates_per_level:
         Safety valve against candidate explosions at very low supports.
+    backend:
+        Support-counting backend: ``"bigint"`` (Python integer bitmasks,
+        no dependencies), ``"dense"`` (the chunked ``uint64`` kernel of
+        :mod:`repro.core.engine.kernel`, requires the ``numpy`` extra) or
+        ``"auto"`` (dense on databases of at least
+        :data:`~repro.core.engine.kernel.DENSE_MIN_TRANSACTIONS`
+        transactions when numpy is available, big-int otherwise).  The
+        backends produce bit-identical results.
+    n_jobs:
+        Worker threads for within-mine candidate-batch evaluation on the
+        dense backend (``None``: ``$REPRO_JOBS`` or sequential).  A pure
+        performance knob — results are identical at any setting.  The
+        big-int backend ignores it: its per-candidate work happens under
+        the GIL, where threads cannot help.
     """
 
     min_support: float = 0.01
@@ -89,12 +127,22 @@ class MinerConfig:
     max_body_size: int = 3
     max_candidates_per_level: int = 2_000_000
     algorithm: str = "apriori"
+    backend: str = "auto"
+    n_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("apriori", "fpgrowth"):
             raise ValidationError(
                 f"algorithm must be 'apriori' or 'fpgrowth', got "
                 f"{self.algorithm!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise ValidationError(
+                f"n_jobs must be >= 1 (or None for $REPRO_JOBS), got {self.n_jobs}"
             )
         if not 0 < self.min_support <= 1:
             raise ValidationError(
@@ -174,6 +222,14 @@ class TransactionIndex:
     #: values depend on this index's profit model, so the cache is *not*
     #: shared with :meth:`with_profit_model` twins.
     projected_profit_cache: dict[tuple[float, int, int], float] = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
+    #: Holder for the lazily built :class:`DenseBitsetKernel` (key
+    #: ``"kernel"``).  A dict rather than a plain attribute so
+    #: profit-model twins share the kernel *by reference* no matter which
+    #: twin builds it first — the kernel mirrors the structural masks
+    #: only, never credited profit.
+    kernel_cache: dict[str, DenseBitsetKernel] = field(
         init=False, default_factory=dict, repr=False, compare=False
     )
 
@@ -301,6 +357,7 @@ class TransactionIndex:
         index.emit_cache = base.emit_cache
         index.closure_cache = base.closure_cache
         index.frozen_body_cache = base.frozen_body_cache
+        index.kernel_cache = base.kernel_cache
         # Not shared: projected profits credit hits with the profit model.
         index.projected_profit_cache = {}
         index.head_profits = [
@@ -317,16 +374,51 @@ class TransactionIndex:
     # ------------------------------------------------------------------
     # Queries shared with covering / pruning
     # ------------------------------------------------------------------
+    def kernel(self) -> DenseBitsetKernel:
+        """The dense chunked-bitset mirror of this index's masks.
+
+        Built lazily on first use and cached (shared by reference with
+        profit-model twins — the kernel is structural).  Raises
+        :class:`~repro.errors.MiningError` when numpy is unavailable;
+        callers gate on the resolved backend, not on this method.
+        """
+        kernel = self.kernel_cache.get("kernel")
+        if kernel is None:
+            kernel = DenseBitsetKernel(self.n, self.body_masks)
+            self.kernel_cache["kernel"] = kernel
+        return kernel
+
+    def mask_positions(self, mask: int) -> list[int]:
+        """Set-bit positions of ``mask``, ascending (list form).
+
+        Same positions in the same order as :meth:`iter_bits`; when the
+        dense kernel has been built the extraction is vectorized
+        (``unpackbits`` instead of a per-bit Python loop), which matters
+        for pruning's per-node coverage scans on large databases.
+        Consumers summing credited profit over the positions accumulate
+        in the same order either way, so the floats are identical.
+        """
+        kernel = self.kernel_cache.get("kernel")
+        if kernel is not None:
+            return kernel.positions(mask).tolist()
+        return list(self.iter_bits(mask))
+
     def body_mask(self, body_ids: Sequence[int]) -> int:
         """Bitmask of transactions matched by the body ``body_ids``.
 
         The empty body matches every transaction (the default rule's
         semantics).  Non-empty bodies start from the first gsale's mask
         rather than a freshly built all-ones mask, which would cost an
-        O(n)-bit allocation per call on large databases.
+        O(n)-bit allocation per call on large databases.  Multi-member
+        bodies route through the dense kernel when it is already built —
+        the chunked AND avoids one big-int allocation per member.
         """
         if not body_ids:
             return (1 << self.n) - 1
+        if len(body_ids) > 1:
+            kernel = self.kernel_cache.get("kernel")
+            if kernel is not None:
+                return kernel.intersect_to_int(body_ids)
         mask = self.body_masks.get(body_ids[0], 0)
         for gid in body_ids[1:]:
             if not mask:
@@ -395,6 +487,12 @@ class MiningResult:
     #: undominated at the base support stays undominated at every higher
     #: level.  ``None`` means no covering pass has run yet.
     undominated_orders: frozenset[int] | None = None
+    #: The absolute support count this result was mined (or filtered) at:
+    #: ``⌈min_support · n⌉``, floored at 1.  :func:`filter_mining_result`
+    #: refuses to derive a result *below* this threshold — the base run
+    #: never generated those rules.  ``None`` on results assembled by
+    #: hand, which disables the guard.
+    minsup_count: int | None = None
 
     @property
     def all_rules(self) -> list[ScoredRule]:
@@ -439,6 +537,15 @@ def mine_rules(
         )
     minsup_count = max(1, math.ceil(config.min_support * index.n))
 
+    # Support-counting backend for this mine.  The dense kernel mirrors the
+    # big-int masks into chunked uint64 matrices (built once per index and
+    # shared with twins); ``n_jobs`` only matters there — the big-int path
+    # never leaves the GIL, so threads cannot help it.
+    backend = resolve_backend(config.backend, index.n)
+    kernel = index.kernel() if backend == "dense" else None
+    n_jobs = resolve_jobs(config.n_jobs) if kernel is not None else 1
+    positions_of = index.mask_positions
+
     frequent_heads = [
         hid
         for hid in index.candidate_head_ids
@@ -456,7 +563,7 @@ def mine_rules(
     for hid in frequent_heads:
         prof_at = {
             pos: index.head_profits[pos].get(hid, 0.0)
-            for pos in TransactionIndex.iter_bits(index.head_hits_mask(hid))
+            for pos in positions_of(index.head_hits_mask(hid))
         }
         head_prof_at[hid] = prof_at
         head_totals[hid] = (len(prof_at), sum(prof_at.values()))
@@ -486,7 +593,6 @@ def mine_rules(
     ]
     min_confidence = config.min_confidence
     min_rule_profit = config.min_rule_profit
-    iter_bits = TransactionIndex.iter_bits
     n_total = index.n
 
     def rule_profit_of(hid: int, hit_mask: int, n_hits: int) -> float:
@@ -496,8 +602,11 @@ def mine_rules(
         memo_key = (hid, hit_mask)
         cached = profit_memo.get(memo_key)
         if cached is None:
+            # ``positions_of`` yields the same ascending order as
+            # ``iter_bits``, so the sequential sum is the same float on
+            # either backend.
             cached = sum(
-                map(head_prof_at[hid].__getitem__, iter_bits(hit_mask))
+                map(head_prof_at[hid].__getitem__, positions_of(hit_mask))
             )
             profit_memo[memo_key] = cached
         return cached
@@ -505,7 +614,11 @@ def mine_rules(
     # Skeletons recorded for profit-model twins (see ``emit_cache``).
     skeletons: list[tuple[Rule, tuple[int, ...], int, int, int, int, int]] = []
 
-    def emit_rules_for_body(body_ids: tuple[int, ...], body_mask: int) -> None:
+    def emit_rules_for_body(
+        body_ids: tuple[int, ...],
+        body_mask: int,
+        hit_counts: Sequence[int] | None = None,
+    ) -> None:
         nonlocal order
         n_matched = body_mask.bit_count()
         body_gsales: frozenset[GSale] | None = None
@@ -517,15 +630,26 @@ def mine_rules(
         blocked_items = {
             node for gid in body_ids if (node := promo_node[gid]) is not None
         }
-        for hid, head_mask, head_node in head_rows:
+        for col, (hid, head_mask, head_node) in enumerate(head_rows):
             if head_node in blocked_items:
                 continue
-            hit_mask = body_mask & head_mask
-            n_hits = hit_mask.bit_count()
-            if n_hits < minsup_count:
-                continue
-            if n_matched and n_hits / n_matched < min_confidence:
-                continue
+            if hit_counts is None:
+                hit_mask = body_mask & head_mask
+                n_hits = hit_mask.bit_count()
+                if n_hits < minsup_count:
+                    continue
+                if n_matched and n_hits / n_matched < min_confidence:
+                    continue
+            else:
+                # The dense driver already counted every (body, head)
+                # pair; the exact hit mask is only materialized for the
+                # few threshold survivors.
+                n_hits = hit_counts[col]
+                if n_hits < minsup_count:
+                    continue
+                if n_matched and n_hits / n_matched < min_confidence:
+                    continue
+                hit_mask = body_mask & head_mask
             rule_profit = rule_profit_of(hid, hit_mask, n_hits)
             if rule_profit < min_rule_profit:
                 continue
@@ -572,62 +696,110 @@ def mine_rules(
                 discovered = (ordered, len(ordered))
                 index.body_cache[discovery_key] = discovered
                 break
-    if discovered is None:
-        ordered_bodies: list[tuple[tuple[int, ...], int]] = []
-        if config.algorithm == "fpgrowth":
-            from repro.core.fpgrowth import frequent_bodies_fpgrowth
+    # The thread pool (dense backend only) is shared by the join and the
+    # emission drivers; numpy's AND/popcount loops release the GIL, so the
+    # threads get real parallelism over the shared matrices.
+    executor = (
+        ThreadPoolExecutor(max_workers=n_jobs)
+        if kernel is not None and n_jobs > 1
+        else None
+    )
+    try:
+        if discovered is None:
+            ordered_bodies: list[tuple[tuple[int, ...], int]] = []
+            if config.algorithm == "fpgrowth":
+                from repro.core.fpgrowth import frequent_bodies_fpgrowth
 
-            bodies = frequent_bodies_fpgrowth(index, minsup_count, config)
-            frequent_body_count = len(bodies)
-            ordered_bodies.extend(bodies.items())
-        else:
-            # Level 1: frequent single generalized non-target sales.
-            level: dict[tuple[int, ...], int] = {}
-            for gid in sorted(index.body_masks):
-                mask = index.body_masks[gid]
-                if mask.bit_count() >= minsup_count:
-                    level[(gid,)] = mask
-            frequent_body_count += len(level)
-            ordered_bodies.extend(level.items())
-
-            size = 1
-            while level and size < config.max_body_size:
-                level = _next_level(index, level, minsup_count, config, size)
+                bodies = frequent_bodies_fpgrowth(
+                    index, minsup_count, config, kernel=kernel
+                )
+                frequent_body_count = len(bodies)
+                ordered_bodies.extend(bodies.items())
+            elif kernel is not None:
+                ordered_bodies, frequent_body_count = _discover_apriori_dense(
+                    index, kernel, minsup_count, config, executor, n_jobs
+                )
+            else:
+                # Level 1: frequent single generalized non-target sales.
+                level: dict[tuple[int, ...], int] = {}
+                for gid in sorted(index.body_masks):
+                    mask = index.body_masks[gid]
+                    if mask.bit_count() >= minsup_count:
+                        level[(gid,)] = mask
                 frequent_body_count += len(level)
                 ordered_bodies.extend(level.items())
-                size += 1
-        index.body_cache[discovery_key] = (ordered_bodies, frequent_body_count)
-    else:
-        ordered_bodies, frequent_body_count = discovered
 
-    # When the rule-profit threshold can never fire (no positive threshold,
-    # no negative credits), which (body, head) pairs become rules is decided
-    # entirely by structural counts — identical for every profit model over
-    # this index — so a twin replays the recorded skeletons (sharing the
-    # frozen Rule objects) and only re-credits profit.  The same guard
-    # gates both storing and replaying, each side checking its own credits.
-    emit_key = (discovery_key, min_confidence)
-    replayable = min_rule_profit <= 0 and profits_nonnegative
-    replay = index.emit_cache.get(emit_key) if replayable else None
-    if replay is not None:
-        for rule, body_ids, hid, n_matched, n_hits, body_mask, hit_mask in replay:
-            # The counts were validated when the skeleton was first emitted
-            # and only the credited profit changes, so the stats are
-            # assembled without re-running ``__post_init__``.
-            stats = _stats_of(
-                n_matched, n_hits, rule_profit_of(hid, hit_mask, n_hits), n_total
-            )
-            body_tid_masks[rule.order] = body_mask
-            body_ids_by_order[rule.order] = body_ids
-            scored.append(ScoredRule(rule=rule, stats=stats))
-        order = len(scored)
-    else:
-        for body_ids, mask in ordered_bodies:
-            emit_rules_for_body(body_ids, mask)
-        if replayable:
-            index.emit_cache[emit_key] = skeletons
+                size = 1
+                while level and size < config.max_body_size:
+                    level = _next_level(index, level, minsup_count, config, size)
+                    frequent_body_count += len(level)
+                    ordered_bodies.extend(level.items())
+                    size += 1
+            index.body_cache[discovery_key] = (ordered_bodies, frequent_body_count)
+        else:
+            ordered_bodies, frequent_body_count = discovered
 
-    default_rule = _build_default_rule(index, order)
+        # When the rule-profit threshold can never fire (no positive
+        # threshold, no negative credits), which (body, head) pairs become
+        # rules is decided entirely by structural counts — identical for
+        # every profit model over this index — so a twin replays the
+        # recorded skeletons (sharing the frozen Rule objects) and only
+        # re-credits profit.  The same guard gates both storing and
+        # replaying, each side checking its own credits.
+        emit_key = (discovery_key, min_confidence)
+        replayable = min_rule_profit <= 0 and profits_nonnegative
+        replay = index.emit_cache.get(emit_key) if replayable else None
+        if replay is not None:
+            for rule, body_ids, hid, n_matched, n_hits, body_mask, hit_mask in replay:
+                # The counts were validated when the skeleton was first
+                # emitted and only the credited profit changes, so the stats
+                # are assembled without re-running ``__post_init__``.
+                stats = _stats_of(
+                    n_matched, n_hits, rule_profit_of(hid, hit_mask, n_hits), n_total
+                )
+                body_tid_masks[rule.order] = body_mask
+                body_ids_by_order[rule.order] = body_ids
+                scored.append(ScoredRule(rule=rule, stats=stats))
+            order = len(scored)
+        else:
+            if kernel is not None and head_rows:
+                # Dense emission: one AND + popcount per head over a whole
+                # batch of body rows replaces a big-int ``&`` +
+                # ``bit_count()`` per (body, head) candidate; the Python
+                # filter loop below then only touches counts, preserving
+                # head order and the promo-guard semantics exactly.
+                head_matrix = kernel.pack_masks(
+                    head_mask for _, head_mask, _ in head_rows
+                )
+
+                def count_chunk(start: int, stop: int) -> list[list[int]]:
+                    rows = kernel.pack_masks(
+                        mask for _, mask in ordered_bodies[start:stop]
+                    )
+                    return kernel.head_hit_counts(rows, head_matrix).tolist()
+
+                chunks = map_chunks(
+                    count_chunk,
+                    len(ordered_bodies),
+                    _EMIT_CHUNK,
+                    executor,
+                    n_jobs,
+                )
+                for chunk_index, chunk_counts in enumerate(chunks):
+                    base = chunk_index * _EMIT_CHUNK
+                    for offset, hit_counts in enumerate(chunk_counts):
+                        body_ids, mask = ordered_bodies[base + offset]
+                        emit_rules_for_body(body_ids, mask, hit_counts)
+            else:
+                for body_ids, mask in ordered_bodies:
+                    emit_rules_for_body(body_ids, mask)
+            if replayable:
+                index.emit_cache[emit_key] = skeletons
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    default_rule = _build_default_rule(index, order, head_totals)
     body_ids_by_order[order] = ()
     return MiningResult(
         index=index,
@@ -636,6 +808,7 @@ def mine_rules(
         body_tid_masks=body_tid_masks,
         frequent_body_count=frequent_body_count,
         body_ids_by_order=body_ids_by_order,
+        minsup_count=minsup_count,
     )
 
 
@@ -665,11 +838,20 @@ def filter_mining_result(
 
     ``result`` must have been mined with the same configuration apart from
     ``min_support``; raising past the base threshold is the only supported
-    direction (a *lower* threshold would need rules the base run never
-    generated).
+    direction — asking for a support whose absolute count falls *below*
+    the base run's raises :class:`~repro.errors.MiningError`, since the
+    base run never generated those rules and silently returning its rule
+    set would present an incomplete result as complete.
     """
     index = result.index
     minsup_count = max(1, math.ceil(min_support * index.n))
+    if result.minsup_count is not None and minsup_count < result.minsup_count:
+        raise MiningError(
+            f"cannot filter a mining result down to min_support="
+            f"{min_support} (count {minsup_count}): the base run was mined "
+            f"at count {result.minsup_count} and never generated the "
+            f"rules below it; re-mine at the lower support instead"
+        )
     base_ids = result.body_ids_by_order
     scored: list[ScoredRule] = []
     body_tid_masks: dict[int, int] = {}
@@ -745,6 +927,7 @@ def filter_mining_result(
         undominated_orders=(
             frozenset(undominated) if undominated is not None else None
         ),
+        minsup_count=minsup_count,
     )
 
 
@@ -834,7 +1017,142 @@ def _all_subsets_frequent(
     return True
 
 
-def _build_default_rule(index: TransactionIndex, order: int) -> ScoredRule:
+def _discover_apriori_dense(
+    index: TransactionIndex,
+    kernel: DenseBitsetKernel,
+    minsup_count: int,
+    config: MinerConfig,
+    executor: ThreadPoolExecutor | None,
+    n_jobs: int,
+) -> tuple[list[tuple[tuple[int, ...], int]], int]:
+    """Level-wise Apriori search evaluated on the dense kernel.
+
+    Generates the same candidates in the same order as the big-int
+    :func:`_next_level` loop — candidate generation (join, ancestor-free
+    and subset pruning, the explosion cap) is the identical Python code —
+    and only replaces the per-candidate ``&`` + ``bit_count()`` with
+    batched AND + popcount over the level's row matrix.  Survivor masks
+    are converted back to big ints so the body cache stays
+    backend-agnostic: a big-int mine can replay a dense discovery and
+    vice versa.
+    """
+    ordered_bodies: list[tuple[tuple[int, ...], int]] = []
+    # Level 1: one vectorized popcount pass over every gsale row.
+    # ``body_gids`` is ascending, matching the big-int path's
+    # ``sorted(index.body_masks)`` enumeration.
+    counts = kernel.single_counts()
+    frequent_gids = [
+        gid for gid in kernel.body_gids if counts[gid] >= minsup_count
+    ]
+    level_keys: list[tuple[int, ...]] = [(gid,) for gid in frequent_gids]
+    level_rows = kernel.gather_rows(frequent_gids)
+    frequent_body_count = len(level_keys)
+    ordered_bodies.extend(
+        ((gid,), index.body_masks[gid]) for gid in frequent_gids
+    )
+
+    size = 1
+    while level_keys and size < config.max_body_size:
+        level_keys, level_rows = _next_level_dense(
+            index,
+            kernel,
+            level_keys,
+            level_rows,
+            minsup_count,
+            config,
+            size,
+            executor,
+            n_jobs,
+        )
+        frequent_body_count += len(level_keys)
+        ordered_bodies.extend(
+            (key, kernel.to_int(row))
+            for key, row in zip(level_keys, level_rows)
+        )
+        size += 1
+    return ordered_bodies, frequent_body_count
+
+
+def _next_level_dense(
+    index: TransactionIndex,
+    kernel: DenseBitsetKernel,
+    level_keys: list[tuple[int, ...]],
+    level_rows: object,
+    minsup_count: int,
+    config: MinerConfig,
+    size: int,
+    executor: ThreadPoolExecutor | None,
+    n_jobs: int,
+) -> tuple[list[tuple[int, ...]], object]:
+    """Apriori join + prune of one level, evaluated in dense batches.
+
+    Returns the next level's keys (generation order, which for the
+    prefix join of sorted keys is itself sorted) and their row matrix.
+    Chunks bound peak memory and, with an executor, run concurrently;
+    results are gathered in chunk order, so the output is independent of
+    ``n_jobs``.
+    """
+    order = sorted(range(len(level_keys)), key=level_keys.__getitem__)
+    keys = [level_keys[i] for i in order]
+    key_set = frozenset(keys)
+    ancestor_ids = index.ancestor_ids  # hoisted: the level-2 inner loop
+    cand_keys: list[tuple[int, ...]] = []
+    left_rows: list[int] = []
+    right_rows: list[int] = []
+    candidates = 0
+    for i, left in enumerate(keys):
+        for j in range(i + 1, len(keys)):
+            right = keys[j]
+            if left[:-1] != right[:-1]:
+                break  # sorted keys: the shared prefix can only shrink
+            candidate = left + (right[-1],)
+            candidates += 1
+            if candidates > config.max_candidates_per_level:
+                raise MiningError(
+                    f"candidate explosion at body size {size + 1} "
+                    f"(> {config.max_candidates_per_level}); raise min_support "
+                    "or lower max_body_size"
+                )
+            if size == 1:
+                # Definition 4 on the pair (sorted distinct keys, so the
+                # ids already differ) — same predicate as
+                # :func:`_pair_is_ancestor_free` with the subsumption
+                # table hoisted out of the inner loop.
+                a, b = left[0], right[0]
+                if a in ancestor_ids[b] or b in ancestor_ids[a]:
+                    continue
+            elif not _all_subsets_frequent(candidate, key_set):
+                continue
+            cand_keys.append(candidate)
+            left_rows.append(order[i])
+            right_rows.append(order[j])
+
+    def join_chunk(start: int, stop: int) -> tuple[list[int], object]:
+        return kernel.join_pairs(
+            level_rows,
+            left_rows[start:stop],
+            right_rows[start:stop],
+            minsup_count,
+        )
+
+    next_keys: list[tuple[int, ...]] = []
+    kept_parts: list[object] = []
+    chunks = map_chunks(
+        join_chunk, len(cand_keys), _JOIN_CHUNK, executor, n_jobs
+    )
+    for chunk_index, (kept, rows) in enumerate(chunks):
+        base = chunk_index * _JOIN_CHUNK
+        next_keys.extend(cand_keys[base + local] for local in kept)
+        if kept:
+            kept_parts.append(rows)
+    return next_keys, kernel.stack(kept_parts)
+
+
+def _build_default_rule(
+    index: TransactionIndex,
+    order: int,
+    head_totals: dict[int, tuple[int, float]] | None = None,
+) -> ScoredRule:
     """The default rule ``∅ → g`` maximizing ``Prof_re`` (Section 3.1).
 
     Matched transactions are the whole database, so maximizing ``Prof_re``
@@ -844,14 +1162,25 @@ def _build_default_rule(index: TransactionIndex, order: int) -> ScoredRule:
     i.e. least favorable price first), mirroring the "generated before"
     tie-breaker applied to mined rules — so a tie keeps the most
     *specific* head, not the lexicographically first one.
+
+    ``head_totals`` is the miner's per-head ``(hit count, total credited
+    profit)`` table for *frequent* heads; their totals were accumulated in
+    the same ascending-position order this loop would use, so reusing
+    them is bit-identical and skips re-summing ``hit_profit`` over every
+    frequent head's hits on every mine.  Infrequent heads (few hits by
+    definition) still sum directly.
     """
     best_hid: int | None = None
     best_profit = -math.inf
     for hid in index.candidate_head_ids:
-        total = sum(
-            index.hit_profit(pos, hid)
-            for pos in TransactionIndex.iter_bits(index.head_hits_mask(hid))
-        )
+        cached = head_totals.get(hid) if head_totals is not None else None
+        if cached is not None:
+            total = cached[1]
+        else:
+            total = sum(
+                index.hit_profit(pos, hid)
+                for pos in TransactionIndex.iter_bits(index.head_hits_mask(hid))
+            )
         if total > best_profit:  # strict: a tie keeps the earlier, more
             best_profit = total  # specific head in generation order
             best_hid = hid

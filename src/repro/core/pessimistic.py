@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from scipy import stats
+try:  # scipy ships with the default install; the numpy-free footprint
+    # (mining + serving on the big-int backend) never reaches the Beta
+    # quantile below, so the import failure is deferred to first use.
+    from scipy import stats
+except ImportError:  # pragma: no cover - exercised by the numpy-free leg
+    stats = None  # type: ignore[assignment]
 
 from repro.errors import ValidationError
 
@@ -59,6 +64,12 @@ def pessimistic_miss_rate(n: int, errors: float, cf: float = DEFAULT_CF) -> floa
     if errors == 0:
         # C4.5 closed form, identical to the Beta(1, N) quantile below.
         return 1.0 - cf ** (1.0 / n)
+    if stats is None:
+        raise ImportError(
+            "pessimistic pruning with fractional/nonzero error counts "
+            "needs scipy (the Clopper-Pearson Beta quantile); install the "
+            "base dependencies"
+        )
     upper = stats.beta.ppf(1.0 - cf, errors + 1.0, n - errors)
     return float(upper)
 

@@ -80,10 +80,15 @@ def projected_profit(
     n = cover_mask.bit_count()
     if n == 0:
         return 0.0
-    hits = 0
+    # ``mask_positions`` is vectorized once the index's dense kernel
+    # exists and matches ``iter_bits``'s ascending order exactly, so the
+    # sequential profit accumulation below is the same float either way.
+    positions = index.mask_positions(
+        cover_mask & index.head_hits_mask(node_head_id)
+    )
+    hits = len(positions)
     total_profit = 0.0
-    for pos in TransactionIndex.iter_bits(cover_mask & index.head_hits_mask(node_head_id)):
-        hits += 1
+    for pos in positions:
         total_profit += index.hit_profit(pos, node_head_id)
     if hits == 0:
         return 0.0

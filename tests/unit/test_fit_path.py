@@ -102,6 +102,24 @@ class TestFilterMiningResult:
             # bodies, a lower bound on the direct run's frequent-body count.
             assert filtered.frequent_body_count <= direct.frequent_body_count
 
+    def test_lower_support_than_base_rejected(self, dataset, moa):
+        # The base run never generated rules below its own threshold;
+        # silently returning its rule set would present an incomplete
+        # result as complete, so filtering downward must fail loudly.
+        base = mine_rules(
+            dataset.db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=SUPPORTS[1], max_body_size=2),
+        )
+        from repro.errors import MiningError
+
+        with pytest.raises(MiningError, match="cannot filter"):
+            filter_mining_result(base, SUPPORTS[0])
+        # Same absolute count is fine — only strictly lower counts raise.
+        same = filter_mining_result(base, SUPPORTS[1])
+        assert same.minsup_count == base.minsup_count
+
     def test_chained_equals_one_shot(self, dataset, moa):
         base = mine_rules(
             dataset.db,

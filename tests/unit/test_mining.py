@@ -38,6 +38,15 @@ class TestMinerConfig:
         with pytest.raises(ValidationError, match="max_body_size"):
             MinerConfig(max_body_size=0)
 
+    def test_backend_and_jobs_bounds(self):
+        with pytest.raises(ValidationError, match="backend"):
+            MinerConfig(backend="sparse")
+        with pytest.raises(ValidationError, match="n_jobs"):
+            MinerConfig(n_jobs=0)
+        # The valid settings construct fine without resolving anything.
+        assert MinerConfig(backend="dense", n_jobs=4).n_jobs == 4
+        assert MinerConfig().backend == "auto"
+
 
 class TestTransactionIndex:
     def test_empty_db_rejected(self, small_catalog, small_moa):

@@ -27,6 +27,7 @@ MODULES = [
     "repro.core.covering",
     "repro.core.engine",
     "repro.core.engine.compiled",
+    "repro.core.engine.kernel",
     "repro.core.engine.symbols",
     "repro.core.fpgrowth",
     "repro.core.generalized",
