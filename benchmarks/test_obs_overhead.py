@@ -1,0 +1,188 @@
+"""Observability overhead gate: disabled tracing must stay under 2%.
+
+The ``repro.obs`` instrumentation is disabled by default; every
+touchpoint then costs one ``ContextVar.get`` returning ``None`` (plus a
+truth test).  This benchmark enforces the ISSUE's <2% no-op overhead
+budget with a *model-based* gate that is robust to timer noise:
+
+* time a large batch of no-op recording calls with tracing off, giving
+  the per-touchpoint disabled cost;
+* run one traced mine and read ``Trace.events`` — the number of
+  recording calls the workload actually makes, which equals the number
+  of disabled-path ``ContextVar.get``\\ s the same workload pays when
+  tracing is off;
+* assert ``per_call_cost x touchpoints < 2%`` of the untraced mine's
+  median wall time.
+
+Directly diffing on/off medians would gate on run-to-run noise that
+dwarfs the nanoseconds under test; the model multiplies a stable
+micro-measurement by an exact count instead.  The measured on/off
+medians are still reported (informatively) in the JSON.
+
+The benchmark also asserts the tentpole's correctness invariant: the
+traced and untraced mines return bit-identical
+:class:`~repro.core.mining.MiningResult`\\ s (same signature the
+mining-scale benchmark compares).
+
+Scale knobs (for the CI perf-smoke job, which runs reduced):
+
+* ``REPRO_BENCH_OBS_TXNS`` — transactions (default 20 000),
+* ``REPRO_BENCH_OBS_ROUNDS`` — timing rounds per mode (default 3),
+* ``REPRO_BENCH_OBS_CALLS`` — no-op calls timed (default 1 000 000),
+* ``REPRO_BENCH_OBS_JSON`` — report path (default
+  ``BENCH_obs_overhead.json``, merged like the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import SavingMOA
+from repro.data.datasets import build_dataset, dataset_i_config
+from repro.obs import trace as obs
+
+N_TRANSACTIONS = int(os.environ.get("REPRO_BENCH_OBS_TXNS", "20000"))
+N_ROUNDS = int(os.environ.get("REPRO_BENCH_OBS_ROUNDS", "3"))
+N_CALLS = int(os.environ.get("REPRO_BENCH_OBS_CALLS", "1000000"))
+N_ITEMS = 120
+SEED = 13
+MINSUP = 0.01
+BODY = 2
+OVERHEAD_CEILING = 0.02
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = build_dataset(
+        dataset_i_config(
+            n_transactions=N_TRANSACTIONS, n_items=N_ITEMS, seed=SEED
+        )
+    )
+    moa = MOAHierarchy(
+        catalog=dataset.db.catalog,
+        hierarchy=dataset.hierarchy,
+        use_moa=True,
+    )
+    return dataset.db, moa, SavingMOA()
+
+
+def _mine_seconds(db, moa, profit_model):
+    """One timed mine on a fresh index (index build stays untimed)."""
+    config = MinerConfig(min_support=MINSUP, max_body_size=BODY)
+    index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
+    started = time.perf_counter()
+    result = mine_rules(db, moa, profit_model, config, index=index)
+    return time.perf_counter() - started, result
+
+
+def _result_signature(result):
+    """Everything a MiningResult asserts equality on, bit-for-bit."""
+    return (
+        [
+            (
+                scored.rule.order,
+                tuple(sorted(g.describe() for g in scored.rule.body)),
+                scored.rule.head.describe(),
+                scored.stats.n_matched,
+                scored.stats.n_hits,
+                scored.stats.rule_profit,
+            )
+            for scored in result.all_rules
+        ],
+        result.body_tid_masks,
+        result.body_ids_by_order,
+        result.frequent_body_count,
+        result.minsup_count,
+    )
+
+
+def _noop_call_seconds(n_calls: int) -> float:
+    """Per-call cost of a disabled recording call (``obs.count``)."""
+    assert obs.current_trace() is None, "benchmark needs tracing off"
+    count = obs.count
+    started = time.perf_counter()
+    for _ in range(n_calls):
+        count("bench.noop", 1)
+    return (time.perf_counter() - started) / n_calls
+
+
+def _bench_json_path() -> str:
+    return os.environ.get("REPRO_BENCH_OBS_JSON", "BENCH_obs_overhead.json")
+
+
+def test_perf_obs_overhead(workload):
+    """Disabled-tracing overhead model stays under the 2% ceiling."""
+    db, moa, profit_model = workload
+
+    off_runs = [_mine_seconds(db, moa, profit_model) for _ in range(N_ROUNDS)]
+    on_runs = []
+    traces = []
+    for _ in range(N_ROUNDS):
+        with obs.tracing("bench") as trace:
+            on_runs.append(_mine_seconds(db, moa, profit_model))
+        traces.append(trace)
+
+    # Identity before speed: tracing must never change the results.
+    off_signature = _result_signature(off_runs[0][1])
+    for _, result in [*off_runs[1:], *on_runs]:
+        assert _result_signature(result) == off_signature
+
+    median_off = statistics.median(seconds for seconds, _ in off_runs)
+    median_on = statistics.median(seconds for seconds, _ in on_runs)
+    touchpoints = traces[0].events
+    assert touchpoints > 0, "traced mine recorded no events"
+    assert all(t.events == touchpoints for t in traces), (
+        "touchpoint count must be deterministic across rounds"
+    )
+
+    per_call_s = _noop_call_seconds(N_CALLS)
+    modeled_overhead = per_call_s * touchpoints / median_off
+
+    report = {
+        "obs_overhead": {
+            "workload": {
+                "n_transactions": N_TRANSACTIONS,
+                "n_items": N_ITEMS,
+                "seed": SEED,
+                "min_support": MINSUP,
+                "max_body_size": BODY,
+                "rounds": N_ROUNDS,
+                "noop_calls": N_CALLS,
+            },
+            "median_off_s": median_off,
+            "median_on_s": median_on,
+            "touchpoints": touchpoints,
+            "noop_call_ns": per_call_s * 1e9,
+            "modeled_overhead": modeled_overhead,
+            "ceiling": OVERHEAD_CEILING,
+            "identical_results": True,
+        }
+    }
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.update(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+    print(
+        f"\nobs overhead: {touchpoints} touchpoints x "
+        f"{per_call_s * 1e9:.0f}ns no-op = "
+        f"{modeled_overhead * 100:.4f}% of the {median_off:.2f}s untraced "
+        f"mine (ceiling {OVERHEAD_CEILING * 100:.0f}%); traced median "
+        f"{median_on:.2f}s, results identical"
+    )
+    assert modeled_overhead < OVERHEAD_CEILING, (
+        f"disabled-tracing overhead model {modeled_overhead * 100:.3f}% "
+        f"exceeds the {OVERHEAD_CEILING * 100:.0f}% ceiling "
+        f"({touchpoints} touchpoints at {per_call_s * 1e9:.0f}ns)"
+    )

@@ -5,8 +5,10 @@ Run with::
     python examples/quickstart.py
 
 Builds a small instance of the paper's dataset I, fits the cut-optimal
-PROF+MOA recommender, evaluates it on a held-out slice, and explains a few
-recommendations.
+PROF+MOA recommender, evaluates it on a held-out slice, explains a few
+recommendations — and prints the structured trace (stage timings,
+mining counters, cache telemetry) the run produced under
+:func:`repro.tracing`.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro import (
     ProfitMinerConfig,
     evaluate,
     make_dataset_i,
+    tracing,
 )
 
 
@@ -31,16 +34,16 @@ def main() -> None:
     test = db.subset(range(split, len(db)))
 
     print("Fitting the PROF+MOA cut-optimal recommender...")
-    miner = ProfitMiner(
-        hierarchy,
-        config=ProfitMinerConfig(
-            mining=MinerConfig(min_support=0.01, max_body_size=2)
-        ),
-    ).fit(train)
+    with tracing("quickstart") as trace:
+        miner = ProfitMiner(
+            hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.01, max_body_size=2)
+            ),
+        ).fit(train)
+        result = evaluate(miner, test, hierarchy, EvalConfig())
     print(miner.summary())
     print()
-
-    result = evaluate(miner, test, hierarchy, EvalConfig())
     print(
         f"Held-out evaluation: gain={result.gain:.3f} "
         f"hit rate={result.hit_rate:.3f} over {result.n} transactions"
@@ -56,6 +59,10 @@ def main() -> None:
             f"actually bought: {recorded.item_id} @ {recorded.promo_code} "
             f"(quantity {recorded.quantity:g})"
         )
+
+    print()
+    print("Where the time went (and what the caches did):")
+    print(trace.summary())
 
 
 if __name__ == "__main__":

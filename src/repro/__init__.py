@@ -74,6 +74,8 @@ _EXPORTS = {
     "pruning_summary": "repro.analysis",
     "rules_table": "repro.analysis",
     "ProfitMiningError": "repro.errors",
+    "Trace": "repro.obs",
+    "tracing": "repro.obs",
     "OfferOption": "repro.whatif",
     "what_if": "repro.whatif",
     "BehaviorAdjustedProfit": "repro.eval",

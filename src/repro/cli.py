@@ -33,6 +33,7 @@ from repro.eval.experiments import (
     scale_from_env,
 )
 from repro.eval.reporting import format_histogram, format_series, format_table
+from repro.obs import trace as obs
 
 __all__ = ["main", "build_parser"]
 
@@ -80,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist the fitted recommender as JSON",
     )
+    _add_trace_argument(fit)
 
     export = sub.add_parser(
         "export", help="export the rules of a fitted or saved model as CSV"
@@ -106,11 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export per-transaction recommendations (batch-served) "
         "as CSV; with --model this still needs --data to serve",
     )
+    _add_trace_argument(export)
 
     sweep = sub.add_parser("sweep", help="run the six-system support sweep")
     sweep.add_argument("--dataset", choices=("I", "II"), default="I")
     _add_scale_argument(sweep)
     _add_jobs_argument(sweep)
+    _add_trace_argument(sweep)
 
     compare = sub.add_parser(
         "compare", help="cross-validate systems and test significance"
@@ -131,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(compare)
     _add_jobs_argument(compare)
+    _add_trace_argument(compare)
 
     report = sub.add_parser(
         "report", help="reproduce a full figure as a markdown report"
@@ -138,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--dataset", choices=("I", "II"), default="I")
     report.add_argument("--out", default=None, help="write markdown here")
     _add_scale_argument(report)
+    _add_trace_argument(report)
 
     figure = sub.add_parser("figure", help="reproduce one figure panel")
     figure.add_argument(
@@ -149,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(figure)
     _add_jobs_argument(figure)
+    _add_trace_argument(figure)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run another command under tracing and print a trace summary",
+    )
+    _add_trace_argument(profile)
+    profile.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command ...",
+        help="the command to profile, with its own arguments, e.g. "
+        "'profile sweep --scale tiny'",
+    )
     return parser
 
 
@@ -169,6 +189,16 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for cross-validation cells "
         "(default: $REPRO_JOBS or 1; results are identical at any setting)",
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="run under tracing and write the trace (spans, counters, "
+        "cache telemetry) to PATH as JSON",
     )
 
 
@@ -466,21 +496,64 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise ProfitMiningError(
+            "profile needs a command to run, e.g. 'profile sweep --scale tiny'"
+        )
+    if rest[0] == "profile":
+        raise ProfitMiningError("profile cannot profile itself")
+    inner = build_parser().parse_args(rest)
+    with obs.tracing(" ".join(rest)) as trace:
+        code = _HANDLERS[inner.command](inner)
+    print()
+    print(trace.summary())
+    trace_out = args.trace_out or getattr(inner, "trace_out", None)
+    if trace_out:
+        trace.write(trace_out)
+        print(f"trace written to {trace_out}")
+    return code
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "fit": _cmd_fit,
+    "export": _cmd_export,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "figure": _cmd_figure,
+    "profile": _cmd_profile,
+}
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected handler, honouring ``--trace-out`` when present.
+
+    ``profile`` manages its own tracing context (it prints the summary as
+    well); for every other command a ``--trace-out`` simply wraps the run
+    in :func:`repro.obs.trace.tracing` and writes the JSON at the end.
+    """
+    handler = _HANDLERS[args.command]
+    trace_out = getattr(args, "trace_out", None)
+    if args.command == "profile" or trace_out is None:
+        return handler(args)
+    with obs.tracing(args.command) as trace:
+        code = handler(args)
+    trace.write(trace_out)
+    print(f"trace written to {trace_out}")
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "generate": _cmd_generate,
-        "fit": _cmd_fit,
-        "export": _cmd_export,
-        "compare": _cmd_compare,
-        "report": _cmd_report,
-        "sweep": _cmd_sweep,
-        "figure": _cmd_figure,
-    }
     try:
-        return handlers[args.command](args)
+        return _dispatch(args)
     except ProfitMiningError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

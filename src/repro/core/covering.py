@@ -34,6 +34,7 @@ from typing import Iterator
 from repro.core.mining import MiningResult, TransactionIndex
 from repro.core.rules import ScoredRule, rank_key
 from repro.errors import MiningError
+from repro.obs import trace as obs
 
 __all__ = ["CoveringNode", "CoveringTree", "build_covering_tree"]
 
@@ -89,6 +90,11 @@ class CoveringTree:
 
 def build_covering_tree(result: MiningResult) -> CoveringTree:
     """Build ``CT`` from a mining result (Definition 8)."""
+    with obs.span("cover"):
+        return _build_covering_tree_impl(result)
+
+
+def _build_covering_tree_impl(result: MiningResult) -> CoveringTree:
     index = result.index
     # Keyed sort: computing rank_key once per rule beats the comparison
     # protocol, which would recompute it on every __lt__ call.  The order
@@ -127,6 +133,11 @@ def build_covering_tree(result: MiningResult) -> CoveringTree:
     roots = [node for node in nodes if node.parent is None]
     if len(roots) != 1:  # pragma: no cover - default rule guarantees one root
         raise MiningError(f"covering tree has {len(roots)} roots, expected 1")
+    trace = obs.current_trace()
+    if trace is not None:
+        trace.count("cover.rules_ranked", n_rules)
+        trace.count("cover.dominated_removed", n_removed)
+        trace.count("cover.nodes", len(nodes))
     return CoveringTree(root=roots[0], index=index, n_dominated_removed=n_removed)
 
 

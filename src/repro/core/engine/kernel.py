@@ -37,6 +37,7 @@ import sys
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import MiningError, ValidationError
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy
@@ -184,6 +185,11 @@ class DenseBitsetKernel:
         }
         self._body_matrix = self.pack_masks(
             body_masks[gid] for gid in self.body_gids
+        )
+        obs.cache_event(
+            "kernel.mask_matrix",
+            builds=1,
+            resident_bytes=int(self._body_matrix.nbytes),
         )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.mining import MinerConfig, TransactionIndex
 from repro.errors import MiningError
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine.kernel import DenseBitsetKernel
@@ -171,6 +172,14 @@ def frequent_bodies_fpgrowth(
     for itemset, mask in zip(kept, masks):
         if mask.bit_count() >= minsup_count:
             bodies[itemset] = mask
+    trace = obs.current_trace()
+    if trace is not None:
+        trace.count("mine.fpgrowth.itemsets", len(itemsets))
+        trace.count("mine.fpgrowth.bodies", len(bodies))
+        trace.count(
+            "mine.fpgrowth.pruned_not_ancestor_free",
+            len(itemsets) - len(kept),
+        )
     return bodies
 
 

@@ -37,6 +37,7 @@ from repro.core.mining import TransactionIndex
 from repro.core.moa import MOAHierarchy
 from repro.core.profit import ProfitModel
 from repro.core.sales import TransactionDB
+from repro.obs import trace as obs
 
 __all__ = ["FitCache"]
 
@@ -136,8 +137,10 @@ class FitCache:
         cached = self._moas.get(key)
         if cached is not None:
             self.stats.moa_hits += 1
+            obs.cache_event("fit_cache.moa", hits=1, entries=len(self._moas))
             return cached
         self.stats.moa_misses += 1
+        obs.cache_event("fit_cache.moa", misses=1, entries=len(self._moas) + 1)
         moa = MOAHierarchy(catalog=catalog, hierarchy=hierarchy, use_moa=use_moa)
         self._moas[key] = moa
         self._pin(catalog, hierarchy)
@@ -162,13 +165,20 @@ class FitCache:
         cached = self._indexes.get(key)
         if cached is not None:
             self.stats.index_hits += 1
+            obs.cache_event(
+                "fit_cache.index", hits=1, entries=len(self._indexes)
+            )
             return cached
         self.stats.index_misses += 1
+        obs.cache_event(
+            "fit_cache.index", misses=1, entries=len(self._indexes) + 1
+        )
         structural_key = (id(db), moa.use_moa)
         base = self._structural.get(structural_key)
         if base is not None:
             index = TransactionIndex.with_profit_model(base, profit_model)
             self.stats.structural_shares += 1
+            obs.cache_event("fit_cache.index", structural_shares=1)
         else:
             index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
             self._structural[structural_key] = index

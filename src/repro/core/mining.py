@@ -54,6 +54,7 @@ from repro.core.profit import ProfitModel
 from repro.core.rules import Rule, RuleStats, ScoredRule
 from repro.core.sales import TransactionDB
 from repro.errors import MiningError, ValidationError
+from repro.obs import trace as obs
 
 __all__ = [
     "MinerConfig",
@@ -384,8 +385,11 @@ class TransactionIndex:
         """
         kernel = self.kernel_cache.get("kernel")
         if kernel is None:
+            obs.cache_event("kernel.mask_matrix", misses=1)
             kernel = DenseBitsetKernel(self.n, self.body_masks)
             self.kernel_cache["kernel"] = kernel
+        else:
+            obs.cache_event("kernel.mask_matrix", hits=1)
         return kernel
 
     def mask_positions(self, mask: int) -> list[int]:
@@ -520,6 +524,23 @@ def mine_rules(
     fold is mined repeatedly.  It must have been built over exactly this
     ``db`` with this ``profit_model``.
     """
+    trace = obs.current_trace()
+    if trace is None:
+        return _mine_rules_impl(db, moa, profit_model, config, index)
+    with trace.span("mine", algorithm=config.algorithm):
+        result = _mine_rules_impl(db, moa, profit_model, config, index)
+        trace.count("mine.rules_emitted", len(result.scored_rules))
+        trace.count("mine.frequent_bodies", result.frequent_body_count)
+    return result
+
+
+def _mine_rules_impl(
+    db: TransactionDB,
+    moa: MOAHierarchy,
+    profit_model: ProfitModel,
+    config: MinerConfig,
+    index: TransactionIndex | None,
+) -> MiningResult:
     if index is None:
         index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
     elif index.db is not db:
@@ -542,6 +563,8 @@ def mine_rules(
     # shared with twins); ``n_jobs`` only matters there — the big-int path
     # never leaves the GIL, so threads cannot help it.
     backend = resolve_backend(config.backend, index.n)
+    obs.annotate(backend=backend)
+    obs.count(f"mine.backend.{backend}")
     kernel = index.kernel() if backend == "dense" else None
     n_jobs = resolve_jobs(config.n_jobs) if kernel is not None else 1
     positions_of = index.mask_positions
@@ -706,38 +729,48 @@ def mine_rules(
     )
     try:
         if discovered is None:
-            ordered_bodies: list[tuple[tuple[int, ...], int]] = []
-            if config.algorithm == "fpgrowth":
-                from repro.core.fpgrowth import frequent_bodies_fpgrowth
+            obs.cache_event("mine.body_cache", misses=1)
+            with obs.span("mine.discover"):
+                ordered_bodies: list[tuple[tuple[int, ...], int]] = []
+                if config.algorithm == "fpgrowth":
+                    from repro.core.fpgrowth import frequent_bodies_fpgrowth
 
-                bodies = frequent_bodies_fpgrowth(
-                    index, minsup_count, config, kernel=kernel
-                )
-                frequent_body_count = len(bodies)
-                ordered_bodies.extend(bodies.items())
-            elif kernel is not None:
-                ordered_bodies, frequent_body_count = _discover_apriori_dense(
-                    index, kernel, minsup_count, config, executor, n_jobs
-                )
-            else:
-                # Level 1: frequent single generalized non-target sales.
-                level: dict[tuple[int, ...], int] = {}
-                for gid in sorted(index.body_masks):
-                    mask = index.body_masks[gid]
-                    if mask.bit_count() >= minsup_count:
-                        level[(gid,)] = mask
-                frequent_body_count += len(level)
-                ordered_bodies.extend(level.items())
-
-                size = 1
-                while level and size < config.max_body_size:
-                    level = _next_level(index, level, minsup_count, config, size)
+                    bodies = frequent_bodies_fpgrowth(
+                        index, minsup_count, config, kernel=kernel
+                    )
+                    frequent_body_count = len(bodies)
+                    ordered_bodies.extend(bodies.items())
+                elif kernel is not None:
+                    ordered_bodies, frequent_body_count = _discover_apriori_dense(
+                        index, kernel, minsup_count, config, executor, n_jobs
+                    )
+                else:
+                    # Level 1: frequent single generalized non-target sales.
+                    level: dict[tuple[int, ...], int] = {}
+                    for gid in sorted(index.body_masks):
+                        mask = index.body_masks[gid]
+                        if mask.bit_count() >= minsup_count:
+                            level[(gid,)] = mask
                     frequent_body_count += len(level)
                     ordered_bodies.extend(level.items())
-                    size += 1
-            index.body_cache[discovery_key] = (ordered_bodies, frequent_body_count)
+                    obs.count("mine.level1.candidates", len(index.body_masks))
+                    obs.count("mine.level1.frequent", len(level))
+
+                    size = 1
+                    while level and size < config.max_body_size:
+                        level = _next_level(
+                            index, level, minsup_count, config, size
+                        )
+                        frequent_body_count += len(level)
+                        ordered_bodies.extend(level.items())
+                        size += 1
+                index.body_cache[discovery_key] = (
+                    ordered_bodies,
+                    frequent_body_count,
+                )
         else:
             ordered_bodies, frequent_body_count = discovered
+            obs.cache_event("mine.body_cache", hits=1)
 
         # When the rule-profit threshold can never fire (no positive
         # threshold, no negative credits), which (body, head) pairs become
@@ -750,6 +783,7 @@ def mine_rules(
         replayable = min_rule_profit <= 0 and profits_nonnegative
         replay = index.emit_cache.get(emit_key) if replayable else None
         if replay is not None:
+            obs.cache_event("mine.emit_cache", hits=1)
             for rule, body_ids, hid, n_matched, n_hits, body_mask, hit_mask in replay:
                 # The counts were validated when the skeleton was first
                 # emitted and only the credited profit changes, so the stats
@@ -762,37 +796,40 @@ def mine_rules(
                 scored.append(ScoredRule(rule=rule, stats=stats))
             order = len(scored)
         else:
-            if kernel is not None and head_rows:
-                # Dense emission: one AND + popcount per head over a whole
-                # batch of body rows replaces a big-int ``&`` +
-                # ``bit_count()`` per (body, head) candidate; the Python
-                # filter loop below then only touches counts, preserving
-                # head order and the promo-guard semantics exactly.
-                head_matrix = kernel.pack_masks(
-                    head_mask for _, head_mask, _ in head_rows
-                )
-
-                def count_chunk(start: int, stop: int) -> list[list[int]]:
-                    rows = kernel.pack_masks(
-                        mask for _, mask in ordered_bodies[start:stop]
+            obs.cache_event("mine.emit_cache", misses=1)
+            with obs.span("mine.emit"):
+                if kernel is not None and head_rows:
+                    # Dense emission: one AND + popcount per head over a
+                    # whole batch of body rows replaces a big-int ``&`` +
+                    # ``bit_count()`` per (body, head) candidate; the
+                    # Python filter loop below then only touches counts,
+                    # preserving head order and the promo-guard semantics
+                    # exactly.
+                    head_matrix = kernel.pack_masks(
+                        head_mask for _, head_mask, _ in head_rows
                     )
-                    return kernel.head_hit_counts(rows, head_matrix).tolist()
 
-                chunks = map_chunks(
-                    count_chunk,
-                    len(ordered_bodies),
-                    _EMIT_CHUNK,
-                    executor,
-                    n_jobs,
-                )
-                for chunk_index, chunk_counts in enumerate(chunks):
-                    base = chunk_index * _EMIT_CHUNK
-                    for offset, hit_counts in enumerate(chunk_counts):
-                        body_ids, mask = ordered_bodies[base + offset]
-                        emit_rules_for_body(body_ids, mask, hit_counts)
-            else:
-                for body_ids, mask in ordered_bodies:
-                    emit_rules_for_body(body_ids, mask)
+                    def count_chunk(start: int, stop: int) -> list[list[int]]:
+                        rows = kernel.pack_masks(
+                            mask for _, mask in ordered_bodies[start:stop]
+                        )
+                        return kernel.head_hit_counts(rows, head_matrix).tolist()
+
+                    chunks = map_chunks(
+                        count_chunk,
+                        len(ordered_bodies),
+                        _EMIT_CHUNK,
+                        executor,
+                        n_jobs,
+                    )
+                    for chunk_index, chunk_counts in enumerate(chunks):
+                        base = chunk_index * _EMIT_CHUNK
+                        for offset, hit_counts in enumerate(chunk_counts):
+                            body_ids, mask = ordered_bodies[base + offset]
+                            emit_rules_for_body(body_ids, mask, hit_counts)
+                else:
+                    for body_ids, mask in ordered_bodies:
+                        emit_rules_for_body(body_ids, mask)
             if replayable:
                 index.emit_cache[emit_key] = skeletons
     finally:
@@ -989,6 +1026,9 @@ def _next_level(
             mask = level[left] & level[right]
             if mask.bit_count() >= minsup_count:
                 next_level[candidate] = mask
+    obs.count(f"mine.level{size + 1}.candidates", candidates)
+    obs.count(f"mine.level{size + 1}.frequent", len(next_level))
+    obs.count(f"mine.level{size + 1}.pruned", candidates - len(next_level))
     return next_level
 
 
@@ -1044,6 +1084,8 @@ def _discover_apriori_dense(
     frequent_gids = [
         gid for gid in kernel.body_gids if counts[gid] >= minsup_count
     ]
+    obs.count("mine.level1.candidates", len(kernel.body_gids))
+    obs.count("mine.level1.frequent", len(frequent_gids))
     level_keys: list[tuple[int, ...]] = [(gid,) for gid in frequent_gids]
     level_rows = kernel.gather_rows(frequent_gids)
     frequent_body_count = len(level_keys)
@@ -1145,6 +1187,9 @@ def _next_level_dense(
         next_keys.extend(cand_keys[base + local] for local in kept)
         if kept:
             kept_parts.append(rows)
+    obs.count(f"mine.level{size + 1}.candidates", candidates)
+    obs.count(f"mine.level{size + 1}.frequent", len(next_keys))
+    obs.count(f"mine.level{size + 1}.pruned", candidates - len(next_keys))
     return next_keys, kernel.stack(kept_parts)
 
 

@@ -27,6 +27,7 @@ from repro.core.rule_index import RuleMatchIndex, basket_key
 from repro.core.rules import ScoredRule, rank_key
 from repro.core.sales import Sale, TransactionDB
 from repro.errors import RecommenderError, ValidationError
+from repro.obs import trace as obs
 
 __all__ = ["MPFRecommender"]
 
@@ -148,24 +149,40 @@ class MPFRecommender(Recommender):
         memo = self._batch_memo
         first_match = self.rule_index.first_match
         out: list[Recommendation] = []
-        for basket in baskets:
-            key = basket_key(basket)
-            rec = memo.get(key)
-            if rec is None:
-                scored = first_match(basket)
-                if scored is None:  # pragma: no cover - default rule matches all
-                    raise RecommenderError(
-                        "no matching rule found; the default rule is missing"
+        memo_hits = 0
+        memo_clears = 0
+        with obs.span("serve"):
+            for basket in baskets:
+                key = basket_key(basket)
+                rec = memo.get(key)
+                if rec is None:
+                    scored = first_match(basket)
+                    if scored is None:  # pragma: no cover - default rule matches all
+                        raise RecommenderError(
+                            "no matching rule found; the default rule is missing"
+                        )
+                    rec = Recommendation(
+                        item_id=scored.rule.head.node,
+                        promo_code=scored.rule.head.promo or "",
+                        rule=scored,
                     )
-                rec = Recommendation(
-                    item_id=scored.rule.head.node,
-                    promo_code=scored.rule.head.promo or "",
-                    rule=scored,
-                )
-                if len(memo) >= self._MEMO_LIMIT:
-                    memo.clear()
-                memo[key] = rec
-            out.append(rec)
+                    if len(memo) >= self._MEMO_LIMIT:
+                        memo.clear()
+                        memo_clears += 1
+                    memo[key] = rec
+                else:
+                    memo_hits += 1
+                out.append(rec)
+        trace = obs.current_trace()
+        if trace is not None:
+            trace.count("serve.baskets", len(out))
+            trace.cache_event(
+                "serve.basket_memo",
+                hits=memo_hits,
+                misses=len(out) - memo_hits,
+                clears=memo_clears,
+                entries=len(memo),
+            )
         return out
 
     def recommendation_rule(

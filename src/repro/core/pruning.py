@@ -37,6 +37,7 @@ from repro.core.mining import TransactionIndex
 from repro.core.pessimistic import DEFAULT_CF, pessimistic_hits
 from repro.core.rules import ScoredRule
 from repro.errors import ValidationError
+from repro.obs import trace as obs
 
 __all__ = ["PruneConfig", "PruneReport", "projected_profit", "cut_optimal_prune"]
 
@@ -103,6 +104,13 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
     nodes are mutated: pruned nodes disappear and their coverage merges into
     the ancestor that absorbed them).
     """
+    with obs.span("prune"):
+        return _cut_optimal_prune_impl(tree, config)
+
+
+def _cut_optimal_prune_impl(
+    tree: CoveringTree, config: PruneConfig
+) -> PruneReport:
     index = tree.index
     head_ids = {
         node.scored.rule.order: index.gsale_id(node.scored.rule.head)
@@ -118,13 +126,19 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
     # entries are exact.
     memo = index.projected_profit_cache
     cf = config.cf
+    memo_hits = 0
+    memo_misses = 0
 
     def prof(head_id: int, cover_mask: int) -> float:
+        nonlocal memo_hits, memo_misses
         key = (cf, head_id, cover_mask)
         value = memo.get(key)
         if value is None:
+            memo_misses += 1
             value = projected_profit(head_id, cover_mask, index, cf)
             memo[key] = value
+        else:
+            memo_hits += 1
         return value
 
     profit_before = _total_projected_profit(tree, head_ids, config.cf, prof)
@@ -159,6 +173,17 @@ def cut_optimal_prune(tree: CoveringTree, config: PruneConfig) -> PruneReport:
         tree_profit_after=_total_projected_profit(tree, head_ids, config.cf, prof),
         kept_rules=[node.scored for node in kept_nodes],
     )
+    trace = obs.current_trace()
+    if trace is not None:
+        trace.count("prune.rules_before", n_before)
+        trace.count("prune.rules_after", len(kept_nodes))
+        trace.count("prune.subtrees_pruned", pruned_subtrees)
+        trace.cache_event(
+            "pruning.projected_profit",
+            hits=memo_hits,
+            misses=memo_misses,
+            entries=len(memo),
+        )
     return report
 
 

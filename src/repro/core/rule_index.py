@@ -33,6 +33,7 @@ from repro.core.engine.symbols import SymbolTable
 from repro.core.moa import MOAHierarchy
 from repro.core.rules import ScoredRule
 from repro.core.sales import Sale
+from repro.obs import trace as obs
 
 __all__ = ["RuleMatchIndex", "basket_key"]
 
@@ -114,6 +115,9 @@ class RuleMatchIndex:
         Returns ``None`` only when the rule list has no always-matching
         (empty-body) rule and nothing else matches.
         """
+        trace = obs.current_trace()
+        if trace is not None:
+            self._record_match_telemetry(trace, basket)
         return self.compiled.first_match(basket)
 
     def matching_indices(self, basket: Sequence[Sale]) -> list[int]:
@@ -122,4 +126,40 @@ class RuleMatchIndex:
 
     def all_matches(self, basket: Sequence[Sale]) -> list[ScoredRule]:
         """Every matching rule in rank order — the naive filter, indexed."""
+        trace = obs.current_trace()
+        if trace is not None:
+            self._record_match_telemetry(trace, basket)
         return self.compiled.all_matches(basket)
+
+    # ------------------------------------------------------------------
+    # Telemetry (tracing only — never touched on the cold path)
+    # ------------------------------------------------------------------
+    def _record_match_telemetry(
+        self, trace: "obs.Trace", basket: Sequence[Sale]
+    ) -> None:
+        """Record serving counters observationally, without touching the
+        matching loops: per-sale memo hits/misses (the compiled model's
+        ``_sale_ids`` filter) and the postings-list footprint the basket's
+        candidates expose — an upper bound on what ``first_match`` scans,
+        since its rank cut-off can stop earlier."""
+        compiled = self.compiled
+        sale_memo = compiled._sale_ids
+        known = sum(
+            1
+            for sale in basket
+            if (sale.item_id, sale.promo_code) in sale_memo
+        )
+        candidates = compiled.candidate_ids(basket)
+        postings = compiled.postings
+        trace.count("serve.match_calls", 1)
+        trace.count("serve.candidate_gsales", len(candidates))
+        trace.count(
+            "serve.postings_scanned",
+            sum(len(postings[gid]) for gid in candidates),
+        )
+        trace.cache_event(
+            "serve.sale_memo",
+            hits=known,
+            misses=len(basket) - known,
+            entries=len(sale_memo),
+        )

@@ -34,6 +34,7 @@ from repro.core.recommender import Recommender
 from repro.core.sales import TransactionDB
 from repro.errors import EvaluationError
 from repro.eval.metrics import EvalConfig, EvalResult, evaluate
+from repro.obs import trace as obs
 
 __all__ = ["kfold_indices", "CVResult", "cross_validate"]
 
@@ -120,11 +121,13 @@ def _fit_eval_fold(
 
     Module-level so :func:`cross_validate` can ship it to worker processes.
     """
-    recommender = factory()
-    recommender.fit(db.subset(train_idx))
-    return recommender.name, evaluate(
-        recommender, db.subset(test_idx), hierarchy, eval_config
-    )
+    with obs.span("cv_fold"):
+        recommender = factory()
+        with obs.span("cv_fold.fit", system=recommender.name):
+            recommender.fit(db.subset(train_idx))
+        return recommender.name, evaluate(
+            recommender, db.subset(test_idx), hierarchy, eval_config
+        )
 
 
 def cross_validate(
@@ -158,20 +161,44 @@ def cross_validate(
             for train_idx, test_idx in splits
         ]
     else:
+        trace = obs.current_trace()
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            futures = [
-                pool.submit(
-                    _fit_eval_fold,
-                    factory,
-                    db,
-                    train_idx,
-                    test_idx,
-                    hierarchy,
-                    eval_config,
-                )
-                for train_idx, test_idx in splits
-            ]
-            per_fold = [future.result() for future in futures]
+            if trace is None:
+                futures = [
+                    pool.submit(
+                        _fit_eval_fold,
+                        factory,
+                        db,
+                        train_idx,
+                        test_idx,
+                        hierarchy,
+                        eval_config,
+                    )
+                    for train_idx, test_idx in splits
+                ]
+                per_fold = [future.result() for future in futures]
+            else:
+                # Worker processes can't see this process's context-local
+                # trace; run_traced gives each fold a fresh one and ships
+                # its dict back for merging, in deterministic fold order.
+                traced_futures = [
+                    pool.submit(
+                        obs.run_traced,
+                        _fit_eval_fold,
+                        factory,
+                        db,
+                        train_idx,
+                        test_idx,
+                        hierarchy,
+                        eval_config,
+                    )
+                    for train_idx, test_idx in splits
+                ]
+                per_fold = []
+                for fold_no, future in enumerate(traced_futures):
+                    result, trace_data = future.result()
+                    trace.merge(trace_data, label=f"worker[fold{fold_no}]")
+                    per_fold.append(result)
     name = per_fold[-1][0] if per_fold else ""
     return CVResult(
         recommender_name=name, fold_results=[result for _, result in per_fold]

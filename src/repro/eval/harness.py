@@ -53,6 +53,7 @@ from repro.data.datasets import Dataset
 from repro.errors import EvaluationError
 from repro.eval.cross_validation import CVResult, kfold_indices
 from repro.eval.metrics import EvalConfig, EvalResult, evaluate
+from repro.obs import trace as obs
 
 __all__ = [
     "RecommenderFactory",
@@ -281,6 +282,17 @@ def _run_sweep_cell(
     baselines fit and evaluate once, reused at every level.  Returns the
     recommender's display name and the per-level evaluation results.
     """
+    with obs.span("sweep_cell", system=cell.system, fold=str(cell.fold)):
+        return _run_sweep_cell_impl(spec, cell, train, test, cache)
+
+
+def _run_sweep_cell_impl(
+    spec: _SweepSpec,
+    cell: _SweepCell,
+    train: TransactionDB,
+    test: TransactionDB,
+    cache: FitCache | None,
+) -> tuple[str, dict[float, EvalResult]]:
     factory = paper_recommenders(
         spec.hierarchy,
         spec.min_supports[0],
@@ -370,13 +382,31 @@ def _run_cells(
                 spec, cell, train, test, cache
             )
         return out
+    trace = obs.current_trace()
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        futures = {
-            (cell.system, cell.fold): pool.submit(_run_sweep_cell_task, spec, cell)
-            for cell in cells
-        }
-        for key, future in futures.items():
-            out[key] = future.result()
+        if trace is None:
+            futures = {
+                (cell.system, cell.fold): pool.submit(
+                    _run_sweep_cell_task, spec, cell
+                )
+                for cell in cells
+            }
+            for key, future in futures.items():
+                out[key] = future.result()
+        else:
+            # contextvars stop at the process boundary, so each worker
+            # records into its own fresh trace and ships it back with the
+            # result; the parent folds them in deterministic cell order.
+            traced_futures = {
+                (cell.system, cell.fold): pool.submit(
+                    obs.run_traced, _run_sweep_cell_task, spec, cell
+                )
+                for cell in cells
+            }
+            for key, future in traced_futures.items():
+                result, trace_data = future.result()
+                out[key] = result
+                trace.merge(trace_data, label=f"worker[{key[0]}/fold{key[1]}]")
     return out
 
 
@@ -439,7 +469,14 @@ def run_support_sweep(
         for fold, (train_idx, test_idx) in enumerate(splits)
         for system in systems
     ]
-    cell_results = _run_cells(spec, cells, n_jobs)
+    with obs.span(
+        "sweep",
+        dataset=dataset.name,
+        levels=str(len(sorted_supports)),
+        cells=str(len(cells)),
+        n_jobs=str(n_jobs),
+    ):
+        cell_results = _run_cells(spec, cells, n_jobs)
 
     result = SweepResult(dataset_name=dataset.name, min_supports=sorted_supports)
     for system in systems:

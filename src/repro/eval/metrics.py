@@ -32,6 +32,7 @@ from repro.core.recommender import Recommendation, Recommender
 from repro.core.sales import TransactionDB
 from repro.errors import EvaluationError
 from repro.eval.behavior import QuantityBehavior, price_step_gap
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpf import MPFRecommender
@@ -61,7 +62,10 @@ class EvalConfig:
 #: of re-deriving them per cell.  Judges are pure apart from those memos,
 #: so sharing cannot change any outcome.  Strong references keep the keyed
 #: objects alive, which is what makes ``id()`` keys safe: an id cannot be
-#: recycled while its entry pins the object.
+#: recycled while its entry pins the object.  Bounded by LRU eviction of
+#: the single oldest entry (dicts preserve insertion order; a hit
+#: re-inserts), so the 17th distinct judge in a long sweep evicts exactly
+#: one stale judge instead of flushing all 16 live ones.
 _judge_cache: dict[tuple[int, int, bool], MOAHierarchy] = {}
 _JUDGE_CACHE_LIMIT = 16
 
@@ -81,15 +85,23 @@ def _eval_prep(
     """Cached (baskets, recorded target profits) of a validation db."""
     key = id(validation)
     entry = _eval_prep_cache.get(key)
-    if entry is None:
-        if len(_eval_prep_cache) >= _EVAL_PREP_CACHE_LIMIT:
-            _eval_prep_cache.clear()
-        baskets = [t.nontarget_sales for t in validation]
-        recorded = [
-            t.recorded_target_profit(validation.catalog) for t in validation
-        ]
-        entry = (validation, baskets, recorded)
-        _eval_prep_cache[key] = entry
+    if entry is not None:
+        # LRU: re-insert so the entry moves to the back of the order.
+        _eval_prep_cache[key] = _eval_prep_cache.pop(key)
+        obs.cache_event(
+            "eval.prep_cache", hits=1, entries=len(_eval_prep_cache)
+        )
+        return entry[1], entry[2]
+    if len(_eval_prep_cache) >= _EVAL_PREP_CACHE_LIMIT:
+        _eval_prep_cache.pop(next(iter(_eval_prep_cache)))
+        obs.cache_event("eval.prep_cache", evictions=1)
+    baskets = [t.nontarget_sales for t in validation]
+    recorded = [
+        t.recorded_target_profit(validation.catalog) for t in validation
+    ]
+    entry = (validation, baskets, recorded)
+    _eval_prep_cache[key] = entry
+    obs.cache_event("eval.prep_cache", misses=1, entries=len(_eval_prep_cache))
     return entry[1], entry[2]
 
 
@@ -99,13 +111,19 @@ def _judge_for(
     """A (cached) MOA judge for scoring hits against ``validation``."""
     key = (id(validation.catalog), id(hierarchy), use_moa)
     judge = _judge_cache.get(key)
-    if judge is None:
-        if len(_judge_cache) >= _JUDGE_CACHE_LIMIT:
-            _judge_cache.clear()
-        judge = MOAHierarchy(
-            catalog=validation.catalog, hierarchy=hierarchy, use_moa=use_moa
-        )
-        _judge_cache[key] = judge
+    if judge is not None:
+        # LRU: re-insert so the entry moves to the back of the order.
+        _judge_cache[key] = _judge_cache.pop(key)
+        obs.cache_event("eval.judge_cache", hits=1, entries=len(_judge_cache))
+        return judge
+    if len(_judge_cache) >= _JUDGE_CACHE_LIMIT:
+        _judge_cache.pop(next(iter(_judge_cache)))
+        obs.cache_event("eval.judge_cache", evictions=1)
+    judge = MOAHierarchy(
+        catalog=validation.catalog, hierarchy=hierarchy, use_moa=use_moa
+    )
+    _judge_cache[key] = judge
+    obs.cache_event("eval.judge_cache", misses=1, entries=len(_judge_cache))
     return judge
 
 
@@ -204,6 +222,16 @@ def evaluate(
     config: EvalConfig | None = None,
 ) -> EvalResult:
     """Score a fitted recommender on held-back transactions."""
+    with obs.span("eval", system=recommender.name):
+        return _evaluate_impl(recommender, validation, hierarchy, config)
+
+
+def _evaluate_impl(
+    recommender: Recommender,
+    validation: TransactionDB,
+    hierarchy: ConceptHierarchy,
+    config: EvalConfig | None,
+) -> EvalResult:
     config = config or EvalConfig()
     if len(validation) == 0:
         raise EvaluationError("validation database is empty")

@@ -1,0 +1,35 @@
+"""Dependency-free observability for the profit-mining pipeline.
+
+Public surface re-exported from :mod:`repro.obs.trace`; see that module
+for the full story.  Quick start::
+
+    from repro import obs
+
+    with obs.tracing("fit") as trace:
+        ProfitMiner(config).fit(db)
+    print(trace.summary())
+"""
+
+from repro.obs.trace import (
+    Span,
+    Trace,
+    annotate,
+    cache_event,
+    count,
+    current_trace,
+    run_traced,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Trace",
+    "annotate",
+    "cache_event",
+    "count",
+    "current_trace",
+    "run_traced",
+    "span",
+    "tracing",
+]

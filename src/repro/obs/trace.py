@@ -1,0 +1,375 @@
+"""Structured observability: stage spans, counters and cache telemetry.
+
+The pipeline is instrumented with three primitives, all dependency-free
+and all routed through a single :class:`Trace` object carried in a
+``contextvars.ContextVar``:
+
+* **spans** — a tree of named stages (mine, cover, prune, serve, eval,
+  sweep cells, ...) with wall-clock elapsed time and optional string
+  metadata,
+* **counters** — flat named tallies (candidates per Apriori level,
+  rules emitted, postings scanned per recommendation, backend chosen),
+* **cache events** — per-cache hit / miss / eviction / clear / build
+  tallies plus resident-byte estimates for the five caches the fit and
+  serve paths lean on (``FitCache``, the judge and eval-prep caches in
+  :mod:`repro.eval.metrics`, the serving basket memo, and the dense
+  kernel's packed mask matrices).
+
+Tracing is **disabled by default**.  Every instrumentation point first
+asks :func:`current_trace` (one ``ContextVar.get``) and does nothing
+when no trace is installed, so the cold path stays within the <2%
+overhead gate enforced by ``benchmarks/test_obs_overhead.py``.  Enable
+tracing with::
+
+    from repro import obs
+
+    with obs.tracing("fit dataset I") as trace:
+        recommender = ProfitMiner(config).fit(db)
+    print(trace.summary())
+    trace.write("trace.json")
+
+``contextvars`` does not cross process boundaries, so the ``n_jobs``
+paths in :mod:`repro.eval.harness` and
+:mod:`repro.eval.cross_validation` wrap worker tasks in
+:func:`run_traced`, which installs a fresh worker-side trace, returns
+it as a plain dict alongside the result, and lets the parent fold it
+back in with :meth:`Trace.merge`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "annotate",
+    "cache_event",
+    "count",
+    "current_trace",
+    "run_traced",
+    "span",
+    "tracing",
+]
+
+_TRACE: ContextVar[Trace | None] = ContextVar("repro_trace", default=None)
+
+# Cache stats treated as gauges (merged/accumulated with max, not sum).
+_GAUGE_STATS = frozenset({"entries"})
+
+
+class Span:
+    """One timed stage; children are stages that ran while it was open."""
+
+    __slots__ = ("name", "meta", "elapsed_s", "children")
+
+    def __init__(self, name: str, meta: dict[str, str] | None = None):
+        self.name = name
+        self.meta: dict[str, str] = dict(meta or {})
+        self.elapsed_s: float = 0.0
+        self.children: list[Span] = []
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: name, elapsed seconds, meta and children."""
+        data: dict[str, Any] = {"name": self.name, "elapsed_s": self.elapsed_s}
+        if self.meta:
+            data["meta"] = dict(self.meta)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Span:
+        """Rebuild a span (and its subtree) from :meth:`to_dict` output."""
+        span_obj = cls(str(data["name"]), data.get("meta"))
+        span_obj.elapsed_s = float(data.get("elapsed_s", 0.0))
+        span_obj.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return span_obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.elapsed_s:.4f}s, {len(self.children)} children)"
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one span on its trace's stack."""
+
+    __slots__ = ("_trace", "_span", "_started")
+
+    def __init__(self, trace: Trace, span_obj: Span):
+        self._trace = trace
+        self._span = span_obj
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        trace = self._trace
+        stack = trace._stack
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(self._span)
+        else:
+            trace.spans.append(self._span)
+        stack.append(self._span)
+        trace.events += 1
+        self._started = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.elapsed_s += time.perf_counter() - self._started
+        stack = self._trace._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+
+
+class _NullSpan:
+    """Shared no-op span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """Mutable collection point for spans, counters and cache telemetry.
+
+    A trace is bound to whichever context installed it (see
+    :func:`tracing`); it is not safe to mutate from several threads at
+    once.  The instrumented hot loops (kernel chunk workers) therefore
+    never touch the trace — recording happens at stage granularity in
+    the orchestrating thread.
+    """
+
+    def __init__(self, name: str = "trace", meta: dict[str, str] | None = None):
+        self.name = name
+        self.meta: dict[str, str] = dict(meta or {})
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.caches: dict[str, dict[str, float]] = {}
+        # Number of recording calls that hit this trace; the overhead
+        # benchmark uses it as the touchpoint count for its no-op model.
+        self.events: int = 0
+        self._stack: list[Span] = []
+
+    # -- recording ----------------------------------------------------
+    def span(self, name: str, **meta: str) -> _SpanHandle:
+        """A context manager opening a child span of the innermost one."""
+        return _SpanHandle(self, Span(name, meta))
+
+    def annotate(self, **meta: str) -> None:
+        """Attach metadata to the innermost open span (or the trace)."""
+        target = self._stack[-1].meta if self._stack else self.meta
+        target.update(meta)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the named counter (created at 0 on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        self.events += 1
+
+    def cache_event(self, cache: str, **stats: float) -> None:
+        """Accumulate per-cache stats (gauges like ``entries`` take max)."""
+        entry = self.caches.setdefault(cache, {})
+        for stat, value in stats.items():
+            if stat in _GAUGE_STATS:
+                entry[stat] = max(entry.get(stat, 0), value)
+            else:
+                entry[stat] = entry.get(stat, 0) + value
+        self.events += 1
+
+    # -- merge / serialization ----------------------------------------
+    def merge(self, data: dict[str, Any], label: str = "worker") -> None:
+        """Fold a worker trace (as a dict) into this one.
+
+        Counters and cache stats accumulate (gauges take the max); the
+        worker's spans are attached under a synthetic ``label`` span so
+        the tree records where the work actually ran.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for cache, stats in data.get("caches", {}).items():
+            entry = self.caches.setdefault(cache, {})
+            for stat, value in stats.items():
+                if stat in _GAUGE_STATS:
+                    entry[stat] = max(entry.get(stat, 0), value)
+                else:
+                    entry[stat] = entry.get(stat, 0) + value
+        # The worker already counted its recording calls; folding them in
+        # must not add events of its own (the overhead model relies on
+        # ``events`` equalling the number of touchpoints hit).
+        self.events += data.get("events", 0)
+        worker_spans = [Span.from_dict(d) for d in data.get("spans", ())]
+        if worker_spans:
+            holder = Span(label, data.get("meta"))
+            holder.children = worker_spans
+            holder.elapsed_s = sum(child.elapsed_s for child in worker_spans)
+            if self._stack:
+                self._stack[-1].children.append(holder)
+            else:
+                self.spans.append(holder)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the whole trace (spans, counters, caches)."""
+        return {
+            "name": self.name,
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "caches": {cache: dict(stats) for cache, stats in self.caches.items()},
+            "events": self.events,
+            "spans": [span_obj.to_dict() for span_obj in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> Trace:
+        """Rebuild a trace from :meth:`to_dict` output (JSON round-trip)."""
+        trace = cls(str(data.get("name", "trace")), data.get("meta"))
+        trace.counters = dict(data.get("counters", {}))
+        trace.caches = {
+            cache: dict(stats) for cache, stats in data.get("caches", {}).items()
+        }
+        trace.events = int(data.get("events", 0))
+        trace.spans = [Span.from_dict(d) for d in data.get("spans", ())]
+        return trace
+
+    def write(self, path: str) -> None:
+        """Dump the trace to ``path`` as stable, sorted, indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def read(cls, path: str) -> Trace:
+        """Load a trace previously saved with :meth:`write`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- reporting ----------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable report: span tree, counters, cache table."""
+        lines: list[str] = []
+        total = sum(span_obj.elapsed_s for span_obj in self.spans)
+        header = f"trace '{self.name}' — {total:.3f}s across {len(self.spans)} top-level span(s)"
+        if self.meta:
+            header += "  (" + ", ".join(
+                f"{key}={value}" for key, value in sorted(self.meta.items())
+            ) + ")"
+        lines.append(header)
+
+        def walk(span_obj: Span, depth: int) -> None:
+            meta = ""
+            if span_obj.meta:
+                meta = "  [" + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(span_obj.meta.items())
+                ) + "]"
+            lines.append(
+                f"  {'  ' * depth}{span_obj.name:<28s} {span_obj.elapsed_s:9.3f}s{meta}"
+            )
+            for child in span_obj.children:
+                walk(child, depth + 1)
+
+        if self.spans:
+            lines.append("spans:")
+            for span_obj in self.spans:
+                walk(span_obj, 0)
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {name:<40s} {shown}")
+        if self.caches:
+            lines.append("caches:")
+            stat_order = (
+                "hits",
+                "misses",
+                "evictions",
+                "clears",
+                "builds",
+                "entries",
+                "resident_bytes",
+            )
+            for cache in sorted(self.caches):
+                stats = self.caches[cache]
+                ordered = [s for s in stat_order if s in stats]
+                ordered += [s for s in sorted(stats) if s not in stat_order]
+                rendered = ", ".join(
+                    f"{stat}={int(stats[stat]) if float(stats[stat]).is_integer() else stats[stat]}"
+                    for stat in ordered
+                )
+                lines.append(f"  {cache:<32s} {rendered}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers — the instrumentation surface used by the pipeline.
+# ---------------------------------------------------------------------------
+
+def current_trace() -> Trace | None:
+    """The trace installed in the current context, or ``None``."""
+    return _TRACE.get()
+
+
+def span(name: str, **meta: str):
+    """A context manager timing one stage; no-op when tracing is off."""
+    trace = _TRACE.get()
+    if trace is None:
+        return _NULL_SPAN
+    return trace.span(name, **meta)
+
+
+def annotate(**meta: str) -> None:
+    """Attach metadata to the innermost open span, if tracing is on."""
+    trace = _TRACE.get()
+    if trace is not None:
+        trace.annotate(**meta)
+
+
+def count(name: str, n: float = 1) -> None:
+    """Bump a counter on the active trace, if any."""
+    trace = _TRACE.get()
+    if trace is not None:
+        trace.count(name, n)
+
+
+def cache_event(cache: str, **stats: float) -> None:
+    """Record cache telemetry on the active trace, if any."""
+    trace = _TRACE.get()
+    if trace is not None:
+        trace.cache_event(cache, **stats)
+
+
+@contextmanager
+def tracing(name: str = "trace", **meta: str) -> Iterator[Trace]:
+    """Install a fresh :class:`Trace` for the duration of the block."""
+    trace = Trace(name, meta)
+    token = _TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _TRACE.reset(token)
+
+
+def run_traced(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> tuple[Any, dict[str, Any]]:
+    """Run ``fn`` under a fresh trace and return ``(result, trace_dict)``.
+
+    Module-level and picklable on both ends, so process-pool paths can
+    submit ``run_traced(task, ...)`` when the parent has tracing on and
+    :meth:`Trace.merge` the returned dict.  The worker-side trace is
+    always fresh: worker processes never see the parent's contextvar.
+    """
+    with tracing("worker") as trace:
+        result = fn(*args, **kwargs)
+    return result, trace.to_dict()

@@ -8,7 +8,8 @@ every candidate ⟨target item, promotion code⟩ with
 
 * the best matching rule the candidate is at least as favorable as (its
   confidence is a conservative acceptance estimate under MOA),
-* the candidate's profit per package, and
+* the candidate's profit per package and the supporting rule's credited
+  per-hit quantity, and
 * the resulting expected profit per recommendation.
 
 The MPF choice is always the top row — the table *explains* it — and the
@@ -21,13 +22,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.generalized import GSale
+from repro.core.generalized import GKind, GSale
 from repro.core.moa import MOAHierarchy
 from repro.core.mpf import MPFRecommender
 from repro.core.rules import ScoredRule
 from repro.core.sales import Sale
+from repro.errors import ValidationError
 
 __all__ = ["OfferOption", "what_if"]
+
+#: Sort sentinel placing unsupported candidates after every real rule;
+#: tuples of different lengths compare fine because ``inf`` exceeds any
+#: leading rank-key component.
+_NO_RULE_RANK = (float("inf"),)
 
 
 @dataclass(frozen=True)
@@ -40,6 +47,7 @@ class OfferOption:
     acceptance_estimate: float
     expected_profit: float
     supporting_rule: ScoredRule | None
+    quantity_estimate: float = 1.0
 
     def describe(self) -> str:
         """One-line rendering for reports and the example scripts."""
@@ -52,7 +60,8 @@ class OfferOption:
             f"{self.item_id} @ {self.promo_code}: "
             f"E[profit]={self.expected_profit:.4f} "
             f"(accept≈{self.acceptance_estimate:.2f} × "
-            f"${self.profit_per_package:.2f})  via {rule}"
+            f"${self.profit_per_package:.2f} × "
+            f"qty≈{self.quantity_estimate:.2f})  via {rule}"
         )
 
 
@@ -64,35 +73,73 @@ def what_if(
     For each candidate head, the *supporting rule* is the highest-ranked
     matching rule whose acceptance implies the candidate's (its head is a
     promotion the candidate is at least as favorable as under MOA); its
-    confidence is a conservative acceptance estimate.  Candidates with no
-    supporting rule get acceptance 0 and sort last.  With unit quantities
-    the top row's (item, promotion) coincides with
-    :meth:`MPFRecommender.recommend`'s choice whenever expected profits are
-    distinct, because MPF maximizes exactly ``confidence × profit`` per
-    matched rule; with heterogeneous quantities the rule profit weights
-    hits by volume and small deviations are possible.
+    confidence is a conservative acceptance estimate, and its credited
+    profit per hit fixes the expected *quantity* per acceptance (the
+    paper's MOA crediting weights hits by purchased volume, not by one
+    package).  The candidate's expectation is therefore::
+
+        E[profit] = acceptance × profit_per_package × quantity
+
+    with ``quantity = per-hit credited profit of the supporting rule ÷
+    profit per package of its own head``.  For the candidate equal to a
+    rule's head this collapses to the rule's ``Prof_re`` exactly, so the
+    top row coincides with :meth:`MPFRecommender.recommend`'s choice
+    (ties resolve through the same MPF rank key, and per-package profit
+    is non-increasing along MOA favorability for every catalog in this
+    repo, so no more-favorable variant can overtake a rule's own head).
+    Candidates with no supporting rule get acceptance 0 and sort last.
+
+    Candidate heads must be promotion-form ⟨item, code⟩ pairs; a custom
+    MOA engine yielding a promotion-free head raises
+    :class:`~repro.errors.ValidationError` instead of silently looking
+    up the empty-string promotion code.
     """
     moa: MOAHierarchy = recommender.moa
     matching = recommender.matching_rules(basket)
     options: list[OfferOption] = []
     for head in moa.all_candidate_heads():
-        promo = moa.catalog.promotion(head.node, head.promo or "")
+        if head.kind is not GKind.PROMO or not head.promo:
+            raise ValidationError(
+                f"candidate head {head.describe()!r} has no promotion code; "
+                "what-if analysis needs promotion-form ⟨item, code⟩ heads "
+                "(did a custom MOA engine yield item- or concept-form "
+                "candidates?)"
+            )
+        promo = moa.catalog.promotion(head.node, head.promo)
         supporting = _best_supporting_rule(moa, matching, head)
         acceptance = supporting.stats.confidence if supporting else 0.0
+        quantity = 1.0
+        if supporting is not None:
+            head_promo = moa.catalog.promotion(
+                supporting.rule.head.node, supporting.rule.head.promo or ""
+            )
+            if head_promo.profit != 0:
+                quantity = (
+                    supporting.stats.average_profit_per_hit
+                    / head_promo.profit
+                )
         options.append(
             OfferOption(
                 item_id=head.node,
-                promo_code=head.promo or "",
+                promo_code=head.promo,
                 profit_per_package=promo.profit,
                 acceptance_estimate=acceptance,
-                expected_profit=acceptance * promo.profit,
+                expected_profit=acceptance * promo.profit * quantity,
                 supporting_rule=supporting,
+                quantity_estimate=quantity,
             )
         )
     options.sort(
         key=lambda option: (
             -option.expected_profit,
-            -option.acceptance_estimate,
+            option.supporting_rule.rank_key()
+            if option.supporting_rule is not None
+            else _NO_RULE_RANK,
+            0
+            if option.supporting_rule is not None
+            and option.supporting_rule.rule.head
+            == GSale.promo_form(option.item_id, option.promo_code)
+            else 1,
             option.item_id,
             option.promo_code,
         )

@@ -11,6 +11,7 @@ from repro.core.sales import TransactionDB
 from repro.errors import EvaluationError
 from repro.eval.behavior import behavior_x2_y30
 from repro.eval.metrics import EvalConfig, EvalResult, TransactionOutcome, evaluate
+from repro.obs.trace import tracing
 
 
 class ConstantRecommender(Recommender):
@@ -147,3 +148,71 @@ class TestEvalResult:
     def test_bad_range_count(self):
         with pytest.raises(EvaluationError):
             self.make([(True, 1.0, 1.0)]).hit_rate_by_profit_range(0)
+
+
+class TestEvalCacheLRU:
+    """Regression tests for the judge/eval-prep caches' LRU eviction.
+
+    The caches used to be flushed wholesale at the size limit, throwing
+    away 16 live entries to make room for one; they must instead evict
+    only the single least-recently-used entry, with a cache hit counting
+    as a use.
+    """
+
+    def test_judge_cache_evicts_only_the_oldest(self, small_db, small_hierarchy):
+        from repro.core.hierarchy import ConceptHierarchy
+        from repro.eval import metrics as metrics_mod
+
+        metrics_mod._judge_cache.clear()
+        limit = metrics_mod._JUDGE_CACHE_LIMIT
+        hierarchies = [
+            ConceptHierarchy.for_catalog(small_db.catalog)
+            for _ in range(limit)
+        ]
+        judges = [
+            metrics_mod._judge_for(small_db, hierarchy, True)
+            for hierarchy in hierarchies
+        ]
+        # A hit counts as a use: entry 0 moves to the back of the order.
+        assert metrics_mod._judge_for(small_db, hierarchies[0], True) is judges[0]
+
+        with tracing("lru") as trace:
+            extra = ConceptHierarchy.for_catalog(small_db.catalog)
+            metrics_mod._judge_for(small_db, extra, True)
+        assert len(metrics_mod._judge_cache) == limit
+        assert trace.caches["eval.judge_cache"]["evictions"] == 1
+
+        # The 17th judge evicted exactly one entry — the true oldest
+        # (entry 1); the recently-used entry 0 and everything younger
+        # survived with object identity intact.
+        assert metrics_mod._judge_for(small_db, hierarchies[0], True) is judges[0]
+        for idx in range(2, limit):
+            assert (
+                metrics_mod._judge_for(small_db, hierarchies[idx], True)
+                is judges[idx]
+            )
+        assert (
+            metrics_mod._judge_for(small_db, hierarchies[1], True)
+            is not judges[1]
+        )
+
+    def test_eval_prep_cache_evicts_only_the_oldest(self, small_db):
+        from repro.eval import metrics as metrics_mod
+
+        metrics_mod._eval_prep_cache.clear()
+        limit = metrics_mod._EVAL_PREP_CACHE_LIMIT
+        dbs = [
+            small_db.subset(list(range(5 + idx))) for idx in range(limit)
+        ]
+        baskets = [metrics_mod._eval_prep(db)[0] for db in dbs]
+        # Hit on the oldest entry: it must move to the back of the order.
+        assert metrics_mod._eval_prep(dbs[0])[0] is baskets[0]
+
+        with tracing("lru") as trace:
+            extra = small_db.subset(list(range(30)))
+            metrics_mod._eval_prep(extra)
+        assert len(metrics_mod._eval_prep_cache) == limit
+        assert trace.caches["eval.prep_cache"]["evictions"] == 1
+
+        assert metrics_mod._eval_prep(dbs[0])[0] is baskets[0]
+        assert metrics_mod._eval_prep(dbs[1])[0] is not baskets[1]

@@ -1,0 +1,290 @@
+"""Unit tests for the ``repro.obs`` tracing subsystem.
+
+Covers the recording primitives (span nesting, counters, cache events),
+the disabled no-op path, serialization round-trips, worker-trace merging
+and the human-readable summary — plus differential tests asserting that
+tracing never changes fit, serve or sweep results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.sales import Sale
+from repro.eval.harness import run_support_sweep
+from repro.obs import trace as obs
+from repro.obs.trace import Span, Trace, run_traced, tracing
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        with tracing("t") as trace:
+            with obs.span("outer", stage="one"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        assert [s.name for s in trace.spans] == ["outer"]
+        outer = trace.spans[0]
+        assert outer.meta == {"stage": "one"}
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.elapsed_s >= sum(c.elapsed_s for c in outer.children)
+
+    def test_annotate_targets_innermost_open_span(self):
+        with tracing("t") as trace:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.annotate(backend="dense")
+            obs.annotate(top="yes")
+        assert trace.spans[0].children[0].meta == {"backend": "dense"}
+        assert trace.meta == {"top": "yes"}
+
+    def test_sibling_spans_stay_top_level(self):
+        with tracing("t") as trace:
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        assert [s.name for s in trace.spans] == ["a", "b"]
+
+
+class TestDisabledPath:
+    def test_no_trace_installed_by_default(self):
+        assert obs.current_trace() is None
+
+    def test_primitives_are_noops_without_a_trace(self):
+        with obs.span("ignored", meta="x"):
+            obs.count("ignored")
+            obs.cache_event("ignored", hits=1)
+            obs.annotate(ignored="y")
+        assert obs.current_trace() is None
+
+    def test_tracing_restores_previous_state(self):
+        with tracing("outer") as outer:
+            with tracing("inner") as inner:
+                assert obs.current_trace() is inner
+            assert obs.current_trace() is outer
+        assert obs.current_trace() is None
+
+
+class TestCountersAndCaches:
+    def test_counters_accumulate(self):
+        with tracing("t") as trace:
+            obs.count("x")
+            obs.count("x", 4)
+            obs.count("y", 2.5)
+        assert trace.counters == {"x": 5, "y": 2.5}
+
+    def test_cache_stats_sum_but_gauges_take_max(self):
+        with tracing("t") as trace:
+            obs.cache_event("c", hits=2, entries=10)
+            obs.cache_event("c", hits=3, misses=1, entries=4)
+        assert trace.caches["c"] == {"hits": 5, "misses": 1, "entries": 10}
+
+    def test_events_count_every_recording_call(self):
+        with tracing("t") as trace:
+            with obs.span("s"):
+                obs.count("x")
+            obs.cache_event("c", hits=1)
+        assert trace.events == 3
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_caches(self):
+        with tracing("parent") as trace:
+            obs.count("shared", 1)
+            obs.cache_event("c", hits=1, entries=5)
+        worker = {
+            "counters": {"shared": 2, "worker_only": 7},
+            "caches": {"c": {"hits": 4, "entries": 3}},
+            "events": 9,
+            "spans": [],
+        }
+        before = trace.events
+        trace.merge(worker)
+        assert trace.counters == {"shared": 3, "worker_only": 7}
+        assert trace.caches["c"] == {"hits": 5, "entries": 5}
+        assert trace.events == before + 9
+        assert trace.spans == []  # no worker spans -> no holder span
+
+    def test_merge_attaches_worker_spans_under_labeled_holder(self):
+        worker = Trace("worker")
+        with worker.span("mine"):
+            pass
+        with worker.span("serve"):
+            pass
+        with tracing("parent") as trace:
+            with obs.span("sweep"):
+                trace.merge(worker.to_dict(), label="worker[PROF/fold0]")
+        sweep = trace.spans[0]
+        holder = sweep.children[0]
+        assert holder.name == "worker[PROF/fold0]"
+        assert [c.name for c in holder.children] == ["mine", "serve"]
+        assert holder.elapsed_s == pytest.approx(
+            sum(c.elapsed_s for c in holder.children)
+        )
+
+
+class TestSerialization:
+    def _sample(self) -> Trace:
+        with tracing("sample", label="unit") as trace:
+            with obs.span("outer", stage="one"):
+                with obs.span("inner"):
+                    obs.count("n", 3)
+            obs.cache_event("c", hits=1, entries=2)
+        return trace
+
+    def test_dict_round_trip(self):
+        trace = self._sample()
+        restored = Trace.from_dict(trace.to_dict())
+        assert restored.to_dict() == trace.to_dict()
+
+    def test_json_file_round_trip(self, tmp_path):
+        trace = self._sample()
+        path = tmp_path / "trace.json"
+        trace.write(str(path))
+        restored = Trace.read(str(path))
+        assert restored.to_dict() == trace.to_dict()
+        # Stable output: writing the restored trace reproduces the bytes.
+        restored.write(str(tmp_path / "again.json"))
+        assert (tmp_path / "again.json").read_text() == path.read_text()
+
+    def test_span_round_trip(self):
+        span = Span("s", {"k": "v"})
+        span.elapsed_s = 1.5
+        span.children.append(Span("child"))
+        assert Span.from_dict(span.to_dict()).to_dict() == span.to_dict()
+
+
+def _traced_task(x: int) -> int:
+    obs.count("task.calls")
+    with obs.span("task"):
+        return x * 2
+
+
+class TestRunTraced:
+    def test_returns_result_and_trace_dict(self):
+        result, data = run_traced(_traced_task, 21)
+        assert result == 42
+        assert data["counters"] == {"task.calls": 1}
+        assert [s["name"] for s in data["spans"]] == ["task"]
+
+    def test_worker_trace_is_isolated_from_parent(self):
+        with tracing("parent") as trace:
+            result, data = run_traced(_traced_task, 1)
+        assert result == 2
+        assert trace.counters == {}  # recorded on the worker trace only
+        assert data["counters"] == {"task.calls": 1}
+
+
+class TestSummary:
+    def test_summary_mentions_spans_counters_and_caches(self):
+        with tracing("demo", dataset="I") as trace:
+            with obs.span("mine", backend="bigint"):
+                obs.count("mine.rules_emitted", 12)
+            obs.cache_event("eval.judge_cache", hits=3, misses=1, evictions=2)
+        text = trace.summary()
+        assert "trace 'demo'" in text and "dataset=I" in text
+        assert "mine" in text and "backend=bigint" in text
+        assert "mine.rules_emitted" in text and "12" in text
+        assert "eval.judge_cache" in text
+        assert "hits=3, misses=1, evictions=2" in text
+
+
+@pytest.fixture
+def fitted_factory(small_hierarchy, small_db):
+    def build():
+        return ProfitMiner(
+            small_hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2)
+            ),
+        ).fit(small_db)
+
+    return build
+
+
+def _rule_signature(miner):
+    return [
+        (
+            scored.rule.order,
+            tuple(sorted(g.describe() for g in scored.rule.body)),
+            scored.rule.head.describe(),
+            scored.stats.n_matched,
+            scored.stats.n_hits,
+            scored.stats.rule_profit,
+        )
+        for scored in miner.require_fitted_recommender().ranked_rules
+    ]
+
+
+class TestTracingIsObservational:
+    """Tracing must never change what the pipeline computes."""
+
+    def test_fit_and_serve_identical_traced_and_untraced(
+        self, fitted_factory, small_db
+    ):
+        untraced = fitted_factory()
+        with tracing("fit") as trace:
+            traced = fitted_factory()
+        assert _rule_signature(traced) == _rule_signature(untraced)
+        assert trace.counters["mine.rules_emitted"] > 0
+
+        baskets = [t.nontarget_sales for t in small_db.transactions]
+        plain = untraced.recommend_many(baskets)
+        with tracing("serve") as serve_trace:
+            observed = traced.recommend_many(baskets)
+        assert [
+            (rec.item_id, rec.promo_code) for rec in observed
+        ] == [(rec.item_id, rec.promo_code) for rec in plain]
+        assert serve_trace.counters["serve.baskets"] == len(baskets)
+
+    def test_whatif_identical_traced_and_untraced(self, fitted_factory):
+        from repro.whatif import what_if
+
+        recommender = fitted_factory().require_fitted_recommender()
+        basket = [Sale("Perfume", "P1")]
+        plain = what_if(recommender, basket)
+        with tracing("whatif"):
+            observed = what_if(recommender, basket)
+        assert observed == plain
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_sweep_identical_traced_and_untraced(self, tiny_dataset_i, n_jobs):
+        kwargs = dict(
+            min_supports=(0.02, 0.05),
+            systems=("PROF+MOA", "MPI"),
+            k_folds=2,
+            max_body_size=1,
+        )
+        plain = run_support_sweep(tiny_dataset_i, **kwargs)
+        with tracing("sweep") as trace:
+            observed = run_support_sweep(
+                tiny_dataset_i, n_jobs=n_jobs, **kwargs
+            )
+        for metric in ("gain", "hit_rate", "model_size"):
+            assert observed.series(metric) == plain.series(metric)
+        # The worker/sequential split must not lose telemetry: mining ran
+        # for the rule-based system either way.
+        assert trace.counters["mine.rules_emitted"] > 0
+        assert trace.counters["serve.baskets"] > 0
+
+    def test_parallel_sweep_merges_worker_traces(self, tiny_dataset_i):
+        kwargs = dict(
+            min_supports=(0.02,),
+            systems=("PROF+MOA", "MPI"),
+            k_folds=2,
+            max_body_size=1,
+        )
+        with tracing("sequential") as seq_trace:
+            run_support_sweep(tiny_dataset_i, n_jobs=1, **kwargs)
+        with tracing("parallel") as par_trace:
+            run_support_sweep(tiny_dataset_i, n_jobs=2, **kwargs)
+        # Deterministic work -> identical counter totals after merging.
+        assert par_trace.counters == seq_trace.counters
+        # The parallel tree records where each cell ran.
+        sweep_span = next(s for s in par_trace.spans if s.name == "sweep")
+        labels = [c.name for c in sweep_span.children]
+        assert any(label.startswith("worker[") for label in labels)

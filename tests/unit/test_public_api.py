@@ -65,6 +65,8 @@ MODULES = [
     "repro.eval.report",
     "repro.eval.reporting",
     "repro.eval.stats",
+    "repro.obs",
+    "repro.obs.trace",
     "repro.whatif",
 ]
 

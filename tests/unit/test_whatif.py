@@ -4,10 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import (
+    ConceptHierarchy,
+    Item,
+    ItemCatalog,
+    Sale,
+    Transaction,
+    TransactionDB,
+)
+from repro.core.generalized import GSale
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
 from repro.core.mining import MinerConfig
-from repro.core.sales import Sale
+from repro.errors import ValidationError
 from repro.whatif import what_if
+
+from tests.conftest import promo
 
 
 @pytest.fixture
@@ -47,14 +58,19 @@ class TestWhatIf:
         pick = recommender.recommend(basket)
         assert (top.item_id, top.promo_code) == (pick.item_id, pick.promo_code)
 
-    def test_expected_profit_is_acceptance_times_margin(self, fitted):
+    def test_expected_profit_is_acceptance_times_margin_times_quantity(
+        self, fitted
+    ):
         for option in what_if(
             fitted.require_fitted_recommender(), [Sale("Bread", "P1")]
         ):
             assert option.expected_profit == pytest.approx(
-                option.acceptance_estimate * option.profit_per_package
+                option.acceptance_estimate
+                * option.profit_per_package
+                * option.quantity_estimate
             )
             assert 0 <= option.acceptance_estimate <= 1
+            assert option.quantity_estimate > 0
 
     def test_unsupported_candidates_get_zero(self, fitted):
         options = what_if(
@@ -71,3 +87,81 @@ class TestWhatIf:
         )[0]
         text = option.describe()
         assert "E[profit]" in text and option.item_id in text
+        assert "qty≈" in text
+
+
+@pytest.fixture
+def quantity_fitted():
+    """A world where the best offer is a cheap item bought in bulk.
+
+    Gem sells one package at $10 profit per hit; Gum sells fifty packages
+    at $1 profit each, $50 per hit.  Ranking offers by
+    ``confidence × profit_per_package`` alone — the pre-fix behaviour —
+    would put Gem on top and contradict the MPF recommendation.
+    """
+    catalog = ItemCatalog.from_items(
+        [
+            Item("Trigger", (promo("T1", 1.0, 0.5),)),
+            Item("Gem", (promo("G", 11.0, 1.0),), is_target=True),
+            Item("Gum", (promo("U", 2.0, 1.0),), is_target=True),
+        ]
+    )
+    hierarchy = ConceptHierarchy.for_catalog(catalog)
+    transactions = [
+        Transaction(tid, (Sale("Trigger", "T1"),), Sale("Gem", "G", 1.0))
+        for tid in range(10)
+    ] + [
+        Transaction(tid, (Sale("Trigger", "T1"),), Sale("Gum", "U", 50.0))
+        for tid in range(10, 20)
+    ]
+    db = TransactionDB(catalog=catalog, transactions=transactions)
+    return ProfitMiner(
+        hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.1, max_body_size=1)
+        ),
+    ).fit(db)
+
+
+class TestQuantityWeighting:
+    def test_heterogeneous_quantities_top_row_matches_mpf(
+        self, quantity_fitted
+    ):
+        recommender = quantity_fitted.require_fitted_recommender()
+        basket = [Sale("Trigger", "T1")]
+        options = what_if(recommender, basket)
+        pick = recommender.recommend(basket)
+        top = options[0]
+        assert (top.item_id, top.promo_code) == (pick.item_id, pick.promo_code)
+        assert (top.item_id, top.promo_code) == ("Gum", "U")
+
+    def test_quantity_estimate_reflects_credited_volume(self, quantity_fitted):
+        options = what_if(
+            quantity_fitted.require_fitted_recommender(),
+            [Sale("Trigger", "T1")],
+        )
+        by_item = {option.item_id: option for option in options}
+        gum, gem = by_item["Gum"], by_item["Gem"]
+        assert gum.quantity_estimate == pytest.approx(50.0)
+        assert gem.quantity_estimate == pytest.approx(1.0)
+        # $0.5 × $1 × 50 = $25 beats $0.5 × $10 × 1 = $5, matching the
+        # rules' Prof_re ordering even though Gem's per-package profit
+        # is ten times Gum's.
+        assert gum.expected_profit > gem.expected_profit
+        assert gum.expected_profit == pytest.approx(
+            gum.supporting_rule.stats.confidence
+            * gum.supporting_rule.stats.average_profit_per_hit
+        )
+
+
+class TestPromoFreeHeads:
+    def test_promo_free_candidate_head_raises(self, fitted, monkeypatch):
+        recommender = fitted.require_fitted_recommender()
+        bad_head = GSale.item("Sunchip")
+        monkeypatch.setattr(
+            type(recommender.moa),
+            "all_candidate_heads",
+            lambda self: [bad_head],
+        )
+        with pytest.raises(ValidationError, match="no promotion code"):
+            what_if(recommender, [Sale("Perfume", "P1")])
