@@ -157,6 +157,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(figure)
     _add_trace_argument(figure)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on recommendation daemon over a saved model",
+    )
+    serve.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="model artifact written by 'fit --save-model' (v2 recommended "
+        "for fast cold start)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="largest micro-batch coalesced from concurrent /recommend "
+        "requests (default 64)",
+    )
+    serve.add_argument(
+        "--max-linger-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="how long a queued request waits for company before its "
+        "batch is flushed (default 1.0)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of serve calls traced into the /stats telemetry "
+        "(0 disables, 1 traces everything)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="hot-swap automatically when the model file's mtime changes, "
+        "checking this often (0 disables; POST /admin/reload always works)",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="run another command under tracing and print a trace summary",
@@ -496,6 +542,37 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import RecommendDaemon, ServeConfig
+    from repro.serve.daemon import trace_sample_period
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_linger_ms=args.max_linger_ms,
+        trace_sample_period=trace_sample_period(args.trace_sample_rate),
+        poll_interval_s=args.poll_interval,
+    )
+    daemon = RecommendDaemon(args.model, config)
+    info = daemon.handle.info()
+    print(
+        f"serving model {info['model']!r} ({info['n_rules']} rules) "
+        f"from {args.model} on http://{config.host}:{config.port}"
+    )
+    print(
+        "endpoints: POST /recommend, POST /recommend_batch, "
+        "POST /admin/reload, GET /healthz, GET /stats"
+    )
+    try:
+        asyncio.run(daemon.serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     rest = list(args.rest)
     if rest and rest[0] == "--":
@@ -526,6 +603,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
+    "serve": _cmd_serve,
     "profile": _cmd_profile,
 }
 

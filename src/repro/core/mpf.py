@@ -58,8 +58,12 @@ class MPFRecommender(Recommender):
         interning work.
     """
 
-    #: Cap on the basket-level memo used by :meth:`recommend_many`; the
-    #: memo is cleared (not evicted entry-wise) when it would exceed this.
+    #: Cap on the basket-level memo shared by :meth:`recommend` and
+    #: :meth:`recommend_many`.  The memo is a true LRU: a hit re-inserts
+    #: the entry (dicts preserve insertion order) and inserting at the
+    #: limit evicts exactly the single least-recently-used entry, so a
+    #: long-lived serving process never sees the wholesale cold restart a
+    #: ``clear()`` would cause.
     _MEMO_LIMIT = 1 << 18
 
     def __init__(
@@ -127,13 +131,15 @@ class MPFRecommender(Recommender):
         return self
 
     def recommend(self, basket: Sequence[Sale]) -> Recommendation:
-        """Recommend using the highest-ranked matching rule (Definition 6)."""
-        scored = self.recommendation_rule(basket)
-        return Recommendation(
-            item_id=scored.rule.head.node,
-            promo_code=scored.rule.head.promo or "",
-            rule=scored,
-        )
+        """Recommend using the highest-ranked matching rule (Definition 6).
+
+        Routed through :meth:`recommend_many` so single-basket traffic
+        shares the batch path's memo and serving telemetry — a daemon
+        receiving one basket per request counts ``serve.baskets`` and
+        hits the basket memo exactly as if the basket had arrived in a
+        batch.
+        """
+        return self.recommend_many([basket])[0]
 
     def recommend_many(
         self, baskets: Sequence[Sequence[Sale]]
@@ -142,15 +148,17 @@ class MPFRecommender(Recommender):
 
         Baskets with the same ``(item, promotion)`` pairs — regardless of
         quantities or sale order — are matched once; the memo persists
-        across calls (cleared when it reaches ``_MEMO_LIMIT`` entries), so
-        repeated traffic is answered with a dictionary lookup.
+        across calls (LRU-bounded at ``_MEMO_LIMIT`` entries, evicting
+        only the single least-recently-used one), so repeated traffic is
+        answered with a dictionary lookup and sustained traffic never
+        pays a wholesale cold restart.
         """
         self._check_fitted()
         memo = self._batch_memo
         first_match = self.rule_index.first_match
         out: list[Recommendation] = []
         memo_hits = 0
-        memo_clears = 0
+        memo_evictions = 0
         with obs.span("serve"):
             for basket in baskets:
                 key = basket_key(basket)
@@ -167,10 +175,13 @@ class MPFRecommender(Recommender):
                         rule=scored,
                     )
                     if len(memo) >= self._MEMO_LIMIT:
-                        memo.clear()
-                        memo_clears += 1
+                        memo.pop(next(iter(memo)))
+                        memo_evictions += 1
                     memo[key] = rec
                 else:
+                    # LRU: re-insert so the entry moves to the back of the
+                    # order and wins over colder ones at eviction time.
+                    memo[key] = memo.pop(key)
                     memo_hits += 1
                 out.append(rec)
         trace = obs.current_trace()
@@ -180,7 +191,7 @@ class MPFRecommender(Recommender):
                 "serve.basket_memo",
                 hits=memo_hits,
                 misses=len(out) - memo_hits,
-                clears=memo_clears,
+                evictions=memo_evictions,
                 entries=len(memo),
             )
         return out

@@ -102,6 +102,14 @@ class RuleMatchIndex:
         """Total inverted-index size: Σ over gsales of |rules containing it|."""
         return self.compiled.n_postings
 
+    def stats(self) -> dict[str, int]:
+        """JSON-ready size summary (served verbatim by the daemon's API)."""
+        return {
+            "n_rules": self.n_rules,
+            "n_indexed_gsales": self.n_indexed_gsales,
+            "n_postings": self.n_postings,
+        }
+
     # ------------------------------------------------------------------
     # Matching (delegated to the compiled model)
     # ------------------------------------------------------------------

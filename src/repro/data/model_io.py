@@ -32,6 +32,8 @@ Round trip::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -112,6 +114,11 @@ def save_model(
     ``version=2`` (the default) also persists the symbol table and the
     compiled inverted postings so loading skips re-interning; ``version=1``
     writes the legacy string-form document.
+
+    The write is atomic (temp file + :func:`os.replace`): concurrent
+    readers — in particular a serving daemon's hot-swap watcher — see
+    either the previous artifact or the complete new one, never a
+    truncated document.
     """
     if version == 1:
         payload: dict[str, Any] = {"format": _FORMAT_V1, **_world_to_dict(recommender)}
@@ -153,7 +160,34 @@ def save_model(
         ]
     else:
         raise SerializationError(f"unsupported model format version {version}")
-    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    _write_atomic(Path(path), payload)
+
+
+def _write_atomic(path: Path, payload: dict[str, Any]) -> None:
+    """Serialize ``payload`` to ``path`` via a same-directory temp file.
+
+    A daemon hot-swap watcher (or any other reader) must never observe a
+    truncated artifact: the document is fully serialized and flushed to a
+    temp file in the target directory, then moved over ``path`` with
+    :func:`os.replace` — atomic on POSIX and Windows for same-filesystem
+    moves, which same-directory guarantees.  Any failure mid-serialization
+    leaves a pre-existing artifact at ``path`` untouched.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - temp already gone
+            pass
+        raise
 
 
 def _load_world(payload: dict[str, Any]) -> MOAHierarchy:

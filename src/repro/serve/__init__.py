@@ -1,0 +1,26 @@
+"""Always-on recommendation serving (`repro serve`).
+
+A dependency-free asyncio HTTP/JSON daemon over a persisted
+:class:`~repro.core.mpf.MPFRecommender`: micro-batched ``/recommend``,
+client-batched ``/recommend_batch``, zero-downtime model hot-swap
+(``/admin/reload`` or artifact mtime polling) and sampled
+:mod:`repro.obs` telemetry on ``/stats``.  See
+:mod:`repro.serve.daemon` for the full story and
+``docs/ARCHITECTURE.md`` for the serving layer diagram.
+"""
+
+from repro.serve.daemon import (
+    BackgroundDaemon,
+    ModelHandle,
+    RecommendDaemon,
+    ServeConfig,
+    trace_sample_period,
+)
+
+__all__ = [
+    "BackgroundDaemon",
+    "ModelHandle",
+    "RecommendDaemon",
+    "ServeConfig",
+    "trace_sample_period",
+]

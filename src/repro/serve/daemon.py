@@ -1,0 +1,634 @@
+"""The always-on recommendation daemon: batching, hot-swap, telemetry.
+
+This is the first consumer of the compiled engine that serves *traffic*
+rather than scripts: a long-lived asyncio process answering JSON basket
+requests from a :class:`~repro.core.mpf.MPFRecommender` restored from a
+persisted model artifact.  Three mechanisms make it production-shaped
+while staying dependency-free:
+
+* **Micro-batching** — concurrent single-basket ``POST /recommend``
+  requests are queued and coalesced into one
+  :meth:`~repro.core.mpf.MPFRecommender.recommend_many` call (at most
+  ``max_batch_size`` baskets, waiting at most ``max_linger_ms`` for
+  company), so a storm of small requests is served at batch cost.
+  ``POST /recommend_batch`` bypasses the queue: the client already
+  batched.
+
+* **Zero-downtime hot-swap** — :meth:`RecommendDaemon.reload` loads a
+  new artifact with :func:`~repro.data.model_io.load_model` in a worker
+  thread, validates it with a probe recommendation, then atomically
+  replaces the serving reference.  Serving code reads the reference once
+  per batch, so every response is computed entirely on one model;
+  in-flight requests finish on the model they started with and no
+  request ever observes a half-loaded one.  Swaps are triggered by
+  ``POST /admin/reload`` or by mtime polling of the artifact
+  (``poll_interval_s``), which pairs with ``save_model``'s atomic
+  temp-file + ``os.replace`` write: the poller can never read a
+  truncated document.
+
+* **Per-request trace sampling** — every ``trace_sample_period``-th
+  serve call runs under a fresh :class:`repro.obs.Trace`; its counters
+  and cache telemetry are merged into a daemon-lifetime trace that
+  ``GET /stats`` exposes alongside the raw request counters, so the
+  basket-memo hit rate and postings-scan footprint of live traffic are
+  one curl away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.mpf import MPFRecommender
+from repro.core.recommender import Recommendation
+from repro.core.sales import Sale
+from repro.data.model_io import load_model
+from repro.errors import CatalogError, ProfitMiningError, ValidationError
+from repro.obs import trace as obs
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ModelHandle",
+    "RecommendDaemon",
+    "BackgroundDaemon",
+    "trace_sample_period",
+]
+
+
+def trace_sample_period(rate: float) -> int:
+    """Convert a sampling *rate* (fraction of serve calls traced) into the
+    deterministic every-Nth period :class:`ServeConfig` carries.
+
+    Deterministic striding instead of coin flips keeps the daemon's
+    telemetry reproducible under test traffic; ``rate=0`` disables
+    sampling, any rate ≥ 1 traces every call.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(
+            f"trace sample rate must be within [0, 1], got {rate}"
+        )
+    if rate == 0.0:
+        return 0
+    return max(1, round(1.0 / rate))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    #: Largest number of queued single-basket requests coalesced into one
+    #: ``recommend_many`` call.
+    max_batch_size: int = 64
+    #: How long (milliseconds) a queued request waits for company before
+    #: its batch is flushed anyway; 0 disables lingering (each flush takes
+    #: whatever is already queued).
+    max_linger_ms: float = 1.0
+    #: Trace every Nth serve call into the daemon-lifetime trace exposed
+    #: by ``/stats``; 0 disables sampling.  The CLI converts its
+    #: ``--trace-sample-rate`` fraction into this period.
+    trace_sample_period: int = 0
+    #: Seconds between artifact mtime checks for automatic hot-swap;
+    #: 0 disables polling (reloads happen only via ``POST /admin/reload``).
+    poll_interval_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_linger_ms < 0:
+            raise ValidationError(
+                f"max_linger_ms must be >= 0, got {self.max_linger_ms}"
+            )
+        if self.trace_sample_period < 0:
+            raise ValidationError(
+                f"trace_sample_period must be >= 0, got "
+                f"{self.trace_sample_period}"
+            )
+        if self.poll_interval_s < 0:
+            raise ValidationError(
+                f"poll_interval_s must be >= 0, got {self.poll_interval_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """One immutable serving generation: a recommender plus provenance.
+
+    The daemon swaps whole handles, never mutates one — that immutability
+    is what makes the hot-swap safe: a request that captured a handle
+    keeps a consistent (recommender, generation, name) triple for its
+    entire lifetime regardless of concurrent swaps.
+    """
+
+    recommender: MPFRecommender
+    path: str
+    generation: int
+    mtime_ns: int
+    loaded_at: float
+
+    def info(self) -> dict[str, Any]:
+        """JSON-ready provenance block used by /healthz, /stats, reload."""
+        return {
+            "model": self.recommender.name,
+            "generation": self.generation,
+            "path": self.path,
+            **self.recommender.rule_index.stats(),
+        }
+
+
+def _load_handle(path: str, generation: int) -> ModelHandle:
+    """Load + validate one artifact into a ready-to-serve handle.
+
+    Runs in a worker thread during hot-swap.  The probe recommendation
+    both validates the artifact end-to-end (exactly one default rule,
+    postings consistent) and forces the lazy serving index, so the swap
+    installs a warm model and the first post-swap request pays nothing.
+    """
+    mtime_ns = os.stat(path).st_mtime_ns
+    recommender = load_model(path)
+    probe = recommender.recommend([])
+    if not probe.item_id:  # pragma: no cover - defensive, load validates
+        raise ValidationError(f"{path}: probe recommendation is empty")
+    return ModelHandle(
+        recommender=recommender,
+        path=str(path),
+        generation=generation,
+        mtime_ns=mtime_ns,
+        loaded_at=time.time(),
+    )
+
+
+def _parse_sale(entry: Any) -> Sale:
+    """One JSON sale object -> :class:`Sale` (400 on malformed input)."""
+    if not isinstance(entry, dict):
+        raise HttpError(400, f"sale must be an object, got {type(entry).__name__}")
+    item = entry.get("item", entry.get("item_id"))
+    promo = entry.get("promo", entry.get("promo_code"))
+    quantity = entry.get("quantity", 1.0)
+    if not isinstance(item, str) or not isinstance(promo, str):
+        raise HttpError(400, f"sale needs string 'item' and 'promo': {entry!r}")
+    if not isinstance(quantity, (int, float)) or isinstance(quantity, bool):
+        raise HttpError(400, f"sale quantity must be a number: {entry!r}")
+    try:
+        return Sale(item_id=item, promo_code=promo, quantity=float(quantity))
+    except ValidationError as exc:
+        raise HttpError(400, str(exc)) from exc
+
+
+def _parse_basket(payload: Any) -> list[Sale]:
+    if not isinstance(payload, list):
+        raise HttpError(
+            400, f"basket must be a list of sales, got {type(payload).__name__}"
+        )
+    return [_parse_sale(entry) for entry in payload]
+
+
+def _rec_to_dict(rec: Recommendation) -> dict[str, Any]:
+    return {"item": rec.item_id, "promo": rec.promo_code}
+
+
+class RecommendDaemon:
+    """Always-on HTTP/JSON serving for a persisted profit-mining model.
+
+    Endpoints::
+
+        POST /recommend        {"basket": [{"item", "promo", "quantity"?}]}
+        POST /recommend_batch  {"baskets": [[...], ...]}
+        POST /admin/reload     {"path"?: "other_model.json"}
+        GET  /healthz
+        GET  /stats
+
+    The daemon is single-loop: request handling, batching and the flip of
+    a hot-swap all run on the event loop, while artifact loading (the
+    slow part of a swap) runs in a worker thread.  ``recommend_many`` is
+    synchronous, so a batch is computed without yielding — a swap can
+    never interleave with the middle of a batch.
+    """
+
+    def __init__(self, model_path: str, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        # Synchronous first load: the daemon either starts serving or
+        # fails loudly before binding a port.
+        self._handle = _load_handle(str(model_path), generation=1)
+        self._server: asyncio.base_events.Server | None = None
+        self._queue: asyncio.Queue | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._connections: set[asyncio.Task] = set()
+        self._reload_lock: asyncio.Lock | None = None
+        self._trace = obs.Trace("serve-daemon")
+        self._serve_calls = 0
+        self._started_at = time.time()
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "recommend_requests": 0,
+            "batch_requests": 0,
+            "baskets_served": 0,
+            "batches_flushed": 0,
+            "reloads": 0,
+            "reload_failures": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def handle(self) -> ModelHandle:
+        """The current serving generation (atomically replaced on swap)."""
+        return self._handle
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when the config asked for port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise ProfitMiningError("daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and start the batcher / poller tasks."""
+        self._queue = asyncio.Queue()
+        self._reload_lock = asyncio.Lock()
+        self._started_at = time.time()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._tasks = [asyncio.create_task(self._batch_worker())]
+        if self.config.poll_interval_s > 0:
+            self._tasks.append(asyncio.create_task(self._mtime_poller()))
+
+    async def stop(self) -> None:
+        """Stop accepting, drop open connections, cancel the workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections are parked in read_request; closing
+        # the listener does not close them, so cancel their tasks.
+        for task in [*self._connections, *self._tasks]:
+            task.cancel()
+        for task in [*self._connections, *self._tasks]:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._connections.clear()
+        self._tasks = []
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    async def reload(self, path: str | None = None) -> ModelHandle:
+        """Load ``path`` (default: current artifact) and swap atomically.
+
+        The load and validation run in a worker thread; only after the
+        new handle is fully built does the event loop flip the serving
+        reference.  On any failure the old model keeps serving.
+        """
+        assert self._reload_lock is not None
+        async with self._reload_lock:
+            target = str(path or self._handle.path)
+            next_generation = self._handle.generation + 1
+            try:
+                handle = await asyncio.to_thread(
+                    _load_handle, target, next_generation
+                )
+            except (OSError, ProfitMiningError):
+                self.counters["reload_failures"] += 1
+                raise
+            self._handle = handle  # the atomic flip
+            self.counters["reloads"] += 1
+            return handle
+
+    async def _mtime_poller(self) -> None:
+        """Hot-swap automatically when the artifact file changes on disk."""
+        while True:
+            await asyncio.sleep(self.config.poll_interval_s)
+            try:
+                mtime_ns = os.stat(self._handle.path).st_mtime_ns
+            except OSError:
+                continue  # mid-replace or gone; retry next tick
+            if mtime_ns != self._handle.mtime_ns:
+                try:
+                    await self.reload()
+                except (OSError, ProfitMiningError):
+                    continue  # keep serving the old model
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _serve(
+        self, handle: ModelHandle, baskets: Sequence[Sequence[Sale]]
+    ) -> list[Recommendation]:
+        """One ``recommend_many`` call, sample-traced into the /stats trace."""
+        self._serve_calls += 1
+        self.counters["baskets_served"] += len(baskets)
+        period = self.config.trace_sample_period
+        if period and self._serve_calls % period == 0:
+            started = time.perf_counter()
+            with obs.tracing("serve.sample") as sample:
+                recommendations = handle.recommender.recommend_many(baskets)
+            elapsed = time.perf_counter() - started
+            # Keep only counters/caches: merging span trees per sample
+            # would grow the daemon-lifetime trace without bound.
+            sampled = sample.to_dict()
+            sampled.pop("spans", None)
+            self._trace.merge(sampled, label="sample")
+            self._trace.count("serve.sampled_calls", 1)
+            self._trace.count("serve.sampled_seconds", elapsed)
+            return recommendations
+        return handle.recommender.recommend_many(baskets)
+
+    async def _batch_worker(self) -> None:
+        """Coalesce queued single-basket requests into batch serve calls."""
+        assert self._queue is not None
+        queue = self._queue
+        config = self.config
+        linger_s = config.max_linger_ms / 1000.0
+        loop = asyncio.get_running_loop()
+        while True:
+            basket, future = await queue.get()
+            batch = [(basket, future)]
+            # Greedily take whatever is already waiting, then linger for
+            # stragglers only while the batch still has room.
+            while len(batch) < config.max_batch_size:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if linger_s > 0:
+                deadline = loop.time() + linger_s
+                while len(batch) < config.max_batch_size:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(queue.get(), timeout)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            handle = self._handle  # one model for the whole batch
+            self.counters["batches_flushed"] += 1
+            try:
+                recommendations = self._serve(
+                    handle, [basket for basket, _ in batch]
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                for _, waiter in batch:
+                    if not waiter.done():
+                        waiter.set_exception(exc)
+                continue
+            for (_, waiter), rec in zip(batch, recommendations):
+                if not waiter.done():
+                    waiter.set_result((handle, rec))
+
+    async def _recommend_single(self, request: Request) -> bytes:
+        payload = request.json()
+        if not isinstance(payload, dict) or "basket" not in payload:
+            raise HttpError(400, "body must be {\"basket\": [...]}")
+        basket = _parse_basket(payload["basket"])
+        assert self._queue is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((basket, future))
+        handle, rec = await future
+        self.counters["recommend_requests"] += 1
+        body = _rec_to_dict(rec)
+        body["model"] = handle.recommender.name
+        body["generation"] = handle.generation
+        return json_response(200, body, request.keep_alive)
+
+    async def _recommend_batch(self, request: Request) -> bytes:
+        payload = request.json()
+        if not isinstance(payload, dict) or "baskets" not in payload:
+            raise HttpError(400, "body must be {\"baskets\": [[...], ...]}")
+        raw = payload["baskets"]
+        if not isinstance(raw, list):
+            raise HttpError(400, "'baskets' must be a list of baskets")
+        baskets = [_parse_basket(entry) for entry in raw]
+        handle = self._handle  # one model for the whole batch
+        recommendations = self._serve(handle, baskets)
+        self.counters["batch_requests"] += 1
+        body = {
+            "recommendations": [_rec_to_dict(r) for r in recommendations],
+            "model": handle.recommender.name,
+            "generation": handle.generation,
+        }
+        return json_response(200, body, request.keep_alive)
+
+    async def _admin_reload(self, request: Request) -> bytes:
+        payload = request.json()
+        path = None
+        if isinstance(payload, dict):
+            path = payload.get("path")
+        try:
+            handle = await self.reload(path)
+        except (OSError, ProfitMiningError) as exc:
+            return json_response(
+                500, {"swapped": False, "error": str(exc)}, request.keep_alive
+            )
+        return json_response(
+            200, {"swapped": True, **handle.info()}, request.keep_alive
+        )
+
+    def _healthz(self, request: Request) -> bytes:
+        handle = self._handle
+        body = {
+            "status": "ok",
+            "model": handle.recommender.name,
+            "generation": handle.generation,
+            "uptime_s": round(time.time() - self._started_at, 3),
+        }
+        return json_response(200, body, request.keep_alive)
+
+    def _stats(self, request: Request) -> bytes:
+        trace_dict = self._trace.to_dict()
+        assert self._queue is not None
+        body = {
+            **self._handle.info(),
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "queue_depth": self._queue.qsize(),
+            "counters": dict(self.counters),
+            "trace": {
+                "counters": trace_dict["counters"],
+                "caches": trace_dict["caches"],
+            },
+            "config": {
+                "max_batch_size": self.config.max_batch_size,
+                "max_linger_ms": self.config.max_linger_ms,
+                "trace_sample_period": self.config.trace_sample_period,
+                "poll_interval_s": self.config.poll_interval_s,
+            },
+        }
+        return json_response(200, body, request.keep_alive)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _route(self, request: Request) -> bytes:
+        route = (request.method, request.path)
+        if route == ("POST", "/recommend"):
+            return await self._recommend_single(request)
+        if route == ("POST", "/recommend_batch"):
+            return await self._recommend_batch(request)
+        if route == ("POST", "/admin/reload"):
+            return await self._admin_reload(request)
+        if route == ("GET", "/healthz"):
+            return self._healthz(request)
+        if route == ("GET", "/stats"):
+            return self._stats(request)
+        known_paths = {
+            "/recommend", "/recommend_batch", "/admin/reload", "/healthz",
+            "/stats",
+        }
+        if request.path in known_paths:
+            raise HttpError(405, f"{request.method} not allowed on {request.path}")
+        raise HttpError(404, f"unknown path {request.path}")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    self.counters["errors"] += 1
+                    writer.write(
+                        json_response(
+                            exc.status, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self.counters["requests"] += 1
+                try:
+                    response = await self._route(request)
+                except HttpError as exc:
+                    self.counters["errors"] += 1
+                    response = json_response(
+                        exc.status, {"error": str(exc)}, request.keep_alive
+                    )
+                except (CatalogError, ValidationError) as exc:
+                    # Unknown items / promo codes and other bad basket
+                    # content are the client's data, not a server fault.
+                    self.counters["errors"] += 1
+                    response = json_response(
+                        400, {"error": str(exc)}, request.keep_alive
+                    )
+                except ProfitMiningError as exc:
+                    self.counters["errors"] += 1
+                    response = json_response(
+                        500, {"error": str(exc)}, request.keep_alive
+                    )
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to answer
+        except asyncio.CancelledError:
+            # Daemon shutdown cancels parked keep-alive connections; end
+            # the task cleanly so the streams layer has nothing to log.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+class BackgroundDaemon:
+    """A daemon running on a dedicated event-loop thread.
+
+    The embedding used by the benchmark gate and the integration tests
+    (and handy for notebooks): start, talk to ``http://host:port`` from
+    ordinary blocking clients, stop.  Context-manager form::
+
+        with BackgroundDaemon("model.json") as daemon:
+            requests_go_to(f"http://127.0.0.1:{daemon.port}")
+    """
+
+    def __init__(self, model_path: str, config: ServeConfig | None = None):
+        self.daemon = RecommendDaemon(model_path, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def __enter__(self) -> "BackgroundDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 10.0) -> None:
+        """Spin up the loop thread and block until the socket is bound."""
+        self._loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.daemon.start())
+            self._started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):  # pragma: no cover - defensive
+            raise ProfitMiningError("daemon failed to start in time")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the daemon and join the loop thread."""
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.daemon.stop(), self._loop)
+        future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def reload(self, path: str | None = None, timeout: float = 30.0) -> ModelHandle:
+        """Trigger a hot-swap from the calling thread (blocks until done)."""
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.daemon.reload(path), self._loop
+        )
+        return future.result(timeout)

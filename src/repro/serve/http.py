@@ -1,0 +1,150 @@
+"""Minimal HTTP/1.1 plumbing for the recommendation daemon.
+
+The daemon is dependency-free by design (the serving core must run on a
+bare python install), so instead of pulling in an ASGI stack this module
+implements the narrow slice of HTTP/1.1 the daemon actually speaks:
+request-line + header parsing, ``Content-Length`` bodies, keep-alive
+connections and JSON responses.  It is deliberately not a general web
+server — no chunked encoding, no multipart, no TLS — just enough for
+``POST`` ing JSON baskets and ``GET`` ting health/stats over a loopback
+or load-balancer hop.
+
+The parser is transport-agnostic: :func:`read_request` works on any
+``asyncio.StreamReader`` and :func:`render_response` returns bytes for
+any writer, which is what lets the unit tests drive it with in-memory
+streams and the daemon reuse it per connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_response",
+]
+
+#: Upper bound on header block and body sizes; a basket batch of a few
+#: thousand sales is well under a megabyte, so anything larger is either
+#: a mistake or abuse.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ValidationError):
+    """A malformed or unserviceable request, carrying its response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection stays open after the response."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input so the connection
+    handler can answer with the right status before closing.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise HttpError(400, "malformed request line") from exc
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"unacceptable Content-Length {length}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int, body: bytes, content_type: str, keep_alive: bool
+) -> bytes:
+    """Serialize one response (status line, headers, body) to bytes."""
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int, payload: Any, keep_alive: bool = True
+) -> bytes:
+    """A JSON response with separators tuned for the serving hot path."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return render_response(status, body, "application/json", keep_alive)

@@ -358,3 +358,39 @@ class TestReportCommand:
         assert text.startswith("# Figure 3 reproduction")
         assert "Figure 3(d)" in text
         assert "PROF+MOA" in text
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_knobs(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--model", "model.json",
+                "--port", "0",
+                "--max-batch", "32",
+                "--max-linger-ms", "0.5",
+                "--trace-sample-rate", "0.25",
+                "--poll-interval", "2.0",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.model == "model.json"
+        assert args.max_batch == 32
+        assert args.trace_sample_rate == 0.25
+
+    def test_serve_requires_model(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_bad_sample_rate_reported_not_raised(self, tmp_path, capsys):
+        # Any ProfitMiningError (here: rate out of range) must exit 1
+        # with a message, not a traceback.
+        code = main(
+            [
+                "serve",
+                "--model", str(tmp_path / "missing.json"),
+                "--trace-sample-rate", "7",
+            ]
+        )
+        assert code == 1
+        assert "trace sample rate" in capsys.readouterr().err

@@ -1,0 +1,297 @@
+"""End-to-end daemon test: concurrent traffic across a live hot-swap.
+
+Starts the real asyncio server in-process (``BackgroundDaemon``), fires
+concurrent clients at it — single-basket ``/recommend`` (micro-batched
+server-side) and client-batched ``/recommend_batch`` — swaps to a
+structurally different model mid-traffic via ``POST /admin/reload``, and
+asserts that every response is valid JSON matching either the old
+model's or the new model's output bit-exactly (never a mix within one
+response), while ``/healthz`` answers 200 throughout.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.data.datasets import build_dataset, dataset_i_config
+from repro.data.model_io import load_model, save_model
+from repro.serve import BackgroundDaemon, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    """Two structurally different artifacts plus their expected outputs."""
+    root = tmp_path_factory.mktemp("serve_models")
+    dataset = build_dataset(
+        dataset_i_config(n_transactions=400, n_items=60, seed=3)
+    )
+
+    def fit(min_support: float):
+        return ProfitMiner(
+            dataset.hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=min_support, max_body_size=2)
+            ),
+        ).fit(dataset.db)
+
+    path_a = root / "model_a.json"
+    path_b = root / "model_b.json"
+    save_model(fit(0.02).require_fitted_recommender(), path_a)
+    save_model(fit(0.10).require_fitted_recommender(), path_b)
+
+    baskets = [t.nontarget_sales for t in dataset.db.transactions[:40]]
+    payloads = [
+        [
+            {"item": s.item_id, "promo": s.promo_code, "quantity": s.quantity}
+            for s in basket
+        ]
+        for basket in baskets
+    ]
+    expected_a = [
+        (r.item_id, r.promo_code)
+        for r in load_model(path_a).recommend_many(baskets)
+    ]
+    expected_b = [
+        (r.item_id, r.promo_code)
+        for r in load_model(path_b).recommend_many(baskets)
+    ]
+    # The swap must be observable: the models must disagree somewhere.
+    assert expected_a != expected_b
+    return {
+        "path_a": str(path_a),
+        "path_b": str(path_b),
+        "payloads": payloads,
+        "expected_a": expected_a,
+        "expected_b": expected_b,
+    }
+
+
+def _request(port: int, method: str, path: str, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestHotSwapUnderTraffic:
+    def test_no_failed_or_mixed_responses_during_reload(self, world):
+        payloads = world["payloads"]
+        expected = {1: world["expected_a"]}  # generation -> expected picks
+        config = ServeConfig(port=0, max_batch_size=16, max_linger_ms=0.5)
+        results: list[tuple[str, object]] = []
+        results_lock = threading.Lock()
+        stop = threading.Event()
+
+        def single_worker():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            index = 0
+            try:
+                while not stop.is_set():
+                    idx = index % len(payloads)
+                    index += 1
+                    conn.request(
+                        "POST",
+                        "/recommend",
+                        body=json.dumps({"basket": payloads[idx]}),
+                    )
+                    response = conn.getresponse()
+                    body = json.loads(response.read())
+                    with results_lock:
+                        results.append(("single", (response.status, idx, body)))
+            finally:
+                conn.close()
+
+        def batch_worker():
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                while not stop.is_set():
+                    conn.request(
+                        "POST",
+                        "/recommend_batch",
+                        body=json.dumps({"baskets": payloads}),
+                    )
+                    response = conn.getresponse()
+                    body = json.loads(response.read())
+                    with results_lock:
+                        results.append(("batch", (response.status, body)))
+            finally:
+                conn.close()
+
+        def health_worker():
+            while not stop.is_set():
+                status, body = _request(port, "GET", "/healthz")
+                with results_lock:
+                    results.append(("health", (status, body)))
+                time.sleep(0.01)
+
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            threads = [
+                threading.Thread(target=single_worker),
+                threading.Thread(target=single_worker),
+                threading.Thread(target=batch_worker),
+                threading.Thread(target=health_worker),
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                time.sleep(0.4)  # traffic against the old model
+                status, body = _request(
+                    port, "POST", "/admin/reload", {"path": world["path_b"]}
+                )
+                assert status == 200 and body["swapped"] is True
+                expected[body["generation"]] = world["expected_b"]
+                time.sleep(0.4)  # traffic against the new model
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+
+        generations_seen = set()
+        singles = batches = healths = 0
+        for kind, entry in results:
+            if kind == "health":
+                status, body = entry
+                assert status == 200 and body["status"] == "ok"
+                healths += 1
+                continue
+            if kind == "single":
+                status, idx, body = entry
+                assert status == 200
+                generation = body["generation"]
+                generations_seen.add(generation)
+                # Bit-exact match against exactly the generation's model.
+                assert (body["item"], body["promo"]) == expected[generation][idx]
+                singles += 1
+            else:
+                status, body = entry
+                assert status == 200
+                generation = body["generation"]
+                generations_seen.add(generation)
+                got = [
+                    (r["item"], r["promo"]) for r in body["recommendations"]
+                ]
+                # The whole batch is served by one model — never a mix.
+                assert got == expected[generation]
+                batches += 1
+        assert singles > 0 and batches > 0 and healths > 0
+        # The swap actually happened mid-traffic: both models answered.
+        assert generations_seen == {1, 2}
+
+    def test_reload_failure_keeps_old_model_serving(self, world, tmp_path):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(
+                port, "POST", "/admin/reload", {"path": "/nonexistent.json"}
+            )
+            assert status == 500 and body["swapped"] is False
+
+            garbage = tmp_path / "garbage.json"
+            garbage.write_text("{truncated", encoding="utf-8")
+            status, body = _request(
+                port, "POST", "/admin/reload", {"path": str(garbage)}
+            )
+            assert status == 500 and body["swapped"] is False
+
+            status, body = _request(port, "GET", "/healthz")
+            assert status == 200 and body["generation"] == 1
+            status, body = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200
+            assert (body["item"], body["promo"]) == world["expected_a"][0]
+
+
+class TestMtimePollingSwap:
+    def test_artifact_overwrite_triggers_hot_swap(self, world, tmp_path):
+        serving_path = tmp_path / "serving.json"
+        serving_path.write_bytes(
+            open(world["path_a"], "rb").read()
+        )
+        config = ServeConfig(port=0, poll_interval_s=0.05)
+        with BackgroundDaemon(str(serving_path), config) as daemon:
+            port = daemon.port
+            status, body = _request(port, "GET", "/healthz")
+            assert status == 200 and body["generation"] == 1
+            # Atomically publish model B over the watched path, exactly
+            # as a production re-fit would (save_model is temp+replace).
+            save_model(load_model(world["path_b"]), serving_path)
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                status, body = _request(port, "GET", "/healthz")
+                assert status == 200
+                if body["generation"] >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("mtime poller never hot-swapped the new artifact")
+            status, body = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200
+            assert (body["item"], body["promo"]) == world["expected_b"][0]
+
+
+class TestStatsEndpoint:
+    def test_stats_exposes_counters_and_sampled_trace(self, world):
+        config = ServeConfig(port=0, trace_sample_period=1)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            for payload in world["payloads"][:5]:
+                status, _ = _request(
+                    port, "POST", "/recommend", {"basket": payload}
+                )
+                assert status == 200
+            status, _ = _request(
+                port,
+                "POST",
+                "/recommend_batch",
+                {"baskets": world["payloads"][:10]},
+            )
+            assert status == 200
+            status, stats = _request(port, "GET", "/stats")
+        assert status == 200
+        counters = stats["counters"]
+        assert counters["recommend_requests"] == 5
+        assert counters["batch_requests"] == 1
+        assert counters["baskets_served"] == 15
+        assert counters["errors"] == 0
+        # Every serve call was sampled, so the obs-layer counters and the
+        # basket-memo telemetry surface in the merged trace.
+        assert stats["trace"]["counters"]["serve.baskets"] == 15
+        assert "serve.basket_memo" in stats["trace"]["caches"]
+        assert stats["n_rules"] > 0
+        assert stats["config"]["trace_sample_period"] == 1
+
+    def test_unknown_path_and_bad_body_are_counted_errors(self, world):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, _ = _request(port, "GET", "/nope")
+            assert status == 404
+            status, _ = _request(port, "POST", "/recommend", {"nonsense": 1})
+            assert status == 400
+            status, _ = _request(port, "GET", "/recommend")
+            assert status == 405
+            status, body = _request(
+                port,
+                "POST",
+                "/recommend",
+                {"basket": [{"item": "NoSuchItem", "promo": "P1"}]},
+            )
+            assert status == 400 and "NoSuchItem" in body["error"]
+            status, stats = _request(port, "GET", "/stats")
+        assert status == 200
+        assert stats["counters"]["errors"] == 4

@@ -178,3 +178,52 @@ class TestFailureInjection:
         path.write_text(json.dumps(payload))
         with pytest.raises(SerializationError):
             load_model(path)
+
+
+class TestAtomicSave:
+    """``save_model`` must never leave a truncated artifact behind.
+
+    Regression for the long-lived-serving defect where a crash mid
+    ``write_text`` left garbage a hot-swap watcher would load or die on:
+    serialization now goes to a same-directory temp file that is
+    ``os.replace``d over the target only once complete.
+    """
+
+    def test_failure_mid_serialization_keeps_old_artifact(
+        self, fitted, tmp_path, monkeypatch
+    ):
+        import repro.data.model_io as model_io
+
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        before = path.read_text(encoding="utf-8")
+
+        def exploding_dump(payload, handle, **kwargs):
+            handle.write('{"format": "truncated gar')  # partial bytes land
+            raise RuntimeError("disk full mid-serialization")
+
+        monkeypatch.setattr(model_io.json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_model(fitted.require_fitted_recommender(), path)
+        # The pre-existing artifact is byte-identical and still loads.
+        assert path.read_text(encoding="utf-8") == before
+        assert load_model(path).model_size > 0
+
+    def test_failure_leaves_no_temp_files(self, fitted, tmp_path, monkeypatch):
+        import repro.data.model_io as model_io
+
+        path = tmp_path / "model.json"
+
+        def exploding_dump(payload, handle, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(model_io.json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError):
+            save_model(fitted.require_fitted_recommender(), path)
+        assert list(tmp_path.iterdir()) == []  # no artifact, no temp debris
+
+    def test_successful_save_leaves_only_the_artifact(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+        assert load_model(path).model_size > 0

@@ -128,3 +128,101 @@ class TestIntrospection:
         text = recommender.explain([Sale("Perfume", "P1")])
         assert "Perfume" in text
         assert "selected rule" in text
+
+
+class TestBasketMemoLRU:
+    """The serving memo evicts one LRU entry, never the whole dict.
+
+    Regression for the long-lived-serving defect where hitting
+    ``_MEMO_LIMIT`` wholesale-cleared the memo, cold-starting every
+    basket's match at once under sustained traffic.
+    """
+
+    def test_lru_evicts_single_coldest_entry(self, recommender, monkeypatch):
+        monkeypatch.setattr(MPFRecommender, "_MEMO_LIMIT", 2)
+        basket_a = [Sale("Perfume", "P1")]
+        basket_b = [Sale("Bread", "P1")]
+        basket_c = [Sale("Bread", "P2")]
+        (rec_a,) = recommender.recommend_many([basket_a])
+        (rec_b,) = recommender.recommend_many([basket_b])
+        # Touch A so B becomes the least recently used entry.
+        (hit_a,) = recommender.recommend_many([basket_a])
+        assert hit_a is rec_a
+        # Inserting C at the limit evicts exactly B; A survives.
+        recommender.recommend_many([basket_c])
+        assert len(recommender._batch_memo) == 2
+        (survivor_a,) = recommender.recommend_many([basket_a])
+        assert survivor_a is rec_a  # same object: memo entry survived
+        (refetched_b,) = recommender.recommend_many([basket_b])
+        assert refetched_b is not rec_b  # B was evicted and re-matched
+
+    def test_eviction_traced_not_cleared(self, recommender, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setattr(MPFRecommender, "_MEMO_LIMIT", 1)
+        baskets = [
+            [Sale("Perfume", "P1")],
+            [Sale("Bread", "P1")],
+            [Sale("Bread", "P2")],
+        ]
+        with obs.tracing("serve") as trace:
+            recommender.recommend_many(baskets)
+        stats = trace.caches["serve.basket_memo"]
+        assert stats["evictions"] == 2
+        assert "clears" not in stats
+        assert stats["entries"] == 1
+
+
+class TestSingleCallTelemetryParity:
+    """``recommend(b)`` must count and memoize like ``recommend_many([b])``.
+
+    Regression for daemon metrics undercounting (and re-matching) when
+    traffic arrives one basket at a time: the single-call path now routes
+    through the batch memo/counter path.
+    """
+
+    def _fresh_recommender(self, small_db, small_catalog, small_hierarchy):
+        from repro.core.moa import MOAHierarchy
+
+        # A fresh MOA instance means a fresh symbol table, so the two
+        # recommenders under comparison share no serving caches.
+        moa = MOAHierarchy(catalog=small_catalog, hierarchy=small_hierarchy)
+        result = mine_rules(
+            small_db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, max_body_size=2),
+        )
+        return MPFRecommender(result.all_rules, moa)
+
+    def test_traced_counts_identical(
+        self, small_db, small_catalog, small_hierarchy
+    ):
+        from repro import obs
+
+        basket = [Sale("Perfume", "P1")]
+        single = self._fresh_recommender(
+            small_db, small_catalog, small_hierarchy
+        )
+        batch = self._fresh_recommender(
+            small_db, small_catalog, small_hierarchy
+        )
+        with obs.tracing("single") as trace_single:
+            rec_single = single.recommend(basket)
+        with obs.tracing("batch") as trace_batch:
+            (rec_batch,) = batch.recommend_many([basket])
+        assert (rec_single.item_id, rec_single.promo_code) == (
+            rec_batch.item_id,
+            rec_batch.promo_code,
+        )
+        assert trace_single.counters == trace_batch.counters
+        assert trace_single.caches == trace_batch.caches
+        assert trace_single.counters["serve.baskets"] == 1
+
+    def test_single_calls_populate_the_batch_memo(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        first = recommender.recommend(basket)
+        second = recommender.recommend(basket)
+        assert second is first  # served from the shared memo
+        (from_batch,) = recommender.recommend_many([basket])
+        assert from_batch is first

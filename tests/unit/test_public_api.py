@@ -67,6 +67,9 @@ MODULES = [
     "repro.eval.stats",
     "repro.obs",
     "repro.obs.trace",
+    "repro.serve",
+    "repro.serve.daemon",
+    "repro.serve.http",
     "repro.whatif",
 ]
 

@@ -137,10 +137,14 @@ class TestRecommendMany:
         )
         assert a is b
 
-    def test_memo_clears_at_limit(self, recommender, monkeypatch):
+    def test_memo_lru_bounded_at_limit(self, recommender, monkeypatch):
         monkeypatch.setattr(MPFRecommender, "_MEMO_LIMIT", 1)
         recommender.recommend_many(BASKETS)
         assert len(recommender._batch_memo) <= 1
+        # The surviving entry is the most recently served basket, not an
+        # empty dict left by a wholesale clear.
+        survivor = next(iter(recommender._batch_memo))
+        assert survivor == basket_key(BASKETS[-1])
 
     def test_empty_batch(self, recommender):
         assert recommender.recommend_many([]) == []

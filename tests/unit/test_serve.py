@@ -1,0 +1,197 @@
+"""Unit tests for the serving daemon's pure pieces (HTTP, config, parsing)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import ServeConfig, trace_sample_period
+from repro.serve.daemon import _parse_basket, _parse_sale
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse_bytes(raw: bytes) -> Request | None:
+    """Drive :func:`read_request` over an in-memory stream."""
+
+    async def run() -> Request | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_parses_post_with_body(self):
+        body = b'{"basket": []}'
+        raw = (
+            b"POST /recommend HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse_bytes(raw)
+        assert request is not None
+        assert request.method == "POST"
+        assert request.path == "/recommend"
+        assert request.headers["content-type"] == "application/json"
+        assert request.body == body
+        assert request.json() == {"basket": []}
+        assert request.keep_alive
+
+    def test_get_without_body(self):
+        request = parse_bytes(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request is not None
+        assert (request.method, request.path) == ("GET", "/healthz")
+        assert request.body == b""
+        assert request.json() == {}
+
+    def test_connection_close_header(self):
+        request = parse_bytes(
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert request is not None
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse_bytes(b"") is None
+
+    def test_truncated_head_raises_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(b"GET /healthz HTT")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_raises_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_raises_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: pony\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_raises_413(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(raw)
+        assert excinfo.value.status == 413
+
+    def test_truncated_body_raises_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(raw)
+        assert excinfo.value.status == 400
+
+    def test_body_not_json_raises_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+        request = parse_bytes(raw)
+        assert request is not None
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_render_response_frames_body(self):
+        raw = render_response(200, b"hi", "text/plain", keep_alive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"hi"
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 2" in head
+        assert b"Connection: keep-alive" in head
+
+    def test_json_response_round_trips(self):
+        raw = json_response(503, {"status": "down"}, keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"503 Service Unavailable" in head
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"status": "down"}
+
+
+class TestServeConfig:
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.max_batch_size >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_linger_ms": -1.0},
+            {"trace_sample_period": -1},
+            {"poll_interval_s": -0.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValidationError):
+            ServeConfig(**kwargs)
+
+
+class TestTraceSamplePeriod:
+    def test_zero_disables(self):
+        assert trace_sample_period(0.0) == 0
+
+    def test_one_traces_everything(self):
+        assert trace_sample_period(1.0) == 1
+
+    def test_fraction_becomes_stride(self):
+        assert trace_sample_period(0.5) == 2
+        assert trace_sample_period(0.1) == 10
+        assert trace_sample_period(0.001) == 1000
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_out_of_range_rejected(self, rate):
+        with pytest.raises(ValidationError):
+            trace_sample_period(rate)
+
+
+class TestBasketParsing:
+    def test_parses_sales_with_aliases_and_default_quantity(self):
+        sales = _parse_basket(
+            [
+                {"item": "Bread", "promo": "P1"},
+                {"item_id": "Perfume", "promo_code": "P1", "quantity": 2},
+            ]
+        )
+        assert [(s.item_id, s.promo_code, s.quantity) for s in sales] == [
+            ("Bread", "P1", 1.0),
+            ("Perfume", "P1", 2.0),
+        ]
+
+    def test_empty_basket_allowed(self):
+        assert _parse_basket([]) == []
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            "not-a-dict",
+            {"promo": "P1"},
+            {"item": "Bread"},
+            {"item": 7, "promo": "P1"},
+            {"item": "Bread", "promo": "P1", "quantity": "many"},
+            {"item": "Bread", "promo": "P1", "quantity": True},
+            {"item": "Bread", "promo": "P1", "quantity": -1},
+            {"item": "", "promo": "P1"},
+        ],
+    )
+    def test_malformed_sale_raises_400(self, entry):
+        with pytest.raises(HttpError) as excinfo:
+            _parse_sale(entry)
+        assert excinfo.value.status == 400
+
+    def test_basket_must_be_list(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse_basket({"item": "Bread"})
+        assert excinfo.value.status == 400
