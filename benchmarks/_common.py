@@ -15,12 +15,15 @@ sweep reuse it through the process-level cache in
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 from typing import Any, Callable
 
 from repro.eval.experiments import ExperimentScale, scale_from_env
 
-__all__ = ["bench_scale", "run_once", "print_panel"]
+__all__ = ["bench_scale", "run_once", "print_panel", "run_isolated"]
 
 #: Paper-quoted reference points, used in the printed comparison.
 PAPER_NOTES = {
@@ -47,6 +50,37 @@ def bench_scale() -> ExperimentScale:
 def run_once(benchmark: Any, fn: Callable[[], Any]) -> Any:
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_isolated(
+    snippet: str, env: dict[str, str] | None = None, timeout: float = 3600.0
+) -> dict:
+    """Run ``snippet`` in a fresh Python subprocess; return its JSON result.
+
+    The snippet must print one JSON object as its *last* stdout line
+    (typically including its own ``resource.getrusage`` peak RSS).
+    Memory-bounded benchmarks need this isolation: ``ru_maxrss`` is the
+    process-*lifetime* peak, so a bounded-memory claim measured in the
+    long-lived pytest process would inherit every earlier test's
+    high-water mark.
+    """
+    proc_env = dict(os.environ)
+    if env:
+        proc_env.update(env)
+    completed = subprocess.run(
+        [sys.executable, "-c", snippet],
+        env=proc_env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"isolated benchmark subprocess failed "
+            f"(exit {completed.returncode}):\n{completed.stderr}"
+        )
+    last_line = completed.stdout.strip().splitlines()[-1]
+    return json.loads(last_line)
 
 
 def print_panel(panel: str, body: str) -> None:

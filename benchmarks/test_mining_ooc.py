@@ -1,0 +1,344 @@
+"""Out-of-core mining benchmarks: SON partitioned backend gates.
+
+Three gates for ``MinerConfig(backend="ooc")`` (``repro.core.partition``
+over ``repro.core.engine.store``):
+
+1. **Parity** — on a ~100k-transaction workload the out-of-core mine
+   (including spilling the store to disk) finishes within
+   ``OOC_OVERHEAD_CEILING``× the dense in-RAM mine (including its index
+   build), and the two :class:`~repro.core.mining.MiningResult`\\ s are
+   bit-identical.
+2. **Bounded memory** — a multi-million-transaction database is
+   generated *streamed* into a store and mined in a fresh subprocess
+   under a fixed ``max_resident_mb`` budget; the subprocess's peak RSS
+   (``ru_maxrss``) must stay under ``REPRO_BENCH_OOC_RSS_MB``, and the
+   peak *beyond the returned result's own tid-masks* under
+   ``REPRO_BENCH_OOC_OVERHEAD_MB``.  The second bound is the sharper
+   claim: a ``MiningResult`` carries one n-bit mask per emitted body —
+   Θ(rules × n), ~0.9 GB at 1M transactions — which every backend's
+   *output* costs, so the gate pins what the out-of-core path actually
+   controls: working memory on top of that output stays flat (store
+   resident budget + bounded counting batches).  The subprocess
+   isolation matters: ``ru_maxrss`` is process-lifetime peak (see
+   :func:`benchmarks._common.run_isolated`).
+3. **Incremental refresh** — appending +10% new transactions and
+   refreshing (:func:`~repro.core.partition.refresh_store`) is at least
+   ``REFRESH_SPEEDUP_FLOOR``× faster than re-ingesting and re-mining the
+   grown database from scratch, with identical results.
+
+Scale knobs (the CI perf-smoke job runs reduced):
+
+* ``REPRO_BENCH_OOC_TXNS`` — parity/refresh workload (default 100 000),
+* ``REPRO_BENCH_OOC_LARGE_TXNS`` — bounded-memory workload
+  (default 1 000 000),
+* ``REPRO_BENCH_OOC_RESIDENT_MB`` — store resident budget (default 64),
+* ``REPRO_BENCH_OOC_RSS_MB`` — subprocess peak-RSS ceiling (default 1536),
+* ``REPRO_BENCH_OOC_OVERHEAD_MB`` — ceiling on peak RSS *minus* the
+  result's tid-mask bytes (default 512),
+* ``REPRO_BENCH_OOC_JSON`` — report path (default ``BENCH_mining_ooc.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks._common import run_isolated
+from repro.core.engine.kernel import HAVE_NUMPY
+from repro.core.engine.store import ChunkedTransactionStore
+from repro.core.mining import MinerConfig, mine_rules
+from repro.core.moa import MOAHierarchy
+from repro.core.partition import mine_store, refresh_store
+from repro.core.profit import SavingMOA
+from repro.data.datasets import build_dataset, dataset_i_config
+
+N_TRANSACTIONS = int(os.environ.get("REPRO_BENCH_OOC_TXNS", "100000"))
+N_LARGE = int(os.environ.get("REPRO_BENCH_OOC_LARGE_TXNS", "1000000"))
+RESIDENT_MB = float(os.environ.get("REPRO_BENCH_OOC_RESIDENT_MB", "64"))
+RSS_CEILING_MB = float(os.environ.get("REPRO_BENCH_OOC_RSS_MB", "1536"))
+OVERHEAD_CEILING_MB = float(os.environ.get("REPRO_BENCH_OOC_OVERHEAD_MB", "512"))
+N_ITEMS = 150
+SEED = 13
+MINSUP = 0.005
+BODY = 2
+PARTITION_SIZE = 16_384
+OOC_OVERHEAD_CEILING = 1.5
+REFRESH_SPEEDUP_FLOOR = 3.0
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the out-of-core backend needs numpy"
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # +10% extra transactions for the refresh gate, drawn from the same
+    # generator stream so the grown database is one coherent dataset.
+    dataset = build_dataset(
+        dataset_i_config(
+            n_transactions=N_TRANSACTIONS + N_TRANSACTIONS // 10,
+            n_items=N_ITEMS,
+            seed=SEED,
+        )
+    )
+    moa = MOAHierarchy(
+        catalog=dataset.db.catalog,
+        hierarchy=dataset.hierarchy,
+        use_moa=True,
+    )
+    return dataset.db, moa, SavingMOA()
+
+
+def _config(backend: str) -> MinerConfig:
+    return MinerConfig(
+        min_support=MINSUP,
+        max_body_size=BODY,
+        backend=backend,
+        partition_size=PARTITION_SIZE,
+    )
+
+
+def _result_signature(result):
+    """Everything a MiningResult asserts equality on, bit-for-bit."""
+    return (
+        [
+            (
+                scored.rule.order,
+                tuple(sorted(g.describe() for g in scored.rule.body)),
+                scored.rule.head.describe(),
+                scored.stats.n_matched,
+                scored.stats.n_hits,
+                scored.stats.rule_profit,
+            )
+            for scored in result.all_rules
+        ],
+        result.body_tid_masks,
+        result.body_ids_by_order,
+        result.frequent_body_count,
+        result.minsup_count,
+    )
+
+
+def _bench_json_path() -> str:
+    return os.environ.get("REPRO_BENCH_OOC_JSON", "BENCH_mining_ooc.json")
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.setdefault("mining_ooc", {})[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+def test_perf_ooc_parity_with_dense(workload):
+    """Gate 1: ooc ≡ dense bit-for-bit, within the wall-clock ceiling."""
+    db, moa, profit_model = workload
+    base = db.subset(range(N_TRANSACTIONS))
+
+    started = time.perf_counter()
+    dense = mine_rules(base, moa, profit_model, _config("dense"))
+    dense_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    ooc = mine_rules(base, moa, profit_model, _config("ooc"))
+    ooc_s = time.perf_counter() - started
+
+    assert _result_signature(ooc) == _result_signature(dense)
+    ratio = ooc_s / dense_s
+    _merge_report(
+        "parity",
+        {
+            "n_transactions": N_TRANSACTIONS,
+            "n_rules": len(dense.all_rules),
+            "dense_s": dense_s,
+            "ooc_s": ooc_s,
+            "ratio": ratio,
+            "ceiling": OOC_OVERHEAD_CEILING,
+            "identical_results": True,
+        },
+    )
+    print(
+        f"\nooc parity over {N_TRANSACTIONS} transactions "
+        f"({len(dense.all_rules)} rules): dense {dense_s:.2f}s, "
+        f"ooc {ooc_s:.2f}s -> {ratio:.2f}x "
+        f"(ceiling {OOC_OVERHEAD_CEILING}x), results identical"
+    )
+    assert ratio <= OOC_OVERHEAD_CEILING, (
+        f"out-of-core mine {ratio:.2f}x over dense, above the "
+        f"{OOC_OVERHEAD_CEILING}x ceiling"
+    )
+
+
+def test_perf_ooc_refresh_speedup(workload, tmp_path):
+    """Gate 3: +10% refresh beats the from-scratch re-mine ≥ the floor."""
+    db, moa, profit_model = workload
+    transactions = list(db)
+    base, extra = transactions[:N_TRANSACTIONS], transactions[N_TRANSACTIONS:]
+    config = _config("ooc")
+
+    store = ChunkedTransactionStore.build(
+        tmp_path / "grow",
+        base,
+        moa,
+        profit_model,
+        partition_size=PARTITION_SIZE,
+    )
+    mine_store(store, config)
+
+    started = time.perf_counter()
+    refreshed = refresh_store(store, extra, config)
+    refresh_s = time.perf_counter() - started
+
+    # The from-scratch baseline pays what a user without refresh pays:
+    # re-ingesting the grown database and mining it in full.
+    started = time.perf_counter()
+    full_store = ChunkedTransactionStore.build(
+        tmp_path / "full",
+        transactions,
+        moa,
+        profit_model,
+        partition_size=PARTITION_SIZE,
+    )
+    full = mine_store(full_store, config)
+    remine_s = time.perf_counter() - started
+
+    assert _result_signature(refreshed) == _result_signature(full)
+    speedup = remine_s / refresh_s
+    _merge_report(
+        "refresh",
+        {
+            "n_base": len(base),
+            "n_appended": len(extra),
+            "refresh_s": refresh_s,
+            "remine_s": remine_s,
+            "speedup": speedup,
+            "floor": REFRESH_SPEEDUP_FLOOR,
+            "identical_results": True,
+        },
+    )
+    print(
+        f"\nrefresh +{len(extra)} transactions onto {len(base)}: "
+        f"refresh {refresh_s:.2f}s vs re-mine {remine_s:.2f}s -> "
+        f"{speedup:.2f}x (floor {REFRESH_SPEEDUP_FLOOR}x), "
+        f"results identical"
+    )
+    assert speedup >= REFRESH_SPEEDUP_FLOOR, (
+        f"refresh only {speedup:.2f}x faster than re-mining, below the "
+        f"{REFRESH_SPEEDUP_FLOOR}x floor"
+    )
+
+
+_LARGE_SNIPPET = """
+import json, os, resource, sys, tempfile, time
+
+from repro.core.engine.store import ChunkedTransactionStore
+from repro.core.mining import MinerConfig
+from repro.core.moa import MOAHierarchy
+from repro.core.partition import mine_store
+from repro.core.profit import SavingMOA
+from repro.data.datasets import (
+    dataset_catalog,
+    dataset_hierarchy,
+    dataset_i_config,
+    iter_dataset_transactions,
+)
+
+n = int(os.environ["OOC_BENCH_N"])
+resident_mb = float(os.environ["OOC_BENCH_RESIDENT_MB"])
+root = os.environ["OOC_BENCH_ROOT"]
+
+config = dataset_i_config(n_transactions=n, n_items=150, seed=13)
+catalog = dataset_catalog(config)
+moa = MOAHierarchy(
+    catalog=catalog, hierarchy=dataset_hierarchy(config, catalog), use_moa=True
+)
+
+t0 = time.perf_counter()
+store = ChunkedTransactionStore.build(
+    root,
+    iter_dataset_transactions(config, catalog),
+    moa,
+    SavingMOA(),
+    partition_size=65536,
+    max_resident_mb=resident_mb,
+)
+build_s = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+result = mine_store(
+    store, MinerConfig(min_support=0.005, max_body_size=2, backend="ooc")
+)
+mine_s = time.perf_counter() - t0
+
+stats = store.stats()
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+# The result carries one n-bit tid-mask per distinct emitted body (the
+# masks are shared objects, so dedupe by identity before sizing them).
+n_distinct_masks = len({id(m) for m in result.body_tid_masks.values()})
+mask_bytes = n_distinct_masks * ((store.n + 7) // 8)
+print(json.dumps({
+    "n_transactions": store.n,
+    "n_partitions": stats["n_partitions"],
+    "spilled_bytes": stats["spilled_bytes"],
+    "resident_bytes": stats["resident_bytes"],
+    "resident_budget_bytes": stats["resident_budget_bytes"],
+    "n_rules": len(result.all_rules),
+    "n_distinct_masks": n_distinct_masks,
+    "result_masks_mb": mask_bytes / (1024.0 * 1024.0),
+    "build_s": build_s,
+    "mine_s": mine_s,
+    "peak_rss_mb": peak_kb / 1024.0,
+}))
+"""
+
+
+def test_perf_ooc_bounded_memory(tmp_path):
+    """Gate 2: a multi-million-transaction mine stays under the RSS cap."""
+    outcome = run_isolated(
+        _LARGE_SNIPPET,
+        env={
+            "OOC_BENCH_N": str(N_LARGE),
+            "OOC_BENCH_RESIDENT_MB": str(RESIDENT_MB),
+            "OOC_BENCH_ROOT": str(tmp_path / "large"),
+        },
+    )
+    overhead_mb = outcome["peak_rss_mb"] - outcome["result_masks_mb"]
+    _merge_report(
+        "bounded_memory",
+        {
+            **outcome,
+            "overhead_mb": overhead_mb,
+            "overhead_ceiling_mb": OVERHEAD_CEILING_MB,
+            "rss_ceiling_mb": RSS_CEILING_MB,
+            "resident_budget_mb": RESIDENT_MB,
+        },
+    )
+    print(
+        f"\nout-of-core mine over {outcome['n_transactions']} transactions "
+        f"({outcome['n_partitions']} partitions, "
+        f"{outcome['spilled_bytes']} bytes spilled, "
+        f"{outcome['n_rules']} rules): build {outcome['build_s']:.1f}s, "
+        f"mine {outcome['mine_s']:.1f}s, peak RSS "
+        f"{outcome['peak_rss_mb']:.0f} MB (ceiling {RSS_CEILING_MB:.0f} MB), "
+        f"of which {outcome['result_masks_mb']:.0f} MB is the result's "
+        f"{outcome['n_distinct_masks']} tid-masks -> "
+        f"{overhead_mb:.0f} MB overhead (ceiling {OVERHEAD_CEILING_MB:.0f} MB)"
+    )
+    assert outcome["n_transactions"] == N_LARGE
+    assert outcome["resident_bytes"] <= outcome["resident_budget_bytes"]
+    assert outcome["peak_rss_mb"] <= RSS_CEILING_MB, (
+        f"peak RSS {outcome['peak_rss_mb']:.0f} MB exceeds the "
+        f"{RSS_CEILING_MB:.0f} MB ceiling"
+    )
+    assert overhead_mb <= OVERHEAD_CEILING_MB, (
+        f"peak RSS beyond the result's own tid-masks is "
+        f"{overhead_mb:.0f} MB, above the {OVERHEAD_CEILING_MB:.0f} MB "
+        f"ceiling — working memory is no longer bounded"
+    )

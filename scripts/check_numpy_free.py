@@ -12,6 +12,8 @@ even on machines that have them installed), then:
   fall back to big-int) and on an explicit ``backend="bigint"``,
   asserting identical non-empty rule sets,
 * checks an explicit ``backend="dense"`` fails loudly,
+* checks the out-of-core ``backend="ooc"`` fails just as loudly (its
+  memmapped store is the dense kernel's representation on disk),
 * serves recommendations for every training basket through the compiled
   inverted index.
 
@@ -119,6 +121,18 @@ def main() -> None:
         assert "numpy" in str(error)
     else:
         raise AssertionError("backend='dense' without numpy must raise")
+
+    try:
+        mine_rules(
+            db,
+            moa,
+            SavingMOA(),
+            MinerConfig(min_support=0.05, backend="ooc"),
+        )
+    except MiningError as error:
+        assert "numpy" in str(error)
+    else:
+        raise AssertionError("backend='ooc' without numpy must raise")
 
     recommender = MPFRecommender(auto.all_rules, moa)
     served = sum(

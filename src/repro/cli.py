@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--items", type=int, default=300)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output JSON-lines path")
+    gen.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream transactions to disk one at a time instead of "
+        "materializing the dataset in RAM first (byte-identical output; "
+        "use for multi-million-transaction files)",
+    )
 
     fit = sub.add_parser("fit", help="fit the cut-optimal recommender on a file")
     fit.add_argument("--data", required=True, help="JSON-lines transactions")
@@ -81,7 +88,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist the fitted recommender as JSON",
     )
+    _add_store_arguments(fit)
     _add_trace_argument(fit)
+
+    refresh = sub.add_parser(
+        "refresh",
+        help="append new transactions to an out-of-core store and refit "
+        "incrementally (SON refresh; identical to re-fitting from scratch)",
+    )
+    refresh.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="store directory from a previous 'fit --backend ooc --store'",
+    )
+    refresh.add_argument(
+        "--data", required=True, help="JSON-lines file of NEW transactions"
+    )
+    refresh.add_argument("--min-support", type=float, default=0.01)
+    refresh.add_argument("--max-body-size", type=int, default=2)
+    refresh.add_argument("--no-moa", action="store_true", help="disable MOA")
+    refresh.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for per-partition local mining "
+        "(default: $REPRO_JOBS or 1; results are identical at any setting)",
+    )
+    refresh.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="resident-partition budget while counting (default 256)",
+    )
+    refresh.add_argument(
+        "--save-model",
+        default=None,
+        metavar="PATH",
+        help="persist the refreshed recommender as JSON",
+    )
+    _add_trace_argument(refresh)
 
     export = sub.add_parser(
         "export", help="export the rules of a fitted or saved model as CSV"
@@ -269,6 +317,33 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="with --backend ooc: persist the partitioned transaction "
+        "store here (reusable by 'refresh'); default is a temporary "
+        "directory discarded after the fit",
+    )
+    parser.add_argument(
+        "--partition-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --backend ooc: transactions per store partition "
+        "(default 65536)",
+    )
+    parser.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="with --backend ooc: resident-partition budget; partitions "
+        "above it are LRU-evicted back to disk (default 256)",
+    )
+
+
 def _resolve_scale(label: str | None) -> ExperimentScale:
     if label is None:
         return scale_from_env()
@@ -287,13 +362,24 @@ def _resolve_jobs(args: argparse.Namespace) -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     config_fn = dataset_i_config if args.dataset == "I" else dataset_ii_config
-    dataset = build_dataset(
-        config_fn(
-            n_transactions=args.transactions,
-            n_items=args.items,
-            seed=args.seed,
-        )
+    config = config_fn(
+        n_transactions=args.transactions,
+        n_items=args.items,
+        seed=args.seed,
     )
+    if args.stream:
+        from repro.data.datasets import dataset_catalog, iter_dataset_transactions
+        from repro.data.io import write_transactions_stream
+
+        catalog = dataset_catalog(config)
+        n = write_transactions_stream(
+            args.out, catalog, iter_dataset_transactions(config, catalog)
+        )
+        print(
+            f"streamed {n} transactions over {len(catalog)} items to {args.out}"
+        )
+        return 0
+    dataset = build_dataset(config)
     save_transactions(dataset.db, args.out)
     print(
         f"wrote {len(dataset.db)} transactions over "
@@ -302,37 +388,137 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fit(args: argparse.Namespace) -> int:
-    db = load_transactions(args.data)
-    hierarchy = grouped_hierarchy(db.catalog)
-    miner = ProfitMiner(
+def _miner_for(args: argparse.Namespace, hierarchy) -> ProfitMiner:
+    return ProfitMiner(
         hierarchy,
         config=ProfitMinerConfig(
             mining=MinerConfig(
                 min_support=args.min_support,
                 max_body_size=args.max_body_size,
-                backend=args.backend,
+                backend=getattr(args, "backend", "ooc"),
                 n_jobs=args.jobs,
+                partition_size=getattr(args, "partition_size", None),
+                max_resident_mb=getattr(args, "max_resident_mb", None),
             ),
             use_moa=not args.no_moa,
         ),
-    ).fit(db)
-    print(miner.summary())
-    recommendations = miner.recommend_many(
-        [t.nontarget_sales for t in db.transactions]
     )
+
+
+def _print_streamed_mix(miner: ProfitMiner, transactions) -> None:
+    """Batch-serve ``transactions`` in bounded chunks; print the top mix."""
     mix: dict[tuple[str, str], int] = {}
-    for rec in recommendations:
-        pair = (rec.item_id, rec.promo_code)
-        mix[pair] = mix.get(pair, 0) + 1
+    total = 0
+    batch: list = []
+
+    def flush() -> None:
+        nonlocal total
+        for rec in miner.recommend_many(batch):
+            pair = (rec.item_id, rec.promo_code)
+            mix[pair] = mix.get(pair, 0) + 1
+        total += len(batch)
+        batch.clear()
+
+    for transaction in transactions:
+        batch.append(transaction.nontarget_sales)
+        if len(batch) >= 4096:
+            flush()
+    if batch:
+        flush()
     top = ", ".join(
         f"{item}@{promo} x{count}"
         for (item, promo), count in sorted(mix.items(), key=lambda kv: -kv[1])[:3]
     )
-    print(f"recommendation mix over {len(recommendations)} baskets: {top}")
-    for transaction in db.transactions[: args.explain]:
-        print()
-        print(miner.explain(transaction.nontarget_sales))
+    print(f"recommendation mix over {total} baskets: {top}")
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.data.io import iter_transactions, read_catalog
+
+    if args.backend == "ooc":
+        # True out-of-core path: the transaction file is streamed into the
+        # partitioned store; only the catalog header is read up front.
+        import tempfile
+
+        from repro.core.engine.store import (
+            DEFAULT_PARTITION_SIZE,
+            ChunkedTransactionStore,
+        )
+        from repro.core.moa import MOAHierarchy
+
+        catalog = read_catalog(args.data)
+        catalog.validate_for_mining()
+        hierarchy = grouped_hierarchy(catalog)
+        miner = _miner_for(args, hierarchy)
+        moa = MOAHierarchy(
+            catalog=catalog, hierarchy=hierarchy, use_moa=not args.no_moa
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-ooc-") as tmp:
+            root = args.store or tmp
+            store = ChunkedTransactionStore.build(
+                root,
+                iter_transactions(args.data),
+                moa,
+                miner.profit_model,
+                partition_size=args.partition_size or DEFAULT_PARTITION_SIZE,
+                max_resident_mb=args.max_resident_mb,
+            )
+            miner.fit_store(store)
+            print(miner.summary())
+            stats = store.stats()
+            print(
+                f"store: {stats['n_partitions']} partitions, "
+                f"{stats['spilled_bytes']} bytes spilled"
+                + (f", persisted at {args.store}" if args.store else " (temporary)")
+            )
+            _print_streamed_mix(miner, iter_transactions(args.data))
+            for i, transaction in enumerate(iter_transactions(args.data)):
+                if i >= args.explain:
+                    break
+                print()
+                print(miner.explain(transaction.nontarget_sales))
+    else:
+        if args.store or args.partition_size or args.max_resident_mb:
+            raise ProfitMiningError(
+                "--store/--partition-size/--max-resident-mb need --backend ooc"
+            )
+        db = load_transactions(args.data)
+        hierarchy = grouped_hierarchy(db.catalog)
+        miner = _miner_for(args, hierarchy).fit(db)
+        print(miner.summary())
+        _print_streamed_mix(miner, db.transactions)
+        for transaction in db.transactions[: args.explain]:
+            print()
+            print(miner.explain(transaction.nontarget_sales))
+    if args.save_model:
+        from repro.data.model_io import save_model
+
+        save_model(miner.require_fitted_recommender(), args.save_model)
+        print(f"model saved to {args.save_model}")
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    from repro.core.engine.store import ChunkedTransactionStore
+    from repro.core.moa import MOAHierarchy
+    from repro.data.io import iter_transactions, read_catalog
+
+    catalog = read_catalog(args.data)
+    hierarchy = grouped_hierarchy(catalog)
+    miner = _miner_for(args, hierarchy)
+    moa = MOAHierarchy(
+        catalog=catalog, hierarchy=hierarchy, use_moa=not args.no_moa
+    )
+    store = ChunkedTransactionStore.open(
+        args.store, moa, miner.profit_model, max_resident_mb=args.max_resident_mb
+    )
+    n_before = store.n
+    miner.refit_refreshed(store, iter_transactions(args.data))
+    print(miner.summary())
+    print(
+        f"store grew {n_before} -> {store.n} transactions "
+        f"({store.n_partitions} partitions) at {args.store}"
+    )
     if args.save_model:
         from repro.data.model_io import save_model
 
@@ -598,6 +784,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "fit": _cmd_fit,
+    "refresh": _cmd_refresh,
     "export": _cmd_export,
     "compare": _cmd_compare,
     "report": _cmd_report,

@@ -38,10 +38,12 @@ from repro.core.engine.kernel import (
     resolve_backend,
     resolve_jobs,
 )
+from repro.core.engine.store import ChunkedTransactionStore
 from repro.core.engine.symbols import SymbolTable
 
 __all__ = [
     "BACKENDS",
+    "ChunkedTransactionStore",
     "CompiledModel",
     "DENSE_MIN_TRANSACTIONS",
     "DenseBitsetKernel",

@@ -71,19 +71,23 @@ HAVE_NUMPY = np is not None and sys.byteorder == "little"
 #: constant is deliberately coarse.
 DENSE_MIN_TRANSACTIONS = 4096
 
-BACKENDS = ("auto", "dense", "bigint")
+BACKENDS = ("auto", "dense", "bigint", "ooc")
 
 _CHUNK_BITS = 64
 
 
 def resolve_backend(backend: str, n_transactions: int) -> str:
-    """The concrete backend (``"dense"`` or ``"bigint"``) for one mine.
+    """The concrete backend (``"dense"``, ``"bigint"`` or ``"ooc"``).
 
     ``"auto"`` picks the dense kernel when NumPy is importable and the
     database is large enough to amortize the matrix build; an explicit
     ``"dense"`` insists, raising :class:`~repro.errors.MiningError` when
     the kernel cannot run so a deployment that sized its hardware for the
-    dense path fails loudly instead of silently mining 10× slower.
+    dense path fails loudly instead of silently mining 10× slower.  The
+    out-of-core partitioned backend (``"ooc"``, :mod:`repro.core.partition`)
+    is never auto-selected — spilling to disk is an explicit choice — and
+    like ``"dense"`` it fails loudly without numpy: its memmapped chunk
+    matrices are the dense kernel's representation.
     """
     if backend == "bigint":
         return "bigint"
@@ -95,6 +99,15 @@ def resolve_backend(backend: str, n_transactions: int) -> str:
                 "use backend='auto'/'bigint'"
             )
         return "dense"
+    if backend == "ooc":
+        if not HAVE_NUMPY:
+            raise MiningError(
+                "backend='ooc' requires numpy on a little-endian host: the "
+                "partitioned store memmaps uint64 chunk matrices; install "
+                "the 'dense' extra (pip install repro[dense]) or use "
+                "backend='auto'/'bigint'"
+            )
+        return "ooc"
     if backend == "auto":
         if HAVE_NUMPY and n_transactions >= DENSE_MIN_TRANSACTIONS:
             return "dense"
@@ -191,6 +204,36 @@ class DenseBitsetKernel:
             builds=1,
             resident_bytes=int(self._body_matrix.nbytes),
         )
+
+    @classmethod
+    def from_matrix(
+        cls, n: int, gids: Sequence[int], matrix: "numpy.ndarray"
+    ) -> "DenseBitsetKernel":
+        """Wrap an existing ``(len(gids), ceil(n/64))`` chunk matrix.
+
+        The out-of-core store persists each partition's tid-mask rows as
+        exactly this little-endian ``uint64`` layout, so a partition's
+        kernel is a zero-copy view over the memmapped file — no big-int
+        round trip, no matrix rebuild.  ``gids`` must be ascending (the
+        store writes rows in ascending gsale id, matching the dict-built
+        constructor's ``sorted(body_masks)`` order) and pad bits of the
+        last chunk must be zero, which the store's builder guarantees.
+        """
+        _require_numpy()
+        if n <= 0:
+            raise MiningError("dense kernel needs a non-empty database")
+        kernel = cls.__new__(cls)
+        kernel.n = n
+        kernel.n_chunks = (n + _CHUNK_BITS - 1) // _CHUNK_BITS
+        if matrix.shape != (len(gids), kernel.n_chunks):
+            raise MiningError(
+                f"chunk matrix shape {matrix.shape} does not match "
+                f"{len(gids)} rows x {kernel.n_chunks} chunks"
+            )
+        kernel.body_gids = list(gids)
+        kernel.body_rows = {gid: row for row, gid in enumerate(kernel.body_gids)}
+        kernel._body_matrix = matrix
+        return kernel
 
     # ------------------------------------------------------------------
     # Mask <-> row conversions (exact inverses on n-bit values)

@@ -1,0 +1,642 @@
+"""Spillable columnar transaction store: memmapped per-partition masks.
+
+The dense kernel (:mod:`repro.core.engine.kernel`) holds every gsale's
+tid-mask row in RAM, which caps mining at what one machine's memory
+fits.  :class:`ChunkedTransactionStore` breaks that ceiling: a stream of
+transactions is indexed partition by partition — each partition's
+extended-sale tid-masks become a little-endian ``uint64`` chunk matrix
+persisted to disk, exactly the layout :class:`DenseBitsetKernel` counts
+over — so the SON two-pass partitioned miner
+(:mod:`repro.core.partition`) reuses the kernel's batched AND + popcount
+per partition without ever materializing the full matrix.
+
+Per partition ``pNNNNN`` the store writes four files:
+
+* ``pNNNNN.meta.json`` — partition size, the gsale ids with a mask row,
+  the head ids with a hit row and their per-partition hit counts;
+* ``pNNNNN.body.u64`` — the ``(n_gids, ceil(n_p/64))`` body chunk matrix;
+* ``pNNNNN.heads.u64`` — the head hit-mask matrix, same layout;
+* ``pNNNNN.prof.f64`` — credited head profits, concatenated per head in
+  ``head_ids`` order, aligned with the *ascending* hit positions of the
+  head's mask (the order every profit sum in the miner accumulates in).
+
+``manifest.json`` ties them together and is written atomically (temp +
+``os.replace``) *after* all partition files, so a crash mid-build or
+mid-append leaves either no manifest or the previous consistent one —
+never a manifest pointing at garbage.  Every file's byte size is
+recorded in the manifest and checked on load: a truncated memmap is a
+loud :class:`~repro.errors.SerializationError`, not silent wrong counts.
+
+Resident memory is bounded: loaded partitions live in an LRU keyed by
+their byte size, evicted once the budget (``max_resident_mb``) is
+exceeded.  ``repro.obs`` sees loads/evictions as cache events on
+``store.partitions`` with a ``resident_bytes`` gauge, and the builder
+counts ``store.spilled_bytes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.core.engine.kernel import HAVE_NUMPY, DenseBitsetKernel
+from repro.core.engine.symbols import SymbolTable
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import ProfitModel
+from repro.core.sales import Transaction
+from repro.errors import MiningError, SerializationError
+from repro.obs import trace as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the numpy-free CI leg
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "DEFAULT_PARTITION_SIZE",
+    "DEFAULT_RESIDENT_MB",
+    "ChunkedTransactionStore",
+    "StorePartition",
+]
+
+_FORMAT = "repro-ooc-store-v1"
+_MANIFEST = "manifest.json"
+
+#: Default transactions per partition.  64k transactions make an 8 KB
+#: mask row per gsale — big enough to amortize per-partition Python
+#: overhead, small enough that a few resident partitions stay in the
+#: hundreds of megabytes even on wide symbol universes.
+DEFAULT_PARTITION_SIZE = 65_536
+
+#: Default resident budget for loaded partitions (LRU-evicted above it).
+DEFAULT_RESIDENT_MB = 256.0
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise MiningError(
+            "the out-of-core transaction store requires numpy on a "
+            "little-endian host (its partition files are memmapped "
+            "uint64 chunk matrices); install the 'dense' extra "
+            "(pip install repro[dense]) or mine in-RAM with "
+            "backend='auto'/'bigint'"
+        )
+
+
+def _symbols_fingerprint(symbols: SymbolTable) -> str:
+    """Stable digest of the symbol universe (order-sensitive).
+
+    Ids persisted in partition metadata are positions in the table's
+    ``gsales`` list, so a store is only readable against a world that
+    enumerates the identical universe in the identical order.
+    """
+    digest = hashlib.sha256()
+    for gsale in symbols.gsales:
+        digest.update(gsale.describe().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _rows_from_positions(
+    positions_by_id: dict[int, list[int]], ids: list[int], n: int
+) -> bytes:
+    """Pack per-id position lists into a contiguous chunk-matrix buffer.
+
+    Bit ``i`` of a row is bit ``i % 64`` of little-endian chunk
+    ``i // 64`` — the exact :class:`DenseBitsetKernel` layout.  Rows are
+    emitted in the order of ``ids``; pad bits beyond ``n`` stay zero.
+    """
+    n_chunks = (n + 63) // 64
+    row_bytes = n_chunks * 8
+    buffer = bytearray(row_bytes * len(ids))
+    for row, key in enumerate(ids):
+        base = row * row_bytes
+        for pos in positions_by_id[key]:
+            buffer[base + (pos >> 3)] |= 1 << (pos & 7)
+    return bytes(buffer)
+
+
+class StorePartition:
+    """One loaded partition: memmapped matrices plus profit columns.
+
+    ``offset`` is the partition's first transaction's global position;
+    local position ``p`` is global position ``offset + p``.  The body
+    matrix is exposed as a per-partition :class:`DenseBitsetKernel`
+    (zero-copy over the memmap), so the SON passes run the same batched
+    primitives the in-RAM dense backend runs.
+    """
+
+    __slots__ = (
+        "name",
+        "n",
+        "offset",
+        "gids",
+        "head_ids",
+        "head_counts",
+        "nbytes",
+        "_body_matrix",
+        "_head_matrix",
+        "_head_rows",
+        "_profits",
+        "_prof_starts",
+        "_kernel",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        n: int,
+        offset: int,
+        gids: list[int],
+        head_ids: list[int],
+        head_counts: list[int],
+        body_matrix: "numpy.ndarray",
+        head_matrix: "numpy.ndarray",
+        profits: "numpy.ndarray",
+    ) -> None:
+        self.name = name
+        self.n = n
+        self.offset = offset
+        self.gids = gids
+        self.head_ids = head_ids
+        self.head_counts = head_counts
+        self._body_matrix = body_matrix
+        self._head_matrix = head_matrix
+        self._head_rows = {hid: row for row, hid in enumerate(head_ids)}
+        self._profits = profits
+        starts: dict[int, int] = {}
+        cursor = 0
+        for hid, count in zip(head_ids, head_counts):
+            starts[hid] = cursor
+            cursor += count
+        self._prof_starts = starts
+        self.nbytes = int(
+            body_matrix.nbytes + head_matrix.nbytes + profits.nbytes
+        )
+        self._kernel: DenseBitsetKernel | None = None
+
+    @property
+    def n_chunks(self) -> int:
+        return (self.n + 63) // 64
+
+    def kernel(self) -> DenseBitsetKernel:
+        """This partition's dense kernel (zero-copy over the memmap)."""
+        if self._kernel is None:
+            self._kernel = DenseBitsetKernel.from_matrix(
+                self.n, self.gids, self._body_matrix
+            )
+        return self._kernel
+
+    def head_row(self, hid: int) -> "numpy.ndarray | None":
+        """The head's hit-mask chunk row, or ``None`` if it never hits."""
+        row = self._head_rows.get(hid)
+        if row is None:
+            return None
+        return self._head_matrix[row]
+
+    def head_count(self, hid: int) -> int:
+        """The head's hit count within this partition."""
+        row = self._head_rows.get(hid)
+        return 0 if row is None else self.head_counts[row]
+
+    def head_profits(self, hid: int) -> "numpy.ndarray":
+        """Credited profits of the head's hits, ascending local position.
+
+        Aligned element-for-element with the ascending set bits of
+        :meth:`head_row` — index ``k`` is the credit at the head's
+        ``k``-th hit — which is the order every sequential profit sum in
+        the miner consumes.
+        """
+        start = self._prof_starts.get(hid)
+        if start is None:
+            return np.empty(0, dtype="<f8")
+        row = self._head_rows[hid]
+        return self._profits[start : start + self.head_counts[row]]
+
+
+class ChunkedTransactionStore:
+    """Columnar out-of-core transaction store under one directory.
+
+    Build one with :meth:`build` (streaming any transaction iterable),
+    reopen it with :meth:`open`, extend it with :meth:`append`.  The
+    store is bound to one world — (MOA engine, profit model) — recorded
+    in the manifest and re-validated on open, because both the mask rows
+    (extension under MOA(H)) and the profit columns (credited profit)
+    depend on it.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        moa: MOAHierarchy,
+        profit_model: ProfitModel,
+        manifest: dict,
+        max_resident_mb: float | None = None,
+    ) -> None:
+        _require_numpy()
+        self.root = Path(root)
+        self.moa = moa
+        self.profit_model = profit_model
+        self.symbols = SymbolTable.of(moa)
+        self._manifest = manifest
+        budget_mb = (
+            DEFAULT_RESIDENT_MB if max_resident_mb is None else max_resident_mb
+        )
+        if budget_mb <= 0:
+            raise MiningError(
+                f"max_resident_mb must be positive, got {budget_mb}"
+            )
+        self.resident_budget = int(budget_mb * 1024 * 1024)
+        self._resident: OrderedDict[int, StorePartition] = OrderedDict()
+        self._resident_bytes = 0
+        # SON pass 1 loads partitions from worker threads; the LRU's
+        # OrderedDict mutations must not interleave.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total transactions across all partitions."""
+        return int(self._manifest["n"])
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._manifest["partitions"])
+
+    @property
+    def partition_size(self) -> int:
+        return int(self._manifest["partition_size"])
+
+    def partition_meta(self, i: int) -> dict:
+        """The manifest record of partition ``i`` (name, n, offset, bytes)."""
+        return self._manifest["partitions"][i]
+
+    def global_head_counts(self) -> dict[int, int]:
+        """Per-head hit counts over the whole store (from the manifest)."""
+        return {int(k): int(v) for k, v in self._manifest["head_counts"].items()}
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready size summary, mirroring ``rule_index.stats()``."""
+        spilled = sum(
+            sum(record["bytes"].values())
+            for record in self._manifest["partitions"]
+        )
+        return {
+            "n_transactions": self.n,
+            "n_partitions": self.n_partitions,
+            "partition_size": self.partition_size,
+            "spilled_bytes": int(spilled),
+            "resident_bytes": int(self._resident_bytes),
+            "resident_partitions": len(self._resident),
+            "resident_budget_bytes": int(self.resident_budget),
+        }
+
+    # ------------------------------------------------------------------
+    # Build / open / append
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        root: str | Path,
+        transactions: Iterable[Transaction],
+        moa: MOAHierarchy,
+        profit_model: ProfitModel,
+        partition_size: int = DEFAULT_PARTITION_SIZE,
+        max_resident_mb: float | None = None,
+    ) -> "ChunkedTransactionStore":
+        """Stream ``transactions`` into a fresh store at ``root``."""
+        _require_numpy()
+        if partition_size < 1:
+            raise MiningError(
+                f"partition_size must be >= 1, got {partition_size}"
+            )
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        symbols = SymbolTable.of(moa)
+        manifest = {
+            "format": _FORMAT,
+            "n": 0,
+            "partition_size": int(partition_size),
+            "use_moa": bool(moa.use_moa),
+            "profit_model": profit_model.name,
+            "symbols_sha256": _symbols_fingerprint(symbols),
+            "head_counts": {},
+            "partitions": [],
+        }
+        store = cls(
+            root, moa, profit_model, manifest, max_resident_mb=max_resident_mb
+        )
+        store._ingest(transactions)
+        if store.n == 0:
+            raise MiningError("cannot build a store from zero transactions")
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        moa: MOAHierarchy,
+        profit_model: ProfitModel,
+        max_resident_mb: float | None = None,
+    ) -> "ChunkedTransactionStore":
+        """Reopen an existing store, validating it names the same world."""
+        _require_numpy()
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.exists():
+            raise SerializationError(f"{root}: no store manifest found")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{manifest_path}: corrupt store manifest: {exc}"
+            ) from exc
+        if manifest.get("format") != _FORMAT:
+            raise SerializationError(
+                f"{manifest_path}: unexpected store format "
+                f"{manifest.get('format')!r}; expected {_FORMAT!r}"
+            )
+        if bool(manifest.get("use_moa")) != moa.use_moa:
+            raise SerializationError(
+                f"{root}: store was built with use_moa="
+                f"{manifest.get('use_moa')}, engine has {moa.use_moa}"
+            )
+        if manifest.get("profit_model") != profit_model.name:
+            raise SerializationError(
+                f"{root}: store credits profit with "
+                f"{manifest.get('profit_model')!r}, not {profit_model.name!r}"
+            )
+        symbols = SymbolTable.of(moa)
+        if manifest.get("symbols_sha256") != _symbols_fingerprint(symbols):
+            raise SerializationError(
+                f"{root}: store symbol universe does not match this "
+                "catalog/hierarchy (was the store built for a different "
+                "world?)"
+            )
+        return cls(
+            root, moa, profit_model, manifest, max_resident_mb=max_resident_mb
+        )
+
+    def append(self, transactions: Iterable[Transaction]) -> list[int]:
+        """Append new transactions as fresh partitions; returns their indexes.
+
+        Existing partition files are never touched; the manifest swap is
+        atomic, so a crash mid-append leaves the previous store intact.
+        """
+        before = self.n_partitions
+        self._ingest(transactions)
+        return list(range(before, self.n_partitions))
+
+    def _ingest(self, transactions: Iterable[Transaction]) -> None:
+        symbols = self.symbols
+        sale_ids = symbols.sale_ids
+        head_ids_of = symbols.head_ids
+        gsales = symbols.gsales
+        credited = self.profit_model.credited_profit
+        catalog = self.moa.catalog
+        partition_size = self.partition_size
+        spilled = 0
+
+        body_positions: dict[int, list[int]] = {}
+        head_positions: dict[int, list[int]] = {}
+        head_profit_lists: dict[int, list[float]] = {}
+        local = 0
+
+        def flush() -> None:
+            nonlocal body_positions, head_positions, head_profit_lists
+            nonlocal local, spilled
+            if local == 0:
+                return
+            spilled += self._write_partition(
+                local, body_positions, head_positions, head_profit_lists
+            )
+            body_positions = {}
+            head_positions = {}
+            head_profit_lists = {}
+            local = 0
+
+        for transaction in transactions:
+            ext_ids: set[int] = set()
+            for sale in transaction.nontarget_sales:
+                ext_ids.update(sale_ids(sale))
+            for gid in ext_ids:
+                body_positions.setdefault(gid, []).append(local)
+            for hid in head_ids_of(transaction.target_sale):
+                head_positions.setdefault(hid, []).append(local)
+                head_profit_lists.setdefault(hid, []).append(
+                    credited(gsales[hid], transaction.target_sale, catalog)
+                )
+            local += 1
+            if local == partition_size:
+                flush()
+        flush()
+        obs.count("store.spilled_bytes", spilled)
+        self._write_manifest()
+
+    def _write_partition(
+        self,
+        n_local: int,
+        body_positions: dict[int, list[int]],
+        head_positions: dict[int, list[int]],
+        head_profit_lists: dict[int, list[float]],
+    ) -> int:
+        """Write one partition's four files; returns bytes written."""
+        index = self.n_partitions
+        name = f"p{index:05d}"
+        with obs.span("store.write_partition", partition=name):
+            gids = sorted(body_positions)
+            head_ids = sorted(head_positions)
+            head_counts = [len(head_positions[hid]) for hid in head_ids]
+
+            body_buffer = _rows_from_positions(body_positions, gids, n_local)
+            head_buffer = _rows_from_positions(head_positions, head_ids, n_local)
+            profits = np.empty(sum(head_counts), dtype="<f8")
+            cursor = 0
+            for hid in head_ids:
+                column = head_profit_lists[hid]
+                profits[cursor : cursor + len(column)] = column
+                cursor += len(column)
+
+            meta = {
+                "n": n_local,
+                "gids": gids,
+                "head_ids": head_ids,
+                "head_counts": head_counts,
+            }
+            meta_bytes = json.dumps(meta).encode("utf-8")
+            files = {
+                f"{name}.meta.json": meta_bytes,
+                f"{name}.body.u64": body_buffer,
+                f"{name}.heads.u64": head_buffer,
+                f"{name}.prof.f64": profits.tobytes(),
+            }
+            for filename, payload in files.items():
+                with open(self.root / filename, "wb") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+            record = {
+                "name": name,
+                "n": n_local,
+                "offset": self.n,
+                "bytes": {
+                    filename: len(payload)
+                    for filename, payload in files.items()
+                },
+            }
+            self._manifest["partitions"].append(record)
+            self._manifest["n"] = self.n + n_local
+            counts = self._manifest["head_counts"]
+            for hid, count in zip(head_ids, head_counts):
+                key = str(hid)
+                counts[key] = counts.get(key, 0) + count
+        return sum(len(payload) for payload in files.values())
+
+    def _write_manifest(self) -> None:
+        """Atomically persist the manifest (temp file + ``os.replace``)."""
+        target = self.root / _MANIFEST
+        temporary = target.with_suffix(".json.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+
+    # ------------------------------------------------------------------
+    # Partition access (LRU-resident memmaps)
+    # ------------------------------------------------------------------
+    def partition(self, i: int) -> StorePartition:
+        """Partition ``i``, loading (and LRU-caching) its memmaps."""
+        with self._lock:
+            cached = self._resident.get(i)
+            if cached is not None:
+                self._resident.move_to_end(i)
+                obs.cache_event("store.partitions", hits=1)
+                return cached
+            partition = self._load_partition(i)
+            self._resident[i] = partition
+            self._resident_bytes += partition.nbytes
+            obs.cache_event(
+                "store.partitions",
+                misses=1,
+                loads=1,
+                resident_bytes=self._resident_bytes,
+            )
+            self._evict_over_budget()
+            return partition
+
+    def iter_partitions(self) -> Iterator[StorePartition]:
+        """Yield every partition in offset order, through the LRU."""
+        for i in range(self.n_partitions):
+            yield self.partition(i)
+
+    def _evict_over_budget(self) -> None:
+        evicted = 0
+        while (
+            self._resident_bytes > self.resident_budget
+            and len(self._resident) > 1
+        ):
+            _, victim = self._resident.popitem(last=False)
+            self._resident_bytes -= victim.nbytes
+            evicted += 1
+        if evicted:
+            obs.cache_event(
+                "store.partitions",
+                evictions=evicted,
+                resident_bytes=self._resident_bytes,
+            )
+
+    def _checked_size(self, filename: str, expected: int) -> Path:
+        path = self.root / filename
+        try:
+            actual = path.stat().st_size
+        except FileNotFoundError:
+            raise SerializationError(
+                f"{path}: store partition file is missing"
+            ) from None
+        if actual != expected:
+            raise SerializationError(
+                f"{path}: store partition file is {actual} bytes, "
+                f"manifest expects {expected} — the store is truncated or "
+                "corrupt; rebuild it"
+            )
+        return path
+
+    def _load_partition(self, i: int) -> StorePartition:
+        record = self.partition_meta(i)
+        name = record["name"]
+        sizes = record["bytes"]
+        n_local = int(record["n"])
+        n_chunks = (n_local + 63) // 64
+
+        meta_path = self._checked_size(
+            f"{name}.meta.json", sizes[f"{name}.meta.json"]
+        )
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        if int(meta["n"]) != n_local:
+            raise SerializationError(
+                f"{meta_path}: partition metadata disagrees with the "
+                "manifest on the transaction count"
+            )
+        gids = [int(g) for g in meta["gids"]]
+        head_ids = [int(h) for h in meta["head_ids"]]
+        head_counts = [int(c) for c in meta["head_counts"]]
+
+        body_path = self._checked_size(
+            f"{name}.body.u64", sizes[f"{name}.body.u64"]
+        )
+        head_path = self._checked_size(
+            f"{name}.heads.u64", sizes[f"{name}.heads.u64"]
+        )
+        prof_path = self._checked_size(
+            f"{name}.prof.f64", sizes[f"{name}.prof.f64"]
+        )
+        expected_body = len(gids) * n_chunks * 8
+        expected_heads = len(head_ids) * n_chunks * 8
+        expected_prof = sum(head_counts) * 8
+        for path, expected in (
+            (body_path, expected_body),
+            (head_path, expected_heads),
+            (prof_path, expected_prof),
+        ):
+            if path.stat().st_size != expected:
+                raise SerializationError(
+                    f"{path}: file size does not match the partition "
+                    "metadata — the store is truncated or corrupt"
+                )
+
+        def mapped(path: Path, rows: int) -> "numpy.ndarray":
+            if rows == 0:
+                return np.empty((0, n_chunks), dtype="<u8")
+            return np.memmap(path, dtype="<u8", mode="r").reshape(
+                rows, n_chunks
+            )
+
+        profits = (
+            np.empty(0, dtype="<f8")
+            if expected_prof == 0
+            else np.memmap(prof_path, dtype="<f8", mode="r")
+        )
+        return StorePartition(
+            name=name,
+            n=n_local,
+            offset=int(record["offset"]),
+            gids=gids,
+            head_ids=head_ids,
+            head_counts=head_counts,
+            body_matrix=mapped(body_path, len(gids)),
+            head_matrix=mapped(head_path, len(head_ids)),
+            profits=profits,
+        )

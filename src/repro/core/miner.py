@@ -26,7 +26,7 @@ System         profit model               ``use_moa``
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.covering import CoveringTree, build_covering_tree
 from repro.core.engine.compiled import CompiledModel
@@ -38,8 +38,11 @@ from repro.core.mpf import MPFRecommender
 from repro.core.profit import ProfitModel, SavingMOA
 from repro.core.pruning import PruneConfig, PruneReport, cut_optimal_prune
 from repro.core.recommender import Recommendation, Recommender
-from repro.core.sales import Sale, TransactionDB
+from repro.core.sales import Sale, Transaction, TransactionDB
 from repro.errors import RecommenderError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine.store import ChunkedTransactionStore
 
 __all__ = ["ProfitMinerConfig", "ProfitMiner"]
 
@@ -130,6 +133,57 @@ class ProfitMiner(Recommender):
             db, self.moa, self.profit_model, self.config.mining, index=index
         )
         return self._finish_fit()
+
+    def fit_store(self, store: "ChunkedTransactionStore") -> "ProfitMiner":
+        """Run the pipeline over an out-of-core transaction store.
+
+        Mines ``store`` with the SON two-pass partitioned miner
+        (:func:`~repro.core.partition.mine_store`) — bit-identical to
+        :meth:`fit` on the same transactions — then finishes covering,
+        pruning and recommender assembly as usual.  The store must have
+        been built with this miner's MOA setting and profit model; both
+        are checked against the store's manifest.
+        """
+        from repro.core.partition import mine_store
+
+        self._check_store(store)
+        self.moa = store.moa
+        self.mining_result = mine_store(store, self.config.mining)
+        return self._finish_fit()
+
+    def refit_refreshed(
+        self,
+        store: "ChunkedTransactionStore",
+        new_transactions: "Iterable[Transaction]",
+    ) -> "ProfitMiner":
+        """Append ``new_transactions`` to ``store`` and refit incrementally.
+
+        Uses :func:`~repro.core.partition.refresh_store`: only the new
+        partitions are mined and counted in full; history is touched only
+        for the candidate delta.  The resulting model is bit-identical to
+        re-fitting the grown store from scratch.  The store must carry the
+        SON state of a previous :meth:`fit_store` / ``refit_refreshed``
+        run with this same mining configuration.
+        """
+        from repro.core.partition import refresh_store
+
+        self._check_store(store)
+        self.moa = store.moa
+        self.mining_result = refresh_store(
+            store, new_transactions, self.config.mining
+        )
+        return self._finish_fit()
+
+    def _check_store(self, store: "ChunkedTransactionStore") -> None:
+        if store.moa.use_moa != self.config.use_moa:
+            raise RecommenderError(
+                "transaction store disagrees with this miner's use_moa setting"
+            )
+        if store.profit_model.name != self.profit_model.name:
+            raise RecommenderError(
+                f"transaction store credits profit with "
+                f"{store.profit_model.name!r}, not {self.profit_model.name!r}"
+            )
 
     def fit_from_mining_result(self, mining_result: MiningResult) -> "ProfitMiner":
         """Finish the pipeline from an already-computed mining result.

@@ -119,7 +119,23 @@ class MinerConfig:
         dense backend (``None``: ``$REPRO_JOBS`` or sequential).  A pure
         performance knob — results are identical at any setting.  The
         big-int backend ignores it: its per-candidate work happens under
-        the GIL, where threads cannot help.
+        the GIL, where threads cannot help.  The out-of-core backend
+        uses it to mine partitions in parallel during SON pass 1.
+    partition_size:
+        Transactions per partition for the out-of-core backend (``None``:
+        :data:`~repro.core.engine.store.DEFAULT_PARTITION_SIZE`).  A pure
+        performance/memory knob — results are identical at any
+        partitioning.
+    max_resident_mb:
+        Resident-memory budget for the out-of-core backend's loaded
+        partitions (``None``: the store's default).  Loaded partitions
+        are LRU-evicted above it; purely a memory knob.
+    store_dir:
+        Where the out-of-core backend spills its partitioned store
+        (``None``: a temporary directory deleted with the mining
+        result).  Point it at a persistent directory to enable
+        incremental refresh (:func:`repro.core.partition.refresh_store`)
+        later.
     """
 
     min_support: float = 0.01
@@ -130,6 +146,9 @@ class MinerConfig:
     algorithm: str = "apriori"
     backend: str = "auto"
     n_jobs: int | None = None
+    partition_size: int | None = None
+    max_resident_mb: float | None = None
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("apriori", "fpgrowth"):
@@ -163,6 +182,14 @@ class MinerConfig:
             )
         if self.max_candidates_per_level < 1:
             raise ValidationError("max_candidates_per_level must be positive")
+        if self.partition_size is not None and self.partition_size < 1:
+            raise ValidationError(
+                f"partition_size must be >= 1, got {self.partition_size}"
+            )
+        if self.max_resident_mb is not None and self.max_resident_mb <= 0:
+            raise ValidationError(
+                f"max_resident_mb must be positive, got {self.max_resident_mb}"
+            )
 
 
 @dataclass
@@ -541,6 +568,17 @@ def _mine_rules_impl(
     config: MinerConfig,
     index: TransactionIndex | None,
 ) -> MiningResult:
+    if config.backend == "ooc":
+        # The out-of-core SON miner never builds an in-RAM index — that
+        # is its whole point — so an injected one cannot be honoured.
+        if index is not None:
+            raise MiningError(
+                "backend='ooc' mines from a partitioned store and cannot "
+                "reuse an injected in-RAM TransactionIndex"
+            )
+        from repro.core.partition import mine_partitioned_db
+
+        return mine_partitioned_db(db, moa, profit_model, config)
     if index is None:
         index = TransactionIndex(db=db, moa=moa, profit_model=profit_model)
     elif index.db is not db:

@@ -48,8 +48,11 @@ __all__ = [
     "DatasetConfig",
     "Dataset",
     "build_dataset",
+    "dataset_catalog",
+    "dataset_hierarchy",
     "dataset_i_config",
     "dataset_ii_config",
+    "iter_dataset_transactions",
     "make_dataset_i",
     "make_dataset_ii",
     "zipf_target_specs",
@@ -265,17 +268,55 @@ def make_dataset_ii(**kwargs: object) -> Dataset:
 
 def build_dataset(config: DatasetConfig) -> Dataset:
     """Deterministically build a dataset from its configuration."""
-    rng = np.random.default_rng(config.seed + 1_000_003)
-    catalog = _build_catalog(config)
-    hierarchy = grouped_hierarchy(
+    catalog = dataset_catalog(config)
+    hierarchy = dataset_hierarchy(config, catalog)
+    db = TransactionDB(
+        catalog=catalog,
+        transactions=list(iter_dataset_transactions(config, catalog)),
+    )
+    return Dataset(config=config, db=db, hierarchy=hierarchy)
+
+
+def dataset_catalog(config: DatasetConfig) -> ItemCatalog:
+    """The catalog a dataset config generates (deterministic, no RNG)."""
+    return _build_catalog(config)
+
+
+def dataset_hierarchy(
+    config: DatasetConfig, catalog: ItemCatalog | None = None
+) -> ConceptHierarchy:
+    """The concept hierarchy a dataset config generates."""
+    if catalog is None:
+        catalog = _build_catalog(config)
+    return grouped_hierarchy(
         catalog,
         group_size=config.group_size,
         fanout=config.fanout,
         levels=config.levels,
     )
 
+
+def iter_dataset_transactions(
+    config: DatasetConfig, catalog: ItemCatalog | None = None
+):
+    """Yield the dataset's transactions one at a time, in tid order.
+
+    The streaming twin of :func:`build_dataset`: the builder RNG and the
+    Quest generator's RNG are two *independent* streams (different seeds
+    derived from ``config.seed``), so lazily interleaving basket
+    generation with target assignment consumes each stream in exactly
+    the order the batch builder does — the yielded transactions are
+    identical to ``build_dataset(config).db``, but a multi-million-
+    transaction dataset can be piped straight into
+    :func:`~repro.data.io.write_transactions_stream` or the out-of-core
+    store without ever materializing the list.  ``catalog`` avoids a
+    rebuild when the caller already has it; it must be this config's.
+    """
+    rng = np.random.default_rng(config.seed + 1_000_003)
+    if catalog is None:
+        catalog = _build_catalog(config)
+
     generator = QuestGenerator(config=config.quest, seed=config.seed)
-    baskets = generator.generate(config.n_transactions)
 
     marginal_pairs, marginal_probs = _target_marginal(config)
     if config.quest.window_size is not None:
@@ -305,7 +346,7 @@ def build_dataset(config: DatasetConfig) -> Dataset:
     m = config.pricing.m
     dispersion = np.array(config.dispersion_profile, dtype=np.float64)
     dispersion /= dispersion.sum()
-    transactions: list[Transaction] = []
+    baskets = generator.iter_generate(config.n_transactions)
     for tid, basket in enumerate(baskets):
         nontarget = tuple(
             Sale(
@@ -326,11 +367,9 @@ def build_dataset(config: DatasetConfig) -> Dataset:
         offset = int(rng.choice(len(dispersion), p=dispersion))
         step = min(step + offset, m)
         target = Sale(item_id=target_id, promo_code=price_code_name(step))
-        transactions.append(
-            Transaction(tid=tid, nontarget_sales=nontarget, target_sale=target)
+        yield Transaction(
+            tid=tid, nontarget_sales=nontarget, target_sale=target
         )
-    db = TransactionDB(catalog=catalog, transactions=transactions)
-    return Dataset(config=config, db=db, hierarchy=hierarchy)
 
 
 def _nontarget_id(index: int) -> str:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.core.items import Item, ItemCatalog
 from repro.core.promotion import PromotionCode
@@ -24,6 +24,9 @@ __all__ = [
     "transaction_from_dict",
     "save_transactions",
     "load_transactions",
+    "read_catalog",
+    "iter_transactions",
+    "write_transactions_stream",
 ]
 
 _FORMAT = "repro-profit-mining-v1"
@@ -129,22 +132,75 @@ def save_transactions(db: TransactionDB, path: str | Path) -> None:
 def load_transactions(path: str | Path) -> TransactionDB:
     """Read a database written by :func:`save_transactions`."""
     path = Path(path)
+    catalog = read_catalog(path)
+    return TransactionDB(
+        catalog=catalog, transactions=list(iter_transactions(path))
+    )
+
+
+def read_catalog(path: str | Path) -> ItemCatalog:
+    """Read only the catalog header line of a JSON-lines database."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline()
+    if not header.strip():
+        raise SerializationError(f"{path}: empty file")
+    try:
+        return catalog_from_dict(json.loads(header))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: bad catalog header: {exc}") from exc
+
+
+def iter_transactions(path: str | Path) -> Iterator[Transaction]:
+    """Yield the transactions of a JSON-lines database one at a time.
+
+    The streaming twin of :func:`load_transactions`: the file is read
+    line by line, so a multi-million-transaction database never has to
+    fit in memory — this is how the out-of-core store
+    (:class:`~repro.core.engine.store.ChunkedTransactionStore`) ingests
+    its input.  The catalog header is validated but not returned; use
+    :func:`read_catalog` for it.
+    """
+    path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
         header = handle.readline()
         if not header.strip():
             raise SerializationError(f"{path}: empty file")
         try:
-            catalog = catalog_from_dict(json.loads(header))
+            catalog_from_dict(json.loads(header))
         except json.JSONDecodeError as exc:
             raise SerializationError(f"{path}: bad catalog header: {exc}") from exc
-        transactions = []
         for line_no, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
             try:
-                transactions.append(transaction_from_dict(json.loads(line)))
+                yield transaction_from_dict(json.loads(line))
             except json.JSONDecodeError as exc:
                 raise SerializationError(
                     f"{path}:{line_no}: bad transaction line: {exc}"
                 ) from exc
-    return TransactionDB(catalog=catalog, transactions=transactions)
+
+
+def write_transactions_stream(
+    path: str | Path,
+    catalog: ItemCatalog,
+    transactions: Iterable[Transaction],
+) -> int:
+    """Stream ``transactions`` to ``path`` as JSON lines; returns the count.
+
+    The streaming twin of :func:`save_transactions`: transactions are
+    serialized one at a time as they arrive, so a generator (e.g.
+    :meth:`~repro.data.quest.QuestGenerator.iter_generate` routed through
+    :func:`~repro.data.datasets.iter_dataset_transactions`) can emit
+    multi-million-transaction files without either side holding the
+    dataset in RAM.  The output is byte-identical to
+    :func:`save_transactions` on the same data.
+    """
+    path = Path(path)
+    n_written = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(catalog_to_dict(catalog)) + "\n")
+        for transaction in transactions:
+            handle.write(json.dumps(transaction_to_dict(transaction)) + "\n")
+            n_written += 1
+    return n_written

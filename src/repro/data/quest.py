@@ -189,11 +189,23 @@ class QuestGenerator:
     # ------------------------------------------------------------------
     def generate(self, n_transactions: int) -> list[QuestBasket]:
         """Generate ``n_transactions`` baskets."""
+        return list(self.iter_generate(n_transactions))
+
+    def iter_generate(self, n_transactions: int):
+        """Yield ``n_transactions`` baskets one at a time.
+
+        The streaming twin of :meth:`generate`: baskets are drawn lazily
+        from the same RNG in the same order, so consuming the generator
+        fully produces exactly :meth:`generate`'s list — but a
+        multi-million-basket run (``profit-mining generate`` feeding the
+        out-of-core store) never holds more than one basket in memory.
+        """
         if n_transactions < 1:
             raise DataGenerationError(
                 f"n_transactions must be >= 1, got {n_transactions}"
             )
-        return [self._one_basket() for _ in range(n_transactions)]
+        for _ in range(n_transactions):
+            yield self._one_basket()
 
     def _one_basket(self) -> QuestBasket:
         cfg = self.config

@@ -59,7 +59,7 @@ __all__ = [
 _TRACE: ContextVar[Trace | None] = ContextVar("repro_trace", default=None)
 
 # Cache stats treated as gauges (merged/accumulated with max, not sum).
-_GAUGE_STATS = frozenset({"entries"})
+_GAUGE_STATS = frozenset({"entries", "resident_bytes"})
 
 
 class Span:

@@ -1,0 +1,175 @@
+"""Differential properties: out-of-core SON backend vs dense and big-int.
+
+``MinerConfig(backend="ooc")`` is purely an out-of-core execution
+strategy — the SON two-pass mine over the partitioned store must produce
+a :class:`~repro.core.mining.MiningResult` identical to the in-RAM
+backends down to every rule, stat float, tid-mask and the default rule.
+These properties drive it over random mining problems and over the
+shapes where partitioning can diverge: partition counts 1/2/7,
+partitions smaller than one 64-bit chunk, databases whose size sits on a
+chunk seam (n ≡ 0/±1 mod 64), partitions with zero locally frequent
+bodies, the LeakyMOA promo-leak fixture, thread-parallel pass 1, and the
+incremental refresh path versus a from-scratch re-mine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine.kernel import HAVE_NUMPY
+from repro.core.engine.store import ChunkedTransactionStore
+from repro.core.mining import MinerConfig, filter_mining_result, mine_rules
+from repro.core.partition import mine_store, refresh_store
+from repro.core.profit import SavingMOA
+from repro.core.sales import Sale, Transaction, TransactionDB
+
+from tests.property.test_kernel_differential import _replicated_db, _signature
+from tests.property.test_mining_properties import mining_problems
+from tests.unit.test_mining import LeakyMOA
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the out-of-core backend needs numpy"
+)
+
+
+def _mine_ooc(db, moa, config, partition_size=16, n_jobs=None):
+    return mine_rules(
+        db,
+        moa,
+        SavingMOA(),
+        replace(
+            config,
+            backend="ooc",
+            partition_size=partition_size,
+            n_jobs=n_jobs,
+        ),
+    )
+
+
+def _mine_ram(db, moa, config, backend):
+    return mine_rules(db, moa, SavingMOA(), replace(config, backend=backend))
+
+
+class TestRandomProblems:
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_ooc_identical_to_both_ram_backends(self, problem):
+        db, moa, config = problem
+        ooc = _signature(_mine_ooc(db, moa, config))
+        assert ooc == _signature(_mine_ram(db, moa, config, "dense"))
+        assert ooc == _signature(_mine_ram(db, moa, config, "bigint"))
+
+    @given(mining_problems(), st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_pass1_identical(self, problem, n_jobs):
+        db, moa, config = problem
+        threaded = _mine_ooc(db, moa, config, n_jobs=n_jobs)
+        sequential = _mine_ooc(db, moa, config, n_jobs=1)
+        assert _signature(threaded) == _signature(sequential)
+
+    @given(mining_problems())
+    @settings(max_examples=10, deadline=None)
+    def test_filter_of_ooc_equals_filter_of_dense(self, problem):
+        db, moa, config = problem
+        low = replace(config, min_support=0.05)
+        ooc = _mine_ooc(db, moa, low)
+        dense = _mine_ram(db, moa, low, "dense")
+        for min_support in (0.1, 0.3):
+            assert _signature(
+                filter_mining_result(ooc, min_support)
+            ) == _signature(filter_mining_result(dense, min_support))
+
+
+class TestPartitionShapes:
+    """Partition counts and sizes where SON bookkeeping could diverge."""
+
+    @pytest.mark.parametrize("n_partitions", [1, 2, 7])
+    def test_partition_counts(self, small_db, small_moa, n_partitions):
+        db = _replicated_db(small_db, 70)
+        config = MinerConfig(min_support=0.05, max_body_size=2)
+        size = -(-len(db) // n_partitions)
+        ooc = _mine_ooc(db, small_moa, config, partition_size=size)
+        assert _signature(ooc) == _signature(
+            _mine_ram(db, small_moa, config, "dense")
+        )
+
+    @pytest.mark.parametrize("partition_size", [63, 64, 65])
+    def test_chunk_seam_partitions(self, small_db, small_moa, partition_size):
+        db = _replicated_db(small_db, 130)
+        config = MinerConfig(min_support=0.05, max_body_size=2)
+        ooc = _mine_ooc(db, small_moa, config, partition_size=partition_size)
+        assert _signature(ooc) == _signature(
+            _mine_ram(db, small_moa, config, "dense")
+        )
+
+    def test_single_transaction_partitions(self, small_db, small_moa):
+        # Partitions far smaller than one 64-bit chunk: every local
+        # threshold degenerates to 1 and the union is the full level-1 set.
+        db = _replicated_db(small_db, 40)
+        config = MinerConfig(min_support=0.1, max_body_size=2)
+        ooc = _mine_ooc(db, small_moa, config, partition_size=1)
+        assert _signature(ooc) == _signature(
+            _mine_ram(db, small_moa, config, "dense")
+        )
+
+    def test_zero_locally_frequent_partition(self, small_catalog, small_moa):
+        # The final partition holds only a Perfume outlier whose support
+        # can never reach the local threshold: pass 1 contributes nothing
+        # from it, pass 2 must still count it into every global support.
+        transactions = [
+            Transaction(tid, (Sale("Bread", "P1"),), Sale("Sunchip", "H"))
+            for tid in range(32)
+        ]
+        transactions += [
+            Transaction(32 + i, (Sale("Perfume", "P1"),), Sale("Sunchip", "L"))
+            for i in range(2)
+        ]
+        db = TransactionDB(catalog=small_catalog, transactions=transactions)
+        config = MinerConfig(min_support=0.5, max_body_size=2)
+        ooc = _mine_ooc(db, small_moa, config, partition_size=32)
+        dense = _mine_ram(db, small_moa, config, "dense")
+        assert _signature(ooc) == _signature(dense)
+        assert ooc.all_rules
+
+
+class TestLeakyMOA:
+    def test_promo_leak_identical(self, small_db, small_catalog, small_hierarchy):
+        leaky = LeakyMOA(small_catalog, small_hierarchy, use_moa=True)
+        config = MinerConfig(min_support=0.05, max_body_size=2)
+        ooc = _mine_ooc(small_db, leaky, config)
+        assert _signature(ooc) == _signature(
+            _mine_ram(small_db, leaky, config, "dense")
+        )
+
+
+class TestRefreshEquivalence:
+    @given(mining_problems(), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_refresh_equals_remine(self, tmp_path_factory, problem, splits):
+        # Feed the database in 1+splits increments through refresh_store;
+        # the final result must equal mining the whole database at once.
+        db, moa, config = problem
+        transactions = list(db)
+        if len(transactions) < splits + 1:
+            return
+        config = replace(config, backend="ooc", partition_size=16)
+        step = len(transactions) // (splits + 1)
+        root = tmp_path_factory.mktemp("grow")
+        store = ChunkedTransactionStore.build(
+            root, transactions[:step], moa, SavingMOA(), partition_size=16
+        )
+        mine_store(store, config)
+        result = None
+        for k in range(1, splits + 1):
+            chunk = (
+                transactions[k * step :]
+                if k == splits
+                else transactions[k * step : (k + 1) * step]
+            )
+            result = refresh_store(store, chunk, config)
+        full = _mine_ram(db, moa, config, "dense")
+        assert _signature(result) == _signature(full)

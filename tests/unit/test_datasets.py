@@ -170,3 +170,27 @@ class TestBuildDataset:
     def test_defaults_documented(self):
         assert len(DEFAULT_STEP_WEIGHTS) == PricingModel().m
         assert sum(DEFAULT_DISPERSION_PROFILE) == pytest.approx(1.0)
+
+
+class TestStreamingGeneration:
+    """iter_dataset_transactions is the exact streaming twin of build_dataset."""
+
+    def test_streamed_transactions_match_batch(self):
+        from repro.data.datasets import dataset_catalog, iter_dataset_transactions
+
+        config = dataset_i_config(n_transactions=150, n_items=40, seed=9)
+        batch = build_dataset(config).db.transactions
+        streamed = list(iter_dataset_transactions(config))
+        assert streamed == batch
+        # Passing a prebuilt catalog must not change the RNG streams.
+        catalog = dataset_catalog(config)
+        assert list(iter_dataset_transactions(config, catalog)) == batch
+
+    def test_streamed_dataset_ii_matches_batch(self):
+        from repro.data.datasets import iter_dataset_transactions
+
+        config = dataset_ii_config(n_transactions=120, n_items=40, seed=2)
+        assert (
+            list(iter_dataset_transactions(config))
+            == build_dataset(config).db.transactions
+        )

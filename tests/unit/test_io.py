@@ -9,10 +9,13 @@ import pytest
 from repro.data.io import (
     catalog_from_dict,
     catalog_to_dict,
+    iter_transactions,
     load_transactions,
+    read_catalog,
     save_transactions,
     transaction_from_dict,
     transaction_to_dict,
+    write_transactions_stream,
 )
 from repro.errors import SerializationError
 
@@ -85,3 +88,45 @@ class TestFileRoundTrip:
         content = path.read_text().replace("\n", "\n\n", 3)
         path.write_text(content)
         assert len(load_transactions(path)) == len(small_db)
+
+
+class TestStreaming:
+    """The streaming twins must match the batch functions exactly."""
+
+    def test_iter_transactions_matches_load(self, small_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_transactions(small_db, path)
+        streamed = list(iter_transactions(path))
+        assert streamed == load_transactions(path).transactions
+
+    def test_write_stream_is_byte_identical_to_save(self, small_db, tmp_path):
+        batch_path = tmp_path / "batch.jsonl"
+        stream_path = tmp_path / "stream.jsonl"
+        save_transactions(small_db, batch_path)
+        n = write_transactions_stream(
+            stream_path, small_db.catalog, iter(small_db.transactions)
+        )
+        assert n == len(small_db)
+        assert stream_path.read_bytes() == batch_path.read_bytes()
+
+    def test_read_catalog_reads_only_the_header(self, small_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_transactions(small_db, path)
+        # Corrupt every transaction line: the catalog must still read.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0]] + ["{broken"] * 3) + "\n")
+        assert read_catalog(path).target_ids() == small_db.catalog.target_ids()
+
+    def test_iter_transactions_reports_line_numbers(self, small_db, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_transactions(small_db, path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(SerializationError, match=str(len(small_db) + 2)):
+            list(iter_transactions(path))
+
+    def test_iter_transactions_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SerializationError, match="empty"):
+            list(iter_transactions(path))

@@ -101,7 +101,7 @@ class TestResolveBackend:
             kernel_mod.resolve_backend("dense", 10**9)
 
     def test_backends_tuple_matches_cli_choices(self):
-        assert set(BACKENDS) == {"auto", "dense", "bigint"}
+        assert set(BACKENDS) == {"auto", "dense", "bigint", "ooc"}
 
 
 class TestResolveJobs:

@@ -83,6 +83,19 @@ class TestCountersAndCaches:
             obs.cache_event("c", hits=3, misses=1, entries=4)
         assert trace.caches["c"] == {"hits": 5, "misses": 1, "entries": 10}
 
+    def test_resident_bytes_is_a_gauge(self):
+        # The store reports its resident set after every load/eviction; the
+        # trace must keep the peak, not the meaningless sum of snapshots.
+        with tracing("t") as trace:
+            obs.cache_event("store.partitions", loads=1, resident_bytes=100)
+            obs.cache_event("store.partitions", loads=1, resident_bytes=250)
+            obs.cache_event("store.partitions", evictions=1, resident_bytes=80)
+        assert trace.caches["store.partitions"] == {
+            "loads": 2,
+            "evictions": 1,
+            "resident_bytes": 250,
+        }
+
     def test_events_count_every_recording_call(self):
         with tracing("t") as trace:
             with obs.span("s"):
@@ -108,6 +121,25 @@ class TestMerge:
         assert trace.caches["c"] == {"hits": 5, "entries": 5}
         assert trace.events == before + 9
         assert trace.spans == []  # no worker spans -> no holder span
+
+    def test_merge_sums_spilled_bytes_but_gauges_resident_bytes(self):
+        # Counters like spilled bytes add up across workers; resident_bytes
+        # is a point-in-time gauge, so the merged trace keeps the maximum.
+        with tracing("parent") as trace:
+            obs.count("store.spilled_bytes", 1000)
+            obs.cache_event("store.partitions", loads=1, resident_bytes=300)
+        worker = {
+            "counters": {"store.spilled_bytes": 2500},
+            "caches": {"store.partitions": {"loads": 2, "resident_bytes": 700}},
+            "events": 3,
+            "spans": [],
+        }
+        trace.merge(worker)
+        assert trace.counters["store.spilled_bytes"] == 3500
+        assert trace.caches["store.partitions"] == {
+            "loads": 3,
+            "resident_bytes": 700,
+        }
 
     def test_merge_attaches_worker_spans_under_labeled_holder(self):
         worker = Trace("worker")

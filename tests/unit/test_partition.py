@@ -1,0 +1,277 @@
+"""Unit tests for the SON two-pass partitioned miner.
+
+The differential properties in ``tests/property/test_ooc_differential``
+pin bit-identity against the in-RAM backends; these tests cover the
+machinery itself: the n-independent local threshold, anti-monotone union
+pruning, the persisted SON state (round-trip, corruption detection,
+config echo), and the refresh entry points' error contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.engine.kernel import HAVE_NUMPY
+from repro.core.engine.store import ChunkedTransactionStore
+from repro.core.mining import MinerConfig, TransactionIndex, mine_rules
+from repro.core.partition import (
+    _local_minsup,
+    _prune_union,
+    mine_partitioned_db,
+    mine_store,
+    refresh_store,
+)
+from repro.core.profit import SavingMOA
+from repro.errors import MiningError, SerializationError, ValidationError
+from repro.obs import trace as obs
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the out-of-core miner needs numpy"
+)
+
+CONFIG = MinerConfig(
+    min_support=0.05, max_body_size=2, backend="ooc", partition_size=16
+)
+
+
+@pytest.fixture
+def small_store(small_db, small_moa, tmp_path):
+    return ChunkedTransactionStore.build(
+        tmp_path / "store",
+        small_db,
+        small_moa,
+        SavingMOA(),
+        partition_size=16,
+    )
+
+
+class TestLocalThreshold:
+    def test_ceiling_of_scaled_support(self):
+        # count_p < ceil(s * n_p) for every partition implies the global
+        # count is < s * n, so every globally frequent body survives pass 1.
+        assert _local_minsup(0.1, 100) == 10
+        assert _local_minsup(0.101, 100) == 11
+        assert _local_minsup(0.1, 7) == 1
+
+    def test_floor_of_one(self):
+        assert _local_minsup(0.0001, 5) == 1
+
+    def test_independent_of_global_n(self):
+        # The threshold must depend only on the partition — that is what
+        # makes old pass-1 results reusable after the store grows.
+        for n_p in (1, 16, 63, 64, 1000):
+            assert _local_minsup(0.25, n_p) == max(1, -(-n_p // 4))
+
+
+class TestPruneUnion:
+    def test_drops_bodies_with_missing_subsets(self):
+        union = {(1,), (2,), (1, 2), (1, 3)}
+        # (1, 3) needs (3,) in the union; (1, 2) has both subsets.
+        assert _prune_union(union) == [(1,), (2,), (1, 2)]
+
+    def test_canonical_order(self):
+        union = {(2,), (1,), (3,), (1, 3), (1, 2)}
+        pruned = _prune_union(union)
+        assert pruned == sorted(pruned, key=lambda b: (len(b), b))
+
+    def test_prune_is_monotone_under_union_growth(self):
+        # Refresh only ever *adds* to the raw union; pruning must never
+        # lose a previously kept body when that happens.
+        old = {(1,), (2,), (1, 2)}
+        new = old | {(3,), (1, 3)}
+        assert set(_prune_union(old)) <= set(_prune_union(new))
+
+
+class TestMineStore:
+    def test_matches_dense_mine(self, small_store, small_db, small_moa):
+        ooc = mine_store(small_store, CONFIG)
+        dense = mine_rules(
+            small_db, small_moa, SavingMOA(), replace(CONFIG, backend="dense")
+        )
+        assert [s.rule for s in ooc.all_rules] == [
+            s.rule for s in dense.all_rules
+        ]
+        assert [s.stats for s in ooc.all_rules] == [
+            s.stats for s in dense.all_rules
+        ]
+        assert ooc.body_tid_masks == dense.body_tid_masks
+
+    def test_emits_partition_counters(self, small_store):
+        with obs.tracing("t") as trace:
+            mine_store(small_store, CONFIG)
+        assert (
+            trace.counters["partition.partitions_mined"]
+            == small_store.n_partitions
+        )
+        assert trace.counters["partition.union_candidates"] >= 1
+        assert trace.counters["partition.globally_frequent"] >= 1
+        assert trace.counters["mine.backend.ooc"] == 1
+
+    def test_result_supports_filtering(self, small_store, small_db, small_moa):
+        from repro.core.mining import filter_mining_result
+
+        ooc = mine_store(small_store, CONFIG)
+        dense = mine_rules(
+            small_db, small_moa, SavingMOA(), replace(CONFIG, backend="dense")
+        )
+        filtered_ooc = filter_mining_result(ooc, 0.2)
+        filtered_dense = filter_mining_result(dense, 0.2)
+        assert [s.rule for s in filtered_ooc.all_rules] == [
+            s.rule for s in filtered_dense.all_rules
+        ]
+
+
+class TestRouting:
+    def test_backend_ooc_via_mine_rules(self, small_db, small_moa):
+        ooc = mine_rules(small_db, small_moa, SavingMOA(), CONFIG)
+        dense = mine_rules(
+            small_db, small_moa, SavingMOA(), replace(CONFIG, backend="dense")
+        )
+        assert [s.rule for s in ooc.all_rules] == [
+            s.rule for s in dense.all_rules
+        ]
+
+    def test_injected_index_rejected(self, small_db, small_moa):
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        with pytest.raises(MiningError, match="injected"):
+            mine_rules(small_db, small_moa, SavingMOA(), CONFIG, index=index)
+
+    def test_store_dir_must_be_fresh(self, small_db, small_moa, tmp_path):
+        config = replace(CONFIG, store_dir=str(tmp_path / "d"))
+        mine_partitioned_db(small_db, small_moa, SavingMOA(), config)
+        with pytest.raises(MiningError, match="already contains"):
+            mine_partitioned_db(small_db, small_moa, SavingMOA(), config)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            MinerConfig(partition_size=0)
+        with pytest.raises(ValidationError):
+            MinerConfig(max_resident_mb=0.0)
+
+
+class TestRefreshErrors:
+    def test_refresh_without_state_is_loud(self, small_store, small_db):
+        with pytest.raises(MiningError, match="no SON mining state"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_refresh_with_different_config_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        changed = replace(CONFIG, min_support=0.2)
+        with pytest.raises(MiningError, match="differs"):
+            refresh_store(small_store, list(small_db)[:4], changed)
+
+    def test_refresh_needs_new_transactions(self, small_store):
+        mine_store(small_store, CONFIG)
+        with pytest.raises(MiningError, match="at least one"):
+            refresh_store(small_store, [], CONFIG)
+
+    def test_refresh_after_external_append_is_loud(
+        self, small_store, small_db
+    ):
+        # Appending outside refresh_store leaves the state behind the
+        # store; refreshing then would silently double-count, so it must
+        # refuse.
+        mine_store(small_store, CONFIG)
+        small_store.append(list(small_db)[:4])
+        with pytest.raises(MiningError, match="re-mine"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_corrupt_state_json_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        path = small_store.root / "son_state.json"
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(SerializationError, match="corrupt"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_truncated_pair_counts_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        path = small_store.root / "son_state.pairs.i64"
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(SerializationError, match="truncated|corrupt"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_truncated_profits_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        path = small_store.root / "son_state.profits.f64"
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(SerializationError, match="truncated|corrupt"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_truncated_masks_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        path = small_store.root / "son_state.masks.bin"
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(SerializationError, match="truncated|corrupt"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+    def test_foreign_state_format_is_loud(self, small_store, small_db):
+        mine_store(small_store, CONFIG)
+        path = small_store.root / "son_state.json"
+        payload = json.loads(path.read_text())
+        payload["format"] = "not-son-state"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="format"):
+            refresh_store(small_store, list(small_db)[:4], CONFIG)
+
+
+class TestRefresh:
+    def test_refresh_equals_full_remine(
+        self, small_db, small_moa, tmp_path
+    ):
+        transactions = list(small_db)
+        base, extra = transactions[:48], transactions[48:]
+        store = ChunkedTransactionStore.build(
+            tmp_path / "grow", base, small_moa, SavingMOA(), partition_size=16
+        )
+        mine_store(store, CONFIG)
+        refreshed = refresh_store(store, extra, CONFIG)
+        full = mine_rules(
+            small_db, small_moa, SavingMOA(), replace(CONFIG, backend="dense")
+        )
+        assert [s.rule for s in refreshed.all_rules] == [
+            s.rule for s in full.all_rules
+        ]
+        assert [s.stats for s in refreshed.all_rules] == [
+            s.stats for s in full.all_rules
+        ]
+        assert refreshed.body_tid_masks == full.body_tid_masks
+
+    def test_repeated_refresh(self, small_db, small_moa, tmp_path):
+        transactions = list(small_db)
+        store = ChunkedTransactionStore.build(
+            tmp_path / "grow",
+            transactions[:20],
+            small_moa,
+            SavingMOA(),
+            partition_size=16,
+        )
+        mine_store(store, CONFIG)
+        refresh_store(store, transactions[20:40], CONFIG)
+        refreshed = refresh_store(store, transactions[40:], CONFIG)
+        full = mine_rules(
+            small_db, small_moa, SavingMOA(), replace(CONFIG, backend="dense")
+        )
+        assert [s.rule for s in refreshed.all_rules] == [
+            s.rule for s in full.all_rules
+        ]
+
+    def test_refresh_emits_delta_counter(self, small_db, small_moa, tmp_path):
+        transactions = list(small_db)
+        store = ChunkedTransactionStore.build(
+            tmp_path / "grow",
+            transactions[:48],
+            small_moa,
+            SavingMOA(),
+            partition_size=16,
+        )
+        mine_store(store, CONFIG)
+        with obs.tracing("t") as trace:
+            refresh_store(store, transactions[48:], CONFIG)
+        assert "partition.delta_candidates" in trace.counters
+        # Pass 1 on refresh touches only the appended partitions.
+        assert trace.counters["partition.partitions_mined"] < store.n_partitions

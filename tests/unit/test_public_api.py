@@ -28,6 +28,7 @@ MODULES = [
     "repro.core.engine",
     "repro.core.engine.compiled",
     "repro.core.engine.kernel",
+    "repro.core.engine.store",
     "repro.core.engine.symbols",
     "repro.core.fpgrowth",
     "repro.core.generalized",
@@ -39,6 +40,7 @@ MODULES = [
     "repro.core.mining_reference",
     "repro.core.moa",
     "repro.core.mpf",
+    "repro.core.partition",
     "repro.core.pessimistic",
     "repro.core.profit",
     "repro.core.promotion",

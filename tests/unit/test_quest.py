@@ -84,6 +84,18 @@ class TestBasketGeneration:
         baskets = gen.generate(200)
         assert len(baskets) == 200
 
+    def test_iter_generate_matches_generate(self):
+        config = QuestConfig(n_items=50, n_patterns=10)
+        batch = QuestGenerator(config=config, seed=4).generate(200)
+        streamed = list(QuestGenerator(config=config, seed=4).iter_generate(200))
+        assert streamed == batch
+
+    def test_iter_generate_is_lazy(self):
+        gen = QuestGenerator(config=QuestConfig(n_items=50, n_patterns=10), seed=4)
+        iterator = gen.iter_generate(10**9)  # must not materialize anything
+        first = next(iterator)
+        assert first.items
+
     def test_baskets_nonempty_and_sorted_unique(self):
         gen = QuestGenerator(config=QuestConfig(n_items=50, n_patterns=10), seed=0)
         for basket in gen.generate(200):

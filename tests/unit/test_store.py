@@ -1,0 +1,262 @@
+"""Unit tests for the spillable columnar transaction store.
+
+:class:`~repro.core.engine.store.ChunkedTransactionStore` backs the SON
+partitioned miner; these tests pin its durability contract — atomic
+manifests, size-checked memmaps that fail *loudly* when truncated,
+append-only growth — and the resident-set LRU with its telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine.kernel import HAVE_NUMPY
+from repro.core.engine.store import ChunkedTransactionStore
+from repro.core.moa import MOAHierarchy
+from repro.core.profit import BinaryProfit, SavingMOA
+from repro.errors import MiningError, SerializationError
+from repro.obs import trace as obs
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the out-of-core store needs numpy"
+)
+
+
+@pytest.fixture
+def small_store(small_db, small_moa, tmp_path):
+    store = ChunkedTransactionStore.build(
+        tmp_path / "store",
+        small_db,
+        small_moa,
+        SavingMOA(),
+        partition_size=16,
+    )
+    return store
+
+
+class TestBuild:
+    def test_build_partitions_and_counts(self, small_store, small_db):
+        assert small_store.n == len(small_db)
+        assert small_store.n_partitions == (len(small_db) + 15) // 16
+        sizes = [
+            small_store.partition_meta(i)["n"]
+            for i in range(small_store.n_partitions)
+        ]
+        assert sum(sizes) == len(small_db)
+        assert all(s <= 16 for s in sizes)
+
+    def test_build_rejects_empty_input(self, small_moa, tmp_path):
+        with pytest.raises(MiningError, match="zero transactions"):
+            ChunkedTransactionStore.build(
+                tmp_path / "s", [], small_moa, SavingMOA()
+            )
+
+    def test_build_rejects_bad_partition_size(self, small_db, small_moa, tmp_path):
+        with pytest.raises(MiningError, match="partition_size"):
+            ChunkedTransactionStore.build(
+                tmp_path / "s", small_db, small_moa, SavingMOA(), partition_size=0
+            )
+
+    def test_partition_masks_match_index(self, small_store, small_db, small_moa):
+        # Partition rows reassembled across the store must equal the
+        # in-RAM TransactionIndex masks bit for bit.
+        from repro.core.mining import TransactionIndex
+
+        index = TransactionIndex(
+            db=small_db, moa=small_moa, profit_model=SavingMOA()
+        )
+        for gid, mask in index.body_masks.items():
+            assembled = 0
+            for part in small_store.iter_partitions():
+                kernel = part.kernel()
+                if gid in kernel.body_rows:
+                    row = kernel.row_of(gid)
+                    assembled |= (
+                        int.from_bytes(row.tobytes(), "little") << part.offset
+                    )
+            assert assembled == mask, f"gid {gid} mask differs"
+
+    def test_head_profits_align_with_hit_positions(self, small_store, small_moa):
+        # Each stored profit row must have exactly one value per hit bit.
+        for part in small_store.iter_partitions():
+            for hid in part.head_ids:
+                assert len(part.head_profits(hid)) == part.head_count(hid)
+
+
+class TestOpenAndValidation:
+    def test_reopen_round_trips(self, small_store, small_moa, tmp_path):
+        reopened = ChunkedTransactionStore.open(
+            tmp_path / "store", small_moa, SavingMOA()
+        )
+        assert reopened.n == small_store.n
+        assert reopened.n_partitions == small_store.n_partitions
+        assert reopened.global_head_counts() == small_store.global_head_counts()
+
+    def test_open_missing_manifest_is_loud(self, small_moa, tmp_path):
+        with pytest.raises(SerializationError, match="manifest"):
+            ChunkedTransactionStore.open(tmp_path / "nowhere", small_moa, SavingMOA())
+
+    def test_open_rejects_profit_model_mismatch(self, small_store, small_moa, tmp_path):
+        with pytest.raises(SerializationError, match="profit"):
+            ChunkedTransactionStore.open(
+                tmp_path / "store", small_moa, BinaryProfit()
+            )
+
+    def test_open_rejects_use_moa_mismatch(
+        self, small_store, small_catalog, small_hierarchy, tmp_path
+    ):
+        no_moa = MOAHierarchy(
+            catalog=small_catalog, hierarchy=small_hierarchy, use_moa=False
+        )
+        with pytest.raises(SerializationError):
+            ChunkedTransactionStore.open(tmp_path / "store", no_moa, SavingMOA())
+
+    def test_truncated_body_file_is_loud(self, small_store, small_moa, tmp_path):
+        root = tmp_path / "store"
+        victim = next(root.glob("p*.body.u64"))
+        victim.write_bytes(victim.read_bytes()[:-8])
+        reopened = ChunkedTransactionStore.open(root, small_moa, SavingMOA())
+        with pytest.raises(SerializationError, match="truncated|size"):
+            for i in range(reopened.n_partitions):
+                reopened.partition(i)
+
+    def test_truncated_profit_file_is_loud(self, small_store, small_moa, tmp_path):
+        root = tmp_path / "store"
+        victim = next(root.glob("p*.prof.f64"))
+        victim.write_bytes(victim.read_bytes()[:-1])
+        reopened = ChunkedTransactionStore.open(root, small_moa, SavingMOA())
+        with pytest.raises(SerializationError, match="truncated|size"):
+            for i in range(reopened.n_partitions):
+                reopened.partition(i)
+
+    def test_missing_partition_file_is_loud(self, small_store, small_moa, tmp_path):
+        root = tmp_path / "store"
+        next(root.glob("p*.heads.u64")).unlink()
+        reopened = ChunkedTransactionStore.open(root, small_moa, SavingMOA())
+        with pytest.raises(SerializationError):
+            for i in range(reopened.n_partitions):
+                reopened.partition(i)
+
+    def test_corrupt_manifest_is_loud(self, small_store, small_moa, tmp_path):
+        manifest = tmp_path / "store" / "manifest.json"
+        manifest.write_text(manifest.read_text()[:50])
+        with pytest.raises(SerializationError):
+            ChunkedTransactionStore.open(tmp_path / "store", small_moa, SavingMOA())
+
+    def test_foreign_format_rejected(self, small_store, small_moa, tmp_path):
+        manifest = tmp_path / "store" / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["format"] = "something-else"
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="format"):
+            ChunkedTransactionStore.open(tmp_path / "store", small_moa, SavingMOA())
+
+
+class TestAppend:
+    def test_append_grows_store(self, small_store, small_db):
+        n_before, parts_before = small_store.n, small_store.n_partitions
+        new = small_store.append(list(small_db)[:20])
+        assert small_store.n == n_before + 20
+        assert new == list(range(parts_before, small_store.n_partitions))
+
+    def test_append_visible_after_reopen(
+        self, small_store, small_db, small_moa, tmp_path
+    ):
+        small_store.append(list(small_db)[:5])
+        reopened = ChunkedTransactionStore.open(
+            tmp_path / "store", small_moa, SavingMOA()
+        )
+        assert reopened.n == small_store.n
+
+    def test_global_head_counts_accumulate(self, small_store, small_db):
+        before = small_store.global_head_counts()
+        small_store.append(list(small_db))
+        after = small_store.global_head_counts()
+        assert sum(after.values()) == 2 * sum(before.values())
+
+
+class TestResidentBudget:
+    def test_lru_evicts_over_budget(self, small_db, small_moa, tmp_path):
+        # A budget big enough for one partition but not all of them.
+        one_part = ChunkedTransactionStore.build(
+            tmp_path / "probe", small_db, small_moa, SavingMOA(), partition_size=16
+        ).partition(0)
+        budget_mb = (one_part.nbytes + 1) / (1024 * 1024)
+        store = ChunkedTransactionStore.build(
+            tmp_path / "store",
+            small_db,
+            small_moa,
+            SavingMOA(),
+            partition_size=16,
+            max_resident_mb=budget_mb,
+        )
+        with obs.tracing("t") as trace:
+            for i in range(store.n_partitions):
+                store.partition(i)
+        stats = store.stats()
+        assert stats["resident_partitions"] < store.n_partitions
+        assert stats["resident_bytes"] <= stats["resident_budget_bytes"]
+        cache = trace.caches["store.partitions"]
+        assert cache["evictions"] >= 1
+        assert cache["loads"] == store.n_partitions
+
+    def test_at_least_one_partition_stays_resident(
+        self, small_db, small_moa, tmp_path
+    ):
+        # Even an absurdly small budget must keep the working partition.
+        store = ChunkedTransactionStore.build(
+            tmp_path / "store",
+            small_db,
+            small_moa,
+            SavingMOA(),
+            partition_size=16,
+            max_resident_mb=1e-9,
+        )
+        for i in range(store.n_partitions):
+            assert store.partition(i).n > 0
+        assert store.stats()["resident_partitions"] == 1
+
+    def test_repeated_access_hits_cache(self, small_store):
+        with obs.tracing("t") as trace:
+            small_store.partition(0)
+            small_store.partition(0)
+        assert trace.caches["store.partitions"]["hits"] >= 1
+
+    def test_invalid_budget_rejected(self, small_db, small_moa, tmp_path):
+        with pytest.raises(MiningError, match="max_resident_mb"):
+            ChunkedTransactionStore.build(
+                tmp_path / "s",
+                small_db,
+                small_moa,
+                SavingMOA(),
+                partition_size=16,
+                max_resident_mb=0,
+            )
+
+
+class TestStats:
+    def test_stats_shape(self, small_store):
+        stats = small_store.stats()
+        assert set(stats) == {
+            "n_transactions",
+            "n_partitions",
+            "partition_size",
+            "spilled_bytes",
+            "resident_bytes",
+            "resident_partitions",
+            "resident_budget_bytes",
+        }
+        assert stats["n_transactions"] == small_store.n
+        assert stats["spilled_bytes"] > 0
+
+    def test_stats_json_serializable(self, small_store):
+        json.dumps(small_store.stats())
+
+    def test_build_counts_spilled_bytes(self, small_db, small_moa, tmp_path):
+        with obs.tracing("t") as trace:
+            ChunkedTransactionStore.build(
+                tmp_path / "s", small_db, small_moa, SavingMOA(), partition_size=16
+            )
+        assert trace.counters["store.spilled_bytes"] > 0
