@@ -51,8 +51,11 @@ _EXPORTS = {
     "PruneConfig": "repro.core",
     "Recommendation": "repro.core",
     "Recommender": "repro.core",
+    "QueryHit": "repro.core",
+    "RankedView": "repro.core",
     "Rule": "repro.core",
     "RuleStats": "repro.core",
+    "RuleStore": "repro.core",
     "Sale": "repro.core",
     "SavingMOA": "repro.core",
     "ScoredRule": "repro.core",
@@ -67,6 +70,7 @@ _EXPORTS = {
     "load_transactions": "repro.data",
     "make_dataset_i": "repro.data",
     "make_dataset_ii": "repro.data",
+    "WorldCache": "repro.data",
     "save_model": "repro.data",
     "save_transactions": "repro.data",
     "coverage_report": "repro.analysis",

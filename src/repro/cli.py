@@ -205,16 +205,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(figure)
     _add_trace_argument(figure)
 
+    query = sub.add_parser(
+        "query",
+        help="audit the rules of a saved model through its columnar store",
+    )
+    query.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="model artifact written by 'fit --save-model'",
+    )
+    query.add_argument(
+        "--head-promo",
+        metavar="CODE",
+        help="only rules recommending this promotion code",
+    )
+    query.add_argument(
+        "--head-item",
+        metavar="ITEM",
+        help="only rules recommending this item",
+    )
+    query.add_argument(
+        "--head-under",
+        metavar="CONCEPT",
+        help="only rules whose recommended item falls under this concept",
+    )
+    query.add_argument(
+        "--body-mentions",
+        action="append",
+        metavar="SPEC",
+        help="only rules whose body mentions this symbol; 'item', "
+        "'[Concept]' or 'item@promo' — repeat to AND several",
+    )
+    query.add_argument(
+        "--shape",
+        choices=["default", "concept", "item", "promo"],
+        help="only rules of this body shape",
+    )
+    query.add_argument(
+        "--min-conf",
+        type=float,
+        metavar="X",
+        help="only rules with confidence >= X",
+    )
+    query.add_argument(
+        "--min-support",
+        type=float,
+        metavar="X",
+        help="only rules with support >= X",
+    )
+    query.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        help="at most N hits, best MPF rank first",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the hits as a JSON document instead of a table",
+    )
+
     serve = sub.add_parser(
         "serve",
-        help="run the always-on recommendation daemon over a saved model",
+        help="run the always-on recommendation daemon over saved models",
     )
     serve.add_argument(
         "--model",
         required=True,
-        metavar="PATH",
-        help="model artifact written by 'fit --save-model' (v2 recommended "
-        "for fast cold start)",
+        action="append",
+        metavar="[NAME=]PATH",
+        help="model artifact written by 'fit --save-model'; repeat to "
+        "serve several models from one daemon (requests route by the "
+        "JSON 'model' field; the first one is the default)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321)
@@ -728,6 +791,66 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.data.model_io import load_model
+
+    recommender = load_model(args.model)
+    hits = recommender.query_rules(
+        head_promo=args.head_promo,
+        head_item=args.head_item,
+        head_under=args.head_under,
+        body_mentions=args.body_mentions,
+        shape=args.shape,
+        min_conf=args.min_conf,
+        min_support=args.min_support,
+        top=args.top,
+    )
+    rows = [hit.to_dict() for hit in hits]
+    if args.json:
+        print(json.dumps({"model": recommender.name, "n": len(rows), "hits": rows}))
+        return 0
+    if not rows:
+        print(f"{recommender.name}: no rules match the query")
+        return 0
+    print(
+        format_table(
+            ["rank", "shape", "body", "recommendation", "conf", "support"],
+            [
+                [
+                    row["rank"],
+                    row["shape"],
+                    row["body"] or "(default)",
+                    f"{row['item']} @ {row['promo']}",
+                    f"{row['confidence']:.3f}",
+                    f"{row['support']:.4f}",
+                ]
+                for row in rows
+            ],
+            title=f"{recommender.name}: {len(rows)} matching rules",
+        )
+    )
+    return 0
+
+
+def _parse_model_specs(specs: Sequence[str]) -> list[tuple[str | None, str]]:
+    """CLI ``[NAME=]PATH`` model specs -> the daemon's (name, path) pairs.
+
+    A spec without ``=`` leaves the name to the loaded artifact; the
+    split is on the *first* ``=`` so Windows-style paths with drive
+    colons and values containing ``=`` survive.
+    """
+    pairs: list[tuple[str | None, str]] = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if sep and name:
+            pairs.append((name, path))
+        else:
+            pairs.append((None, spec))
+    return pairs
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -742,14 +865,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_period=trace_sample_period(args.trace_sample_rate),
         poll_interval_s=args.poll_interval,
     )
-    daemon = RecommendDaemon(args.model, config)
-    info = daemon.handle.info()
+    daemon = RecommendDaemon(_parse_model_specs(args.model), config)
+    for name in daemon.model_names:
+        info = daemon._slots[name].handle.info()
+        print(
+            f"serving model {name!r} ({info['n_rules']} rules) "
+            f"from {info['path']} on http://{config.host}:{config.port}"
+        )
     print(
-        f"serving model {info['model']!r} ({info['n_rules']} rules) "
-        f"from {args.model} on http://{config.host}:{config.port}"
-    )
-    print(
-        "endpoints: POST /recommend, POST /recommend_batch, "
+        "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
         "POST /admin/reload, GET /healthz, GET /stats"
     )
     try:
@@ -790,6 +914,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
+    "query": _cmd_query,
     "serve": _cmd_serve,
     "profile": _cmd_profile,
 }

@@ -41,6 +41,7 @@ from repro.core.pruning import PruneConfig, PruneReport, cut_optimal_prune
 from repro.core.recommender import Recommendation, Recommender
 from repro.core.rule_index import RuleMatchIndex, basket_key
 from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.core.rulestore import QueryHit, RankedView, RuleStore
 from repro.core.sales import Sale, Transaction, TransactionDB, concat
 
 __all__ = [
@@ -66,12 +67,15 @@ __all__ = [
     "PromotionCode",
     "PruneConfig",
     "PruneReport",
+    "QueryHit",
+    "RankedView",
     "Recommendation",
     "Recommender",
     "ROOT_CONCEPT",
     "Rule",
     "RuleMatchIndex",
     "RuleStats",
+    "RuleStore",
     "Sale",
     "SavingMOA",
     "ScoredRule",

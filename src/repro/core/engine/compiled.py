@@ -66,11 +66,12 @@ class CompiledModel:
     __slots__ = (
         "symbols",
         "ranked_rules",
-        "body_ids",
         "postings",
         "always_match",
         "body_sizes",
         "name",
+        "store",
+        "_body_ids",
         "_sale_ids",
         "_dense_match",
     )
@@ -85,21 +86,24 @@ class CompiledModel:
         name: str = "MPF",
     ) -> None:
         self.symbols = symbols
-        self.ranked_rules: list[ScoredRule] = list(ranked_rules)
-        self.body_ids: list[tuple[int, ...]] = list(body_ids)
+        self.ranked_rules: Sequence[ScoredRule] = list(ranked_rules)
+        self._body_ids: list[tuple[int, ...]] | None = list(body_ids)
         if postings is None:
             postings = {}
-            for pos, ids in enumerate(self.body_ids):
+            for pos, ids in enumerate(self._body_ids):
                 for gid in ids:
                     postings.setdefault(gid, []).append(pos)
         if always_match is None:
             always_match = [
-                pos for pos, ids in enumerate(self.body_ids) if not ids
+                pos for pos, ids in enumerate(self._body_ids) if not ids
             ]
         self.postings: dict[int, list[int]] = postings
         self.always_match: list[int] = list(always_match)
-        self.body_sizes: list[int] = [len(ids) for ids in self.body_ids]
+        self.body_sizes: list[int] = [len(ids) for ids in self._body_ids]
         self.name = name
+        # The shape-split columnar twin of this model (built lazily by
+        # ``rule_store``; installed at construction by ``from_store``).
+        self.store = None
         # Per-model filter of the symbols-level expansion: only ids that
         # occur in some body of *this* model can influence matching.
         self._sale_ids: dict[tuple[str, str], tuple[int, ...]] = {}
@@ -107,6 +111,20 @@ class CompiledModel:
         # vectorized all-matches path; None until first use or when the
         # model is too small for it to pay off.
         self._dense_match = None
+
+    @property
+    def body_ids(self) -> list[tuple[int, ...]]:
+        """Per-rank body id tuples (rebuilt from the store when lazy).
+
+        Models assembled by :meth:`from_store` defer this list — serving
+        needs only the postings and body sizes, so a store-backed load
+        never materializes per-rule tuples unless a writer (``save_model``
+        version 1/2) or the compile path explicitly asks.
+        """
+        if self._body_ids is None:
+            assert self.store is not None
+            self._body_ids = self.store.all_body_ids()
+        return self._body_ids
 
     # ------------------------------------------------------------------
     @classmethod
@@ -134,6 +152,43 @@ class CompiledModel:
             for scored in ranked_rules
         ]
         return cls(symbols, ranked_rules, body_ids, name=name)
+
+    @classmethod
+    def from_store(cls, store, name: str | None = None) -> "CompiledModel":
+        """Assemble a serving-ready model over a columnar rule store.
+
+        The ranked rules are the store's lazy
+        :class:`~repro.core.rulestore.RankedView` — nothing is
+        materialized here; postings, body sizes and the always-match
+        positions come straight from the columns, so a format-v3 load
+        reaches the first recommendation without building a single
+        per-rule Python object beyond the one the probe touches.
+        """
+        model = cls.__new__(cls)
+        model.symbols = store.symbols
+        model.ranked_rules = store.view
+        model._body_ids = None
+        model.postings = store.global_postings()
+        model.always_match = store.default_ranks()
+        model.body_sizes = store.body_sizes()
+        model.name = name or store.name
+        model.store = store
+        model._sale_ids = {}
+        model._dense_match = None
+        return model
+
+    @property
+    def rule_store(self):
+        """The shape-split columnar twin (:class:`~repro.core.rulestore.RuleStore`).
+
+        Built once on demand for models compiled in-process; models loaded
+        from a v3 artifact carry theirs from construction.
+        """
+        if self.store is None:
+            from repro.core.rulestore import RuleStore
+
+            self.store = RuleStore.from_compiled(self)
+        return self.store
 
     # ------------------------------------------------------------------
     # Introspection

@@ -275,6 +275,17 @@ class ProfitMiner(Recommender):
         assert self.recommender is not None
         return self.recommender.explain(basket)
 
+    def query_rules(self, **filters: object) -> list:
+        """Audit query over the cut-optimal rules.
+
+        Forwards to :meth:`~repro.core.mpf.MPFRecommender.query_rules`
+        (and through it :meth:`~repro.core.rulestore.RuleStore.query`):
+        filter by head promotion/item, head-under-concept, body mentions,
+        rule shape and stat floors, answered from the shape-split
+        columnar store rather than a scan of the ranked list.
+        """
+        return self.require_fitted_recommender().query_rules(**filters)
+
     @property
     def model_size(self) -> int:
         """Number of rules in the cut-optimal recommender."""

@@ -17,7 +17,7 @@ persistent basket-level memo.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.engine.compiled import CompiledModel
 from repro.core.engine.symbols import SymbolTable
@@ -28,6 +28,9 @@ from repro.core.rules import ScoredRule, rank_key
 from repro.core.sales import Sale, TransactionDB
 from repro.errors import RecommenderError, ValidationError
 from repro.obs import trace as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.rulestore import QueryHit, RuleStore
 
 __all__ = ["MPFRecommender"]
 
@@ -76,7 +79,13 @@ class MPFRecommender(Recommender):
     ) -> None:
         super().__init__()
         if compiled is not None:
-            rules_list = list(compiled.ranked_rules)
+            # Keep the compiled model's sequence as-is: on a store-backed
+            # load it is a lazy RankedView, and listing (or scanning) it
+            # here would materialize every rule the laziness avoids.  The
+            # default-rule invariant is readable from the compiled
+            # always-match positions without touching any rule object.
+            rules_list: Sequence[ScoredRule] = compiled.ranked_rules
+            n_defaults = len(compiled.always_match)
         else:
             # Keyed sort: one rank_key per rule instead of one per comparison.
             rules_list = (
@@ -84,15 +93,15 @@ class MPFRecommender(Recommender):
                 if presorted
                 else sorted(scored_rules, key=rank_key)
             )
-        defaults = [s for s in rules_list if s.rule.is_default]
-        if len(defaults) != 1:
+            n_defaults = sum(1 for s in rules_list if s.rule.is_default)
+        if n_defaults != 1:
             raise ValidationError(
                 f"MPF recommender needs exactly one default rule, got "
-                f"{len(defaults)}"
+                f"{n_defaults}"
             )
         self.name = name
         self.moa = moa
-        self.ranked_rules: list[ScoredRule] = rules_list
+        self.ranked_rules: Sequence[ScoredRule] = rules_list
         self._compiled = compiled
         self._index: RuleMatchIndex | None = None
         self._batch_memo: dict[frozenset[tuple[str, str]], Recommendation] = {}
@@ -112,6 +121,47 @@ class MPFRecommender(Recommender):
                 self.ranked_rules, SymbolTable.of(self.moa), name=self.name
             )
         return self._compiled
+
+    @property
+    def rule_store(self) -> "RuleStore":
+        """The shape-split columnar store over this recommender's rules.
+
+        Built once on demand (v3-loaded models carry theirs from the
+        artifact); backs :meth:`query_rules` and the serving telemetry's
+        per-shape counts.
+        """
+        return self.compiled.rule_store
+
+    def query_rules(
+        self,
+        head_promo: str | None = None,
+        head_item: str | None = None,
+        head_under: str | None = None,
+        body_mentions: Sequence[object] | None = None,
+        shape: str | None = None,
+        min_conf: float | None = None,
+        min_support: float | None = None,
+        top: int | None = None,
+        naive: bool = False,
+    ) -> "list[QueryHit]":
+        """Audit query over the ranked rules (see :meth:`RuleStore.query`).
+
+        Answers like "every rule recommending promo ``P`` under concept
+        ``C``" from the per-shape inverted indexes instead of a linear
+        scan; ``naive=True`` keeps the reference scan for differential
+        testing.
+        """
+        return self.rule_store.query(
+            head_promo=head_promo,
+            head_item=head_item,
+            head_under=head_under,
+            body_mentions=body_mentions,
+            shape=shape,
+            min_conf=min_conf,
+            min_support=min_support,
+            top=top,
+            naive=naive,
+        )
 
     @property
     def rule_index(self) -> RuleMatchIndex:

@@ -102,12 +102,32 @@ class RuleMatchIndex:
         """Total inverted-index size: Σ over gsales of |rules containing it|."""
         return self.compiled.n_postings
 
-    def stats(self) -> dict[str, int]:
-        """JSON-ready size summary (served verbatim by the daemon's API)."""
+    def stats(self) -> dict[str, object]:
+        """JSON-ready size summary (served verbatim by the daemon's API).
+
+        Well-formed on *any* model, including a zero-rule one: every
+        derived ratio is zero-guarded and every key is always present, so
+        a daemon's ``/stats`` on a degenerate model serves zeroes rather
+        than a division error or a missing field.
+        """
+        compiled = self.compiled
+        n_rules = self.n_rules
+        n_indexed_gsales = self.n_indexed_gsales
+        n_postings = self.n_postings
+        store = compiled.rule_store
         return {
-            "n_rules": self.n_rules,
-            "n_indexed_gsales": self.n_indexed_gsales,
-            "n_postings": self.n_postings,
+            "n_rules": n_rules,
+            "n_indexed_gsales": n_indexed_gsales,
+            "n_postings": n_postings,
+            "n_default_rules": len(compiled.always_match),
+            "avg_body_size": (
+                sum(compiled.body_sizes) / n_rules if n_rules else 0.0
+            ),
+            "avg_postings_per_gsale": (
+                n_postings / n_indexed_gsales if n_indexed_gsales else 0.0
+            ),
+            "shapes": store.shape_counts(),
+            "store_bytes": store.store_bytes(),
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,723 @@
+"""Shape-specialized columnar rule storage with a unified ranked view.
+
+The MPF model is one ranked list, but its rules come in four structurally
+distinct *shapes* (the syntactic forms of Definition 4's generalized
+sales applied to rule bodies):
+
+* ``default`` — the empty-body rule ``∅ → g`` (Definition 6's fallback);
+* ``concept`` — every body member is a concept ``C``;
+* ``item`` — at least one bare-item ``I`` member, no promo-form member;
+* ``promo`` — at least one ``⟨I, P⟩`` promo-form member.
+
+The taxonomy is total and disjoint, so a ranked rule list splits losslessly
+into four **shape tables** (:class:`ShapeTable`): parallel ``array.array``
+columns of symbol ids, stats and global rank — no per-rule Python objects.
+A :class:`RuleStore` owns the four tables plus the shared
+:class:`~repro.core.engine.symbols.SymbolTable`, and three consumers sit
+on top:
+
+* :class:`RankedView` — a lazy ``Sequence[ScoredRule]`` reconstituting the
+  exact original ranked order (same objects on the fit path, equal objects
+  on the load path), so :class:`~repro.core.engine.compiled.CompiledModel`,
+  covering/pruning and serving consume the split store unchanged;
+* :meth:`RuleStore.query` — the analytics layer: audit queries
+  (``head_promo`` / ``head_under`` / ``body_mentions`` / ``shape`` /
+  stat thresholds) answered from per-shape inverted postings and the
+  symbol table's subsumption tables instead of a linear scan.  The
+  original scan survives as ``naive=True``, the differential reference;
+* ``model_io`` format v3 — the tables persist column-wise and load with
+  no re-interning and no rule materialization.
+
+The split-tables-plus-backward-compatible-view architecture follows the
+pattern-detection store sketched in SNIPPETS.md; this module depends only
+on the standard library.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence, overload
+
+from repro.core.generalized import GKind, GSale
+from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine.compiled import CompiledModel
+    from repro.core.engine.symbols import SymbolTable
+
+__all__ = [
+    "SHAPES",
+    "ShapeTable",
+    "RuleStore",
+    "RankedView",
+    "QueryHit",
+    "parse_symbol_spec",
+    "shape_of_body",
+]
+
+#: The four rule shapes, in the canonical order used by the store's
+#: rank index and the persisted v3 column groups.
+SHAPES: tuple[str, ...] = ("default", "concept", "item", "promo")
+
+_SHAPE_INDEX = {shape: i for i, shape in enumerate(SHAPES)}
+
+#: Column names of one shape table, in persisted order.  The first seven
+#: are one-entry-per-rule; ``body_offsets``/``body_ids`` are the CSR
+#: encoding of the variable-length bodies.
+_INT_COLUMNS = ("ranks", "orders", "heads", "n_matched", "n_hits", "n_total")
+_FLOAT_COLUMNS = ("rule_profit",)
+_CSR_COLUMNS = ("body_offsets", "body_ids")
+COLUMNS: tuple[str, ...] = _INT_COLUMNS + _FLOAT_COLUMNS + _CSR_COLUMNS
+
+
+def shape_of_body(body: Iterable[GSale]) -> str:
+    """The shape label of one rule body (total and disjoint by construction).
+
+    Promo-form membership dominates, then bare items, then concepts; an
+    empty body is the ``default`` shape.  This is the object-level twin of
+    the id-level classification :meth:`RuleStore.from_compiled` performs,
+    used by the naive query path and the differential tests.
+    """
+    shape = "default"
+    for gsale in body:
+        if gsale.kind is GKind.PROMO:
+            return "promo"
+        if gsale.kind is GKind.ITEM:
+            shape = "item"
+        elif shape == "default":
+            shape = "concept"
+    return shape
+
+
+def parse_symbol_spec(spec: "GSale | str") -> GSale:
+    """Parse a query symbol spec into a :class:`GSale`.
+
+    Accepts a ready :class:`GSale`, or the textual forms used by the CLI
+    and the daemon's ``/query`` endpoint: ``[Concept]`` (bracketed concept),
+    ``item@promo`` (promo form) and a bare ``item``.
+    """
+    if isinstance(spec, GSale):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValidationError(f"symbol spec must be a non-empty string, got {spec!r}")
+    text = spec.strip()
+    if text.startswith("[") and text.endswith("]"):
+        return GSale.concept(text[1:-1].strip())
+    if "@" in text:
+        item, _, promo = text.partition("@")
+        return GSale.promo_form(item.strip(), promo.strip())
+    return GSale.item(text)
+
+
+class ShapeTable:
+    """Columnar storage for every rule of one shape.
+
+    All columns are parallel arrays indexed by *row* (position within this
+    shape, rank-ascending); ``ranks[row]`` maps a row back to its global
+    MPF rank.  Bodies are CSR-encoded: row ``r``'s body symbol ids are
+    ``body_ids[body_offsets[r]:body_offsets[r + 1]]``.  The two inverted
+    indexes (head id → rows, body symbol id → rows) are built lazily —
+    the serving path never asks for them.
+    """
+
+    __slots__ = (
+        "shape",
+        "ranks",
+        "orders",
+        "heads",
+        "n_matched",
+        "n_hits",
+        "n_total",
+        "rule_profit",
+        "body_offsets",
+        "body_ids",
+        "_by_head",
+        "_by_body",
+    )
+
+    def __init__(
+        self,
+        shape: str,
+        ranks: Iterable[int] = (),
+        orders: Iterable[int] = (),
+        heads: Iterable[int] = (),
+        n_matched: Iterable[int] = (),
+        n_hits: Iterable[int] = (),
+        n_total: Iterable[int] = (),
+        rule_profit: Iterable[float] = (),
+        body_offsets: Iterable[int] = (0,),
+        body_ids: Iterable[int] = (),
+    ) -> None:
+        if shape not in _SHAPE_INDEX:
+            raise ValidationError(f"unknown rule shape {shape!r}")
+        self.shape = shape
+        self.ranks = array("q", ranks)
+        self.orders = array("q", orders)
+        self.heads = array("q", heads)
+        self.n_matched = array("q", n_matched)
+        self.n_hits = array("q", n_hits)
+        self.n_total = array("q", n_total)
+        self.rule_profit = array("d", rule_profit)
+        self.body_offsets = array("q", body_offsets)
+        self.body_ids = array("q", body_ids)
+        n = len(self.ranks)
+        lengths = {
+            len(self.orders), len(self.heads), len(self.n_matched),
+            len(self.n_hits), len(self.n_total), len(self.rule_profit),
+        }
+        if lengths != {n} or len(self.body_offsets) != n + 1:
+            raise ValidationError(
+                f"misaligned columns in {shape!r} shape table ({n} ranks)"
+            )
+        self._by_head: dict[int, list[int]] | None = None
+        self._by_body: dict[int, list[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+    def body_slice(self, row: int) -> array:
+        """Row ``row``'s body symbol ids (CSR slice, possibly empty)."""
+        return self.body_ids[self.body_offsets[row] : self.body_offsets[row + 1]]
+
+    @property
+    def by_head(self) -> dict[int, list[int]]:
+        """Head symbol id → row-ascending rows recommending it (lazy)."""
+        if self._by_head is None:
+            index: dict[int, list[int]] = {}
+            for row, head in enumerate(self.heads):
+                index.setdefault(head, []).append(row)
+            self._by_head = index
+        return self._by_head
+
+    @property
+    def by_body(self) -> dict[int, list[int]]:
+        """Body symbol id → row-ascending rows mentioning it (lazy)."""
+        if self._by_body is None:
+            index: dict[int, list[int]] = {}
+            offsets = self.body_offsets
+            ids = self.body_ids
+            for row in range(len(self.ranks)):
+                for gid in ids[offsets[row] : offsets[row + 1]]:
+                    index.setdefault(gid, []).append(row)
+            self._by_body = index
+        return self._by_body
+
+    def nbytes(self) -> int:
+        """Raw byte footprint of the columns (indexes excluded)."""
+        return sum(
+            column.itemsize * len(column)
+            for column in (
+                self.ranks, self.orders, self.heads, self.n_matched,
+                self.n_hits, self.n_total, self.rule_profit,
+                self.body_offsets, self.body_ids,
+            )
+        )
+
+    def to_columns(self) -> dict[str, list[int] | list[float]]:
+        """JSON-ready column dict (the v3 on-disk form of this table)."""
+        return {name: list(getattr(self, _COLUMN_ATTRS[name])) for name in COLUMNS}
+
+
+#: Persisted column name → attribute name (identical except ``ranks``
+#: naming the global rank column).
+_COLUMN_ATTRS = {name: name for name in COLUMNS}
+
+
+@dataclass(frozen=True)
+class QueryHit:
+    """One rule matched by :meth:`RuleStore.query`.
+
+    Carries the global rank and shape immediately; the full
+    :class:`~repro.core.rules.ScoredRule` is materialized only when the
+    caller asks (``scored`` / ``to_dict``), so a query that merely counts
+    or ranks never builds per-rule objects.
+    """
+
+    store: "RuleStore"
+    rank: int
+    shape: str
+
+    @property
+    def scored(self) -> ScoredRule:
+        """The matched rule with stats (materialized through the view)."""
+        return self.store.view[self.rank]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready row (CLI table / daemon ``/query`` response shape)."""
+        scored = self.scored
+        rule, stats = scored.rule, scored.stats
+        return {
+            "rank": self.rank + 1,
+            "shape": self.shape,
+            "body": " & ".join(g.describe() for g in sorted(rule.body)),
+            "item": rule.head.node,
+            "promo": rule.head.promo,
+            "support": stats.support,
+            "confidence": stats.confidence,
+            "recommendation_profit": stats.recommendation_profit,
+            "n_matched": stats.n_matched,
+            "n_hits": stats.n_hits,
+            "order": rule.order,
+        }
+
+
+class RankedView(Sequence):
+    """The unified ranked list over the split shape tables.
+
+    A lazy ``Sequence[ScoredRule]``: ``view[rank]`` materializes (and
+    caches) exactly the rule at that global rank, and iteration reproduces
+    the legacy ranked list bit-for-bit — same total
+    :func:`~repro.core.rules.rank_key` order, ties across shapes included
+    (the global rank *is* the stored order, so no re-sort can disturb
+    ties).  On the fit path the cache is prefilled with the very
+    ``ScoredRule`` objects the miner produced, so downstream identity
+    checks keep holding.
+    """
+
+    __slots__ = ("_store", "_cache")
+
+    def __init__(
+        self, store: "RuleStore", prefilled: Sequence[ScoredRule] | None = None
+    ) -> None:
+        self._store = store
+        if prefilled is not None:
+            if len(prefilled) != store.n_rules:
+                raise ValidationError(
+                    f"prefilled view of {len(prefilled)} rules does not match "
+                    f"the store's {store.n_rules}"
+                )
+            self._cache: list[ScoredRule | None] = list(prefilled)
+        else:
+            self._cache = [None] * store.n_rules
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @overload
+    def __getitem__(self, index: int) -> ScoredRule: ...
+    @overload
+    def __getitem__(self, index: slice) -> list[ScoredRule]: ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self._cache)))]
+        scored = self._cache[index]
+        if scored is None:
+            if index < 0:
+                index += len(self._cache)
+            scored = self._store.materialize(index)
+            self._cache[index] = scored
+        return scored
+
+    def __iter__(self) -> Iterator[ScoredRule]:
+        for rank in range(len(self._cache)):
+            yield self[rank]
+
+
+class RuleStore:
+    """Four shape tables + the shared symbol table, queryable and viewable.
+
+    Construct through :meth:`from_compiled` (splitting a live
+    :class:`~repro.core.engine.compiled.CompiledModel`) or
+    :meth:`from_columns` (adopting persisted v3 columns).  The global
+    rank → (shape, row) index built here is what lets :class:`RankedView`
+    and :meth:`query` move between the split tables and the unified order
+    in O(1) per rule.
+    """
+
+    __slots__ = ("symbols", "tables", "name", "_rank_shape", "_rank_row", "_view")
+
+    def __init__(
+        self,
+        symbols: "SymbolTable",
+        tables: dict[str, ShapeTable],
+        name: str = "MPF",
+        view_cache: Sequence[ScoredRule] | None = None,
+    ) -> None:
+        self.symbols = symbols
+        self.tables = {
+            shape: tables.get(shape) or ShapeTable(shape) for shape in SHAPES
+        }
+        self.name = name
+        n_rules = sum(len(table) for table in self.tables.values())
+        rank_shape = array("b", bytes(n_rules))
+        rank_row = array("q", bytes(8 * n_rules))
+        # The ranks must form a permutation of 0..n-1: every global rank
+        # claimed by exactly one (shape, row) pair.
+        claimed = bytearray(n_rules)
+        for shape_idx, shape in enumerate(SHAPES):
+            table = self.tables[shape]
+            for row, rank in enumerate(table.ranks):
+                if not 0 <= rank < n_rules or claimed[rank]:
+                    raise ValidationError(
+                        f"shape tables do not partition ranks 0..{n_rules - 1}: "
+                        f"rank {rank} duplicated or out of range"
+                    )
+                claimed[rank] = 1
+                rank_shape[rank] = shape_idx
+                rank_row[rank] = row
+        self._rank_shape = rank_shape
+        self._rank_row = rank_row
+        self._view = RankedView(self, prefilled=view_cache)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_compiled(cls, compiled: "CompiledModel") -> "RuleStore":
+        """Split a compiled model's ranked rules into shape tables.
+
+        The view cache is prefilled with the compiled model's own
+        :class:`~repro.core.rules.ScoredRule` objects, so a store built on
+        the fit path hands back *identical* rules, not merely equal ones.
+        """
+        symbols = compiled.symbols
+        gsales = symbols.gsales
+        head_id = symbols.id_of
+        columns: dict[str, dict[str, list]] = {
+            shape: {name: [] for name in COLUMNS} for shape in SHAPES
+        }
+        for shape in SHAPES:
+            columns[shape]["body_offsets"].append(0)
+        ranked = compiled.ranked_rules
+        for rank, body_ids in enumerate(compiled.body_ids):
+            shape = "default"
+            for gid in body_ids:
+                kind = gsales[gid].kind
+                if kind is GKind.PROMO:
+                    shape = "promo"
+                    break
+                if kind is GKind.ITEM:
+                    shape = "item"
+                elif shape == "default":
+                    shape = "concept"
+            scored = ranked[rank]
+            cols = columns[shape]
+            cols["ranks"].append(rank)
+            cols["orders"].append(scored.rule.order)
+            cols["heads"].append(head_id(scored.rule.head))
+            cols["n_matched"].append(scored.stats.n_matched)
+            cols["n_hits"].append(scored.stats.n_hits)
+            cols["n_total"].append(scored.stats.n_total)
+            cols["rule_profit"].append(scored.stats.rule_profit)
+            cols["body_ids"].extend(body_ids)
+            cols["body_offsets"].append(len(cols["body_ids"]))
+        tables = {
+            shape: ShapeTable(shape, **columns[shape]) for shape in SHAPES
+        }
+        return cls(
+            symbols, tables, name=compiled.name,
+            view_cache=list(ranked),
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        symbols: "SymbolTable",
+        column_groups: dict[str, dict[str, Sequence[int] | Sequence[float]]],
+        name: str = "MPF",
+    ) -> "RuleStore":
+        """Adopt persisted per-shape columns (the v3 load path).
+
+        Nothing is re-interned and no rule objects are built — the first
+        materialization happens when (if) someone indexes the view.
+        """
+        tables = {
+            shape: ShapeTable(shape, **columns)
+            for shape, columns in column_groups.items()
+        }
+        return cls(symbols, tables, name=name)
+
+    # ------------------------------------------------------------------
+    # Unified view and compiled-model plumbing
+    # ------------------------------------------------------------------
+    @property
+    def n_rules(self) -> int:
+        """Total rules across all shape tables."""
+        return len(self._rank_shape)
+
+    @property
+    def view(self) -> RankedView:
+        """The unified ranked list (lazy ``Sequence[ScoredRule]``)."""
+        return self._view
+
+    def location_of(self, rank: int) -> tuple[str, int]:
+        """Global rank → ``(shape, row)`` within that shape's table."""
+        return SHAPES[self._rank_shape[rank]], self._rank_row[rank]
+
+    def materialize(self, rank: int) -> ScoredRule:
+        """Build the :class:`ScoredRule` at ``rank`` from the columns.
+
+        Bodies and heads reuse the interned :class:`GSale` objects, and the
+        separation constraint was validated before the rules entered the
+        store, so ``Rule.__post_init__`` is skipped (mirroring the v2
+        artifact loader).
+        """
+        shape, row = self.location_of(rank)
+        table = self.tables[shape]
+        gsales = self.symbols.gsales
+        rule = Rule.__new__(Rule)
+        object.__setattr__(
+            rule, "body", frozenset(gsales[gid] for gid in table.body_slice(row))
+        )
+        object.__setattr__(rule, "head", gsales[table.heads[row]])
+        object.__setattr__(rule, "order", table.orders[row])
+        return ScoredRule(
+            rule=rule,
+            stats=RuleStats(
+                n_matched=table.n_matched[row],
+                n_hits=table.n_hits[row],
+                rule_profit=table.rule_profit[row],
+                n_total=table.n_total[row],
+            ),
+        )
+
+    def body_sizes(self) -> list[int]:
+        """Per-rank body sizes, in global rank order."""
+        sizes = [0] * self.n_rules
+        for table in self.tables.values():
+            offsets = table.body_offsets
+            for row, rank in enumerate(table.ranks):
+                sizes[rank] = offsets[row + 1] - offsets[row]
+        return sizes
+
+    def all_body_ids(self) -> list[tuple[int, ...]]:
+        """Per-rank body id tuples, in global rank order."""
+        bodies: list[tuple[int, ...]] = [()] * self.n_rules
+        for table in self.tables.values():
+            for row, rank in enumerate(table.ranks):
+                bodies[rank] = tuple(table.body_slice(row))
+        return bodies
+
+    def global_postings(self) -> dict[int, list[int]]:
+        """Symbol id → rank-ascending rule positions, merged across shapes.
+
+        Bit-identical to the postings a
+        :class:`~repro.core.engine.compiled.CompiledModel` derives from the
+        unsplit body list — the property the serving differential gate
+        checks.
+        """
+        postings: dict[int, list[int]] = {}
+        rank_shape, rank_row = self._rank_shape, self._rank_row
+        tables = [self.tables[shape] for shape in SHAPES]
+        for rank in range(self.n_rules):
+            table = tables[rank_shape[rank]]
+            for gid in table.body_slice(rank_row[rank]):
+                postings.setdefault(gid, []).append(rank)
+        return postings
+
+    def default_ranks(self) -> list[int]:
+        """Global ranks of the empty-body rules, ascending."""
+        return sorted(self.tables["default"].ranks)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def shape_counts(self) -> dict[str, int]:
+        """Rules per shape (zeroed entries included)."""
+        return {shape: len(self.tables[shape]) for shape in SHAPES}
+
+    def store_bytes(self) -> int:
+        """Raw columnar footprint across all shape tables."""
+        return (
+            sum(table.nbytes() for table in self.tables.values())
+            + self._rank_shape.itemsize * len(self._rank_shape)
+            + self._rank_row.itemsize * len(self._rank_row)
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready size summary (shape counts + byte footprint)."""
+        return {
+            "n_rules": self.n_rules,
+            "shapes": self.shape_counts(),
+            "store_bytes": self.store_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # The analytics query layer
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        head_promo: str | None = None,
+        head_item: str | None = None,
+        head_under: str | None = None,
+        body_mentions: Sequence["GSale | str"] | None = None,
+        shape: str | None = None,
+        min_conf: float | None = None,
+        min_support: float | None = None,
+        top: int | None = None,
+        naive: bool = False,
+    ) -> list[QueryHit]:
+        """Audit query over the ranked rules, answered from the shape tables.
+
+        Parameters compose conjunctively:
+
+        ``head_promo`` / ``head_item``
+            Exact promotion code / target item of the head.
+        ``head_under``
+            Concept name; keeps rules whose head falls under it (the
+            symbol table's ancestor relation, which under MOA also walks
+            more-favorable promo forms).
+        ``body_mentions``
+            Symbol specs (see :func:`parse_symbol_spec`); a rule qualifies
+            when, for *each* mention, some body member equals or
+            specializes it (reflexive subsumption closure).
+        ``shape``
+            One of :data:`SHAPES`.
+        ``min_conf`` / ``min_support``
+            Stat floors (confidence / support, zero-guarded).
+        ``top``
+            Truncate to the best-ranked ``top`` hits.
+        ``naive``
+            Run the reference linear scan over the materialized ranked
+            view instead — kept, per the repo's convention, as the
+            differential-testing twin of the indexed path.
+
+        Returns hits in global rank order (best first).
+        """
+        if shape is not None and shape not in _SHAPE_INDEX:
+            raise ValidationError(
+                f"unknown rule shape {shape!r}; expected one of {SHAPES}"
+            )
+        if top is not None and top < 0:
+            raise ValidationError(f"top must be >= 0, got {top}")
+        mentions = [parse_symbol_spec(m) for m in body_mentions or ()]
+        if naive:
+            hits = self._query_naive(
+                head_promo, head_item, head_under, mentions,
+                shape, min_conf, min_support,
+            )
+        else:
+            hits = self._query_indexed(
+                head_promo, head_item, head_under, mentions,
+                shape, min_conf, min_support,
+            )
+        hits.sort(key=lambda h: h.rank)
+        if top is not None:
+            del hits[top:]
+        return hits
+
+    def _query_indexed(
+        self,
+        head_promo: str | None,
+        head_item: str | None,
+        head_under: str | None,
+        mentions: list[GSale],
+        shape: str | None,
+        min_conf: float | None,
+        min_support: float | None,
+    ) -> list[QueryHit]:
+        """The production path: per-shape inverted indexes + id subsumption."""
+        symbols = self.symbols
+        gsales = symbols.gsales
+        under_gid: int | None = None
+        if head_under is not None:
+            under_gid = symbols.ids.get(GSale.concept(head_under))
+            if under_gid is None:
+                return []  # unknown concept: nothing can fall under it
+        mention_gids: list[int] = []
+        for mention in mentions:
+            gid = symbols.ids.get(mention)
+            if gid is None:
+                return []  # unknown symbol: no body can specialize it
+            mention_gids.append(gid)
+        head_filtered = (
+            head_promo is not None or head_item is not None or under_gid is not None
+        )
+        hits: list[QueryHit] = []
+        shapes = (shape,) if shape is not None else SHAPES
+        for shape_code in shapes:
+            table = self.tables[shape_code]
+            if not len(table):
+                continue
+            rows: list[int] | None = None
+            if head_filtered:
+                ancestor_ids = symbols.ancestor_ids
+                selected: list[int] = []
+                for head_gid, head_rows in table.by_head.items():
+                    head = gsales[head_gid]
+                    if head_promo is not None and head.promo != head_promo:
+                        continue
+                    if head_item is not None and head.node != head_item:
+                        continue
+                    if under_gid is not None and under_gid not in ancestor_ids[head_gid]:
+                        continue
+                    selected.extend(head_rows)
+                selected.sort()
+                rows = selected
+            for mention_gid in mention_gids:
+                closure_ids = symbols.closure_ids
+                matching: set[int] = set()
+                for body_gid, body_rows in table.by_body.items():
+                    if mention_gid in closure_ids[body_gid]:
+                        matching.update(body_rows)
+                if rows is None:
+                    rows = sorted(matching)
+                else:
+                    rows = [row for row in rows if row in matching]
+                if not rows:
+                    break
+            candidates: Iterable[int] = (
+                range(len(table)) if rows is None else rows
+            )
+            ranks = table.ranks
+            if min_conf is None and min_support is None:
+                hits.extend(
+                    QueryHit(self, ranks[row], shape_code) for row in candidates
+                )
+                continue
+            n_matched, n_hits_col, n_total = (
+                table.n_matched, table.n_hits, table.n_total,
+            )
+            for row in candidates:
+                hit_count = n_hits_col[row]
+                if min_conf is not None:
+                    matched = n_matched[row]
+                    confidence = hit_count / matched if matched else 0.0
+                    if confidence < min_conf:
+                        continue
+                if min_support is not None and hit_count / n_total[row] < min_support:
+                    continue
+                hits.append(QueryHit(self, ranks[row], shape_code))
+        return hits
+
+    def _query_naive(
+        self,
+        head_promo: str | None,
+        head_item: str | None,
+        head_under: str | None,
+        mentions: list[GSale],
+        shape: str | None,
+        min_conf: float | None,
+        min_support: float | None,
+    ) -> list[QueryHit]:
+        """Reference path: materialize the view, linearly scan every rule."""
+        moa = self.symbols.moa
+        ancestors_of = moa.ancestors_of_gsale
+        under = GSale.concept(head_under) if head_under is not None else None
+        hits: list[QueryHit] = []
+        for rank, scored in enumerate(self.view):
+            rule, stats = scored.rule, scored.stats
+            rule_shape = shape_of_body(rule.body)
+            if shape is not None and rule_shape != shape:
+                continue
+            head = rule.head
+            if head_promo is not None and head.promo != head_promo:
+                continue
+            if head_item is not None and head.node != head_item:
+                continue
+            if under is not None and under not in ancestors_of(head):
+                continue
+            if mentions and not all(
+                any(g == m or m in ancestors_of(g) for g in rule.body)
+                for m in mentions
+            ):
+                continue
+            if min_conf is not None and stats.confidence < min_conf:
+                continue
+            if min_support is not None and stats.support < min_support:
+                continue
+            hits.append(QueryHit(self, rank, rule_shape))
+        return hits

@@ -1,47 +1,57 @@
-"""Synthetic data: Quest generator, pricing, datasets I/II, hierarchy, IO."""
+"""Synthetic data: Quest generator, pricing, datasets I/II, hierarchy, IO.
 
-from repro.data.datasets import (
-    Dataset,
-    DatasetConfig,
-    TargetSpec,
-    build_dataset,
-    dataset_i_config,
-    dataset_ii_config,
-    make_dataset_i,
-    make_dataset_ii,
-    normal_target_specs,
-    zipf_target_specs,
-)
-from repro.data.hierarchy_gen import grouped_hierarchy
-from repro.data.io import load_transactions, save_transactions
-from repro.data.model_io import load_model, save_model
-from repro.data.packs import PacksConfig, make_dataset_packs
-from repro.data.pricing import DEFAULT_MAX_COST, PricingModel, price_code_name
-from repro.data.quest import QuestBasket, QuestConfig, QuestGenerator, QuestPattern
+Submodules are imported lazily: the synthetic generators
+(:mod:`repro.data.datasets`, :mod:`repro.data.quest`, …) need numpy, but
+the persistence layer (:mod:`repro.data.model_io`, :mod:`repro.data.io`)
+must stay importable on a numpy-free install — the serving daemon loads
+models without ever touching the generators
+(``scripts/check_numpy_free.py`` enforces this).
+"""
 
-__all__ = [
-    "DEFAULT_MAX_COST",
-    "Dataset",
-    "DatasetConfig",
-    "PacksConfig",
-    "PricingModel",
-    "QuestBasket",
-    "QuestConfig",
-    "QuestGenerator",
-    "QuestPattern",
-    "TargetSpec",
-    "build_dataset",
-    "dataset_i_config",
-    "dataset_ii_config",
-    "grouped_hierarchy",
-    "load_model",
-    "load_transactions",
-    "make_dataset_i",
-    "make_dataset_packs",
-    "make_dataset_ii",
-    "normal_target_specs",
-    "price_code_name",
-    "save_model",
-    "save_transactions",
-    "zipf_target_specs",
-]
+from importlib import import_module
+
+_EXPORTS = {
+    "Dataset": "repro.data.datasets",
+    "DatasetConfig": "repro.data.datasets",
+    "TargetSpec": "repro.data.datasets",
+    "build_dataset": "repro.data.datasets",
+    "dataset_i_config": "repro.data.datasets",
+    "dataset_ii_config": "repro.data.datasets",
+    "make_dataset_i": "repro.data.datasets",
+    "make_dataset_ii": "repro.data.datasets",
+    "normal_target_specs": "repro.data.datasets",
+    "zipf_target_specs": "repro.data.datasets",
+    "grouped_hierarchy": "repro.data.hierarchy_gen",
+    "load_transactions": "repro.data.io",
+    "save_transactions": "repro.data.io",
+    "WorldCache": "repro.data.model_io",
+    "load_model": "repro.data.model_io",
+    "save_model": "repro.data.model_io",
+    "PacksConfig": "repro.data.packs",
+    "make_dataset_packs": "repro.data.packs",
+    "DEFAULT_MAX_COST": "repro.data.pricing",
+    "PricingModel": "repro.data.pricing",
+    "price_code_name": "repro.data.pricing",
+    "QuestBasket": "repro.data.quest",
+    "QuestConfig": "repro.data.quest",
+    "QuestGenerator": "repro.data.quest",
+    "QuestPattern": "repro.data.quest",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: __getattr__ fires once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -13,14 +13,30 @@ Two formats are written and read:
   for rule validation, ranking and a full serving-index build on first
   use.  Kept as a write option (``save_model(..., version=1)``) and read
   transparently for old artifacts.
-* **v2** (``repro-profit-mining-model-v2``, the default) — additionally
-  persists the engine layer: the
+* **v2** (``repro-profit-mining-model-v2``) — additionally persists the
+  engine layer: the
   :class:`~repro.core.engine.symbols.SymbolTable`'s symbol list, each
   rule's body/head as dense symbol ids, and the inverted postings of the
   :class:`~repro.core.engine.compiled.CompiledModel`.  Loading adopts the
   symbol list verbatim (ids = positions), restores the postings directly,
   and hands the recommender a ready compiled model — ``load_model`` →
   first recommendation performs no re-interning and no index build.
+* **v3** (``repro-profit-mining-model-v3``, the default) — persists the
+  shape-split columnar :class:`~repro.core.rulestore.RuleStore` instead
+  of per-rule arrays.  Loading is column-wise: the arrays are adopted
+  into shape tables and the recommender serves through a lazy
+  :class:`~repro.core.rulestore.RankedView` — no re-interning and no
+  per-rule Python objects until something actually touches a rule.
+
+Every artifact written here carries an integer ``version`` field;
+:func:`load_model` refuses documents whose version is missing (and whose
+format string is unrecognizable), non-integer or from the future, always
+via :class:`~repro.errors.SerializationError` naming what it saw.
+
+A :class:`WorldCache` passed to :func:`load_model` shares one
+(catalog, hierarchy, MOA) world — and through it one interned symbol
+universe — across every artifact describing the same world, which is what
+keeps N resident models memory-light in the multi-tenant daemon.
 
 Round trip::
 
@@ -44,13 +60,22 @@ from repro.core.hierarchy import ConceptHierarchy
 from repro.core.moa import MOAHierarchy
 from repro.core.mpf import MPFRecommender
 from repro.core.rules import Rule, RuleStats, ScoredRule
+from repro.core.rulestore import COLUMNS, RuleStore
 from repro.data.io import catalog_from_dict, catalog_to_dict
 from repro.errors import SerializationError
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "WorldCache"]
 
 _FORMAT_V1 = "repro-profit-mining-model-v1"
 _FORMAT_V2 = "repro-profit-mining-model-v2"
+_FORMAT_V3 = "repro-profit-mining-model-v3"
+
+#: Format string → the version it implies, for legacy artifacts written
+#: before the explicit integer ``version`` field existed.
+_FORMAT_VERSIONS = {_FORMAT_V1: 1, _FORMAT_V2: 2, _FORMAT_V3: 3}
+
+#: Versions this build knows how to read.
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Compact symbol encodings used by the v2 ``symbols`` list.
 _KIND_TAGS = {GKind.CONCEPT: "c", GKind.ITEM: "i", GKind.PROMO: "p"}
@@ -107,13 +132,15 @@ def _world_to_dict(recommender: MPFRecommender) -> dict[str, Any]:
 
 
 def save_model(
-    recommender: MPFRecommender, path: str | Path, version: int = 2
+    recommender: MPFRecommender, path: str | Path, version: int = 3
 ) -> None:
     """Write a fitted MPF recommender (rules + world) to ``path``.
 
-    ``version=2`` (the default) also persists the symbol table and the
-    compiled inverted postings so loading skips re-interning; ``version=1``
-    writes the legacy string-form document.
+    ``version=3`` (the default) persists the shape-split columnar rule
+    store so loading is column-wise with no re-interning and no per-rule
+    materialization; ``version=2`` writes the per-rule dense-id document
+    with inverted postings; ``version=1`` writes the legacy string-form
+    document.
 
     The write is atomic (temp file + :func:`os.replace`): concurrent
     readers — in particular a serving daemon's hot-swap watcher — see
@@ -121,7 +148,11 @@ def save_model(
     truncated document.
     """
     if version == 1:
-        payload: dict[str, Any] = {"format": _FORMAT_V1, **_world_to_dict(recommender)}
+        payload: dict[str, Any] = {
+            "format": _FORMAT_V1,
+            "version": 1,
+            **_world_to_dict(recommender),
+        }
         payload["rules"] = [
             {
                 "body": [_gsale_to_dict(g) for g in sorted(scored.rule.body)],
@@ -138,7 +169,11 @@ def save_model(
         compiled = recommender.compiled
         symbols = compiled.symbols
         head_id = symbols.id_of
-        payload = {"format": _FORMAT_V2, **_world_to_dict(recommender)}
+        payload = {
+            "format": _FORMAT_V2,
+            "version": 2,
+            **_world_to_dict(recommender),
+        }
         payload["symbols"] = [_symbol_entry(g) for g in symbols.gsales]
         # One array per rule, in rank order:
         # [body ids, head id, order, n_matched, n_hits, rule_profit, n_total]
@@ -158,6 +193,21 @@ def save_model(
         payload["postings"] = [
             [gid, positions] for gid, positions in sorted(compiled.postings.items())
         ]
+    elif version == 3:
+        compiled = recommender.compiled
+        store = compiled.rule_store
+        symbols = compiled.symbols
+        payload = {
+            "format": _FORMAT_V3,
+            "version": 3,
+            **_world_to_dict(recommender),
+        }
+        payload["symbols"] = [_symbol_entry(g) for g in symbols.gsales]
+        # One column group per rule shape; empty shapes persist as empty
+        # columns so the reader never special-cases a missing table.
+        payload["store"] = {
+            shape: table.to_columns() for shape, table in store.tables.items()
+        }
     else:
         raise SerializationError(f"unsupported model format version {version}")
     _write_atomic(Path(path), payload)
@@ -207,10 +257,78 @@ def _load_world(payload: dict[str, Any]) -> MOAHierarchy:
     )
 
 
-def _load_v1(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
+class WorldCache:
+    """Shares one MOA world across every model artifact describing it.
+
+    Two artifacts whose (catalog, hierarchy, MOA-switch) sections are
+    identical get back the *same* :class:`~repro.core.moa.MOAHierarchy`
+    instance — and, because the engine's canonical
+    :class:`~repro.core.engine.symbols.SymbolTable` is cached on that
+    instance, the same interned symbol universe, per-sale expansion
+    caches and subsumption tables.  This is what makes N resident models
+    in the multi-tenant daemon cost one world plus N rule stores instead
+    of N of everything.
+    """
+
+    def __init__(self) -> None:
+        self._worlds: dict[str, MOAHierarchy] = {}
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def moa_for(self, payload: dict[str, Any]) -> MOAHierarchy:
+        """The shared world of ``payload`` (built on first sight)."""
+        key = json.dumps(
+            {
+                "use_moa": payload.get("use_moa"),
+                "catalog": payload.get("catalog"),
+                "hierarchy": payload.get("hierarchy"),
+            },
+            sort_keys=True,
+        )
+        moa = self._worlds.get(key)
+        if moa is None:
+            moa = _load_world(payload)
+            self._worlds[key] = moa
+        return moa
+
+
+def _resolve_moa(
+    payload: dict[str, Any], worlds: WorldCache | None
+) -> MOAHierarchy:
+    if worlds is None:
+        return _load_world(payload)
+    return worlds.moa_for(payload)
+
+
+def _adopt_symbols(
+    moa: MOAHierarchy, payload: dict[str, Any], path: str | Path
+) -> SymbolTable:
+    """Install (or re-find) the artifact's symbol list on ``moa``.
+
+    On a shared world (:class:`WorldCache`) the table may already exist
+    from a sibling artifact; the persisted ids are only valid if the two
+    symbol lists agree, so disagreement is a hard serialization error
+    rather than silent id corruption.
+    """
+    gsales = [_symbol_from_entry(entry) for entry in payload["symbols"]]
+    symbols = SymbolTable.adopt(moa, gsales)
+    if symbols.gsales != gsales:
+        raise SerializationError(
+            f"{path}: artifact's symbol table disagrees with the shared "
+            f"world's ({len(gsales)} vs {len(symbols.gsales)} symbols)"
+        )
+    return symbols
+
+
+def _load_v1(
+    payload: dict[str, Any],
+    path: str | Path,
+    worlds: WorldCache | None = None,
+) -> MPFRecommender:
     """Reconstruct a legacy v1 document (string-form rules)."""
     try:
-        moa = _load_world(payload)
+        moa = _resolve_moa(payload, worlds)
         scored_rules = [
             ScoredRule(
                 rule=Rule(
@@ -234,12 +352,16 @@ def _load_v1(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
     return MPFRecommender(scored_rules, moa, name=str(payload.get("name", "MPF")))
 
 
-def _load_v2(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
+def _load_v2(
+    payload: dict[str, Any],
+    path: str | Path,
+    worlds: WorldCache | None = None,
+) -> MPFRecommender:
     """Reconstruct a v2 document: adopt symbols, restore postings verbatim."""
     try:
-        moa = _load_world(payload)
-        gsales = [_symbol_from_entry(entry) for entry in payload["symbols"]]
-        symbols = SymbolTable.adopt(moa, gsales)
+        moa = _resolve_moa(payload, worlds)
+        symbols = _adopt_symbols(moa, payload, path)
+        gsales = symbols.gsales
         name = str(payload.get("name", "MPF"))
         ranked: list[ScoredRule] = []
         body_ids: list[tuple[int, ...]] = []
@@ -281,15 +403,93 @@ def _load_v2(payload: dict[str, Any], path: str | Path) -> MPFRecommender:
     )
 
 
-def load_model(path: str | Path) -> MPFRecommender:
-    """Reconstruct a recommender written by :func:`save_model` (v1 or v2)."""
+def _load_v3(
+    payload: dict[str, Any],
+    path: str | Path,
+    worlds: WorldCache | None = None,
+) -> MPFRecommender:
+    """Reconstruct a v3 document: adopt the columnar store, stay lazy.
+
+    The shape tables are rebuilt directly from the persisted columns and
+    the recommender serves through :class:`CompiledModel.from_store` —
+    no rule objects exist until someone indexes the ranked view.
+    """
+    try:
+        moa = _resolve_moa(payload, worlds)
+        symbols = _adopt_symbols(moa, payload, path)
+        name = str(payload.get("name", "MPF"))
+        column_groups: dict[str, dict[str, Any]] = {}
+        for shape, columns in payload["store"].items():
+            column_groups[shape] = {
+                column: columns[column] for column in COLUMNS
+            }
+        store = RuleStore.from_columns(symbols, column_groups, name=name)
+    except (KeyError, TypeError, ValueError, IndexError, OverflowError) as exc:
+        raise SerializationError(f"{path}: malformed model payload: {exc}") from exc
+    compiled = CompiledModel.from_store(store, name=name)
+    return MPFRecommender(
+        compiled.ranked_rules, moa, name=name, presorted=True, compiled=compiled
+    )
+
+
+_MISSING = object()
+_LOADERS = {1: _load_v1, 2: _load_v2, 3: _load_v3}
+
+
+def _resolve_version(payload: Any, path: str | Path) -> int:
+    """The format version of ``payload``, or a loud :class:`SerializationError`.
+
+    New artifacts carry an integer ``version``; legacy v1/v2 documents
+    are recognized by their format string.  A missing version with an
+    unrecognizable format, a non-integer version, or a version from the
+    future all fail naming exactly what was seen — never a ``KeyError``
+    and never a silent misparse.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"{path}: model artifact must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    fmt = payload.get("format")
+    format_version = _FORMAT_VERSIONS.get(fmt) if isinstance(fmt, str) else None
+    version = payload.get("version", _MISSING)
+    if version is _MISSING:
+        if format_version is None:
+            raise SerializationError(
+                f"{path}: cannot determine model version: no 'version' "
+                f"field and unrecognized format {fmt!r}"
+            )
+        return format_version  # legacy pre-'version' artifact
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise SerializationError(
+            f"{path}: model 'version' must be an integer, got {version!r}"
+        )
+    if version not in _LOADERS:
+        raise SerializationError(
+            f"{path}: model version {version} is not supported by this "
+            f"build (reads versions {list(_SUPPORTED_VERSIONS)})"
+        )
+    if format_version is not None and format_version != version:
+        raise SerializationError(
+            f"{path}: model 'version' {version} disagrees with "
+            f"format {fmt!r}"
+        )
+    return version
+
+
+def load_model(
+    path: str | Path, worlds: WorldCache | None = None
+) -> MPFRecommender:
+    """Reconstruct a recommender written by :func:`save_model` (v1/v2/v3).
+
+    ``worlds`` shares the (catalog, hierarchy, MOA) world — and the
+    interned symbol universe cached on it — across loads: pass one
+    :class:`WorldCache` to every ``load_model`` call of a multi-model
+    process and artifacts describing the same world are deduplicated.
+    """
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise SerializationError(f"{path}: not valid JSON: {exc}") from exc
-    fmt = payload.get("format") if isinstance(payload, dict) else None
-    if fmt == _FORMAT_V1:
-        return _load_v1(payload, path)
-    if fmt == _FORMAT_V2:
-        return _load_v2(payload, path)
-    raise SerializationError(f"{path}: unexpected model format {fmt!r}")
+    version = _resolve_version(payload, path)
+    return _LOADERS[version](payload, path, worlds)

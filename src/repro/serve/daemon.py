@@ -32,6 +32,15 @@ while staying dependency-free:
   ``GET /stats`` exposes alongside the raw request counters, so the
   basket-memo hit rate and postings-scan footprint of live traffic are
   one curl away.
+
+* **Multi-model tenancy** — one daemon serves N resident models, each
+  its own generation-stamped slot with a private micro-batching queue.
+  Requests route by the JSON ``"model"`` field (the first model is the
+  default); every slot loads through one shared
+  :class:`~repro.data.model_io.WorldCache`, so models mined over the
+  same world share a single interned symbol universe.  ``POST /query``
+  answers rule-audit queries from each model's shape-split columnar
+  store.
 """
 
 from __future__ import annotations
@@ -41,12 +50,13 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.core.mpf import MPFRecommender
 from repro.core.recommender import Recommendation
 from repro.core.sales import Sale
-from repro.data.model_io import load_model
+from repro.data.model_io import WorldCache, load_model
 from repro.errors import CatalogError, ProfitMiningError, ValidationError
 from repro.obs import trace as obs
 from repro.serve.http import (
@@ -149,16 +159,21 @@ class ModelHandle:
         }
 
 
-def _load_handle(path: str, generation: int) -> ModelHandle:
+def _load_handle(
+    path: str, generation: int, worlds: WorldCache | None = None
+) -> ModelHandle:
     """Load + validate one artifact into a ready-to-serve handle.
 
     Runs in a worker thread during hot-swap.  The probe recommendation
     both validates the artifact end-to-end (exactly one default rule,
     postings consistent) and forces the lazy serving index, so the swap
     installs a warm model and the first post-swap request pays nothing.
+    ``worlds`` is the daemon's shared :class:`WorldCache`: every resident
+    model describing the same (catalog, hierarchy, MOA) world shares one
+    engine and one interned symbol universe.
     """
     mtime_ns = os.stat(path).st_mtime_ns
-    recommender = load_model(path)
+    recommender = load_model(path, worlds=worlds)
     probe = recommender.recommend([])
     if not probe.item_id:  # pragma: no cover - defensive, load validates
         raise ValidationError(f"{path}: probe recommendation is empty")
@@ -169,6 +184,56 @@ def _load_handle(path: str, generation: int) -> ModelHandle:
         mtime_ns=mtime_ns,
         loaded_at=time.time(),
     )
+
+
+class _ModelSlot:
+    """One resident model: its current handle plus a private batch queue.
+
+    The slot object itself is stable for the daemon's lifetime — routing
+    tables and worker tasks point at slots — while ``handle`` is the
+    atomically-swapped serving generation inside it.
+    """
+
+    __slots__ = ("name", "handle", "queue", "worker")
+
+    def __init__(self, name: str, handle: ModelHandle) -> None:
+        self.name = name
+        self.handle = handle
+        self.queue: asyncio.Queue | None = None
+        self.worker: asyncio.Task | None = None
+
+
+def _normalize_models(
+    models: (
+        str
+        | Path
+        | Mapping[str, str]
+        | Sequence[str | Path | tuple[str | None, str]]
+    ),
+) -> list[tuple[str | None, str]]:
+    """Normalize every accepted model spec to ``(name | None, path)`` pairs.
+
+    A bare path (the single-model form every v0 caller uses) gets its
+    slot name from the loaded recommender; mappings and explicit pairs
+    carry their own names.
+    """
+    if isinstance(models, (str, Path)):
+        return [(None, str(models))]
+    if isinstance(models, Mapping):
+        pairs = [(str(name), str(path)) for name, path in models.items()]
+    else:
+        pairs = []
+        for entry in models:
+            if isinstance(entry, (str, Path)):
+                pairs.append((None, str(entry)))
+            else:
+                name, path = entry
+                pairs.append(
+                    (None if name is None else str(name), str(path))
+                )
+    if not pairs:
+        raise ValidationError("the daemon needs at least one model")
+    return pairs
 
 
 def _parse_sale(entry: Any) -> Sale:
@@ -201,30 +266,58 @@ def _rec_to_dict(rec: Recommendation) -> dict[str, Any]:
 
 
 class RecommendDaemon:
-    """Always-on HTTP/JSON serving for a persisted profit-mining model.
+    """Always-on HTTP/JSON serving for persisted profit-mining models.
 
     Endpoints::
 
-        POST /recommend        {"basket": [{"item", "promo", "quantity"?}]}
-        POST /recommend_batch  {"baskets": [[...], ...]}
-        POST /admin/reload     {"path"?: "other_model.json"}
+        POST /recommend        {"basket": [...], "model"?: "name"}
+        POST /recommend_batch  {"baskets": [[...], ...], "model"?: "name"}
+        POST /query            {"head_promo"?, "head_under"?, ..., "model"?}
+        POST /admin/reload     {"path"?: "other.json", "model"?: "name"}
         GET  /healthz
         GET  /stats
+
+    ``models`` accepts a single artifact path (the v0 form), a mapping of
+    ``name -> path``, or a sequence mixing bare paths and ``(name, path)``
+    pairs.  The first model is the default: requests without a ``"model"``
+    field route to it, and the top-level ``/healthz`` / ``/stats`` keys
+    keep describing it so single-model clients never notice tenancy.
 
     The daemon is single-loop: request handling, batching and the flip of
     a hot-swap all run on the event loop, while artifact loading (the
     slow part of a swap) runs in a worker thread.  ``recommend_many`` is
     synchronous, so a batch is computed without yielding — a swap can
-    never interleave with the middle of a batch.
+    never interleave with the middle of a batch, and each model's private
+    queue means a batch is always served entirely by one model.
     """
 
-    def __init__(self, model_path: str, config: ServeConfig | None = None):
+    def __init__(
+        self,
+        models: (
+            str
+            | Path
+            | Mapping[str, str]
+            | Sequence[str | Path | tuple[str | None, str]]
+        ),
+        config: ServeConfig | None = None,
+    ):
         self.config = config or ServeConfig()
         # Synchronous first load: the daemon either starts serving or
-        # fails loudly before binding a port.
-        self._handle = _load_handle(str(model_path), generation=1)
+        # fails loudly before binding a port.  All resident models load
+        # through one shared WorldCache.
+        self.worlds = WorldCache()
+        self._slots: dict[str, _ModelSlot] = {}
+        for name, path in _normalize_models(models):
+            handle = _load_handle(path, generation=1, worlds=self.worlds)
+            slot_name = name if name is not None else handle.recommender.name
+            if slot_name in self._slots:
+                raise ValidationError(
+                    f"duplicate model name {slot_name!r}; serve each model "
+                    f"under a distinct NAME=PATH"
+                )
+            self._slots[slot_name] = _ModelSlot(slot_name, handle)
+        self._default_name = next(iter(self._slots))
         self._server: asyncio.base_events.Server | None = None
-        self._queue: asyncio.Queue | None = None
         self._tasks: list[asyncio.Task] = []
         self._connections: set[asyncio.Task] = set()
         self._reload_lock: asyncio.Lock | None = None
@@ -235,6 +328,7 @@ class RecommendDaemon:
             "requests": 0,
             "recommend_requests": 0,
             "batch_requests": 0,
+            "query_requests": 0,
             "baskets_served": 0,
             "batches_flushed": 0,
             "reloads": 0,
@@ -247,8 +341,28 @@ class RecommendDaemon:
     # ------------------------------------------------------------------
     @property
     def handle(self) -> ModelHandle:
-        """The current serving generation (atomically replaced on swap)."""
-        return self._handle
+        """The default model's serving generation (atomic on swap)."""
+        return self._slots[self._default_name].handle
+
+    @property
+    def model_names(self) -> list[str]:
+        """Resident model names in registration order (default first)."""
+        return list(self._slots)
+
+    def _slot(self, name: str | None) -> _ModelSlot:
+        """Route a request's ``"model"`` field to its slot (404 unknown)."""
+        if name is None:
+            return self._slots[self._default_name]
+        if not isinstance(name, str):
+            raise HttpError(400, "'model' must be a string model name")
+        slot = self._slots.get(name)
+        if slot is None:
+            raise HttpError(
+                404,
+                f"unknown model {name!r}; resident models: "
+                f"{', '.join(self._slots)}",
+            )
+        return slot
 
     @property
     def port(self) -> int:
@@ -258,14 +372,17 @@ class RecommendDaemon:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Bind the socket and start the batcher / poller tasks."""
-        self._queue = asyncio.Queue()
+        """Bind the socket and start the per-model batchers + poller."""
         self._reload_lock = asyncio.Lock()
         self._started_at = time.time()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
-        self._tasks = [asyncio.create_task(self._batch_worker())]
+        self._tasks = []
+        for slot in self._slots.values():
+            slot.queue = asyncio.Queue()
+            slot.worker = asyncio.create_task(self._batch_worker(slot))
+            self._tasks.append(slot.worker)
         if self.config.poll_interval_s > 0:
             self._tasks.append(asyncio.create_task(self._mtime_poller()))
 
@@ -299,41 +416,47 @@ class RecommendDaemon:
     # ------------------------------------------------------------------
     # Hot swap
     # ------------------------------------------------------------------
-    async def reload(self, path: str | None = None) -> ModelHandle:
-        """Load ``path`` (default: current artifact) and swap atomically.
+    async def reload(
+        self, path: str | None = None, model: str | None = None
+    ) -> ModelHandle:
+        """Load ``path`` (default: the slot's current artifact) and swap.
 
+        ``model`` names the slot to swap (default: the default model).
         The load and validation run in a worker thread; only after the
         new handle is fully built does the event loop flip the serving
         reference.  On any failure the old model keeps serving.
         """
         assert self._reload_lock is not None
         async with self._reload_lock:
-            target = str(path or self._handle.path)
-            next_generation = self._handle.generation + 1
+            slot = self._slot(model)
+            target = str(path or slot.handle.path)
+            next_generation = slot.handle.generation + 1
             try:
                 handle = await asyncio.to_thread(
-                    _load_handle, target, next_generation
+                    _load_handle, target, next_generation, self.worlds
                 )
             except (OSError, ProfitMiningError):
                 self.counters["reload_failures"] += 1
                 raise
-            self._handle = handle  # the atomic flip
+            slot.handle = handle  # the atomic flip
             self.counters["reloads"] += 1
             return handle
 
     async def _mtime_poller(self) -> None:
-        """Hot-swap automatically when the artifact file changes on disk."""
+        """Hot-swap any slot whose artifact file changed on disk."""
         while True:
             await asyncio.sleep(self.config.poll_interval_s)
-            try:
-                mtime_ns = os.stat(self._handle.path).st_mtime_ns
-            except OSError:
-                continue  # mid-replace or gone; retry next tick
-            if mtime_ns != self._handle.mtime_ns:
+            for slot in self._slots.values():
+                handle = slot.handle
                 try:
-                    await self.reload()
-                except (OSError, ProfitMiningError):
-                    continue  # keep serving the old model
+                    mtime_ns = os.stat(handle.path).st_mtime_ns
+                except OSError:
+                    continue  # mid-replace or gone; retry next tick
+                if mtime_ns != handle.mtime_ns:
+                    try:
+                        await self.reload(model=slot.name)
+                    except (OSError, ProfitMiningError):
+                        continue  # keep serving the old model
 
     # ------------------------------------------------------------------
     # Serving
@@ -360,10 +483,10 @@ class RecommendDaemon:
             return recommendations
         return handle.recommender.recommend_many(baskets)
 
-    async def _batch_worker(self) -> None:
-        """Coalesce queued single-basket requests into batch serve calls."""
-        assert self._queue is not None
-        queue = self._queue
+    async def _batch_worker(self, slot: _ModelSlot) -> None:
+        """Coalesce one slot's queued requests into batch serve calls."""
+        assert slot.queue is not None
+        queue = slot.queue
         config = self.config
         linger_s = config.max_linger_ms / 1000.0
         loop = asyncio.get_running_loop()
@@ -389,7 +512,7 @@ class RecommendDaemon:
                         )
                     except asyncio.TimeoutError:
                         break
-            handle = self._handle  # one model for the whole batch
+            handle = slot.handle  # one generation for the whole batch
             self.counters["batches_flushed"] += 1
             try:
                 recommendations = self._serve(
@@ -408,10 +531,11 @@ class RecommendDaemon:
         payload = request.json()
         if not isinstance(payload, dict) or "basket" not in payload:
             raise HttpError(400, "body must be {\"basket\": [...]}")
+        slot = self._slot(payload.get("model"))
         basket = _parse_basket(payload["basket"])
-        assert self._queue is not None
+        assert slot.queue is not None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((basket, future))
+        await slot.queue.put((basket, future))
         handle, rec = await future
         self.counters["recommend_requests"] += 1
         body = _rec_to_dict(rec)
@@ -426,8 +550,9 @@ class RecommendDaemon:
         raw = payload["baskets"]
         if not isinstance(raw, list):
             raise HttpError(400, "'baskets' must be a list of baskets")
+        slot = self._slot(payload.get("model"))
         baskets = [_parse_basket(entry) for entry in raw]
-        handle = self._handle  # one model for the whole batch
+        handle = slot.handle  # one generation for the whole batch
         recommendations = self._serve(handle, baskets)
         self.counters["batch_requests"] += 1
         body = {
@@ -437,13 +562,57 @@ class RecommendDaemon:
         }
         return json_response(200, body, request.keep_alive)
 
+    _QUERY_FIELDS = (
+        "head_promo",
+        "head_item",
+        "head_under",
+        "body_mentions",
+        "shape",
+        "min_conf",
+        "min_support",
+        "top",
+    )
+
+    async def _query(self, request: Request) -> bytes:
+        """Rule-audit queries over a resident model's columnar store."""
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be a JSON object of query filters")
+        unknown = set(payload) - set(self._QUERY_FIELDS) - {"model"}
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown query fields {sorted(unknown)}; "
+                f"allowed: {list(self._QUERY_FIELDS)}",
+            )
+        slot = self._slot(payload.get("model"))
+        handle = slot.handle
+        filters = {
+            field: payload[field]
+            for field in self._QUERY_FIELDS
+            if payload.get(field) is not None
+        }
+        try:
+            hits = handle.recommender.query_rules(**filters)
+        except (TypeError, ValidationError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        self.counters["query_requests"] += 1
+        body = {
+            "model": handle.recommender.name,
+            "generation": handle.generation,
+            "n": len(hits),
+            "hits": [hit.to_dict() for hit in hits],
+        }
+        return json_response(200, body, request.keep_alive)
+
     async def _admin_reload(self, request: Request) -> bytes:
         payload = request.json()
-        path = None
+        path = model = None
         if isinstance(payload, dict):
             path = payload.get("path")
+            model = payload.get("model")
         try:
-            handle = await self.reload(path)
+            handle = await self.reload(path, model=model)
         except (OSError, ProfitMiningError) as exc:
             return json_response(
                 500, {"swapped": False, "error": str(exc)}, request.keep_alive
@@ -453,22 +622,36 @@ class RecommendDaemon:
         )
 
     def _healthz(self, request: Request) -> bytes:
-        handle = self._handle
+        handle = self.handle
         body = {
             "status": "ok",
             "model": handle.recommender.name,
             "generation": handle.generation,
             "uptime_s": round(time.time() - self._started_at, 3),
+            "models": {
+                name: slot.handle.generation
+                for name, slot in self._slots.items()
+            },
         }
         return json_response(200, body, request.keep_alive)
 
     def _stats(self, request: Request) -> bytes:
         trace_dict = self._trace.to_dict()
-        assert self._queue is not None
         body = {
-            **self._handle.info(),
+            # Top-level keys keep describing the default model so v0
+            # single-model dashboards never notice tenancy.
+            **self.handle.info(),
             "uptime_s": round(time.time() - self._started_at, 3),
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": sum(
+                slot.queue.qsize()
+                for slot in self._slots.values()
+                if slot.queue is not None
+            ),
+            "worlds": len(self.worlds),
+            "models": {
+                name: slot.handle.info()
+                for name, slot in self._slots.items()
+            },
             "counters": dict(self.counters),
             "trace": {
                 "counters": trace_dict["counters"],
@@ -492,6 +675,8 @@ class RecommendDaemon:
             return await self._recommend_single(request)
         if route == ("POST", "/recommend_batch"):
             return await self._recommend_batch(request)
+        if route == ("POST", "/query"):
+            return await self._query(request)
         if route == ("POST", "/admin/reload"):
             return await self._admin_reload(request)
         if route == ("GET", "/healthz"):
@@ -499,8 +684,8 @@ class RecommendDaemon:
         if route == ("GET", "/stats"):
             return self._stats(request)
         known_paths = {
-            "/recommend", "/recommend_batch", "/admin/reload", "/healthz",
-            "/stats",
+            "/recommend", "/recommend_batch", "/query", "/admin/reload",
+            "/healthz", "/stats",
         }
         if request.path in known_paths:
             raise HttpError(405, f"{request.method} not allowed on {request.path}")
@@ -578,8 +763,17 @@ class BackgroundDaemon:
             requests_go_to(f"http://127.0.0.1:{daemon.port}")
     """
 
-    def __init__(self, model_path: str, config: ServeConfig | None = None):
-        self.daemon = RecommendDaemon(model_path, config)
+    def __init__(
+        self,
+        models: (
+            str
+            | Path
+            | Mapping[str, str]
+            | Sequence[str | Path | tuple[str | None, str]]
+        ),
+        config: ServeConfig | None = None,
+    ):
+        self.daemon = RecommendDaemon(models, config)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -625,10 +819,15 @@ class BackgroundDaemon:
         self._loop = None
         self._thread = None
 
-    def reload(self, path: str | None = None, timeout: float = 30.0) -> ModelHandle:
+    def reload(
+        self,
+        path: str | None = None,
+        model: str | None = None,
+        timeout: float = 30.0,
+    ) -> ModelHandle:
         """Trigger a hot-swap from the calling thread (blocks until done)."""
         assert self._loop is not None
         future = asyncio.run_coroutine_threadsafe(
-            self.daemon.reload(path), self._loop
+            self.daemon.reload(path, model=model), self._loop
         )
         return future.result(timeout)

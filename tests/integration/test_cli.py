@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -374,9 +376,32 @@ class TestServeCommand:
             ]
         )
         assert args.command == "serve"
-        assert args.model == "model.json"
+        assert args.model == ["model.json"]
         assert args.max_batch == 32
         assert args.trace_sample_rate == 0.25
+
+    def test_parser_accepts_repeated_named_models(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--model", "prod=a.json",
+                "--model", "canary=b.json",
+                "--port", "0",
+            ]
+        )
+        assert args.model == ["prod=a.json", "canary=b.json"]
+
+    def test_model_spec_parsing(self):
+        from repro.cli import _parse_model_specs
+
+        assert _parse_model_specs(["a.json"]) == [(None, "a.json")]
+        assert _parse_model_specs(["prod=a.json", "b.json"]) == [
+            ("prod", "a.json"),
+            (None, "b.json"),
+        ]
+        # Split on the first '=' only; no name means no '=' prefix.
+        assert _parse_model_specs(["x=a=b.json"]) == [("x", "a=b.json")]
+        assert _parse_model_specs(["=weird.json"]) == [(None, "=weird.json")]
 
     def test_serve_requires_model(self, capsys):
         with pytest.raises(SystemExit):
@@ -394,3 +419,81 @@ class TestServeCommand:
         )
         assert code == 1
         assert "trace sample rate" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    @pytest.fixture(scope="class")
+    def saved_model(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("cli_query")
+        data = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
+        )
+        model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "fit",
+                    "--data", str(data),
+                    "--min-support", "0.02",
+                    "--save-model", str(model_path),
+                ]
+            )
+            == 0
+        )
+        return model_path
+
+    def test_query_table_lists_all_rules(self, saved_model, capsys):
+        capsys.readouterr()
+        assert main(["query", "--model", str(saved_model)]) == 0
+        out = capsys.readouterr().out
+        assert "matching rules" in out
+        assert "(default)" in out  # the default rule always matches
+
+    def test_query_json_matches_library_answer(self, saved_model, capsys):
+        from repro.data.model_io import load_model
+
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--model", str(saved_model),
+                    "--shape", "concept",
+                    "--top", "5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        got = json.loads(capsys.readouterr().out)
+        expected = load_model(saved_model).query_rules(shape="concept", top=5)
+        assert got["n"] == len(expected)
+        assert got["hits"] == [hit.to_dict() for hit in expected]
+
+    def test_query_filters_compose(self, saved_model, capsys):
+        from repro.data.model_io import load_model
+
+        recommender = load_model(saved_model)
+        promo = recommender.ranked_rules[0].rule.head.promo
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--model", str(saved_model),
+                    "--head-promo", promo,
+                    "--min-conf", "0.0",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        got = json.loads(capsys.readouterr().out)
+        assert all(hit["promo"] == promo for hit in got["hits"])
+        assert got["n"] == len(recommender.query_rules(head_promo=promo))
+
+    def test_query_missing_model_reported_not_raised(self, capsys):
+        code = main(["query", "--model", "/nonexistent/model.json"])
+        assert code == 1
+        assert capsys.readouterr().err

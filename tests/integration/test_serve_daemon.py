@@ -295,3 +295,155 @@ class TestStatsEndpoint:
             status, stats = _request(port, "GET", "/stats")
         assert status == 200
         assert stats["counters"]["errors"] == 4
+
+
+class TestMultiModelTenancy:
+    def test_routing_stats_and_per_model_reload(self, world):
+        config = ServeConfig(port=0, max_linger_ms=0.0)
+        models = [("prod", world["path_a"]), ("canary", world["path_b"])]
+        with BackgroundDaemon(models, config) as daemon:
+            port = daemon.port
+            # One shared world: both artifacts describe the same dataset.
+            assert len(daemon.daemon.worlds) == 1
+            prod = daemon.daemon._slots["prod"].handle.recommender
+            canary = daemon.daemon._slots["canary"].handle.recommender
+            assert prod.compiled.symbols is canary.compiled.symbols
+
+            # Unrouted traffic goes to the default (first) model ...
+            status, body = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200
+            assert (body["item"], body["promo"]) == world["expected_a"][0]
+            # ... while "model" routes each basket to its slot.
+            for name, expected in [
+                ("prod", world["expected_a"]),
+                ("canary", world["expected_b"]),
+            ]:
+                for idx in range(3):
+                    status, body = _request(
+                        port,
+                        "POST",
+                        "/recommend",
+                        {"basket": world["payloads"][idx], "model": name},
+                    )
+                    assert status == 200
+                    assert (body["item"], body["promo"]) == expected[idx]
+                status, body = _request(
+                    port,
+                    "POST",
+                    "/recommend_batch",
+                    {"baskets": world["payloads"], "model": name},
+                )
+                assert status == 200
+                got = [(r["item"], r["promo"]) for r in body["recommendations"]]
+                assert got == expected
+
+            status, body = _request(
+                port,
+                "POST",
+                "/recommend",
+                {"basket": world["payloads"][0], "model": "nope"},
+            )
+            assert status == 404 and "nope" in body["error"]
+
+            # /healthz and /stats expose every resident model, with the
+            # top-level keys still describing the default one.
+            status, body = _request(port, "GET", "/healthz")
+            assert status == 200
+            assert body["models"] == {"prod": 1, "canary": 1}
+            status, stats = _request(port, "GET", "/stats")
+            assert status == 200
+            assert set(stats["models"]) == {"prod", "canary"}
+            assert stats["worlds"] == 1
+            assert stats["n_rules"] == stats["models"]["prod"]["n_rules"]
+            for info in stats["models"].values():
+                assert sum(info["shapes"].values()) == info["n_rules"]
+                assert info["store_bytes"] > 0
+
+            # A reload of one slot leaves the other's generation alone.
+            status, body = _request(
+                port,
+                "POST",
+                "/admin/reload",
+                {"model": "canary", "path": world["path_a"]},
+            )
+            assert status == 200 and body["swapped"] is True
+            status, body = _request(port, "GET", "/healthz")
+            assert body["models"] == {"prod": 1, "canary": 2}
+            status, body = _request(
+                port,
+                "POST",
+                "/recommend",
+                {"basket": world["payloads"][0], "model": "canary"},
+            )
+            assert status == 200
+            assert (body["item"], body["promo"]) == world["expected_a"][0]
+
+    def test_duplicate_names_are_rejected(self, world):
+        from repro.errors import ValidationError
+        from repro.serve import RecommendDaemon
+
+        with pytest.raises(ValidationError, match="duplicate model name"):
+            RecommendDaemon(
+                [("m", world["path_a"]), ("m", world["path_b"])],
+                ServeConfig(port=0),
+            )
+
+
+class TestQueryEndpoint:
+    def test_query_matches_library_answer(self, world):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(
+                port, "POST", "/query", {"shape": "concept", "top": 10}
+            )
+            assert status == 200
+            expected = load_model(world["path_a"]).query_rules(
+                shape="concept", top=10
+            )
+            assert body["n"] == len(expected)
+            assert body["hits"] == [hit.to_dict() for hit in expected]
+            assert body["generation"] == 1
+
+            status, stats = _request(port, "GET", "/stats")
+            assert stats["counters"]["query_requests"] == 1
+
+    def test_query_validates_fields_and_model(self, world):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(port, "POST", "/query", {"bogus": 1})
+            assert status == 400 and "bogus" in body["error"]
+            status, body = _request(
+                port, "POST", "/query", {"shape": "galaxy"}
+            )
+            assert status == 400
+            status, body = _request(
+                port, "POST", "/query", {"model": "nope"}
+            )
+            assert status == 404
+            status, body = _request(port, "GET", "/query")
+            assert status == 405
+            # Failed queries never crash serving.
+            status, _ = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200
+
+    def test_query_routes_per_model(self, world):
+        config = ServeConfig(port=0)
+        models = {"a": world["path_a"], "b": world["path_b"]}
+        with BackgroundDaemon(models, config) as daemon:
+            port = daemon.port
+            counts = {}
+            for name, path in models.items():
+                status, body = _request(
+                    port, "POST", "/query", {"model": name}
+                )
+                assert status == 200
+                counts[name] = body["n"]
+                assert body["n"] == len(load_model(path).query_rules())
+            # The two artifacts are structurally different models.
+            assert counts["a"] != counts["b"]

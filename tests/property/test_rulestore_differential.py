@@ -1,0 +1,106 @@
+"""Differential properties of the shape-split rule store vs the ranked list.
+
+The :class:`~repro.core.rulestore.RuleStore` splits a ranked rule list
+into four per-shape columnar tables; its :class:`RankedView` must
+reconstitute the *exact* legacy ranked order — same rules, same stats,
+same rank positions — for arbitrary mined rule sets, and its indexed
+``query`` path must agree with the ``naive=True`` linear scan on every
+filter combination.  These properties drive both over random mining
+problems, including rule sets holding only the default rule, plus a
+save/load round trip so the view restored from a v3 artifact reproduces
+the same ranked list value-identically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mining import mine_rules
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.core.rulestore import SHAPES, RuleStore, shape_of_body
+from repro.data.model_io import load_model, save_model
+
+from tests.property.test_mining_properties import mining_problems
+
+
+def _fitted(problem):
+    db, moa, config = problem
+    result = mine_rules(db, moa, SavingMOA(), config)
+    return MPFRecommender(result.all_rules, moa), result
+
+
+class TestRankedViewReconstruction:
+    @given(mining_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_view_reproduces_the_ranked_list_exactly(self, problem):
+        recommender, _ = _fitted(problem)
+        store = RuleStore.from_compiled(recommender.compiled)
+        legacy = list(recommender.ranked_rules)
+        assert len(store.view) == len(legacy)
+        # Same objects at every rank: the fit path prefills the view's
+        # cache with the miner's own ScoredRule instances.
+        assert all(store.view[i] is legacy[i] for i in range(len(legacy)))
+        assert list(store.view) == legacy
+
+    @given(mining_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_loaded_view_is_value_identical(self, problem):
+        import tempfile
+        from pathlib import Path
+
+        recommender, _ = _fitted(problem)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "model.json"
+            save_model(recommender, path)  # v3: store-backed artifact
+            restored = load_model(path)
+        legacy = list(recommender.ranked_rules)
+        view = restored.ranked_rules  # the lazy RankedView
+        assert len(view) == len(legacy)
+        for rank, scored in enumerate(legacy):
+            assert view[rank].rule == scored.rule
+            assert view[rank].stats == scored.stats
+        assert list(view) == legacy
+
+    @given(mining_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_shape_split_is_a_partition(self, problem):
+        recommender, _ = _fitted(problem)
+        store = recommender.rule_store
+        counts = store.shape_counts()
+        assert set(counts) == set(SHAPES)
+        assert sum(counts.values()) == len(recommender.ranked_rules)
+        for rank, scored in enumerate(recommender.ranked_rules):
+            shape, _row = store.location_of(rank)
+            assert shape == shape_of_body(scored.rule.body)
+
+
+class TestQueryDifferential:
+    @given(mining_problems(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_indexed_query_equals_naive_scan(self, problem, data):
+        recommender, _ = _fitted(problem)
+        heads = [s.rule.head for s in recommender.ranked_rules]
+        filters = [
+            {},
+            {"shape": data.draw(st.sampled_from(SHAPES))},
+            {"min_conf": data.draw(st.floats(0.0, 1.0))},
+            {"min_support": data.draw(st.floats(0.0, 0.5))},
+            {"top": data.draw(st.integers(1, 5))},
+        ]
+        head = data.draw(st.sampled_from(heads))
+        if head.promo is not None:
+            filters.append({"head_promo": head.promo})
+            filters.append({"head_item": head.node, "head_promo": head.promo})
+        bodies = [s.rule.body for s in recommender.ranked_rules if s.rule.body]
+        if bodies:
+            member = next(iter(data.draw(st.sampled_from(bodies))))
+            filters.append({"body_mentions": [member]})
+        for kwargs in filters:
+            indexed = recommender.query_rules(**kwargs)
+            naive = recommender.query_rules(naive=True, **kwargs)
+            assert [hit.rank for hit in indexed] == [hit.rank for hit in naive]
+            assert [hit.to_dict() for hit in indexed] == [
+                hit.to_dict() for hit in naive
+            ]

@@ -1,4 +1,4 @@
-"""Unit tests for fitted-model persistence (formats v1 and v2)."""
+"""Unit tests for fitted-model persistence (formats v1, v2 and v3)."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.miner import ProfitMiner, ProfitMinerConfig
 from repro.core.mining import MinerConfig
-from repro.data.model_io import load_model, save_model
+from repro.data.model_io import WorldCache, load_model, save_model
 from repro.errors import SerializationError
 
 
@@ -22,7 +22,7 @@ def fitted(small_hierarchy, small_db):
     ).fit(small_db)
 
 
-@pytest.fixture(params=[1, 2], ids=["v1", "v2"])
+@pytest.fixture(params=[1, 2, 3], ids=["v1", "v2", "v3"])
 def version(request):
     return request.param
 
@@ -72,14 +72,23 @@ class TestRoundTrip:
             save_model(
                 fitted.require_fitted_recommender(),
                 tmp_path / "model.json",
-                version=3,
+                version=4,
             )
 
 
 class TestV2Format:
-    def test_v2_is_the_default_and_persists_the_engine(self, fitted, tmp_path):
+    def test_v3_is_the_default_and_persists_the_store(self, fitted, tmp_path):
         path = tmp_path / "model.json"
         save_model(fitted.require_fitted_recommender(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-profit-mining-model-v3"
+        assert payload["version"] == 3
+        assert payload["symbols"], "v3 must persist the symbol table"
+        assert set(payload["store"]) == {"default", "concept", "item", "promo"}
+
+    def test_v2_persists_the_engine(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path, version=2)
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-profit-mining-model-v2"
         assert payload["symbols"], "v2 must persist the symbol table"
@@ -106,6 +115,54 @@ class TestV2Format:
         assert json.loads(first.read_text())["rules"] == (
             json.loads(second.read_text())["rules"]
         )
+
+
+class TestV3Format:
+    def test_v3_load_restores_the_store_without_reinterning(
+        self, fitted, tmp_path
+    ):
+        path = tmp_path / "model.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path)  # v3 default
+        restored = load_model(path)
+        # The compiled model is store-backed from construction: the ranked
+        # sequence is the lazy view, postings/always-match come from the
+        # columns, and nothing was re-interned.
+        assert restored._compiled is not None
+        assert restored._compiled.store is not None
+        assert restored.compiled.postings == original.compiled.postings
+        assert restored.compiled.always_match == original.compiled.always_match
+        assert restored.compiled.body_sizes == original.compiled.body_sizes
+        assert list(restored.compiled.body_ids) == list(
+            original.compiled.body_ids
+        )
+
+    def test_v3_round_trips_through_resave(self, fitted, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        save_model(fitted.require_fitted_recommender(), first)
+        save_model(load_model(first), second)
+        assert json.loads(first.read_text())["store"] == (
+            json.loads(second.read_text())["store"]
+        )
+
+    def test_world_cache_shares_one_moa_across_loads(self, fitted, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_model(fitted.require_fitted_recommender(), a)
+        save_model(fitted.require_fitted_recommender(), b, version=2)
+        worlds = WorldCache()
+        first = load_model(a, worlds=worlds)
+        second = load_model(b, worlds=worlds)
+        assert len(worlds) == 1
+        assert first.moa is second.moa
+        assert first.compiled.symbols is second.compiled.symbols
+
+    def test_loads_without_a_world_cache_stay_independent(
+        self, fitted, tmp_path
+    ):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        assert load_model(path).moa is not load_model(path).moa
 
 
 class TestV1Compatibility:
@@ -178,6 +235,84 @@ class TestFailureInjection:
         path.write_text(json.dumps(payload))
         with pytest.raises(SerializationError):
             load_model(path)
+
+
+class TestVersionResolution:
+    """Regressions for version-field corruption in ``load_model``.
+
+    Every artifact now stamps an integer ``version``; a missing,
+    non-integer or future version must die with a
+    :class:`SerializationError` naming what was seen — never a
+    ``KeyError`` and never a silent misparse as some other format.
+    """
+
+    @pytest.fixture
+    def saved_payload(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted.require_fitted_recommender(), path)
+        return path, json.loads(path.read_text())
+
+    def test_missing_version_with_unknown_format_rejected(self, saved_payload):
+        path, payload = saved_payload
+        del payload["version"]
+        payload["format"] = "somebody-elses-artifact"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            SerializationError, match="somebody-elses-artifact"
+        ):
+            load_model(path)
+
+    def test_missing_version_and_format_rejected(self, saved_payload):
+        path, payload = saved_payload
+        del payload["version"]
+        del payload["format"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="version"):
+            load_model(path)
+
+    @pytest.mark.parametrize(
+        "bad", ["3", 3.0, True, None, [3]], ids=["str", "float", "bool", "none", "list"]
+    )
+    def test_non_integer_version_rejected(self, saved_payload, bad):
+        path, payload = saved_payload
+        payload["version"] = bad
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="must be an integer"):
+            load_model(path)
+
+    def test_future_version_rejected_naming_it(self, saved_payload):
+        path, payload = saved_payload
+        payload["version"] = 99
+        del payload["format"]  # version alone must still resolve (and fail)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="version 99"):
+            load_model(path)
+
+    def test_version_format_disagreement_rejected(self, saved_payload):
+        path, payload = saved_payload
+        payload["version"] = 1  # but format says v3
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="disagrees"):
+            load_model(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(SerializationError, match="JSON object"):
+            load_model(path)
+
+    def test_legacy_artifact_without_version_still_loads(
+        self, fitted, tmp_path, version
+    ):
+        # Documents written before the integer field existed carry only
+        # the format string; they must keep loading by format alone.
+        path = tmp_path / "model.json"
+        original = fitted.require_fitted_recommender()
+        save_model(original, path, version=version)
+        payload = json.loads(path.read_text())
+        del payload["version"]
+        path.write_text(json.dumps(payload))
+        assert load_model(path).model_size == original.model_size
 
 
 class TestAtomicSave:

@@ -47,6 +47,7 @@ MODULES = [
     "repro.core.pruning",
     "repro.core.recommender",
     "repro.core.rule_index",
+    "repro.core.rulestore",
     "repro.core.rules",
     "repro.core.sales",
     "repro.data",

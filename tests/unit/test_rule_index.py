@@ -85,6 +85,53 @@ class TestIndexStructure:
         assert index.first_match([Sale("Bread", "P1")]) is scored
 
 
+class TestStats:
+    """Regressions for :meth:`RuleMatchIndex.stats` well-formedness."""
+
+    EXPECTED_KEYS = {
+        "n_rules",
+        "n_indexed_gsales",
+        "n_postings",
+        "n_default_rules",
+        "avg_body_size",
+        "avg_postings_per_gsale",
+        "shapes",
+        "store_bytes",
+    }
+
+    def test_fitted_model_stats_are_consistent(self, index):
+        stats = index.stats()
+        assert set(stats) == self.EXPECTED_KEYS
+        assert stats["n_rules"] == index.n_rules
+        assert stats["n_default_rules"] == 1
+        assert stats["avg_body_size"] > 0
+        assert sum(stats["shapes"].values()) == index.n_rules
+        assert stats["store_bytes"] > 0
+
+    def test_zero_rule_model_stats_are_zeroed_not_broken(self, small_moa):
+        # Regression: a zero-rule model used to be a division by zero
+        # waiting to happen; every counter must come back present and
+        # zeroed instead.
+        stats = RuleMatchIndex([], small_moa).stats()
+        assert set(stats) == self.EXPECTED_KEYS
+        assert stats["n_rules"] == 0
+        assert stats["n_indexed_gsales"] == 0
+        assert stats["n_postings"] == 0
+        assert stats["n_default_rules"] == 0
+        assert stats["avg_body_size"] == 0.0
+        assert stats["avg_postings_per_gsale"] == 0.0
+        assert stats["shapes"] == {
+            "default": 0, "concept": 0, "item": 0, "promo": 0
+        }
+        assert stats["store_bytes"] >= 0
+
+    def test_stats_are_json_serializable(self, index, small_moa):
+        import json
+
+        json.dumps(index.stats())
+        json.dumps(RuleMatchIndex([], small_moa).stats())
+
+
 class TestMatchingParity:
     @pytest.mark.parametrize("basket", BASKETS)
     def test_first_match_equals_naive(self, recommender, basket):

@@ -1,0 +1,222 @@
+"""Unit tests for the shape-split columnar rule store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generalized import GSale
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.rulestore import (
+    COLUMNS,
+    SHAPES,
+    RuleStore,
+    parse_symbol_spec,
+    shape_of_body,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.data.datasets import build_dataset, dataset_i_config
+
+    # Big enough that every shape table is populated (33 rules: 1
+    # default, 2 concept, 14 item, 16 promo at this seed).
+    dataset = build_dataset(
+        dataset_i_config(n_transactions=200, n_items=40, seed=7)
+    )
+    return ProfitMiner(
+        dataset.hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.02, max_body_size=2)
+        ),
+    ).fit(dataset.db)
+
+
+@pytest.fixture(scope="module")
+def store(fitted):
+    return fitted.require_fitted_recommender().rule_store
+
+
+class TestShapeOfBody:
+    def test_empty_body_is_default(self):
+        assert shape_of_body(frozenset()) == "default"
+
+    def test_all_concepts_is_concept(self):
+        body = {GSale.concept("Food"), GSale.concept("Drink")}
+        assert shape_of_body(body) == "concept"
+
+    def test_any_item_without_promo_is_item(self):
+        body = {GSale.concept("Food"), GSale.item("Bread")}
+        assert shape_of_body(body) == "item"
+
+    def test_promo_membership_dominates(self):
+        body = {
+            GSale.concept("Food"),
+            GSale.item("Bread"),
+            GSale.promo_form("Milk", "P1"),
+        }
+        assert shape_of_body(body) == "promo"
+
+
+class TestParseSymbolSpec:
+    def test_gsale_passthrough(self):
+        gsale = GSale.item("Bread")
+        assert parse_symbol_spec(gsale) is gsale
+
+    def test_bracketed_concept(self):
+        assert parse_symbol_spec("[Food]") == GSale.concept("Food")
+
+    def test_promo_form(self):
+        assert parse_symbol_spec("Bread@P1") == GSale.promo_form("Bread", "P1")
+
+    def test_bare_item(self):
+        assert parse_symbol_spec("Bread") == GSale.item("Bread")
+
+    def test_whitespace_is_stripped(self):
+        assert parse_symbol_spec(" [ Food ] ") == GSale.concept("Food")
+        assert parse_symbol_spec(" Bread @ P1 ") == GSale.promo_form(
+            "Bread", "P1"
+        )
+
+    @pytest.mark.parametrize("bad", ["", "   ", 7, None])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_symbol_spec(bad)
+
+
+class TestStoreStructure:
+    def test_shapes_partition_the_rules(self, store, fitted):
+        recommender = fitted.require_fitted_recommender()
+        counts = store.shape_counts()
+        assert set(counts) == set(SHAPES)
+        assert sum(counts.values()) == recommender.model_size
+        assert counts["default"] == 1  # exactly one empty-body rule
+        # Every shape is exercised by this fixture.
+        assert all(counts[shape] > 0 for shape in SHAPES)
+
+    def test_location_round_trips_every_rank(self, store):
+        seen = set()
+        for rank in range(store.n_rules):
+            shape, row = store.location_of(rank)
+            assert 0 <= row < len(store.tables[shape])
+            assert store.tables[shape].ranks[row] == rank
+            seen.add((shape, row))
+        assert len(seen) == store.n_rules
+
+    def test_view_is_the_ranked_list(self, store, fitted):
+        legacy = fitted.require_fitted_recommender().ranked_rules
+        assert list(store.view) == list(legacy)
+        assert store.view[-1] is legacy[len(legacy) - 1]
+        assert store.view[1:3] == list(legacy)[1:3]
+
+    def test_serving_columns_match_compiled(self, store, fitted):
+        compiled = fitted.require_fitted_recommender().compiled
+        assert store.global_postings() == compiled.postings
+        assert store.default_ranks() == compiled.always_match
+        assert store.body_sizes() == compiled.body_sizes
+        assert store.all_body_ids() == compiled.body_ids
+
+    def test_store_bytes_positive_and_stats_serializable(self, store):
+        import json
+
+        assert store.store_bytes() > 0
+        json.dumps(store.stats())
+
+    def test_column_round_trip(self, store):
+        groups = {
+            shape: table.to_columns() for shape, table in store.tables.items()
+        }
+        for columns in groups.values():
+            assert set(columns) == set(COLUMNS)
+        rebuilt = RuleStore.from_columns(store.symbols, groups, name=store.name)
+        assert rebuilt.n_rules == store.n_rules
+        assert rebuilt.global_postings() == store.global_postings()
+        assert [s.rule for s in rebuilt.view] == [s.rule for s in store.view]
+
+    def test_corrupt_rank_permutation_rejected(self, store):
+        groups = {
+            shape: table.to_columns() for shape, table in store.tables.items()
+        }
+        # Point two rules at the same global rank: no longer a permutation.
+        for columns in groups.values():
+            if len(columns["ranks"]) >= 2:
+                columns["ranks"][0] = columns["ranks"][1]
+                break
+        with pytest.raises(ValidationError):
+            RuleStore.from_columns(store.symbols, groups, name=store.name)
+
+    def test_misaligned_columns_rejected(self, store):
+        groups = {
+            shape: table.to_columns() for shape, table in store.tables.items()
+        }
+        for columns in groups.values():
+            if columns["ranks"]:
+                del columns["heads"][0]
+                break
+        with pytest.raises(ValidationError):
+            RuleStore.from_columns(store.symbols, groups, name=store.name)
+
+
+class TestQuery:
+    def test_no_filters_returns_every_rule(self, store):
+        hits = store.query()
+        assert len(hits) == store.n_rules
+        assert [h.rank for h in hits] == list(range(store.n_rules))
+
+    def test_shape_filter(self, store):
+        for shape in SHAPES:
+            hits = store.query(shape=shape)
+            assert len(hits) == store.shape_counts()[shape]
+            assert all(h.shape == shape for h in hits)
+
+    def test_head_promo_filter(self, store):
+        promos = {s.rule.head.promo for s in store.view}
+        promo = sorted(p for p in promos if p)[0]
+        hits = store.query(head_promo=promo)
+        assert hits
+        assert all(h.scored.rule.head.promo == promo for h in hits)
+        expected = sum(1 for s in store.view if s.rule.head.promo == promo)
+        assert len(hits) == expected
+
+    def test_head_under_unknown_concept_is_empty(self, store):
+        assert store.query(head_under="NoSuchConcept") == []
+        assert store.query(head_under="NoSuchConcept", naive=True) == []
+
+    def test_body_mentions_unknown_symbol_is_empty(self, store):
+        assert store.query(body_mentions=["NoSuchItem"]) == []
+        assert store.query(body_mentions=["NoSuchItem"], naive=True) == []
+
+    def test_top_truncates_best_first(self, store):
+        hits = store.query(top=3)
+        assert [h.rank for h in hits] == [0, 1, 2]
+        assert store.query(top=0) == []
+
+    def test_min_conf_floor(self, store):
+        hits = store.query(min_conf=0.5)
+        assert all(h.scored.stats.confidence >= 0.5 for h in hits)
+        naive = store.query(min_conf=0.5, naive=True)
+        assert [h.rank for h in hits] == [h.rank for h in naive]
+
+    def test_unknown_shape_rejected(self, store):
+        with pytest.raises(ValidationError, match="galaxy"):
+            store.query(shape="galaxy")
+
+    def test_negative_top_rejected(self, store):
+        with pytest.raises(ValidationError, match="top"):
+            store.query(top=-1)
+
+    def test_hit_dict_shape(self, store):
+        (hit,) = store.query(shape="default")
+        row = hit.to_dict()
+        assert row["shape"] == "default"
+        assert row["body"] == ""
+        assert row["rank"] == hit.rank + 1
+        assert isinstance(row["confidence"], float)
+        assert isinstance(row["support"], float)
+
+    def test_query_through_the_miner_facade(self, fitted):
+        hits = fitted.query_rules(shape="concept", top=2)
+        assert len(hits) <= 2
+        assert all(h.shape == "concept" for h in hits)
