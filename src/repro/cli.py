@@ -313,6 +313,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="hot-swap automatically when the model file's mtime changes, "
         "checking this often (0 disables; POST /admin/reload always works)",
     )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="largest number of /recommend requests allowed to wait in a "
+        "model's micro-batch queue before the daemon sheds load with "
+        "503 + Retry-After (default 1024; 0 disables the cap)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-fork N serving processes sharing the port (and the "
+        "loaded model's memory); 1 runs the classic single-process "
+        "daemon (default 1)",
+    )
+    serve.add_argument(
+        "--listener",
+        choices=["auto", "reuse_port", "inherit"],
+        default="auto",
+        help="how pool workers share the port: per-worker SO_REUSEPORT "
+        "sockets with kernel balancing, or one fork-inherited listener "
+        "(auto picks reuse_port where available; ignored with --workers 1)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -864,20 +890,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_linger_ms=args.max_linger_ms,
         trace_sample_period=trace_sample_period(args.trace_sample_rate),
         poll_interval_s=args.poll_interval,
+        max_queue_depth=args.max_queue_depth,
     )
-    daemon = RecommendDaemon(_parse_model_specs(args.model), config)
-    for name in daemon.model_names:
-        info = daemon._slots[name].handle.info()
-        print(
-            f"serving model {name!r} ({info['n_rules']} rules) "
-            f"from {info['path']} on http://{config.host}:{config.port}"
+    if args.workers > 1:
+        from repro.serve.pool import PoolConfig, ServePool
+
+        pool = ServePool(
+            _parse_model_specs(args.model),
+            config,
+            PoolConfig(workers=args.workers, listener=args.listener),
         )
-    print(
-        "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
-        "POST /admin/reload, GET /healthz, GET /stats"
-    )
+        pool.start()
+        for name in pool.model_names:
+            print(
+                f"serving model {name!r} on http://{config.host}:{pool.port} "
+                f"across {args.workers} workers ({pool.mode} balancing)",
+                flush=True,
+            )
+        print(
+            "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
+            "POST /admin/reload (pool-wide swap), GET /healthz, "
+            "GET /stats (pool view), GET /stats/local",
+            flush=True,
+        )
+        pool.run_forever()
+        return 0
+    daemon = RecommendDaemon(_parse_model_specs(args.model), config)
+
+    async def _run_single() -> None:
+        # Bind before announcing so the printed port is the real one
+        # even with --port 0 (bind-anywhere).
+        await daemon.start()
+        for name in daemon.model_names:
+            info = daemon._slots[name].handle.info()
+            print(
+                f"serving model {name!r} ({info['n_rules']} rules) "
+                f"from {info['path']} on http://{config.host}:{daemon.port}",
+                flush=True,
+            )
+        print(
+            "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
+            "POST /admin/reload, GET /healthz, GET /stats",
+            flush=True,
+        )
+        assert daemon._server is not None
+        try:
+            await daemon._server.serve_forever()
+        finally:
+            await daemon.stop()
+
     try:
-        asyncio.run(daemon.serve_forever())
+        asyncio.run(_run_single())
     except KeyboardInterrupt:
         print("shutting down")
     return 0

@@ -63,6 +63,7 @@ from repro.core.rules import Rule, RuleStats, ScoredRule
 from repro.core.rulestore import COLUMNS, RuleStore
 from repro.data.io import catalog_from_dict, catalog_to_dict
 from repro.errors import SerializationError
+from repro.obs import trace as obs
 
 __all__ = ["save_model", "load_model", "WorldCache"]
 
@@ -290,6 +291,13 @@ class WorldCache:
         if moa is None:
             moa = _load_world(payload)
             self._worlds[key] = moa
+            obs.cache_event(
+                "model_io.worlds", misses=1, builds=1, entries=len(self._worlds)
+            )
+        else:
+            obs.cache_event(
+                "model_io.worlds", hits=1, entries=len(self._worlds)
+            )
         return moa
 
 

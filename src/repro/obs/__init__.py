@@ -17,6 +17,7 @@ from repro.obs.trace import (
     cache_event,
     count,
     current_trace,
+    merge_traces,
     run_traced,
     span,
     tracing,
@@ -29,6 +30,7 @@ __all__ = [
     "cache_event",
     "count",
     "current_trace",
+    "merge_traces",
     "run_traced",
     "span",
     "tracing",

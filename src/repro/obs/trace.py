@@ -42,7 +42,7 @@ import json
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = [
     "Span",
@@ -51,6 +51,7 @@ __all__ = [
     "cache_event",
     "count",
     "current_trace",
+    "merge_traces",
     "run_traced",
     "span",
     "tracing",
@@ -358,6 +359,27 @@ def tracing(name: str = "trace", **meta: str) -> Iterator[Trace]:
         yield trace
     finally:
         _TRACE.reset(token)
+
+
+def merge_traces(
+    snapshots: Iterable[dict[str, Any]],
+    name: str = "merged",
+    label: str = "worker",
+) -> Trace:
+    """Fold trace snapshots (``Trace.to_dict`` payloads) into a fresh trace.
+
+    The aggregation primitive behind the serving pool's ``/stats`` view:
+    every worker reports a *cumulative* snapshot, so each aggregation
+    must start from an empty trace rather than accumulate into a
+    long-lived one (merging cumulative snapshots twice would double
+    count).  Counters and cache stats sum (gauges take the max, exactly
+    as :meth:`Trace.merge` does); snapshots carrying only ``counters`` /
+    ``caches`` — the shape ``/stats`` exposes — merge fine.
+    """
+    merged = Trace(name)
+    for index, snapshot in enumerate(snapshots):
+        merged.merge(snapshot, label=f"{label}-{index}")
+    return merged
 
 
 def run_traced(

@@ -4,7 +4,9 @@ A dependency-free asyncio HTTP/JSON daemon over a persisted
 :class:`~repro.core.mpf.MPFRecommender`: micro-batched ``/recommend``,
 client-batched ``/recommend_batch``, zero-downtime model hot-swap
 (``/admin/reload`` or artifact mtime polling) and sampled
-:mod:`repro.obs` telemetry on ``/stats``.  See
+:mod:`repro.obs` telemetry on ``/stats``.  :mod:`repro.serve.pool`
+scales the same daemon across cores as a pre-fork worker pool sharing
+one port and one loaded model (`repro serve --workers N`).  See
 :mod:`repro.serve.daemon` for the full story and
 ``docs/ARCHITECTURE.md`` for the serving layer diagram.
 """
@@ -16,11 +18,21 @@ from repro.serve.daemon import (
     ServeConfig,
     trace_sample_period,
 )
+from repro.serve.pool import (
+    BackgroundPool,
+    PoolConfig,
+    PoolWorkerDaemon,
+    ServePool,
+)
 
 __all__ = [
     "BackgroundDaemon",
+    "BackgroundPool",
     "ModelHandle",
+    "PoolConfig",
+    "PoolWorkerDaemon",
     "RecommendDaemon",
     "ServeConfig",
+    "ServePool",
     "trace_sample_period",
 ]

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -60,6 +61,7 @@ from repro.data.model_io import WorldCache, load_model
 from repro.errors import CatalogError, ProfitMiningError, ValidationError
 from repro.obs import trace as obs
 from repro.serve.http import (
+    HeadCache,
     HttpError,
     Request,
     json_response,
@@ -112,6 +114,16 @@ class ServeConfig:
     #: Seconds between artifact mtime checks for automatic hot-swap;
     #: 0 disables polling (reloads happen only via ``POST /admin/reload``).
     poll_interval_s: float = 0.0
+    #: Largest number of single-basket requests allowed to wait in one
+    #: model's micro-batch queue.  Beyond it the daemon answers 503 with
+    #: a ``Retry-After`` header instead of letting the queue (and every
+    #: queued request's latency) grow without bound under overload.
+    #: 0 disables the cap.
+    max_queue_depth: int = 1024
+    #: Bind the listening socket with ``SO_REUSEPORT`` so several
+    #: processes (the pre-fork pool of :mod:`repro.serve.pool`) can
+    #: share one port and let the kernel balance connections.
+    reuse_port: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -130,6 +142,10 @@ class ServeConfig:
         if self.poll_interval_s < 0:
             raise ValidationError(
                 f"poll_interval_s must be >= 0, got {self.poll_interval_s}"
+            )
+        if self.max_queue_depth < 0:
+            raise ValidationError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
             )
 
 
@@ -298,29 +314,55 @@ class RecommendDaemon:
             | Path
             | Mapping[str, str]
             | Sequence[str | Path | tuple[str | None, str]]
-        ),
+            | None
+        ) = None,
         config: ServeConfig | None = None,
+        *,
+        handles: Mapping[str, ModelHandle] | None = None,
+        worlds: WorldCache | None = None,
     ):
         self.config = config or ServeConfig()
         # Synchronous first load: the daemon either starts serving or
         # fails loudly before binding a port.  All resident models load
-        # through one shared WorldCache.
-        self.worlds = WorldCache()
+        # through one shared WorldCache.  A pre-fork pool passes already
+        # loaded ``handles`` instead (see :meth:`from_handles`): the
+        # worker then serves the supervisor's model memory through fork
+        # instead of loading its own copy.
+        self.worlds = worlds if worlds is not None else WorldCache()
         self._slots: dict[str, _ModelSlot] = {}
-        for name, path in _normalize_models(models):
-            handle = _load_handle(path, generation=1, worlds=self.worlds)
-            slot_name = name if name is not None else handle.recommender.name
-            if slot_name in self._slots:
+        if handles is not None:
+            if models is not None:
                 raise ValidationError(
-                    f"duplicate model name {slot_name!r}; serve each model "
-                    f"under a distinct NAME=PATH"
+                    "pass either model paths or preloaded handles, not both"
                 )
-            self._slots[slot_name] = _ModelSlot(slot_name, handle)
+            for slot_name, handle in handles.items():
+                self._slots[str(slot_name)] = _ModelSlot(
+                    str(slot_name), handle
+                )
+            if not self._slots:
+                raise ValidationError("the daemon needs at least one model")
+        else:
+            if models is None:
+                raise ValidationError("the daemon needs at least one model")
+            for name, path in _normalize_models(models):
+                handle = _load_handle(path, generation=1, worlds=self.worlds)
+                slot_name = (
+                    name if name is not None else handle.recommender.name
+                )
+                if slot_name in self._slots:
+                    raise ValidationError(
+                        f"duplicate model name {slot_name!r}; serve each "
+                        f"model under a distinct NAME=PATH"
+                    )
+                self._slots[slot_name] = _ModelSlot(slot_name, handle)
         self._default_name = next(iter(self._slots))
         self._server: asyncio.base_events.Server | None = None
         self._tasks: list[asyncio.Task] = []
         self._connections: set[asyncio.Task] = set()
-        self._reload_lock: asyncio.Lock | None = None
+        # asyncio.Lock binds to a loop on first acquire (>= 3.10), so it
+        # is safe to create here even though serving starts later —
+        # which lets pool workers reload (catch-up sync) before start().
+        self._reload_lock: asyncio.Lock | None = asyncio.Lock()
         self._trace = obs.Trace("serve-daemon")
         self._serve_calls = 0
         self._started_at = time.time()
@@ -331,10 +373,27 @@ class RecommendDaemon:
             "query_requests": 0,
             "baskets_served": 0,
             "batches_flushed": 0,
+            "rejected_requests": 0,
             "reloads": 0,
             "reload_failures": 0,
             "errors": 0,
         }
+
+    @classmethod
+    def from_handles(
+        cls,
+        handles: Mapping[str, ModelHandle],
+        config: ServeConfig | None = None,
+        worlds: WorldCache | None = None,
+    ) -> "RecommendDaemon":
+        """A daemon over already-loaded serving handles.
+
+        This is the pre-fork pool's constructor: the supervisor loads
+        (and probes) every artifact exactly once, forks, and each worker
+        wraps the inherited read-only model memory in its own daemon —
+        N workers cost one model load, not N.
+        """
+        return cls(None, config, handles=handles, worlds=worlds)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -371,13 +430,33 @@ class RecommendDaemon:
             raise ProfitMiningError("daemon is not started")
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self) -> None:
-        """Bind the socket and start the per-model batchers + poller."""
-        self._reload_lock = asyncio.Lock()
+    async def start(self, sock: socket.socket | None = None) -> None:
+        """Bind the socket and start the per-model batchers + poller.
+
+        ``sock`` overrides host/port binding with an already-prepared
+        (bound, possibly fork-inherited) listening socket — the pool's
+        workers hand one in so every worker serves the same port.  With
+        ``config.reuse_port`` the daemon binds its own ``SO_REUSEPORT``
+        socket instead, letting sibling processes share the port.
+        """
+        if self._reload_lock is None:  # pragma: no cover - defensive
+            self._reload_lock = asyncio.Lock()
         self._started_at = time.time()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        elif self.config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
         self._tasks = []
         for slot in self._slots.values():
             slot.queue = asyncio.Queue()
@@ -417,7 +496,10 @@ class RecommendDaemon:
     # Hot swap
     # ------------------------------------------------------------------
     async def reload(
-        self, path: str | None = None, model: str | None = None
+        self,
+        path: str | None = None,
+        model: str | None = None,
+        generation: int | None = None,
     ) -> ModelHandle:
         """Load ``path`` (default: the slot's current artifact) and swap.
 
@@ -425,12 +507,21 @@ class RecommendDaemon:
         The load and validation run in a worker thread; only after the
         new handle is fully built does the event loop flip the serving
         reference.  On any failure the old model keeps serving.
+
+        ``generation`` pins the new handle's generation stamp instead of
+        incrementing the slot's own — the pool supervisor assigns one
+        number per coordinated swap so every worker stamps responses
+        with the same generation regardless of its restart history.
         """
         assert self._reload_lock is not None
         async with self._reload_lock:
             slot = self._slot(model)
             target = str(path or slot.handle.path)
-            next_generation = slot.handle.generation + 1
+            next_generation = (
+                generation
+                if generation is not None
+                else slot.handle.generation + 1
+            )
             try:
                 handle = await asyncio.to_thread(
                     _load_handle, target, next_generation, self.worlds
@@ -534,6 +625,17 @@ class RecommendDaemon:
         slot = self._slot(payload.get("model"))
         basket = _parse_basket(payload["basket"])
         assert slot.queue is not None
+        depth = self.config.max_queue_depth
+        if depth and slot.queue.qsize() >= depth:
+            # Shed load instead of queueing without bound: a saturated
+            # micro-batch queue only adds latency to every waiter.
+            self.counters["rejected_requests"] += 1
+            raise HttpError(
+                503,
+                f"model {slot.name!r} micro-batch queue is full "
+                f"({depth} waiting); retry shortly",
+                retry_after=1,
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await slot.queue.put((basket, future))
         handle, rec = await future
@@ -636,8 +738,17 @@ class RecommendDaemon:
         return json_response(200, body, request.keep_alive)
 
     def _stats(self, request: Request) -> bytes:
+        return json_response(200, self.stats_payload(), request.keep_alive)
+
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``/stats`` document as a plain dict.
+
+        Exposed separately from the HTTP wrapper so the pool supervisor
+        can collect one per worker over the control channel and merge
+        them into the aggregated pool view.
+        """
         trace_dict = self._trace.to_dict()
-        body = {
+        return {
             # Top-level keys keep describing the default model so v0
             # single-model dashboards never notice tenancy.
             **self.handle.info(),
@@ -662,9 +773,9 @@ class RecommendDaemon:
                 "max_linger_ms": self.config.max_linger_ms,
                 "trace_sample_period": self.config.trace_sample_period,
                 "poll_interval_s": self.config.poll_interval_s,
+                "max_queue_depth": self.config.max_queue_depth,
             },
         }
-        return json_response(200, body, request.keep_alive)
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -697,10 +808,11 @@ class RecommendDaemon:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        head_cache = HeadCache()
         try:
             while True:
                 try:
-                    request = await read_request(reader)
+                    request = await read_request(reader, head_cache)
                 except HttpError as exc:
                     self.counters["errors"] += 1
                     writer.write(
@@ -718,7 +830,10 @@ class RecommendDaemon:
                 except HttpError as exc:
                     self.counters["errors"] += 1
                     response = json_response(
-                        exc.status, {"error": str(exc)}, request.keep_alive
+                        exc.status,
+                        {"error": str(exc)},
+                        request.keep_alive,
+                        retry_after=exc.retry_after,
                     )
                 except (CatalogError, ValidationError) as exc:
                     # Unknown items / promo codes and other bad basket

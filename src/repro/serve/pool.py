@@ -1,0 +1,1120 @@
+"""Pre-fork multi-worker serving: one port, N processes, one model in memory.
+
+The single-process daemon saturates one core at ~45k baskets/s; store
+traffic does not stop at one core.  :class:`ServePool` scales the same
+:class:`~repro.serve.daemon.RecommendDaemon` across cores with the
+classic pre-fork architecture, specialised for profit-mining's
+read-mostly models:
+
+* **Kernel load balancing, no proxy hop.**  Every worker listens on the
+  same port.  Preferred mode: each worker binds its own ``SO_REUSEPORT``
+  socket and the kernel spreads incoming connections across them (the
+  supervisor holds a bound-but-not-listening placeholder on the port so
+  it stays reserved across worker restarts).  Fallback mode (platforms
+  without ``SO_REUSEPORT``): the supervisor binds one listening socket
+  and workers inherit it through fork, accepting from a shared queue.
+
+* **Shared model memory through fork.**  The supervisor loads (and
+  probes) every artifact exactly once through one
+  :class:`~repro.data.model_io.WorldCache`, then forks.  Workers serve
+  the inherited pages copy-on-write: the columnar v3 rule store, the
+  interned symbol universe and the compiled postings are never copied,
+  so 4 workers cost one model plus per-worker scratch (memos, buffers) —
+  not 4 residents.  The gate in ``benchmarks/test_serve_pool.py`` holds
+  the pool to ≤2× one worker's resident memory at 4 workers.
+
+* **Supervised robustness.**  The supervisor ``waitpid``-watches every
+  worker and re-forks crashed ones with exponential backoff (reset after
+  a stable stretch).  A restarted worker is re-synced to the pool's
+  current model generations *before* it starts accepting, so it never
+  serves a stale generation.
+
+* **Coordinated hot-swap.**  Workers never swap models unilaterally.
+  ``POST /admin/reload`` received by any worker is forwarded up its
+  control pipe; the supervisor assigns the next generation number and
+  broadcasts the reload to every worker, which load the artifact in
+  parallel and flip atomically (the single-daemon machinery).  Artifact
+  mtime polling likewise runs in the supervisor only.  Divergence
+  between workers is bounded by one load's duration, every response
+  still carries the generation that computed it, and two coordinated
+  swaps can never interleave (the supervisor serialises them).
+
+* **One pool view.**  ``GET /stats`` answered by any worker aggregates
+  the whole pool: the supervisor collects each worker's local stats
+  snapshot over the control pipes, sums the request counters, merges the
+  sampled :mod:`repro.obs` traces with :func:`repro.obs.merge_traces`,
+  and attaches per-worker health (pid, restarts, uptime, generations).
+  ``GET /stats/local`` keeps the per-worker document reachable.
+
+The control plane is line-delimited JSON over two pipes per worker
+(supervisor→worker commands, worker→supervisor events/replies), with the
+supervisor running a plain ``selectors`` loop — no asyncio in the parent,
+so forking is always safe.  ``profit-mining serve --workers N`` is the
+CLI surface; ``--workers 1`` bypasses this module entirely and runs the
+unmodified single-process daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import gc
+import json
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.data.model_io import WorldCache
+from repro.errors import ProfitMiningError, ValidationError
+from repro.obs.trace import merge_traces
+from repro.serve.daemon import (
+    ModelHandle,
+    RecommendDaemon,
+    ServeConfig,
+    _load_handle,
+    _normalize_models,
+)
+from repro.serve.http import HttpError, Request, json_response
+
+__all__ = [
+    "PoolConfig",
+    "PoolWorkerDaemon",
+    "ServePool",
+    "BackgroundPool",
+]
+
+_LISTENER_MODES = ("auto", "reuse_port", "inherit")
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Tunables of the supervisor (the data plane lives in ServeConfig)."""
+
+    #: Number of pre-forked serving processes.
+    workers: int = 2
+    #: How workers share the port: ``reuse_port`` (per-worker
+    #: ``SO_REUSEPORT`` sockets, kernel balancing), ``inherit`` (one
+    #: supervisor-owned listener inherited through fork) or ``auto``
+    #: (reuse_port where the platform supports it, else inherit).
+    listener: str = "auto"
+    #: First restart delay after a worker death; doubles per rapid death.
+    restart_backoff_s: float = 0.1
+    #: Ceiling for the doubling backoff.
+    restart_backoff_max_s: float = 5.0
+    #: A worker that stayed up at least this long resets its backoff.
+    restart_reset_s: float = 5.0
+    #: How long the supervisor waits on control-channel round trips
+    #: (worker ready announcements, reload fan-outs, stats collection).
+    control_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.listener not in _LISTENER_MODES:
+            raise ValidationError(
+                f"listener must be one of {_LISTENER_MODES}, "
+                f"got {self.listener!r}"
+            )
+        if self.restart_backoff_s <= 0:
+            raise ValidationError(
+                f"restart_backoff_s must be > 0, got {self.restart_backoff_s}"
+            )
+        if self.restart_backoff_max_s < self.restart_backoff_s:
+            raise ValidationError(
+                "restart_backoff_max_s must be >= restart_backoff_s, got "
+                f"{self.restart_backoff_max_s} < {self.restart_backoff_s}"
+            )
+        if self.restart_reset_s < 0:
+            raise ValidationError(
+                f"restart_reset_s must be >= 0, got {self.restart_reset_s}"
+            )
+        if self.control_timeout_s <= 0:
+            raise ValidationError(
+                f"control_timeout_s must be > 0, got {self.control_timeout_s}"
+            )
+
+
+def _encode_message(message: dict[str, Any]) -> bytes:
+    """One control-channel frame: compact JSON, newline-delimited."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def _decode_lines(buffer: bytearray) -> list[dict[str, Any]]:
+    """Split complete frames off ``buffer`` (partial tail stays put)."""
+    messages: list[dict[str, Any]] = []
+    while True:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            return messages
+        line = bytes(buffer[:newline])
+        del buffer[: newline + 1]
+        if line:
+            messages.append(json.loads(line))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _WorkerChannel:
+    """The worker end of the control pipes, living on the worker's loop.
+
+    Reads supervisor commands off the command pipe, answers them
+    (reload / worker_stats / ping) as independent tasks so a slow model
+    load never blocks the channel, and lets the daemon's HTTP handlers
+    make requests *to* the supervisor (admin-reload fan-out, stats
+    aggregation) with correlated replies.
+    """
+
+    def __init__(self, daemon: "PoolWorkerDaemon", timeout_s: float) -> None:
+        self.daemon = daemon
+        self.timeout_s = timeout_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._next_id = 0
+
+    async def connect(self, cmd_read_fd: int, evt_write_fd: int) -> None:
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=2**24)
+        protocol = asyncio.StreamReaderProtocol(reader)
+        await loop.connect_read_pipe(
+            lambda: protocol, os.fdopen(cmd_read_fd, "rb", buffering=0)
+        )
+        transport, flow = await loop.connect_write_pipe(
+            lambda: asyncio.streams.FlowControlMixin(loop),
+            os.fdopen(evt_write_fd, "wb", buffering=0),
+        )
+        self._reader = reader
+        self._writer = asyncio.StreamWriter(transport, flow, None, loop)
+
+    async def send(self, message: dict[str, Any]) -> None:
+        assert self._writer is not None
+        self._writer.write(_encode_message(message))
+        await self._writer.drain()
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send a worker-initiated request and await the correlated reply."""
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await self.send({**message, "id": request_id})
+            return await asyncio.wait_for(future, self.timeout_s)
+        except asyncio.TimeoutError as exc:
+            raise HttpError(
+                500, f"pool supervisor did not answer {message.get('op')!r}"
+            ) from exc
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def run(self) -> None:
+        """Serve the command pipe until shutdown or supervisor EOF."""
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                return  # supervisor went away; the worker must exit
+            message = json.loads(line)
+            op = message.get("op")
+            if op == "reply":
+                future = self._pending.get(message.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(message)
+            elif op == "shutdown":
+                return
+            else:
+                task = asyncio.create_task(self._handle(message))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    async def _handle(self, message: dict[str, Any]) -> None:
+        """Answer one supervisor-initiated command."""
+        op = message.get("op")
+        request_id = message.get("id")
+        try:
+            if op == "reload":
+                handle = await self.daemon.reload(
+                    message.get("path"),
+                    model=message.get("model"),
+                    generation=message.get("generation"),
+                )
+                reply = {"ok": True, "info": handle.info()}
+            elif op == "worker_stats":
+                reply = {"ok": True, "stats": self.daemon.stats_payload()}
+            elif op == "ping":
+                reply = {"ok": True}
+            else:
+                reply = {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # answer, never kill the channel
+            reply = {"ok": False, "error": str(exc)}
+        await self.send({"op": "reply", "id": request_id, **reply})
+
+
+class PoolWorkerDaemon(RecommendDaemon):
+    """A :class:`RecommendDaemon` serving as one worker of a pool.
+
+    The data plane (recommend / batch / query / healthz) is the parent
+    class, untouched.  The control plane differs: hot-swap and ``/stats``
+    are pool-wide concerns, so both are forwarded to the supervisor over
+    the worker's control channel instead of being answered locally.
+    """
+
+    worker_index: int = 0
+    channel: _WorkerChannel | None = None
+
+    async def _route(self, request: Request) -> bytes:
+        route = (request.method, request.path)
+        if route == ("POST", "/admin/reload"):
+            return await self._pool_admin_reload(request)
+        if route == ("GET", "/stats"):
+            return await self._pool_stats(request)
+        if route == ("GET", "/stats/local"):
+            return json_response(
+                200,
+                {"worker": self.worker_index, **self.stats_payload()},
+                request.keep_alive,
+            )
+        return await super()._route(request)
+
+    async def _pool_admin_reload(self, request: Request) -> bytes:
+        payload = request.json()
+        path = model = None
+        if isinstance(payload, dict):
+            path = payload.get("path")
+            model = payload.get("model")
+        self._slot(model)  # local 400/404 before bothering the pool
+        assert self.channel is not None
+        reply = await self.channel.request(
+            {"op": "admin_reload", "path": path, "model": model}
+        )
+        if not reply.get("ok"):
+            return json_response(
+                500,
+                {"swapped": False, "error": reply.get("error", "reload failed")},
+                request.keep_alive,
+            )
+        return json_response(
+            200, {"swapped": True, **reply["result"]}, request.keep_alive
+        )
+
+    async def _pool_stats(self, request: Request) -> bytes:
+        assert self.channel is not None
+        reply = await self.channel.request({"op": "stats"})
+        if not reply.get("ok"):
+            raise HttpError(
+                500, reply.get("error", "pool stats aggregation failed")
+            )
+        return json_response(200, reply["result"], request.keep_alive)
+
+    def _healthz(self, request: Request) -> bytes:
+        handle = self.handle
+        body = {
+            "status": "ok",
+            "worker": self.worker_index,
+            "model": handle.recommender.name,
+            "generation": handle.generation,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "models": {
+                name: slot.handle.generation
+                for name, slot in self._slots.items()
+            },
+        }
+        return json_response(200, body, request.keep_alive)
+
+
+async def _worker_async_main(
+    *,
+    index: int,
+    handles: Mapping[str, ModelHandle],
+    worlds: WorldCache,
+    config: ServeConfig,
+    mode: str,
+    host: str,
+    port: int,
+    listener: socket.socket | None,
+    sync: Mapping[str, Mapping[str, Any]],
+    cmd_read_fd: int,
+    evt_write_fd: int,
+    control_timeout_s: float,
+) -> None:
+    daemon = PoolWorkerDaemon.from_handles(handles, config=config, worlds=worlds)
+    daemon.worker_index = index
+    channel = _WorkerChannel(daemon, control_timeout_s)
+    daemon.channel = channel
+    await channel.connect(cmd_read_fd, evt_write_fd)
+    # Catch-up sync: a restarted worker forks from the supervisor's
+    # original generation-1 image, so replay any coordinated swaps that
+    # happened since — *before* accepting the first connection.
+    for name, state in sync.items():
+        if state["generation"] != daemon._slots[name].handle.generation:
+            await daemon.reload(
+                state["path"], model=name, generation=state["generation"]
+            )
+    if mode == "reuse_port":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    else:
+        assert listener is not None
+        sock = listener
+    await daemon.start(sock=sock)
+    await channel.send({"op": "ready", "port": daemon.port, "pid": os.getpid()})
+    try:
+        await channel.run()
+    finally:
+        await daemon.stop()
+
+
+def _worker_main(**kwargs: Any) -> None:
+    """Child-process entry: run the worker loop, then hard-exit.
+
+    ``os._exit`` (never ``sys.exit``) so the forked child cannot run the
+    parent's atexit hooks or flush duplicated stdio buffers.
+    """
+    exit_code = 1
+    try:
+        asyncio.run(_worker_async_main(**kwargs))
+        exit_code = 0
+    except BaseException:  # noqa: BLE001 - last stop before _exit
+        import traceback
+
+        os.write(2, traceback.format_exc().encode("utf-8", "replace"))
+    finally:
+        os._exit(exit_code)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+
+class _WorkerProc:
+    """Supervisor-side record of one worker slot across its restarts."""
+
+    __slots__ = (
+        "index",
+        "pid",
+        "cmd_write_fd",
+        "evt_read_fd",
+        "buffer",
+        "alive",
+        "ready",
+        "port",
+        "started_at",
+        "restarts",
+        "restart_at",
+        "backoff_s",
+        "next_request_id",
+        "replies",
+    )
+
+    def __init__(self, index: int, backoff_s: float) -> None:
+        self.index = index
+        self.pid = 0
+        self.cmd_write_fd = -1
+        self.evt_read_fd = -1
+        self.buffer = bytearray()
+        self.alive = False
+        self.ready = False
+        self.port: int | None = None
+        self.started_at = 0.0
+        self.restarts = 0
+        self.restart_at: float | None = None
+        self.backoff_s = backoff_s
+        self.next_request_id = 0
+        self.replies: dict[int, dict[str, Any]] = {}
+
+
+class ServePool:
+    """Supervisor of a pre-fork worker pool (see the module docstring).
+
+    Lifecycle::
+
+        pool = ServePool("model.json", ServeConfig(port=8321),
+                         PoolConfig(workers=4))
+        pool.start()        # loads once, forks N ready workers
+        pool.run_forever()  # supervise until stopped
+        pool.stop()
+
+    The supervisor thread/process runs a synchronous ``selectors`` loop:
+    it never holds an asyncio loop, so forking workers (including
+    restarts at arbitrary times) is always safe.
+    """
+
+    def __init__(
+        self,
+        models: (
+            str
+            | Path
+            | Mapping[str, str]
+            | Sequence[str | Path | tuple[str | None, str]]
+        ),
+        config: ServeConfig | None = None,
+        pool: PoolConfig | None = None,
+    ) -> None:
+        if not hasattr(os, "fork"):  # pragma: no cover - platform guard
+            raise ProfitMiningError(
+                "multi-worker serving needs a fork-capable platform; "
+                "use --workers 1 here"
+            )
+        self.config = config or ServeConfig()
+        self.pool = pool or PoolConfig()
+        self.worlds = WorldCache()
+        # Load every artifact exactly once, pre-fork: these handles (and
+        # the shared world behind them) become the read-only pages all
+        # workers serve from.
+        self._handles: dict[str, ModelHandle] = {}
+        for name, path in _normalize_models(models):
+            handle = _load_handle(path, generation=1, worlds=self.worlds)
+            slot_name = name if name is not None else handle.recommender.name
+            if slot_name in self._handles:
+                raise ValidationError(
+                    f"duplicate model name {slot_name!r}; serve each model "
+                    f"under a distinct NAME=PATH"
+                )
+            self._handles[slot_name] = handle
+        self._default_name = next(iter(self._handles))
+        #: Pool-wide model truth: slot -> current path/generation/mtime.
+        self._state: dict[str, dict[str, Any]] = {
+            name: {
+                "path": handle.path,
+                "generation": handle.generation,
+                "mtime_ns": handle.mtime_ns,
+            }
+            for name, handle in self._handles.items()
+        }
+        self._workers: list[_WorkerProc] = []
+        self._selector: selectors.BaseSelector | None = None
+        self._placeholder: socket.socket | None = None
+        self._listener: socket.socket | None = None
+        self._mode = ""
+        self._port: int | None = None
+        self._started_at = 0.0
+        self._restarts_total = 0
+        self._swaps_total = 0
+        self._stop_requested = False
+        self._stopped = False
+        #: Worker-initiated requests queued for serialized handling.
+        self._inbox: list[tuple[_WorkerProc, dict[str, Any]]] = []
+        self._last_poll = 0.0
+
+    # -- properties ----------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise ProfitMiningError("pool is not started")
+        return self._port
+
+    @property
+    def mode(self) -> str:
+        """``reuse_port`` or ``inherit`` once started."""
+        if not self._mode:
+            raise ProfitMiningError("pool is not started")
+        return self._mode
+
+    @property
+    def pids(self) -> list[int]:
+        """Live worker pids, by worker index."""
+        return [worker.pid for worker in self._workers if worker.alive]
+
+    @property
+    def model_names(self) -> list[str]:
+        return list(self._handles)
+
+    # -- socket strategy ----------------------------------------------
+    def _bind(self) -> None:
+        mode = self.pool.listener
+        if mode == "auto":
+            mode = (
+                "reuse_port"
+                if hasattr(socket, "SO_REUSEPORT")
+                else "inherit"
+            )
+        if mode == "reuse_port" and not hasattr(socket, "SO_REUSEPORT"):
+            raise ProfitMiningError(
+                "SO_REUSEPORT is not available on this platform; use "
+                "listener='inherit'"
+            )
+        if mode == "reuse_port":
+            # Bound but never listening: reserves the port (also across
+            # worker restarts) without ever being offered connections —
+            # the kernel balances only among *listening* group members.
+            placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            placeholder.bind((self.config.host, self.config.port))
+            self._placeholder = placeholder
+            self._port = placeholder.getsockname()[1]
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(256)
+            self._listener = listener
+            self._port = listener.getsockname()[1]
+        self._mode = mode
+
+    def _worker_config(self) -> ServeConfig:
+        # Workers never poll artifacts (the supervisor owns hot-swap
+        # coordination) and never self-bind beyond the socket handed in.
+        return dataclasses.replace(
+            self.config, poll_interval_s=0.0, reuse_port=False
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Bind, fork every worker, and wait until all announce ready."""
+        if self._workers:
+            raise ProfitMiningError("pool already started")
+        self._bind()
+        self._selector = selectors.DefaultSelector()
+        self._started_at = time.time()
+        self._last_poll = time.time()
+        for index in range(self.pool.workers):
+            self._workers.append(
+                _WorkerProc(index, self.pool.restart_backoff_s)
+            )
+            self._spawn(index)
+        deadline = time.time() + self.pool.control_timeout_s
+        while time.time() < deadline:
+            if all(w.ready for w in self._workers):
+                return
+            self._tick(0.05)
+        not_ready = [w.index for w in self._workers if not w.ready]
+        self.stop()
+        raise ProfitMiningError(
+            f"pool workers {not_ready} failed to become ready in "
+            f"{self.pool.control_timeout_s:.0f}s"
+        )
+
+    def _spawn(self, index: int) -> None:
+        worker = self._workers[index]
+        cmd_read_fd, cmd_write_fd = os.pipe()
+        evt_read_fd, evt_write_fd = os.pipe()
+        # Snapshot the pool truth pre-fork: the child replays it before
+        # accepting, so a worker restarted after swaps starts current.
+        sync = {name: dict(state) for name, state in self._state.items()}
+        # Move everything allocated so far (the loaded models above all)
+        # into the GC's permanent generation: collections in the workers
+        # then never traverse those objects, so their copy-on-write pages
+        # stay physically shared instead of being dirtied by the first
+        # post-fork garbage collection.  This is what keeps N workers at
+        # ~one model's footprint.
+        gc.collect()
+        gc.freeze()
+        pid = os.fork()
+        if pid == 0:
+            # ---- child ----
+            try:
+                os.close(cmd_write_fd)
+                os.close(evt_read_fd)
+                self._close_supervisor_fds_in_child()
+                _worker_main(
+                    index=index,
+                    handles=self._handles,
+                    worlds=self.worlds,
+                    config=self._worker_config(),
+                    mode=self._mode,
+                    host=self.config.host,
+                    port=self._port,
+                    listener=self._listener,
+                    sync=sync,
+                    cmd_read_fd=cmd_read_fd,
+                    evt_write_fd=evt_write_fd,
+                    control_timeout_s=self.pool.control_timeout_s,
+                )
+            finally:  # pragma: no cover - _worker_main never returns
+                os._exit(1)
+        # ---- parent ----
+        os.close(cmd_read_fd)
+        os.close(evt_write_fd)
+        os.set_blocking(evt_read_fd, False)
+        worker.pid = pid
+        worker.cmd_write_fd = cmd_write_fd
+        worker.evt_read_fd = evt_read_fd
+        worker.buffer = bytearray()
+        worker.alive = True
+        worker.ready = False
+        worker.port = None
+        worker.started_at = time.time()
+        worker.restart_at = None
+        worker.replies = {}
+        assert self._selector is not None
+        self._selector.register(
+            evt_read_fd, selectors.EVENT_READ, data=worker
+        )
+
+    def _close_supervisor_fds_in_child(self) -> None:
+        """Drop every parent-side fd the child must not hold open."""
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if self._placeholder is not None:
+            self._placeholder.close()
+        for other in self._workers:
+            for fd in (other.cmd_write_fd, other.evt_read_fd):
+                if fd >= 0:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+
+    def request_stop(self) -> None:
+        """Ask the supervising loop to exit (thread-safe flag flip)."""
+        self._stop_requested = True
+
+    def run_forever(self, tick_s: float = 0.05) -> None:
+        """Supervise until :meth:`request_stop` (or KeyboardInterrupt)."""
+        try:
+            while not self._stop_requested:
+                self._tick(tick_s)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self, grace_s: float = 3.0) -> None:
+        """Shut every worker down and release the port."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop_requested = True
+        for worker in self._workers:
+            if worker.alive:
+                self._send(worker, {"op": "shutdown"})
+        deadline = time.time() + grace_s
+        while time.time() < deadline and any(
+            w.alive for w in self._workers
+        ):
+            self._reap(restart=False)
+            time.sleep(0.02)
+        for sig in (signal.SIGTERM, signal.SIGKILL):
+            stragglers = [w for w in self._workers if w.alive]
+            if not stragglers:
+                break
+            for worker in stragglers:
+                try:
+                    os.kill(worker.pid, sig)
+                except ProcessLookupError:
+                    pass
+            deadline = time.time() + grace_s
+            while time.time() < deadline and any(
+                w.alive for w in self._workers
+            ):
+                self._reap(restart=False)
+                time.sleep(0.02)
+        for worker in self._workers:
+            self._release_worker_fds(worker)
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        if self._placeholder is not None:
+            self._placeholder.close()
+            self._placeholder = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        self._workers = []
+
+    # -- supervision loop ----------------------------------------------
+    def _tick(self, timeout_s: float) -> None:
+        """One supervisor quantum: drain pipes, reap, restart, poll."""
+        assert self._selector is not None
+        for key, _ in self._selector.select(timeout_s):
+            self._drain(key.data)
+        self._reap(restart=True)
+        self._dispatch_inbox()
+        self._poll_mtimes()
+
+    def _drain(self, worker: _WorkerProc) -> None:
+        """Read everything currently in one worker's event pipe."""
+        while True:
+            try:
+                chunk = os.read(worker.evt_read_fd, 65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                chunk = b""
+            if not chunk:
+                break  # EOF — reaping will notice the death
+            worker.buffer.extend(chunk)
+        for message in _decode_lines(worker.buffer):
+            op = message.get("op")
+            if op == "ready":
+                worker.ready = True
+                worker.port = message.get("port")
+            elif op == "reply":
+                worker.replies[message.get("id")] = message
+            else:
+                self._inbox.append((worker, message))
+
+    def _reap(self, restart: bool) -> None:
+        now = time.time()
+        for worker in self._workers:
+            if worker.alive:
+                try:
+                    pid, _status = os.waitpid(worker.pid, os.WNOHANG)
+                except ChildProcessError:
+                    pid = worker.pid
+                if pid:
+                    self._on_death(worker, now)
+            elif (
+                restart
+                and not self._stop_requested
+                and worker.restart_at is not None
+                and now >= worker.restart_at
+            ):
+                worker.restart_at = None
+                worker.restarts += 1
+                self._restarts_total += 1
+                self._spawn(worker.index)
+
+    def _on_death(self, worker: _WorkerProc, now: float) -> None:
+        uptime = now - worker.started_at
+        self._release_worker_fds(worker)
+        worker.alive = False
+        worker.ready = False
+        if uptime >= self.pool.restart_reset_s:
+            worker.backoff_s = self.pool.restart_backoff_s
+        delay = worker.backoff_s
+        worker.backoff_s = min(
+            worker.backoff_s * 2, self.pool.restart_backoff_max_s
+        )
+        worker.restart_at = now + delay
+
+    def _release_worker_fds(self, worker: _WorkerProc) -> None:
+        if worker.evt_read_fd >= 0:
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(worker.evt_read_fd)
+                except (KeyError, ValueError):
+                    pass
+            try:
+                os.close(worker.evt_read_fd)
+            except OSError:
+                pass
+            worker.evt_read_fd = -1
+        if worker.cmd_write_fd >= 0:
+            try:
+                os.close(worker.cmd_write_fd)
+            except OSError:
+                pass
+            worker.cmd_write_fd = -1
+
+    def _send(self, worker: _WorkerProc, message: dict[str, Any]) -> bool:
+        if not worker.alive or worker.cmd_write_fd < 0:
+            return False
+        try:
+            os.write(worker.cmd_write_fd, _encode_message(message))
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    # -- coordinated operations ---------------------------------------
+    def _broadcast(
+        self, message: dict[str, Any]
+    ) -> dict[int, dict[str, Any] | None]:
+        """Send to every ready worker; collect correlated replies.
+
+        Returns ``{worker index: reply or None}`` (None = died or timed
+        out).  Runs its own mini select loop so replies arriving while
+        we wait are routed exactly like in :meth:`_tick`; worker-
+        initiated requests that land meanwhile queue up in the inbox.
+        """
+        assert self._selector is not None
+        waiting: dict[int, int] = {}
+        replies: dict[int, dict[str, Any] | None] = {}
+        for worker in self._workers:
+            if not (worker.alive and worker.ready):
+                continue
+            worker.next_request_id += 1
+            request_id = worker.next_request_id
+            if self._send(worker, {**message, "id": request_id}):
+                waiting[worker.index] = request_id
+            else:
+                replies[worker.index] = None
+        deadline = time.time() + self.pool.control_timeout_s
+        while waiting and time.time() < deadline:
+            for key, _ in self._selector.select(0.02):
+                self._drain(key.data)
+            self._reap(restart=False)
+            for index, request_id in list(waiting.items()):
+                worker = self._workers[index]
+                if request_id in worker.replies:
+                    replies[index] = worker.replies.pop(request_id)
+                    del waiting[index]
+                elif not worker.alive:
+                    replies[index] = None
+                    del waiting[index]
+        for index in waiting:
+            replies[index] = None
+        return replies
+
+    def _coordinated_reload(
+        self, path: str | None, model: str | None
+    ) -> dict[str, Any]:
+        """Assign the next generation and fan the swap out to all workers."""
+        name = model if model is not None else self._default_name
+        state = self._state.get(name)
+        if state is None:
+            return {
+                "ok": False,
+                "error": f"unknown model {name!r}; resident models: "
+                f"{', '.join(self._state)}",
+            }
+        target = str(path) if path else state["path"]
+        generation = state["generation"] + 1
+        replies = self._broadcast(
+            {"op": "reload", "model": model, "path": target,
+             "generation": generation}
+        )
+        succeeded = {
+            index: reply
+            for index, reply in replies.items()
+            if reply is not None and reply.get("ok")
+        }
+        failed = {
+            index: (
+                reply.get("error", "reload failed")
+                if reply is not None
+                else "worker died or timed out"
+            )
+            for index, reply in replies.items()
+            if index not in succeeded
+        }
+        if not succeeded:
+            detail = "; ".join(
+                f"worker {index}: {error}" for index, error in failed.items()
+            ) or "no ready workers"
+            return {"ok": False, "error": detail}
+        # At least one worker serves the new generation: that is the pool
+        # truth now.  Failed workers keep the old model until the next
+        # poll/reload (or their restart re-sync) catches them up.
+        try:
+            mtime_ns = os.stat(target).st_mtime_ns
+        except OSError:
+            mtime_ns = state["mtime_ns"]
+        self._state[name] = {
+            "path": target,
+            "generation": generation,
+            "mtime_ns": mtime_ns,
+        }
+        self._swaps_total += 1
+        representative = next(iter(succeeded.values()))["info"]
+        result = {
+            **representative,
+            "workers": {
+                str(index): reply["info"]
+                for index, reply in succeeded.items()
+            },
+        }
+        if failed:
+            result["failed_workers"] = {
+                str(index): error for index, error in failed.items()
+            }
+            return {
+                "ok": False,
+                "error": "partial swap: "
+                + "; ".join(
+                    f"worker {index}: {error}"
+                    for index, error in failed.items()
+                ),
+                "result": result,
+            }
+        return {"ok": True, "result": result}
+
+    def _aggregate_stats(
+        self, requester: _WorkerProc
+    ) -> dict[str, Any]:
+        """Collect every worker's local stats and merge one pool view."""
+        replies = self._broadcast({"op": "worker_stats"})
+        snapshots = {
+            index: reply["stats"]
+            for index, reply in replies.items()
+            if reply is not None and reply.get("ok")
+        }
+        base = snapshots.get(requester.index)
+        if base is None:
+            return {
+                "ok": False,
+                "error": "stats collection failed on the requesting worker",
+            }
+        counters: dict[str, float] = {}
+        queue_depth = 0
+        for snapshot in snapshots.values():
+            for key, value in snapshot["counters"].items():
+                counters[key] = counters.get(key, 0) + value
+            queue_depth += snapshot.get("queue_depth", 0)
+        trace = merge_traces(
+            (snapshot["trace"] for snapshot in snapshots.values()),
+            name="pool",
+        )
+        now = time.time()
+        workers_detail = []
+        for worker in self._workers:
+            snapshot = snapshots.get(worker.index)
+            detail: dict[str, Any] = {
+                "worker": worker.index,
+                "pid": worker.pid,
+                "alive": worker.alive,
+                "ready": worker.ready,
+                "restarts": worker.restarts,
+                "uptime_s": (
+                    round(now - worker.started_at, 3) if worker.alive else 0.0
+                ),
+            }
+            if snapshot is not None:
+                detail["requests"] = snapshot["counters"]["requests"]
+                detail["baskets_served"] = snapshot["counters"][
+                    "baskets_served"
+                ]
+                detail["generations"] = {
+                    model_name: info["generation"]
+                    for model_name, info in snapshot["models"].items()
+                }
+            workers_detail.append(detail)
+        result = dict(base)
+        result["uptime_s"] = round(now - self._started_at, 3)
+        result["queue_depth"] = queue_depth
+        result["counters"] = counters
+        result["trace"] = {
+            "counters": trace.counters,
+            "caches": trace.caches,
+        }
+        result["pool"] = {
+            "workers": self.pool.workers,
+            "alive": sum(1 for w in self._workers if w.alive),
+            "mode": self._mode,
+            "restarts": self._restarts_total,
+            "swaps": self._swaps_total,
+            "generations": {
+                model_name: state["generation"]
+                for model_name, state in self._state.items()
+            },
+            "workers_detail": workers_detail,
+        }
+        return {"ok": True, "result": result}
+
+    def _dispatch_inbox(self) -> None:
+        """Serve queued worker-initiated requests, strictly serialized.
+
+        Serialization is the coherence guarantee: two concurrent admin
+        reloads can never interleave their generation assignments.
+        """
+        while self._inbox:
+            worker, message = self._inbox.pop(0)
+            op = message.get("op")
+            request_id = message.get("id")
+            if op == "admin_reload":
+                outcome = self._coordinated_reload(
+                    message.get("path"), message.get("model")
+                )
+            elif op == "stats":
+                outcome = self._aggregate_stats(worker)
+            else:
+                outcome = {"ok": False, "error": f"unknown op {op!r}"}
+            self._send(worker, {"op": "reply", "id": request_id, **outcome})
+
+    def _poll_mtimes(self) -> None:
+        """Supervisor-side artifact watching (replaces worker pollers)."""
+        interval = self.config.poll_interval_s
+        if interval <= 0:
+            return
+        now = time.time()
+        if now - self._last_poll < interval:
+            return
+        self._last_poll = now
+        for name, state in self._state.items():
+            try:
+                mtime_ns = os.stat(state["path"]).st_mtime_ns
+            except OSError:
+                continue  # mid-replace or gone; retry next tick
+            if mtime_ns != state["mtime_ns"]:
+                self._coordinated_reload(None, name)
+
+
+class BackgroundPool:
+    """A :class:`ServePool` supervised from a dedicated thread.
+
+    The embedding used by the pool benchmark and the integration tests::
+
+        with BackgroundPool("model.json", ServeConfig(port=0),
+                            PoolConfig(workers=4)) as pool:
+            requests_go_to(f"http://127.0.0.1:{pool.port}")
+
+    Model loading and forking happen on the supervisor thread so the
+    caller's thread never blocks on a fork and every supervisor-side fd
+    is owned by one thread.
+    """
+
+    def __init__(
+        self,
+        models: (
+            str
+            | Path
+            | Mapping[str, str]
+            | Sequence[str | Path | tuple[str | None, str]]
+        ),
+        config: ServeConfig | None = None,
+        pool: PoolConfig | None = None,
+    ) -> None:
+        self.pool = ServePool(models, config, pool)
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.pool.port
+
+    @property
+    def pids(self) -> list[int]:
+        return self.pool.pids
+
+    def __enter__(self) -> "BackgroundPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 120.0) -> None:
+        """Start the supervisor thread; block until every worker is ready."""
+
+        def _run() -> None:
+            try:
+                self.pool.start()
+            except BaseException as exc:  # surface on the caller thread
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            self.pool.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve-pool", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):  # pragma: no cover - defensive
+            raise ProfitMiningError("pool failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the pool down and join the supervisor thread."""
+        if self._thread is None:
+            return
+        self.pool.request_stop()
+        self._thread.join(timeout)
+        self._thread = None

@@ -391,6 +391,69 @@ class TestMultiModelTenancy:
             )
 
 
+class TestBackpressure:
+    def test_full_queue_answers_503_with_retry_after(self, world):
+        """Saturating the micro-batch queue sheds load instead of queueing.
+
+        Deterministic setup: freeze the batch worker so the queue cannot
+        drain, fill it to ``max_queue_depth``, then drive one real HTTP
+        request — it must get a clean 503 with a ``Retry-After`` header,
+        and the drop must show up in the stats counters.
+        """
+        import asyncio
+
+        from repro.serve import RecommendDaemon
+
+        async def run() -> None:
+            daemon = RecommendDaemon(
+                world["path_a"], ServeConfig(port=0, max_queue_depth=2)
+            )
+            await daemon.start()
+            try:
+                slot = daemon._slots[daemon._default_name]
+                slot.worker.cancel()  # freeze the consumer
+                loop = asyncio.get_running_loop()
+                for _ in range(2):  # fill the queue to its cap
+                    await slot.queue.put(([], loop.create_future()))
+
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", daemon.port
+                )
+                body = json.dumps({"basket": world["payloads"][0]}).encode()
+                writer.write(
+                    b"POST /recommend HTTP/1.1\r\n"
+                    b"Connection: close\r\n"
+                    + b"Content-Length: %d\r\n\r\n" % len(body)
+                    + body
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                head, _, payload = raw.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 503 Service Unavailable")
+                assert b"Retry-After: 1" in head
+                assert "queue is full" in json.loads(payload)["error"]
+                stats = daemon.stats_payload()
+                assert stats["counters"]["rejected_requests"] == 1
+                assert stats["counters"]["errors"] == 1
+                assert stats["config"]["max_queue_depth"] == 2
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def test_zero_depth_disables_the_cap(self, world):
+        """``max_queue_depth=0`` keeps the old unbounded behavior."""
+        config = ServeConfig(port=0, max_queue_depth=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200
+            assert (body["item"], body["promo"]) == world["expected_a"][0]
+
+
 class TestQueryEndpoint:
     def test_query_matches_library_answer(self, world):
         config = ServeConfig(port=0)

@@ -73,6 +73,7 @@ MODULES = [
     "repro.serve",
     "repro.serve.daemon",
     "repro.serve.http",
+    "repro.serve.pool",
     "repro.whatif",
 ]
 

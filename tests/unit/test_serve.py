@@ -11,6 +11,8 @@ from repro.errors import ValidationError
 from repro.serve import ServeConfig, trace_sample_period
 from repro.serve.daemon import _parse_basket, _parse_sale
 from repro.serve.http import (
+    MAX_HEADER_BYTES,
+    HeadCache,
     HttpError,
     Request,
     json_response,
@@ -19,14 +21,16 @@ from repro.serve.http import (
 )
 
 
-def parse_bytes(raw: bytes) -> Request | None:
+def parse_bytes(
+    raw: bytes, head_cache: HeadCache | None = None
+) -> Request | None:
     """Drive :func:`read_request` over an in-memory stream."""
 
     async def run() -> Request | None:
         reader = asyncio.StreamReader()
         reader.feed_data(raw)
         reader.feed_eof()
-        return await read_request(reader)
+        return await read_request(reader, head_cache)
 
     return asyncio.run(run())
 
@@ -102,6 +106,96 @@ class TestReadRequest:
             request.json()
         assert excinfo.value.status == 400
 
+    def test_oversized_header_block_raises_431(self):
+        filler = b"X-Filler: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+        raw = b"GET /healthz HTTP/1.1\r\n" + filler + b"\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(raw)
+        assert excinfo.value.status == 431
+
+    def test_pipelined_second_request_raises_400(self):
+        one = b"GET /healthz HTTP/1.1\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(one + one)  # second request sent before a response
+        assert excinfo.value.status == 400
+        assert "pipelined" in str(excinfo.value)
+
+    def test_pipelined_bytes_after_body_raise_400(self):
+        body = b'{"basket": []}'
+        raw = (
+            b"POST /recommend HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+            + b"GET /stats HTTP/1.1\r\n\r\n"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            parse_bytes(raw)
+        assert excinfo.value.status == 400
+
+    def test_sequential_keep_alive_requests_still_parse(self):
+        """Back-to-back requests are fine when read one per response."""
+
+        async def run() -> list[Request]:
+            reader = asyncio.StreamReader()
+            cache = HeadCache()
+            head = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            reader.feed_data(head)
+            first = await read_request(reader, cache)
+            reader.feed_data(head)
+            reader.feed_eof()
+            second = await read_request(reader, cache)
+            assert first is not None and second is not None
+            return [first, second]
+
+        first, second = asyncio.run(run())
+        assert (first.method, first.path) == ("GET", "/healthz")
+        # The second parse was served from the head cache: the exact
+        # same headers dict object is reused.
+        assert second.headers is first.headers
+
+
+class TestHeadCache:
+    HEAD = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+
+    def test_miss_then_hit(self):
+        cache = HeadCache()
+        assert cache.get(self.HEAD) is None
+        request = parse_bytes(self.HEAD, cache)
+        assert request is not None
+        parsed = cache.get(self.HEAD)
+        assert parsed is not None
+        assert parsed[:2] == ("GET", "/healthz")
+        assert parse_bytes(self.HEAD, cache).headers is parsed[2]
+
+    def test_cached_parse_matches_cold_parse(self):
+        cache = HeadCache()
+        body = b'{"basket": []}'
+        raw = (
+            b"POST /recommend HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        cold = parse_bytes(raw, cache)
+        warm = parse_bytes(raw, cache)
+        assert (cold.method, cold.path, cold.headers, cold.body) == (
+            warm.method,
+            warm.path,
+            warm.headers,
+            warm.body,
+        )
+
+    def test_eviction_keeps_cache_bounded(self):
+        cache = HeadCache()
+        for i in range(HeadCache.MAX_ENTRIES + 5):
+            parse_bytes(f"GET /p{i} HTTP/1.1\r\n\r\n".encode(), cache)
+        assert len(cache) == HeadCache.MAX_ENTRIES
+        # Insertion-order eviction: the oldest heads are gone, the
+        # newest survive.
+        assert cache.get(b"GET /p0 HTTP/1.1\r\n\r\n") is None
+        assert cache.get(
+            f"GET /p{HeadCache.MAX_ENTRIES + 4} HTTP/1.1\r\n\r\n".encode()
+        ) is not None
+
 
 class TestResponses:
     def test_render_response_frames_body(self):
@@ -119,6 +213,27 @@ class TestResponses:
         assert b"Connection: close" in head
         assert json.loads(body) == {"status": "down"}
 
+    def test_retry_after_header_emitted(self):
+        raw = json_response(503, {"error": "full"}, retry_after=1)
+        head, _, _body = raw.partition(b"\r\n\r\n")
+        assert b"Retry-After: 1" in head
+        # And absent when not asked for.
+        assert b"Retry-After" not in json_response(503, {"error": "full"})
+
+    def test_cached_head_fragment_matches_cold_render(self):
+        # Render twice: the second call reuses the precomputed fragment
+        # and must produce byte-identical framing.
+        first = render_response(200, b"abc", "application/json", True)
+        second = render_response(200, b"xyz", "application/json", True)
+        head_1, _, body_1 = first.partition(b"\r\n\r\n")
+        head_2, _, body_2 = second.partition(b"\r\n\r\n")
+        assert head_1 == head_2
+        assert (body_1, body_2) == (b"abc", b"xyz")
+
+    def test_431_reason_phrase(self):
+        raw = render_response(431, b"", "application/json", False)
+        assert raw.startswith(b"HTTP/1.1 431 Request Header Fields Too Large")
+
 
 class TestServeConfig:
     def test_defaults_are_valid(self):
@@ -132,6 +247,7 @@ class TestServeConfig:
             {"max_linger_ms": -1.0},
             {"trace_sample_period": -1},
             {"poll_interval_s": -0.5},
+            {"max_queue_depth": -1},
         ],
     )
     def test_rejects_bad_knobs(self, kwargs):

@@ -1,0 +1,124 @@
+"""Unit tests for the worker pool's pure pieces (config, protocol, merging)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import Trace, merge_traces
+from repro.serve.pool import PoolConfig, _decode_lines, _encode_message
+
+
+class TestPoolConfig:
+    def test_defaults_are_valid(self):
+        config = PoolConfig()
+        assert config.workers >= 1
+        assert config.listener == "auto"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -1},
+            {"listener": "proxy"},
+            {"restart_backoff_s": 0.0},
+            {"restart_backoff_s": -0.1},
+            {"restart_backoff_s": 2.0, "restart_backoff_max_s": 1.0},
+            {"restart_reset_s": -1.0},
+            {"control_timeout_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValidationError):
+            PoolConfig(**kwargs)
+
+    @pytest.mark.parametrize("mode", ["auto", "reuse_port", "inherit"])
+    def test_listener_modes(self, mode):
+        assert PoolConfig(listener=mode).listener == mode
+
+
+class TestControlProtocol:
+    def test_round_trip_one_frame(self):
+        message = {"op": "reload", "path": "m.json", "generation": 7}
+        buffer = bytearray(_encode_message(message))
+        assert _decode_lines(buffer) == [message]
+        assert buffer == bytearray()
+
+    def test_frames_are_newline_delimited(self):
+        raw = _encode_message({"op": "ping", "id": 1})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    def test_multiple_frames_split(self):
+        buffer = bytearray(
+            _encode_message({"op": "ping", "id": 1})
+            + _encode_message({"op": "ready", "port": 8321})
+        )
+        messages = _decode_lines(buffer)
+        assert [m["op"] for m in messages] == ["ping", "ready"]
+        assert buffer == bytearray()
+
+    def test_partial_tail_stays_buffered(self):
+        whole = _encode_message({"op": "ping", "id": 1})
+        buffer = bytearray(whole + b'{"op": "rel')
+        assert _decode_lines(buffer) == [{"op": "ping", "id": 1}]
+        assert bytes(buffer) == b'{"op": "rel'
+        # Completing the frame drains it.
+        buffer.extend(b'oad"}\n')
+        assert _decode_lines(buffer) == [{"op": "reload"}]
+        assert buffer == bytearray()
+
+    def test_empty_lines_are_skipped(self):
+        buffer = bytearray(b"\n\n" + _encode_message({"op": "ping"}))
+        assert _decode_lines(buffer) == [{"op": "ping"}]
+
+    def test_unicode_survives(self):
+        message = {"op": "reply", "error": "modèle inconnu — ü"}
+        buffer = bytearray(_encode_message(message))
+        assert _decode_lines(buffer) == [message]
+
+
+class TestMergeTraces:
+    def _snapshot(self, scans: int, hits: int, misses: int) -> dict:
+        trace = Trace("worker")
+        trace.count("postings.scans", scans)
+        trace.cache_event("basket_memo", hits=hits, misses=misses)
+        data = trace.to_dict()
+        return {"counters": data["counters"], "caches": data["caches"]}
+
+    def test_counters_sum_across_snapshots(self):
+        merged = merge_traces(
+            [self._snapshot(10, 3, 1), self._snapshot(5, 2, 2)]
+        )
+        assert merged.counters["postings.scans"] == 15
+        assert merged.caches["basket_memo"]["hits"] == 5
+        assert merged.caches["basket_memo"]["misses"] == 3
+
+    def test_fresh_trace_each_call(self):
+        """Aggregating cumulative snapshots twice must not double count."""
+        snapshots = [self._snapshot(10, 0, 0)]
+        first = merge_traces(snapshots)
+        second = merge_traces(snapshots)
+        assert first.counters["postings.scans"] == 10
+        assert second.counters["postings.scans"] == 10
+
+    def test_gauge_stats_take_max(self):
+        a = Trace("a")
+        a.cache_event("worlds", entries=3)
+        b = Trace("b")
+        b.cache_event("worlds", entries=5)
+        merged = merge_traces(
+            [
+                {"counters": {}, "caches": a.to_dict()["caches"]},
+                {"counters": {}, "caches": b.to_dict()["caches"]},
+            ]
+        )
+        assert merged.caches["worlds"]["entries"] == 5
+
+    def test_empty_iterable_merges_to_empty_trace(self):
+        merged = merge_traces([])
+        assert merged.counters == {}
+        assert merged.caches == {}
+
+    def test_name_is_settable(self):
+        assert merge_traces([], name="pool").name == "pool"
