@@ -1,0 +1,251 @@
+"""Top-k serving and campaign-planner benchmark gates.
+
+Two claims of the portfolio layer are checked on a mined model over a
+synthetic Dataset-I world:
+
+1. **Batched top-k speed** — serving a repeated-traffic workload through
+   :meth:`~repro.core.mpf.MPFRecommender.recommend_top_k_many` (compiled
+   matching + the (basket, k) LRU memo) is at least
+   ``TOPK_SPEEDUP_FLOOR``× faster than the naive per-call loop
+   (``recommend_top_k(b, k, naive=True)`` per basket — the linear-scan
+   reference), with bit-identical offer lists.
+2. **Planner optimality** — the campaign planner's exact search matches
+   an independent brute-force optimum computed straight off the
+   ``what_if`` kernel (no planner code in the loop), the greedy sweep
+   never beats exact and never exceeds its own certified upper bound,
+   and budget / inventory constraints hold on the selected portfolio.
+
+Workload size is env-tunable for CI smoke runs
+(``REPRO_BENCH_TOPK_TXNS`` / ``_ITEMS`` / ``_BASKETS`` / ``_K`` /
+``_MINSUP``); results land in ``BENCH_topk_campaign.json`` for the CI
+artifact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import plan_campaign
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.data.datasets import build_dataset, dataset_i_config
+from repro.whatif import what_if
+
+N_TXNS = int(os.environ.get("REPRO_BENCH_TOPK_TXNS", "1200"))
+N_ITEMS = int(os.environ.get("REPRO_BENCH_TOPK_ITEMS", "120"))
+N_BASKETS = int(os.environ.get("REPRO_BENCH_TOPK_BASKETS", "8000"))
+K = int(os.environ.get("REPRO_BENCH_TOPK_K", "3"))
+MINSUP = float(os.environ.get("REPRO_BENCH_TOPK_MINSUP", "0.003"))
+SEED = 7
+ROUNDS = 3
+#: Batched memoized top-k must beat the naive per-call loop by this much
+#: on repeated traffic.
+TOPK_SPEEDUP_FLOOR = 3.0
+#: Brute-force verification enumerates portfolios up to this size.
+PLAN_CAP = 2
+#: Baskets fed to the planner gate (kept small: the brute-force
+#: reference scores every basket × subset combination).
+PLAN_BASKETS = 200
+
+
+def _bench_json_path() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_TOPK_JSON", "BENCH_topk_campaign.json"
+    )
+
+
+def _write_report(section: str, body: dict) -> None:
+    path = _bench_json_path()
+    existing = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing[section] = body
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        dataset_i_config(n_transactions=N_TXNS, n_items=N_ITEMS, seed=SEED)
+    )
+
+
+@pytest.fixture(scope="module")
+def recommender(dataset):
+    miner = ProfitMiner(
+        dataset.hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=MINSUP, max_body_size=2)
+        ),
+    ).fit(dataset.db)
+    return miner.require_fitted_recommender()
+
+
+@pytest.fixture(scope="module")
+def baskets(dataset):
+    """Repeated traffic: N_BASKETS baskets cycled from the database."""
+    transactions = itertools.cycle(dataset.db.transactions)
+    return [next(transactions).nontarget_sales for _ in range(N_BASKETS)]
+
+
+def test_gate_batched_topk_beats_per_call_loop(recommender, baskets):
+    """Gate (a): memoized batch serving >= 3x the naive per-call loop."""
+    # Parity first: the speed claim is only meaningful if both paths
+    # produce the same ranked offers, pair for pair.
+    batched = recommender.recommend_top_k_many(baskets, K)
+    for basket, indexed in zip(baskets, batched):
+        naive = recommender.recommend_top_k(basket, K, naive=True)
+        assert [(p.item_id, p.promo_code) for p in indexed] == [
+            (p.item_id, p.promo_code) for p in naive
+        ], "indexed and naive top-k offers diverged"
+
+    batched_s = naive_s = 0.0
+    for _ in range(ROUNDS):
+        recommender._topk_memo.clear()  # cold memo every round
+        started = time.perf_counter()
+        recommender.recommend_top_k_many(baskets, K)
+        batched_s += time.perf_counter() - started
+        started = time.perf_counter()
+        for basket in baskets:
+            recommender.recommend_top_k(basket, K, naive=True)
+        naive_s += time.perf_counter() - started
+    speedup = naive_s / batched_s if batched_s else float("inf")
+
+    _write_report(
+        "topk_serving",
+        {
+            "n_rules": recommender.model_size,
+            "n_baskets": N_BASKETS,
+            "k": K,
+            "rounds": ROUNDS,
+            "batched_s": batched_s,
+            "naive_loop_s": naive_s,
+            "speedup": speedup,
+            "floor": TOPK_SPEEDUP_FLOOR,
+            "identical_offers": True,
+        },
+    )
+    print(
+        f"\ntop-{K} over {N_BASKETS} baskets x {ROUNDS} rounds "
+        f"({recommender.model_size} rules): batched {batched_s:.3f}s vs "
+        f"naive loop {naive_s:.3f}s -> {speedup:.1f}x "
+        f"(floor {TOPK_SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert speedup >= TOPK_SPEEDUP_FLOOR, (
+        f"batched top-k only {speedup:.1f}x faster than the per-call loop "
+        f"(floor {TOPK_SPEEDUP_FLOOR}x)"
+    )
+
+
+def _brute_force_optimum(recommender, baskets, cap):
+    """Independent reference: enumerate portfolios straight off what_if."""
+    # what_if is deterministic per distinct basket, so scoring each
+    # basket independently (no dedup) keeps the reference planner-free.
+    per_basket = []
+    pairs = set()
+    for basket in baskets:
+        scores = {}
+        for option in what_if(recommender, basket):
+            if option.expected_profit > 1e-9:
+                scores[(option.item_id, option.promo_code)] = (
+                    option.expected_profit
+                )
+                pairs.add((option.item_id, option.promo_code))
+        per_basket.append(scores)
+    best = 0.0
+    for r in range(cap + 1):
+        for combo in itertools.combinations(sorted(pairs), r):
+            value = sum(
+                max((scores[p] for p in combo if p in scores), default=0.0)
+                for scores in per_basket
+            )
+            best = max(best, value)
+    return best, len(pairs)
+
+
+def test_gate_planner_matches_brute_force(recommender, dataset):
+    """Gate (b): exact == brute force; greedy certified; constraints hold."""
+    baskets = [
+        t.nontarget_sales for t in dataset.db.transactions[:PLAN_BASKETS]
+    ]
+    started = time.perf_counter()
+    reference, n_pairs = _brute_force_optimum(recommender, baskets, PLAN_CAP)
+    brute_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    exact = plan_campaign(
+        recommender, baskets, max_offers=PLAN_CAP, method="exact"
+    )
+    exact_s = time.perf_counter() - started
+    greedy = plan_campaign(
+        recommender, baskets, max_offers=PLAN_CAP, method="greedy"
+    )
+    auto = plan_campaign(recommender, baskets, max_offers=PLAN_CAP)
+
+    assert exact.expected_profit == pytest.approx(reference), (
+        f"exact planner {exact.expected_profit} != brute force {reference}"
+    )
+    assert auto.expected_profit == pytest.approx(reference)
+    assert greedy.expected_profit <= exact.expected_profit + 1e-9
+    assert exact.expected_profit <= greedy.profit_upper_bound + 1e-9
+    assert greedy.expected_profit <= greedy.profit_upper_bound + 1e-9
+    assert len(exact.offers) <= PLAN_CAP
+
+    # Constraints hold on the selected portfolio: a one-offer budget and
+    # a halved inventory cap on the top item both bind.
+    budgeted = plan_campaign(
+        recommender, baskets, budget=1.0, offer_cost=1.0
+    )
+    assert len(budgeted.offers) <= 1
+    top_item = exact.offers[0].item_id
+    demand = sum(
+        offer.expected_units
+        for offer in exact.offers
+        if offer.item_id == top_item
+    )
+    squeezed = plan_campaign(
+        recommender,
+        baskets,
+        max_offers=PLAN_CAP,
+        inventory={top_item: demand / 2},
+    )
+    squeezed_demand = sum(
+        offer.expected_units
+        for offer in squeezed.offers
+        if offer.item_id == top_item
+    )
+    assert squeezed_demand <= demand / 2 + 1e-9
+    assert squeezed.expected_profit <= exact.expected_profit + 1e-9
+
+    _write_report(
+        "campaign_planner",
+        {
+            "n_baskets": PLAN_BASKETS,
+            "n_candidates": n_pairs,
+            "cap": PLAN_CAP,
+            "brute_force_profit": reference,
+            "exact_profit": exact.expected_profit,
+            "greedy_profit": greedy.expected_profit,
+            "greedy_upper_bound": greedy.profit_upper_bound,
+            "auto_method": auto.method,
+            "brute_force_s": brute_s,
+            "exact_s": exact_s,
+            "budget_respected": True,
+            "inventory_respected": True,
+        },
+    )
+    print(
+        f"\ncampaign planner over {PLAN_BASKETS} baskets "
+        f"({n_pairs} candidates, cap {PLAN_CAP}): exact "
+        f"${exact.expected_profit:.2f} == brute force ${reference:.2f} "
+        f"({exact_s:.3f}s vs {brute_s:.3f}s); greedy "
+        f"${greedy.expected_profit:.2f} <= bound "
+        f"${greedy.profit_upper_bound:.2f}"
+    )

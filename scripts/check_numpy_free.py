@@ -19,7 +19,11 @@ even on machines that have them installed), then:
 * exercises the shape-split columnar rule store: indexed audit queries
   must match the naive scan, and a format-v3 save/load round trip must
   reproduce the ranked view — all on ``array``-module columns with no
-  numpy in sight.
+  numpy in sight,
+* serves ranked top-k portfolios (batched vs naive parity) and plans a
+  small campaign where greedy and exact selection must agree — the
+  portfolio layer is plain-dict arithmetic and must survive a
+  numpy-free install too.
 
 Run from the repository root::
 
@@ -169,10 +173,31 @@ def main() -> None:
         restored = load_model(path)
     assert list(restored.ranked_rules) == list(recommender.ranked_rules)
 
+    # Top-k portfolios and the campaign planner are stdlib arithmetic on
+    # top of serving; both must keep working with numpy blocked.
+    from repro.campaign import plan_campaign
+
+    baskets = [t.nontarget_sales for t in db]
+    batched = recommender.recommend_top_k_many(baskets, 3)
+    for basket, indexed in zip(baskets, batched):
+        naive = recommender.recommend_top_k(basket, 3, naive=True)
+        pairs = [(r.item_id, r.promo_code) for r in indexed]
+        assert pairs == [(r.item_id, r.promo_code) for r in naive], (
+            "top-k batched vs naive diverged without numpy"
+        )
+    greedy_plan = plan_campaign(recommender, baskets, method="greedy")
+    exact_plan = plan_campaign(recommender, baskets, method="exact")
+    assert greedy_plan.offers == exact_plan.offers, (
+        "greedy and exact campaign plans diverged on the small world"
+    )
+    assert exact_plan.expected_profit > 0.0
+
     print(
         f"numpy-free fallback OK: {len(auto.all_rules)} rules mined on "
         f"big-int backend, {served}/{len(db)} baskets served, "
-        f"{len(queries)} store queries + v3 round trip verified"
+        f"{len(queries)} store queries + v3 round trip verified, "
+        f"top-3 parity on {len(baskets)} baskets, campaign plan "
+        f"${exact_plan.expected_profit:.2f} (greedy == exact)"
     )
 
 

@@ -82,6 +82,9 @@ _EXPORTS = {
     "tracing": "repro.obs",
     "OfferOption": "repro.whatif",
     "what_if": "repro.whatif",
+    "CampaignPlan": "repro.campaign",
+    "PlannedOffer": "repro.campaign",
+    "plan_campaign": "repro.campaign",
     "BehaviorAdjustedProfit": "repro.eval",
     "EvalConfig": "repro.eval",
     "EvalResult": "repro.eval",

@@ -1,0 +1,520 @@
+"""Campaign planning: from per-basket offers to a store-wide portfolio.
+
+The paper turns mined patterns into *actions* one basket at a time; a
+store manager plans one level up: "out of every promotion I could run,
+which few should the whole store actually run this week, given a budget
+and limited stock?"  This module answers that question in the style of
+the Generalized PROFSET model (optimal product selection from frequent
+sets): aggregate the per-basket expected profits of every candidate
+offer across a workload of baskets, then select the portfolio that
+maximizes total expected profit under budget and inventory constraints.
+
+The per-basket kernel is :func:`repro.whatif.what_if`: for each distinct
+basket it prices every candidate ``⟨target item, promotion code⟩`` as
+``E[profit] = acceptance × profit_per_package × quantity``.  Baskets are
+deduplicated by :func:`~repro.core.rule_index.basket_key` and weighted
+by multiplicity, so a workload of a million baskets costs one ``what_if``
+per *distinct* basket.
+
+A campaign ``S`` (a set of offers) serves each basket the best selected
+offer, so its value is::
+
+    f(S) = Σ_baskets w_b · max_{o ∈ S} E[profit_b(o)]       (max ∅ = 0)
+
+``f`` is monotone and submodular (a weighted maximum-coverage
+objective), which buys the planner its guarantee: under a cardinality
+budget the lazy greedy sweep is within ``1 − 1/e ≈ 0.63`` of optimal,
+and every run also carries a *data-dependent certificate* — by
+submodularity ``f(OPT) ≤ f(S) + Σ top-cap marginal gains at S`` — which
+:class:`CampaignPlan` reports as ``profit_upper_bound``.  Inventory
+constraints only shrink the feasible set, so the certificate (computed
+on the unconstrained relaxation) stays a valid upper bound.  At small
+scale the planner switches to exhaustive search and returns the exact
+optimum; the gated benchmark ``benchmarks/test_topk_campaign.py``
+asserts greedy ≥ its bound's implied floor and exact == brute force.
+
+Everything here is stdlib-only; the module must import and plan with
+numpy blocked (``scripts/check_numpy_free.py`` asserts it).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.mpf import MPFRecommender
+from repro.core.rule_index import basket_key
+from repro.core.sales import Sale, TransactionDB
+from repro.errors import ValidationError
+from repro.obs import trace as obs
+from repro.whatif import what_if
+
+__all__ = ["PlannedOffer", "CampaignPlan", "plan_campaign"]
+
+#: ``method="auto"`` runs exhaustive search only while the subset count
+#: stays below this; beyond it the greedy sweep (with its certificate)
+#: takes over.
+EXACT_SUBSET_LIMIT = 20_000
+
+#: Profit comparisons tolerate float noise at this absolute scale.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PlannedOffer:
+    """One selected offer with its share of the campaign's expectation."""
+
+    item_id: str
+    promo_code: str
+    #: Expected profit over the baskets this offer is assigned (its share
+    #: of the plan's total).
+    expected_profit: float
+    #: Number of workload baskets assigned to this offer.
+    n_baskets: int
+    #: Expected base units consumed: Σ acceptance × quantity × packing —
+    #: the demand the inventory constraint meters.
+    expected_units: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready row used by the CLI ``--json`` and ``POST /plan``."""
+        return {
+            "item": self.item_id,
+            "promo": self.promo_code,
+            "expected_profit": self.expected_profit,
+            "n_baskets": self.n_baskets,
+            "expected_units": self.expected_units,
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering of this offer's expected contribution."""
+        return (
+            f"{self.item_id} @ {self.promo_code}: "
+            f"E[profit]=${self.expected_profit:.2f} over "
+            f"{self.n_baskets} baskets (≈{self.expected_units:.1f} units)"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """A selected promotion portfolio with its optimality evidence."""
+
+    offers: tuple[PlannedOffer, ...]
+    #: Total expected campaign profit ``f(S)``.
+    expected_profit: float
+    #: Certified upper bound on any feasible portfolio's profit — equals
+    #: ``expected_profit`` when ``method == "exact"``.
+    profit_upper_bound: float
+    #: ``"greedy"`` or ``"exact"`` — what the selection actually ran.
+    method: str
+    n_baskets: int
+    n_distinct_baskets: int
+    n_candidates: int
+    max_offers: int | None
+    budget: float | None
+    inventory: dict[str, float]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form served by the CLI ``--json`` and ``POST /plan``."""
+        return {
+            "offers": [offer.to_dict() for offer in self.offers],
+            "expected_profit": self.expected_profit,
+            "profit_upper_bound": self.profit_upper_bound,
+            "method": self.method,
+            "n_baskets": self.n_baskets,
+            "n_distinct_baskets": self.n_distinct_baskets,
+            "n_candidates": self.n_candidates,
+            "max_offers": self.max_offers,
+            "budget": self.budget,
+            "inventory": dict(self.inventory),
+        }
+
+    def describe(self) -> str:
+        """Multi-line human rendering for reports and the CLI."""
+        lines = [
+            f"campaign plan ({self.method}): {len(self.offers)} offers, "
+            f"E[profit]=${self.expected_profit:.2f} "
+            f"(certified ≤ ${self.profit_upper_bound:.2f}) over "
+            f"{self.n_baskets} baskets",
+        ]
+        lines.extend(f"  {offer.describe()}" for offer in self.offers)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Scored:
+    """The aggregated what-if scores of one candidate offer.
+
+    ``postings`` holds ``(distinct-basket index, expected profit,
+    expected units)`` triples for the baskets where the offer has a
+    positive expectation — a sparse column of the basket × offer matrix.
+    """
+
+    pair: tuple[str, str]
+    postings: tuple[tuple[int, float, float], ...]
+
+
+def _normalize_baskets(
+    baskets: TransactionDB | Sequence[Sequence[Sale]],
+) -> list[Sequence[Sale]]:
+    if isinstance(baskets, TransactionDB):
+        return [t.nontarget_sales for t in baskets]
+    return list(baskets)
+
+
+def _score_candidates(
+    recommender: MPFRecommender, baskets: Sequence[Sequence[Sale]]
+) -> tuple[list[int], list[_Scored]]:
+    """Run the what-if kernel once per distinct basket.
+
+    Returns the per-distinct-basket workload weights and one sparse
+    scored column per candidate offer that can earn anything at all,
+    in deterministic ``(item, promo)`` order.
+    """
+    weights: list[int] = []
+    representatives: list[Sequence[Sale]] = []
+    index_of: dict[frozenset[tuple[str, str]], int] = {}
+    for basket in baskets:
+        key = basket_key(basket)
+        at = index_of.get(key)
+        if at is None:
+            index_of[key] = len(representatives)
+            representatives.append(basket)
+            weights.append(1)
+        else:
+            weights[at] += 1
+    catalog = recommender.moa.catalog
+    columns: dict[tuple[str, str], list[tuple[int, float, float]]] = {}
+    for b_idx, basket in enumerate(representatives):
+        for option in what_if(recommender, basket):
+            if option.expected_profit <= _TOL:
+                continue
+            packing = catalog.promotion(
+                option.item_id, option.promo_code
+            ).packing
+            units = (
+                option.acceptance_estimate
+                * option.quantity_estimate
+                * packing
+            )
+            columns.setdefault(
+                (option.item_id, option.promo_code), []
+            ).append((b_idx, option.expected_profit, units))
+    scored = [
+        _Scored(pair=pair, postings=tuple(columns[pair]))
+        for pair in sorted(columns)
+    ]
+    return weights, scored
+
+
+def _assignment(
+    selected: Sequence[_Scored], n_baskets: int
+) -> list[tuple[float, float, tuple[str, str]] | None]:
+    """Which selected offer serves each distinct basket.
+
+    Deterministic: the highest expectation wins, ties by lexicographic
+    ``(item, promo)``.  Baskets no selected offer can earn on get
+    ``None`` and contribute nothing (to profit or to inventory).
+    """
+    best: list[tuple[float, float, tuple[str, str]] | None] = [
+        None
+    ] * n_baskets
+    for offer in selected:
+        for b_idx, profit, units in offer.postings:
+            incumbent = best[b_idx]
+            if (
+                incumbent is None
+                or profit > incumbent[0] + _TOL
+                or (
+                    abs(profit - incumbent[0]) <= _TOL
+                    and offer.pair < incumbent[2]
+                )
+            ):
+                best[b_idx] = (profit, units, offer.pair)
+    return best
+
+
+def _plan_value(
+    selected: Sequence[_Scored], weights: Sequence[int]
+) -> float:
+    assigned = _assignment(selected, len(weights))
+    return sum(
+        weights[b] * entry[0]
+        for b, entry in enumerate(assigned)
+        if entry is not None
+    )
+
+
+def _feasible(
+    selected: Sequence[_Scored],
+    weights: Sequence[int],
+    inventory: Mapping[str, float],
+) -> bool:
+    """Whether the whole-set assignment respects every inventory cap."""
+    if not inventory:
+        return True
+    demand: dict[str, float] = {}
+    for b, entry in enumerate(_assignment(selected, len(weights))):
+        if entry is None:
+            continue
+        _, units, (item, _) = entry
+        if item in inventory:
+            demand[item] = demand.get(item, 0.0) + weights[b] * units
+    return all(
+        demand.get(item, 0.0) <= cap + _TOL
+        for item, cap in inventory.items()
+    )
+
+
+def _marginal_gain(
+    offer: _Scored,
+    current_best: Sequence[float],
+    weights: Sequence[int],
+) -> float:
+    """``Δ(offer | S)`` against the per-basket values ``S`` already earns."""
+    return sum(
+        weights[b] * (profit - current_best[b])
+        for b, profit, _ in offer.postings
+        if profit > current_best[b] + _TOL
+    )
+
+
+def plan_campaign(
+    recommender: MPFRecommender,
+    baskets: TransactionDB | Sequence[Sequence[Sale]],
+    max_offers: int | None = None,
+    budget: float | None = None,
+    offer_cost: float = 1.0,
+    inventory: Mapping[str, float] | None = None,
+    method: str = "auto",
+) -> CampaignPlan:
+    """Select the promotion portfolio to run store-wide.
+
+    Parameters
+    ----------
+    recommender:
+        The fitted MPF recommender whose rules price the offers (the
+        ``what_if`` kernel runs against it).
+    baskets:
+        The workload to plan for: a :class:`TransactionDB` (its
+        non-target sales are the baskets) or an explicit sequence of
+        baskets — typically a recent traffic sample.
+    max_offers:
+        Cardinality budget: run at most this many distinct offers.
+    budget:
+        Dollar budget; together with ``offer_cost`` (the flat cost of
+        running one promotion, default ``1.0``) it caps the portfolio at
+        ``⌊budget / offer_cost⌋`` offers.  Both caps may be given; the
+        tighter one binds.  With neither, every earning candidate may run.
+    inventory:
+        Per-item caps on *expected base units* consumed by the campaign
+        (``Σ acceptance × quantity × packing`` over assigned baskets).
+        Items absent from the mapping are unconstrained.
+    method:
+        ``"greedy"`` (lazy greedy + certificate), ``"exact"``
+        (exhaustive over every feasible subset within the cap — raises
+        when the subset count exceeds :data:`EXACT_SUBSET_LIMIT`), or
+        ``"auto"`` (exact while affordable, greedy beyond).
+    """
+    if method not in ("auto", "greedy", "exact"):
+        raise ValidationError(
+            f"method must be 'auto', 'greedy' or 'exact', got {method!r}"
+        )
+    if max_offers is not None and max_offers < 1:
+        raise ValidationError(
+            f"max_offers must be at least 1, got {max_offers}"
+        )
+    if budget is not None and budget < 0:
+        raise ValidationError(f"budget must be >= 0, got {budget}")
+    if offer_cost <= 0:
+        raise ValidationError(f"offer_cost must be positive, got {offer_cost}")
+    inventory = dict(inventory or {})
+    for item, cap in inventory.items():
+        if cap < 0:
+            raise ValidationError(
+                f"inventory for {item!r} must be >= 0, got {cap}"
+            )
+    basket_list = _normalize_baskets(baskets)
+    if not basket_list:
+        raise ValidationError("campaign planning needs at least one basket")
+
+    with obs.span("campaign", method=method):
+        with obs.span("campaign.score"):
+            weights, candidates = _score_candidates(recommender, basket_list)
+        obs.count("campaign.baskets", len(basket_list))
+        obs.count("campaign.distinct_baskets", len(weights))
+        obs.count("campaign.candidates", len(candidates))
+
+        cap = len(candidates)
+        if max_offers is not None:
+            cap = min(cap, max_offers)
+        if budget is not None:
+            cap = min(cap, int(budget / offer_cost + _TOL))
+
+        n_subsets = sum(
+            math.comb(len(candidates), r) for r in range(cap + 1)
+        )
+        if method == "exact" and n_subsets > EXACT_SUBSET_LIMIT:
+            raise ValidationError(
+                f"exact search over {n_subsets} subsets exceeds the "
+                f"{EXACT_SUBSET_LIMIT}-subset limit; use method='greedy' "
+                f"(its plan carries a certified upper bound) or tighten "
+                f"max_offers/budget"
+            )
+        resolved = (
+            "exact"
+            if method == "exact"
+            or (method == "auto" and n_subsets <= EXACT_SUBSET_LIMIT)
+            else "greedy"
+        )
+
+        with obs.span("campaign.select", resolved=resolved):
+            if resolved == "exact":
+                selected, value = _select_exact(
+                    candidates, weights, cap, inventory
+                )
+                upper = value
+            else:
+                selected, value, upper = _select_greedy(
+                    candidates, weights, cap, inventory
+                )
+        obs.count("campaign.selected", len(selected))
+
+    offers = _planned_offers(selected, weights)
+    return CampaignPlan(
+        offers=offers,
+        expected_profit=value,
+        profit_upper_bound=upper,
+        method=resolved,
+        n_baskets=len(basket_list),
+        n_distinct_baskets=len(weights),
+        n_candidates=len(candidates),
+        max_offers=max_offers,
+        budget=budget,
+        inventory=inventory,
+    )
+
+
+def _select_greedy(
+    candidates: Sequence[_Scored],
+    weights: Sequence[int],
+    cap: int,
+    inventory: Mapping[str, float],
+) -> tuple[list[_Scored], float, float]:
+    """Greedy sweep plus the submodular certificate.
+
+    Each round adds the feasible offer with the largest marginal gain
+    (ties by lexicographic pair).  The returned upper bound is
+    ``f(S) + Σ top-cap marginal gains at S`` over the *unselected*
+    offers, ignoring inventory — by submodularity no feasible portfolio
+    within the cap can beat it.
+    """
+    selected: list[_Scored] = []
+    current_best = [0.0] * len(weights)
+    rounds = 0
+    while len(selected) < cap:
+        rounds += 1
+        best_offer: _Scored | None = None
+        best_gain = 0.0
+        for offer in candidates:
+            if any(offer.pair == s.pair for s in selected):
+                continue
+            gain = _marginal_gain(offer, current_best, weights)
+            if gain <= _TOL or gain < best_gain - _TOL:
+                continue
+            if (
+                best_offer is not None
+                and abs(gain - best_gain) <= _TOL
+                and offer.pair > best_offer.pair
+            ):
+                continue
+            if inventory and not _feasible(
+                [*selected, offer], weights, inventory
+            ):
+                continue
+            best_offer, best_gain = offer, gain
+        if best_offer is None:
+            break
+        selected.append(best_offer)
+        for b, profit, _ in best_offer.postings:
+            if profit > current_best[b]:
+                current_best[b] = profit
+    obs.count("campaign.greedy_rounds", rounds)
+    value = _plan_value(selected, weights)
+    remaining = sorted(
+        (
+            _marginal_gain(offer, current_best, weights)
+            for offer in candidates
+            if not any(offer.pair == s.pair for s in selected)
+        ),
+        reverse=True,
+    )
+    upper = value + sum(remaining[:cap])
+    return selected, value, upper
+
+
+def _select_exact(
+    candidates: Sequence[_Scored],
+    weights: Sequence[int],
+    cap: int,
+    inventory: Mapping[str, float],
+) -> tuple[list[_Scored], float]:
+    """Exhaustive search over every feasible subset within the cap.
+
+    Deterministic preference: highest value, then fewer offers, then
+    lexicographic pairs — so an offer that earns nothing extra never
+    pads the optimum.
+    """
+    best: tuple[float, int, tuple[tuple[str, str], ...]] = (0.0, 0, ())
+    best_subset: list[_Scored] = []
+    examined = 0
+    for r in range(cap + 1):
+        for combo in itertools.combinations(candidates, r):
+            examined += 1
+            if inventory and not _feasible(combo, weights, inventory):
+                continue
+            value = _plan_value(combo, weights)
+            key = (value, -len(combo), tuple(s.pair for s in combo))
+            if (
+                value > best[0] + _TOL
+                or (
+                    abs(value - best[0]) <= _TOL
+                    and (key[1], key[2]) > (best[1], best[2])
+                )
+            ):
+                best = (value, -len(combo), key[2])
+                best_subset = list(combo)
+    obs.count("campaign.exact_subsets", examined)
+    return best_subset, best[0]
+
+
+def _planned_offers(
+    selected: Sequence[_Scored], weights: Sequence[int]
+) -> tuple[PlannedOffer, ...]:
+    """Fold the final assignment into per-offer stats.
+
+    Selected offers every basket deserted (a later pick dominates them
+    everywhere) carry nothing and are dropped from the reported plan.
+    """
+    totals: dict[tuple[str, str], list[float]] = {}
+    for b, entry in enumerate(_assignment(selected, len(weights))):
+        if entry is None:
+            continue
+        profit, units, pair = entry
+        stats = totals.setdefault(pair, [0.0, 0, 0.0])
+        stats[0] += weights[b] * profit
+        stats[1] += weights[b]
+        stats[2] += weights[b] * units
+    offers = [
+        PlannedOffer(
+            item_id=pair[0],
+            promo_code=pair[1],
+            expected_profit=stats[0],
+            n_baskets=int(stats[1]),
+            expected_units=stats[2],
+        )
+        for pair, stats in totals.items()
+    ]
+    offers.sort(key=lambda o: (-o.expected_profit, o.item_id, o.promo_code))
+    return tuple(offers)

@@ -266,6 +266,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the hits as a JSON document instead of a table",
     )
 
+    plan = sub.add_parser(
+        "plan",
+        help="select a store-wide promotion portfolio (campaign planning) "
+        "from a saved model and a basket workload",
+    )
+    plan.add_argument(
+        "--model",
+        required=True,
+        metavar="PATH",
+        help="model artifact written by 'fit --save-model'",
+    )
+    plan.add_argument(
+        "--data",
+        required=True,
+        help="JSON-lines transactions whose baskets form the workload",
+    )
+    plan.add_argument(
+        "--max-offers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run at most N distinct promotions",
+    )
+    plan.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="X",
+        help="campaign dollar budget; caps the portfolio at "
+        "floor(budget / offer-cost) offers",
+    )
+    plan.add_argument(
+        "--offer-cost",
+        type=float,
+        default=1.0,
+        metavar="C",
+        help="flat cost of running one promotion (default 1.0)",
+    )
+    plan.add_argument(
+        "--inventory",
+        action="append",
+        metavar="ITEM=UNITS",
+        help="cap the expected base units of ITEM the campaign may "
+        "consume; repeat for several items",
+    )
+    plan.add_argument(
+        "--method",
+        choices=["auto", "greedy", "exact"],
+        default="auto",
+        help="portfolio search: exhaustive at small scale, greedy with a "
+        "certified upper bound beyond (auto switches by subset count)",
+    )
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan as a JSON document instead of a table",
+    )
+    _add_trace_argument(plan)
+
     serve = sub.add_parser(
         "serve",
         help="run the always-on recommendation daemon over saved models",
@@ -860,6 +919,75 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_inventory_specs(specs: Sequence[str]) -> dict[str, float]:
+    """CLI ``ITEM=UNITS`` inventory caps -> the planner's mapping."""
+    inventory: dict[str, float] = {}
+    for spec in specs:
+        item, sep, units = spec.partition("=")
+        if not sep or not item:
+            raise ProfitMiningError(
+                f"--inventory expects ITEM=UNITS, got {spec!r}"
+            )
+        try:
+            inventory[item] = float(units)
+        except ValueError:
+            raise ProfitMiningError(
+                f"--inventory units must be a number, got {spec!r}"
+            ) from None
+    return inventory
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import plan_campaign
+    from repro.data.model_io import load_model
+
+    recommender = load_model(args.model)
+    db = load_transactions(args.data)
+    plan = plan_campaign(
+        recommender,
+        db,
+        max_offers=args.max_offers,
+        budget=args.budget,
+        offer_cost=args.offer_cost,
+        inventory=_parse_inventory_specs(args.inventory or ()),
+        method=args.method,
+    )
+    if args.json:
+        print(json.dumps({"model": recommender.name, **plan.to_dict()}))
+        return 0
+    if not plan.offers:
+        print(
+            f"{recommender.name}: no feasible profitable offers over "
+            f"{plan.n_baskets} baskets ({plan.n_candidates} candidates)"
+        )
+        return 0
+    print(
+        format_table(
+            ["item", "promo", "E[profit]", "baskets", "E[units]"],
+            [
+                [
+                    offer.item_id,
+                    offer.promo_code,
+                    f"{offer.expected_profit:.2f}",
+                    offer.n_baskets,
+                    f"{offer.expected_units:.1f}",
+                ]
+                for offer in plan.offers
+            ],
+            title=f"{recommender.name}: campaign plan ({plan.method}) over "
+            f"{plan.n_baskets} baskets",
+        )
+    )
+    print(
+        f"total E[profit] ${plan.expected_profit:.2f} "
+        f"(certified <= ${plan.profit_upper_bound:.2f}) from "
+        f"{len(plan.offers)} of {plan.n_candidates} candidate offers"
+    )
+    return 0
+
+
 def _parse_model_specs(specs: Sequence[str]) -> list[tuple[str | None, str]]:
     """CLI ``[NAME=]PATH`` model specs -> the daemon's (name, path) pairs.
 
@@ -909,7 +1037,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         print(
             "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
-            "POST /admin/reload (pool-wide swap), GET /healthz, "
+            "POST /plan, POST /admin/reload (pool-wide swap), GET /healthz, "
             "GET /stats (pool view), GET /stats/local",
             flush=True,
         )
@@ -930,7 +1058,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         print(
             "endpoints: POST /recommend, POST /recommend_batch, POST /query, "
-            "POST /admin/reload, GET /healthz, GET /stats",
+            "POST /plan, POST /admin/reload, GET /healthz, GET /stats",
             flush=True,
         )
         assert daemon._server is not None
@@ -978,6 +1106,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "query": _cmd_query,
+    "plan": _cmd_plan,
     "serve": _cmd_serve,
     "profile": _cmd_profile,
 }

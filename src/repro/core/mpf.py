@@ -105,6 +105,9 @@ class MPFRecommender(Recommender):
         self._compiled = compiled
         self._index: RuleMatchIndex | None = None
         self._batch_memo: dict[frozenset[tuple[str, str]], Recommendation] = {}
+        self._topk_memo: dict[
+            tuple[frozenset[tuple[str, str]], int], tuple[Recommendation, ...]
+        ] = {}
         self._fitted = True
 
     @property
@@ -286,12 +289,10 @@ class MPFRecommender(Recommender):
             return [s for s in self.ranked_rules if s.rule.body <= gsales]
         return self.rule_index.all_matches(basket)
 
-    def recommend_top_k(
+    def _top_k_picks(
         self, basket: Sequence[Sale], k: int, naive: bool = False
     ) -> list[Recommendation]:
-        """Up to ``k`` recommendations with distinct (item, promotion) pairs."""
-        if k < 1:
-            raise ValidationError(f"k must be at least 1, got {k}")
+        """The top-k matching loop shared by the single and batch paths."""
         picks: list[Recommendation] = []
         seen: set[tuple[str, str]] = set()
         for scored in self.matching_rules(basket, naive=naive):
@@ -305,6 +306,75 @@ class MPFRecommender(Recommender):
             if len(picks) == k:
                 break
         return picks
+
+    def recommend_top_k(
+        self, basket: Sequence[Sale], k: int, naive: bool = False
+    ) -> list[Recommendation]:
+        """Up to ``k`` recommendations with distinct (item, promotion) pairs.
+
+        Ranked best-first: position 0 is exactly :meth:`recommend`'s pair,
+        and the top-k list for a larger ``k`` extends the smaller one (a
+        prefix property the eval and campaign layers rely on).  The
+        indexed path routes through :meth:`recommend_top_k_many` so single
+        calls share the batch memo and telemetry; ``naive=True`` keeps the
+        direct linear-scan reference for differential testing.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be at least 1, got {k}")
+        if naive:
+            return self._top_k_picks(basket, k, naive=True)
+        return self.recommend_top_k_many([basket], k)[0]
+
+    def recommend_top_k_many(
+        self, baskets: Sequence[Sequence[Sale]], k: int, naive: bool = False
+    ) -> list[list[Recommendation]]:
+        """Batch top-k serving: one ranked offer list per basket, memoized.
+
+        The portfolio twin of :meth:`recommend_many`: results are memoized
+        by ``(basket key, k)`` in a true LRU bounded at ``_MEMO_LIMIT``
+        entries (shared budget with nothing else — the single-pair memo is
+        separate because its values are single recommendations), so
+        repeated traffic at the same ``k`` is answered with a dictionary
+        lookup.  Entries are stored as tuples and returned as fresh lists,
+        keeping memoized offers safe from caller mutation.  ``naive=True``
+        bypasses the memo and runs the reference linear scan per basket.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be at least 1, got {k}")
+        self._check_fitted()
+        if naive:
+            return [self._top_k_picks(b, k, naive=True) for b in baskets]
+        memo = self._topk_memo
+        out: list[list[Recommendation]] = []
+        memo_hits = 0
+        memo_evictions = 0
+        with obs.span("serve", mode=f"top-{k}"):
+            for basket in baskets:
+                key = (basket_key(basket), k)
+                entry = memo.get(key)
+                if entry is None:
+                    entry = tuple(self._top_k_picks(basket, k))
+                    if len(memo) >= self._MEMO_LIMIT:
+                        memo.pop(next(iter(memo)))
+                        memo_evictions += 1
+                    memo[key] = entry
+                else:
+                    # LRU: re-insert so the entry moves to the back of the
+                    # order and wins over colder ones at eviction time.
+                    memo[key] = memo.pop(key)
+                    memo_hits += 1
+                out.append(list(entry))
+        trace = obs.current_trace()
+        if trace is not None:
+            trace.count("serve.topk_baskets", len(out))
+            trace.cache_event(
+                "serve.topk_memo",
+                hits=memo_hits,
+                misses=len(out) - memo_hits,
+                evictions=memo_evictions,
+                entries=len(memo),
+            )
+        return out
 
     @property
     def model_size(self) -> int:

@@ -30,6 +30,7 @@ from repro.eval.harness import (
     run_support_sweep,
 )
 from repro.eval.metrics import (
+    NO_OFFER,
     EvalConfig,
     EvalResult,
     TransactionOutcome,
@@ -48,6 +49,7 @@ __all__ = [
     "EvalResult",
     "ExperimentScale",
     "MOA_SYSTEMS",
+    "NO_OFFER",
     "PAPER_SYSTEMS",
     "PairedComparison",
     "QuantityBehavior",

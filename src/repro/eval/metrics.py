@@ -41,9 +41,16 @@ __all__ = [
     "EvalConfig",
     "TransactionOutcome",
     "EvalResult",
+    "NO_OFFER",
     "evaluate",
     "evaluate_top_k",
 ]
+
+#: Sentinel recommendation recorded when a model offers *nothing* for a
+#: basket — possible only on rule lists without a default rule (e.g. a
+#: store filtered down to a promo subset).  Scored as a miss with zero
+#: credited profit instead of crashing the evaluation.
+NO_OFFER = Recommendation(item_id="", promo_code="")
 
 
 @dataclass(frozen=True)
@@ -293,15 +300,25 @@ def evaluate_top_k(
     hierarchy: ConceptHierarchy,
     k: int,
     config: EvalConfig | None = None,
+    naive: bool = False,
 ) -> EvalResult:
     """Score k-pair recommendations (paper Section 2's multi-rule variant).
 
     The recommender offers up to ``k`` distinct (item, promotion) pairs per
-    basket — the top-k matching rules by MPF rank.  A transaction is a hit
-    when any offered pair captures the recorded target sale; the credited
-    profit is the best credit among the hitting pairs.  The recorded-profit
-    denominator is unchanged, so top-k gains are directly comparable with
-    single-pair gains (and monotone in ``k``).
+    basket — the top-k matching rules by MPF rank, batch-served through
+    :meth:`~repro.core.mpf.MPFRecommender.recommend_top_k_many`.  A
+    transaction is a hit when any offered pair captures the recorded target
+    sale; the credited profit is the best credit among the hitting pairs.
+    The recorded-profit denominator is unchanged, so top-k gains are
+    directly comparable with single-pair gains (and, because the top-k list
+    for a larger ``k`` extends the smaller one, hit rate and credited
+    profit are monotone non-decreasing in ``k``).
+
+    A basket the model offers *nothing* for (a rule list without a default
+    rule, e.g. a store filtered to a promotion subset) is recorded as a
+    miss with the :data:`NO_OFFER` sentinel and zero credited profit.
+    ``naive=True`` scores the linear-scan reference path instead of the
+    compiled index — the differential suite requires identical outcomes.
     """
     from repro.core.mpf import MPFRecommender  # deferred: avoids a cycle
 
@@ -314,10 +331,11 @@ def evaluate_top_k(
         raise EvaluationError("validation database is empty")
     judge = _judge_for(validation, hierarchy, config.moa_hit_test)
     outcomes: list[TransactionOutcome] = []
-    for transaction in validation:
-        offers = recommender.recommend_top_k(transaction.nontarget_sales, k)
+    baskets = [t.nontarget_sales for t in validation]
+    offer_lists = recommender.recommend_top_k_many(baskets, k, naive=naive)
+    for transaction, offers in zip(validation, offer_lists):
         target = transaction.target_sale
-        best_offer = offers[0]
+        best_offer = offers[0] if offers else NO_OFFER
         best_credit = 0.0
         hit = False
         for offer in offers:

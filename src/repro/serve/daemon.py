@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from repro.campaign import plan_campaign
 from repro.core.mpf import MPFRecommender
 from repro.core.recommender import Recommendation
 from repro.core.sales import Sale
@@ -281,17 +282,40 @@ def _rec_to_dict(rec: Recommendation) -> dict[str, Any]:
     return {"item": rec.item_id, "promo": rec.promo_code}
 
 
+def _parse_k(payload: dict[str, Any]) -> int | None:
+    """The optional ``"k"`` field: a positive int, or ``None`` when absent.
+
+    ``None`` keeps the v0 single-offer wire format; any present ``k``
+    (including 1) switches the response to the ranked ``"offers"`` form.
+    """
+    k = payload.get("k")
+    if k is None:
+        return None
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise HttpError(400, f"'k' must be a positive integer, got {k!r}")
+    return k
+
+
 class RecommendDaemon:
     """Always-on HTTP/JSON serving for persisted profit-mining models.
 
     Endpoints::
 
-        POST /recommend        {"basket": [...], "model"?: "name"}
-        POST /recommend_batch  {"baskets": [[...], ...], "model"?: "name"}
+        POST /recommend        {"basket": [...], "k"?: n, "model"?: "name"}
+        POST /recommend_batch  {"baskets": [[...], ...], "k"?: n, "model"?}
         POST /query            {"head_promo"?, "head_under"?, ..., "model"?}
+        POST /plan             {"baskets": [[...], ...], "max_offers"?,
+                                "budget"?, "offer_cost"?, "inventory"?,
+                                "method"?, "model"?}
         POST /admin/reload     {"path"?: "other.json", "model"?: "name"}
         GET  /healthz
         GET  /stats
+
+    A ``"k"`` field on the recommend endpoints switches the response to
+    ranked top-k ``"offers"`` lists (micro-batching still applies: a
+    flush groups waiters by ``k`` and serves each group in one batched
+    call).  ``POST /plan`` runs the :mod:`repro.campaign` portfolio
+    optimizer over a posted basket workload.
 
     ``models`` accepts a single artifact path (the v0 form), a mapping of
     ``name -> path``, or a sequence mixing bare paths and ``(name, path)``
@@ -370,6 +394,8 @@ class RecommendDaemon:
             "requests": 0,
             "recommend_requests": 0,
             "batch_requests": 0,
+            "topk_requests": 0,
+            "plan_requests": 0,
             "query_requests": 0,
             "baskets_served": 0,
             "batches_flushed": 0,
@@ -553,16 +579,29 @@ class RecommendDaemon:
     # Serving
     # ------------------------------------------------------------------
     def _serve(
-        self, handle: ModelHandle, baskets: Sequence[Sequence[Sale]]
-    ) -> list[Recommendation]:
-        """One ``recommend_many`` call, sample-traced into the /stats trace."""
+        self,
+        handle: ModelHandle,
+        baskets: Sequence[Sequence[Sale]],
+        k: int | None = None,
+    ) -> list[Recommendation] | list[list[Recommendation]]:
+        """One batched serve call, sample-traced into the /stats trace.
+
+        ``k=None`` is the v0 single-offer path (``recommend_many``); a
+        positive ``k`` serves ranked offer lists through the memoized
+        ``recommend_top_k_many`` instead.
+        """
+        recommender = handle.recommender
+        if k is None:
+            compute = lambda: recommender.recommend_many(baskets)  # noqa: E731
+        else:
+            compute = lambda: recommender.recommend_top_k_many(baskets, k)  # noqa: E731
         self._serve_calls += 1
         self.counters["baskets_served"] += len(baskets)
         period = self.config.trace_sample_period
         if period and self._serve_calls % period == 0:
             started = time.perf_counter()
             with obs.tracing("serve.sample") as sample:
-                recommendations = handle.recommender.recommend_many(baskets)
+                recommendations = compute()
             elapsed = time.perf_counter() - started
             # Keep only counters/caches: merging span trees per sample
             # would grow the daemon-lifetime trace without bound.
@@ -572,7 +611,7 @@ class RecommendDaemon:
             self._trace.count("serve.sampled_calls", 1)
             self._trace.count("serve.sampled_seconds", elapsed)
             return recommendations
-        return handle.recommender.recommend_many(baskets)
+        return compute()
 
     async def _batch_worker(self, slot: _ModelSlot) -> None:
         """Coalesce one slot's queued requests into batch serve calls."""
@@ -582,8 +621,8 @@ class RecommendDaemon:
         linger_s = config.max_linger_ms / 1000.0
         loop = asyncio.get_running_loop()
         while True:
-            basket, future = await queue.get()
-            batch = [(basket, future)]
+            basket, k, future = await queue.get()
+            batch = [(basket, k, future)]
             # Greedily take whatever is already waiting, then linger for
             # stragglers only while the batch still has room.
             while len(batch) < config.max_batch_size:
@@ -605,18 +644,27 @@ class RecommendDaemon:
                         break
             handle = slot.handle  # one generation for the whole batch
             self.counters["batches_flushed"] += 1
-            try:
-                recommendations = self._serve(
-                    handle, [basket for basket, _ in batch]
-                )
-            except Exception as exc:  # pragma: no cover - defensive
-                for _, waiter in batch:
+            # Micro-batches mix plain and top-k requests: group by k so
+            # each group is one batched serve call (k=None rides
+            # recommend_many, each distinct k rides recommend_top_k_many)
+            # while the whole flush still serves one model generation.
+            groups: dict[int | None, list[tuple[Sequence[Sale], asyncio.Future]]]
+            groups = {}
+            for basket, k, waiter in batch:
+                groups.setdefault(k, []).append((basket, waiter))
+            for group_k, members in groups.items():
+                try:
+                    results = self._serve(
+                        handle, [basket for basket, _ in members], k=group_k
+                    )
+                except Exception as exc:  # pragma: no cover - defensive
+                    for _, waiter in members:
+                        if not waiter.done():
+                            waiter.set_exception(exc)
+                    continue
+                for (_, waiter), result in zip(members, results):
                     if not waiter.done():
-                        waiter.set_exception(exc)
-                continue
-            for (_, waiter), rec in zip(batch, recommendations):
-                if not waiter.done():
-                    waiter.set_result((handle, rec))
+                        waiter.set_result((handle, result))
 
     async def _recommend_single(self, request: Request) -> bytes:
         payload = request.json()
@@ -624,6 +672,7 @@ class RecommendDaemon:
             raise HttpError(400, "body must be {\"basket\": [...]}")
         slot = self._slot(payload.get("model"))
         basket = _parse_basket(payload["basket"])
+        k = _parse_k(payload)
         assert slot.queue is not None
         depth = self.config.max_queue_depth
         if depth and slot.queue.qsize() >= depth:
@@ -637,10 +686,14 @@ class RecommendDaemon:
                 retry_after=1,
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await slot.queue.put((basket, future))
-        handle, rec = await future
+        await slot.queue.put((basket, k, future))
+        handle, result = await future
         self.counters["recommend_requests"] += 1
-        body = _rec_to_dict(rec)
+        if k is None:
+            body = _rec_to_dict(result)
+        else:
+            self.counters["topk_requests"] += 1
+            body = {"offers": [_rec_to_dict(rec) for rec in result], "k": k}
         body["model"] = handle.recommender.name
         body["generation"] = handle.generation
         return json_response(200, body, request.keep_alive)
@@ -654,14 +707,25 @@ class RecommendDaemon:
             raise HttpError(400, "'baskets' must be a list of baskets")
         slot = self._slot(payload.get("model"))
         baskets = [_parse_basket(entry) for entry in raw]
+        k = _parse_k(payload)
         handle = slot.handle  # one generation for the whole batch
-        recommendations = self._serve(handle, baskets)
+        results = self._serve(handle, baskets, k=k)
         self.counters["batch_requests"] += 1
-        body = {
-            "recommendations": [_rec_to_dict(r) for r in recommendations],
-            "model": handle.recommender.name,
-            "generation": handle.generation,
-        }
+        body: dict[str, Any]
+        if k is None:
+            body = {
+                "recommendations": [_rec_to_dict(r) for r in results],
+            }
+        else:
+            self.counters["topk_requests"] += 1
+            body = {
+                "offers": [
+                    [_rec_to_dict(rec) for rec in ranked] for ranked in results
+                ],
+                "k": k,
+            }
+        body["model"] = handle.recommender.name
+        body["generation"] = handle.generation
         return json_response(200, body, request.keep_alive)
 
     _QUERY_FIELDS = (
@@ -705,6 +769,60 @@ class RecommendDaemon:
             "n": len(hits),
             "hits": [hit.to_dict() for hit in hits],
         }
+        return json_response(200, body, request.keep_alive)
+
+    _PLAN_FIELDS = (
+        "baskets",
+        "max_offers",
+        "budget",
+        "offer_cost",
+        "inventory",
+        "method",
+    )
+
+    async def _plan(self, request: Request) -> bytes:
+        """Campaign planning over a posted basket workload.
+
+        Body: ``{"baskets": [[...], ...], "max_offers"?, "budget"?,
+        "offer_cost"?, "inventory"?: {item: units}, "method"?, "model"?}``.
+        Constraint validation happens inside :func:`plan_campaign`; its
+        ``ValidationError`` surfaces as a 400 like any bad basket.
+        """
+        payload = request.json()
+        if not isinstance(payload, dict) or "baskets" not in payload:
+            raise HttpError(400, "body must be {\"baskets\": [[...], ...]}")
+        unknown = set(payload) - set(self._PLAN_FIELDS) - {"model"}
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown plan fields {sorted(unknown)}; "
+                f"allowed: {list(self._PLAN_FIELDS)}",
+            )
+        raw = payload["baskets"]
+        if not isinstance(raw, list):
+            raise HttpError(400, "'baskets' must be a list of baskets")
+        slot = self._slot(payload.get("model"))
+        baskets = [_parse_basket(entry) for entry in raw]
+        inventory = payload.get("inventory")
+        if inventory is not None and not isinstance(inventory, dict):
+            raise HttpError(400, "'inventory' must be an object of item: units")
+        handle = slot.handle
+        try:
+            plan = plan_campaign(
+                handle.recommender,
+                baskets,
+                max_offers=payload.get("max_offers"),
+                budget=payload.get("budget"),
+                offer_cost=payload.get("offer_cost", 1.0),
+                inventory=inventory,
+                method=payload.get("method", "auto"),
+            )
+        except TypeError as exc:
+            raise HttpError(400, str(exc)) from exc
+        self.counters["plan_requests"] += 1
+        body = plan.to_dict()
+        body["model"] = handle.recommender.name
+        body["generation"] = handle.generation
         return json_response(200, body, request.keep_alive)
 
     async def _admin_reload(self, request: Request) -> bytes:
@@ -788,6 +906,8 @@ class RecommendDaemon:
             return await self._recommend_batch(request)
         if route == ("POST", "/query"):
             return await self._query(request)
+        if route == ("POST", "/plan"):
+            return await self._plan(request)
         if route == ("POST", "/admin/reload"):
             return await self._admin_reload(request)
         if route == ("GET", "/healthz"):
@@ -795,8 +915,8 @@ class RecommendDaemon:
         if route == ("GET", "/stats"):
             return self._stats(request)
         known_paths = {
-            "/recommend", "/recommend_batch", "/query", "/admin/reload",
-            "/healthz", "/stats",
+            "/recommend", "/recommend_batch", "/query", "/plan",
+            "/admin/reload", "/healthz", "/stats",
         }
         if request.path in known_paths:
             raise HttpError(405, f"{request.method} not allowed on {request.path}")

@@ -497,3 +497,107 @@ class TestQueryCommand:
         code = main(["query", "--model", "/nonexistent/model.json"])
         assert code == 1
         assert capsys.readouterr().err
+
+
+class TestPlanCommand:
+    @pytest.fixture(scope="class")
+    def saved_world(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("cli_plan")
+        data = tmp_path / "data.jsonl"
+        main(
+            ["generate", "--transactions", "300", "--items", "40", "--out", str(data)]
+        )
+        model_path = tmp_path / "model.json"
+        assert (
+            main(
+                [
+                    "fit",
+                    "--data", str(data),
+                    "--min-support", "0.02",
+                    "--save-model", str(model_path),
+                ]
+            )
+            == 0
+        )
+        return {"model": model_path, "data": data}
+
+    def test_plan_prints_table_and_certificate(self, saved_world, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "plan",
+                    "--model", str(saved_world["model"]),
+                    "--data", str(saved_world["data"]),
+                    "--max-offers", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign plan" in out
+        assert "total E[profit]" in out
+        assert "certified <=" in out
+
+    def test_plan_json_matches_library_answer(self, saved_world, capsys):
+        from repro.campaign import plan_campaign
+        from repro.data.io import load_transactions
+        from repro.data.model_io import load_model
+
+        expected = plan_campaign(
+            load_model(saved_world["model"]),
+            load_transactions(str(saved_world["data"])),
+            max_offers=2,
+            budget=10.0,
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "plan",
+                    "--model", str(saved_world["model"]),
+                    "--data", str(saved_world["data"]),
+                    "--max-offers", "2",
+                    "--budget", "10.0",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        got = json.loads(capsys.readouterr().out)
+        assert got["method"] == expected.method
+        assert got["expected_profit"] == pytest.approx(expected.expected_profit)
+        assert got["offers"] == [offer.to_dict() for offer in expected.offers]
+
+    def test_plan_inventory_specs(self, saved_world, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "plan",
+                    "--model", str(saved_world["model"]),
+                    "--data", str(saved_world["data"]),
+                    "--inventory", "T1=0",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        got = json.loads(capsys.readouterr().out)
+        assert all(offer["item"] != "T1" for offer in got["offers"])
+        assert got["inventory"] == {"T1": 0.0}
+
+    def test_plan_rejects_bad_inventory_spec(self, saved_world, capsys):
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "plan",
+                    "--model", str(saved_world["model"]),
+                    "--data", str(saved_world["data"]),
+                    "--inventory", "oops",
+                ]
+            )
+            == 1
+        )
+        assert "ITEM=UNITS" in capsys.readouterr().err

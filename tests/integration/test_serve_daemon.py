@@ -510,3 +510,198 @@ class TestQueryEndpoint:
                 assert body["n"] == len(load_model(path).query_rules())
             # The two artifacts are structurally different models.
             assert counts["a"] != counts["b"]
+
+
+class TestTopKServing:
+    def test_single_and_batch_k_match_library(self, world):
+        from repro.core.sales import Sale
+
+        config = ServeConfig(port=0, max_linger_ms=0.0)
+        recommender = load_model(world["path_a"])
+        payloads = world["payloads"][:10]
+        baskets = [
+            [Sale(s["item"], s["promo"], s["quantity"]) for s in payload]
+            for payload in payloads
+        ]
+        expected = [
+            [(r.item_id, r.promo_code) for r in ranked]
+            for ranked in recommender.recommend_top_k_many(baskets, 3)
+        ]
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            for payload, ranked in zip(payloads, expected):
+                status, body = _request(
+                    port, "POST", "/recommend", {"basket": payload, "k": 3}
+                )
+                assert status == 200
+                assert body["k"] == 3
+                assert [
+                    (offer["item"], offer["promo"]) for offer in body["offers"]
+                ] == ranked
+                assert body["generation"] == 1
+            status, body = _request(
+                port,
+                "POST",
+                "/recommend_batch",
+                {"baskets": payloads, "k": 3},
+            )
+            assert status == 200
+            assert [
+                [(offer["item"], offer["promo"]) for offer in ranked]
+                for ranked in body["offers"]
+            ] == expected
+
+            status, stats = _request(port, "GET", "/stats")
+            assert stats["counters"]["topk_requests"] == len(payloads) + 1
+
+    def test_k_eq_1_offers_match_plain_recommendation(self, world):
+        config = ServeConfig(port=0, max_linger_ms=0.0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            payload = world["payloads"][0]
+            status, plain = _request(
+                port, "POST", "/recommend", {"basket": payload}
+            )
+            assert status == 200 and "offers" not in plain
+            status, ranked = _request(
+                port, "POST", "/recommend", {"basket": payload, "k": 1}
+            )
+            assert status == 200
+            assert ranked["offers"][0] == {
+                "item": plain["item"],
+                "promo": plain["promo"],
+            }
+
+    def test_k_validation(self, world):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            for bad_k in (0, -1, True, 1.5, "2"):
+                status, body = _request(
+                    port,
+                    "POST",
+                    "/recommend",
+                    {"basket": world["payloads"][0], "k": bad_k},
+                )
+                assert status == 400 and "'k'" in body["error"]
+                status, body = _request(
+                    port,
+                    "POST",
+                    "/recommend_batch",
+                    {"baskets": [world["payloads"][0]], "k": bad_k},
+                )
+                assert status == 400 and "'k'" in body["error"]
+
+    def test_mixed_k_microbatch(self, world):
+        """Concurrent waiters at different k coalesce without cross-talk."""
+        config = ServeConfig(port=0, max_batch_size=32, max_linger_ms=5.0)
+        payloads = world["payloads"][:8]
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            results = {}
+            lock = threading.Lock()
+
+            def call(idx, k):
+                body = {"basket": payloads[idx]}
+                if k is not None:
+                    body["k"] = k
+                outcome = _request(port, "POST", "/recommend", body)
+                with lock:
+                    results[(idx, k)] = outcome
+
+            jobs = [
+                (idx, k)
+                for idx in range(len(payloads))
+                for k in (None, 1, 2)
+            ]
+            threads = [
+                threading.Thread(target=call, args=job) for job in jobs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for (idx, k), (status, body) in results.items():
+                assert status == 200
+                single = world["expected_a"][idx]
+                if k is None:
+                    assert (body["item"], body["promo"]) == single
+                else:
+                    assert len(body["offers"]) <= k
+                    first = body["offers"][0]
+                    assert (first["item"], first["promo"]) == single
+
+
+class TestPlanEndpoint:
+    def test_plan_matches_library_answer(self, world):
+        from repro.campaign import plan_campaign
+        from repro.core.sales import Sale
+
+        config = ServeConfig(port=0)
+        payloads = world["payloads"]
+        baskets = [
+            [Sale(s["item"], s["promo"], s["quantity"]) for s in payload]
+            for payload in payloads
+        ]
+        expected = plan_campaign(
+            load_model(world["path_a"]), baskets, max_offers=2
+        )
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(
+                port,
+                "POST",
+                "/plan",
+                {"baskets": payloads, "max_offers": 2},
+            )
+            assert status == 200
+            assert body["method"] == expected.method
+            assert body["expected_profit"] == pytest.approx(
+                expected.expected_profit
+            )
+            assert [
+                (offer["item"], offer["promo"]) for offer in body["offers"]
+            ] == [
+                (offer.item_id, offer.promo_code) for offer in expected.offers
+            ]
+            assert body["generation"] == 1
+
+            status, stats = _request(port, "GET", "/stats")
+            assert stats["counters"]["plan_requests"] == 1
+
+    def test_plan_validates_fields(self, world):
+        config = ServeConfig(port=0)
+        with BackgroundDaemon(world["path_a"], config) as daemon:
+            port = daemon.port
+            status, body = _request(port, "POST", "/plan", {"bogus": 1})
+            assert status == 400
+            status, body = _request(
+                port,
+                "POST",
+                "/plan",
+                {"baskets": world["payloads"], "surprise": 1},
+            )
+            assert status == 400 and "surprise" in body["error"]
+            status, body = _request(
+                port, "POST", "/plan", {"baskets": [], "max_offers": 1}
+            )
+            assert status == 400  # planner rejects an empty workload
+            status, body = _request(
+                port,
+                "POST",
+                "/plan",
+                {"baskets": world["payloads"], "method": "magic"},
+            )
+            assert status == 400 and "method" in body["error"]
+            status, body = _request(
+                port,
+                "POST",
+                "/plan",
+                {"baskets": world["payloads"], "inventory": [1, 2]},
+            )
+            assert status == 400 and "inventory" in body["error"]
+            # Failed plans never crash serving.
+            status, _ = _request(
+                port, "POST", "/recommend", {"basket": world["payloads"][0]}
+            )
+            assert status == 200

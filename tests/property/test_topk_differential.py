@@ -1,0 +1,118 @@
+"""Property tests: top-k serving and evaluation over random worlds.
+
+Three families of invariants the portfolio layer leans on:
+
+* **Top-1 consistency** — ``recommend_top_k(b, 1)`` is bit-exactly
+  ``[recommend(b)]`` on every basket: the ranked list is anchored at the
+  single-pair recommendation.
+* **Differential parity** — the indexed top-k path (compiled matching +
+  memo) and the naive linear-scan reference produce identical offer
+  lists, and :func:`~repro.eval.metrics.evaluate_top_k` produces
+  identical outcomes through either, at every ``k``.
+* **Monotonicity in k** — a larger ``k`` extends the offer list (prefix
+  property), so the evaluated hit rate and credited profit never
+  decrease as ``k`` grows.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.mining import mine_rules
+from repro.core.mpf import MPFRecommender
+from repro.core.profit import SavingMOA
+from repro.eval.metrics import evaluate_top_k
+
+from .test_mining_properties import mining_problems
+
+
+def _fit(problem) -> tuple[MPFRecommender, object]:
+    db, moa, config = problem
+    result = mine_rules(db, moa, SavingMOA(), config)
+    return MPFRecommender(result.all_rules, moa), db
+
+
+def _pairs(picks):
+    return [(p.item_id, p.promo_code) for p in picks]
+
+
+class TestTopKServingProperties:
+    @given(mining_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_top1_is_exactly_the_single_recommendation(self, problem):
+        recommender, db = _fit(problem)
+        for t in db:
+            basket = t.nontarget_sales
+            single = recommender.recommend(basket)
+            (top,) = recommender.recommend_top_k(basket, 1)
+            assert (top.item_id, top.promo_code) == (
+                single.item_id,
+                single.promo_code,
+            )
+
+    @given(mining_problems(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_indexed_matches_naive_offer_lists(self, problem, k):
+        recommender, db = _fit(problem)
+        baskets = [t.nontarget_sales for t in db]
+        batched = recommender.recommend_top_k_many(baskets, k)
+        for basket, indexed in zip(baskets, batched):
+            naive = recommender.recommend_top_k(basket, k, naive=True)
+            assert _pairs(indexed) == _pairs(naive)
+
+    @given(mining_problems(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_property_in_k(self, problem, k):
+        recommender, db = _fit(problem)
+        for t in db:
+            basket = t.nontarget_sales
+            smaller = recommender.recommend_top_k(basket, k)
+            larger = recommender.recommend_top_k(basket, k + 2)
+            assert _pairs(larger)[: len(smaller)] == _pairs(smaller)
+
+
+class TestTopKEvalProperties:
+    @given(mining_problems(), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_eval_indexed_matches_naive_outcomes(self, problem, k):
+        recommender, db = _fit(problem)
+        hierarchy = ConceptHierarchy.for_catalog(db.catalog, {})
+        indexed = evaluate_top_k(recommender, db, hierarchy, k=k)
+        naive = evaluate_top_k(recommender, db, hierarchy, k=k, naive=True)
+        assert [
+            (
+                o.tid,
+                o.hit,
+                o.achieved_profit,
+                o.recommendation.item_id,
+                o.recommendation.promo_code,
+            )
+            for o in indexed.outcomes
+        ] == [
+            (
+                o.tid,
+                o.hit,
+                o.achieved_profit,
+                o.recommendation.item_id,
+                o.recommendation.promo_code,
+            )
+            for o in naive.outcomes
+        ]
+
+    @given(mining_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_hit_rate_and_credit_monotone_in_k(self, problem):
+        recommender, db = _fit(problem)
+        hierarchy = ConceptHierarchy.for_catalog(db.catalog, {})
+        results = [
+            evaluate_top_k(recommender, db, hierarchy, k=k)
+            for k in (1, 2, 4)
+        ]
+        hit_rates = [r.hit_rate for r in results]
+        credits = [
+            sum(o.achieved_profit for o in r.outcomes) for r in results
+        ]
+        assert hit_rates == sorted(hit_rates)
+        assert credits == sorted(credits)

@@ -1,0 +1,243 @@
+"""Unit tests for the campaign-level portfolio planner."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.campaign import (
+    CampaignPlan,
+    PlannedOffer,
+    plan_campaign,
+)
+from repro.core.miner import ProfitMiner, ProfitMinerConfig
+from repro.core.mining import MinerConfig
+from repro.core.sales import Sale
+from repro.errors import ValidationError
+from repro.whatif import what_if
+
+
+@pytest.fixture
+def recommender(small_hierarchy, small_db):
+    fitted = ProfitMiner(
+        small_hierarchy,
+        config=ProfitMinerConfig(
+            mining=MinerConfig(min_support=0.05, max_body_size=2)
+        ),
+    ).fit(small_db)
+    return fitted.require_fitted_recommender()
+
+
+def _brute_force_optimum(recommender, db, cap):
+    """Independent reference: enumerate offer subsets straight off what_if.
+
+    Scores every basket with the what-if kernel directly (no dedup, no
+    planner code) and maximizes Σ_b max_{o∈S} E[profit] by brute force.
+    """
+    per_basket: list[dict[tuple[str, str], float]] = []
+    pairs: set[tuple[str, str]] = set()
+    for transaction in db:
+        scores = {}
+        for option in what_if(recommender, transaction.nontarget_sales):
+            if option.expected_profit > 1e-9:
+                scores[(option.item_id, option.promo_code)] = (
+                    option.expected_profit
+                )
+                pairs.add((option.item_id, option.promo_code))
+        per_basket.append(scores)
+    best = 0.0
+    for r in range(cap + 1):
+        for combo in itertools.combinations(sorted(pairs), r):
+            value = sum(
+                max((scores[p] for p in combo if p in scores), default=0.0)
+                for scores in per_basket
+            )
+            best = max(best, value)
+    return best
+
+
+class TestPlanningSmallWorld:
+    def test_exact_matches_brute_force(self, recommender, small_db):
+        for cap in (1, 2, 3):
+            plan = plan_campaign(
+                recommender, small_db, max_offers=cap, method="exact"
+            )
+            reference = _brute_force_optimum(recommender, small_db, cap)
+            assert plan.expected_profit == pytest.approx(reference)
+            assert plan.profit_upper_bound == pytest.approx(reference)
+
+    def test_greedy_agrees_with_exact_here(self, recommender, small_db):
+        exact = plan_campaign(recommender, small_db, method="exact")
+        greedy = plan_campaign(recommender, small_db, method="greedy")
+        assert greedy.expected_profit == pytest.approx(exact.expected_profit)
+        assert greedy.method == "greedy"
+        assert exact.method == "exact"
+
+    def test_greedy_bound_certifies(self, recommender, small_db):
+        for cap in (1, 2):
+            greedy = plan_campaign(
+                recommender, small_db, max_offers=cap, method="greedy"
+            )
+            exact = plan_campaign(
+                recommender, small_db, max_offers=cap, method="exact"
+            )
+            assert (
+                greedy.expected_profit
+                <= greedy.profit_upper_bound + 1e-9
+            )
+            assert (
+                exact.expected_profit <= greedy.profit_upper_bound + 1e-9
+            )
+
+    def test_auto_picks_exact_at_small_scale(self, recommender, small_db):
+        plan = plan_campaign(recommender, small_db, method="auto")
+        assert plan.method == "exact"
+
+    def test_per_offer_stats_sum_to_total(self, recommender, small_db):
+        plan = plan_campaign(recommender, small_db)
+        assert sum(o.expected_profit for o in plan.offers) == pytest.approx(
+            plan.expected_profit
+        )
+        assert sum(o.n_baskets for o in plan.offers) <= plan.n_baskets
+        assert plan.n_baskets == len(small_db)
+
+    def test_accepts_explicit_basket_sequences(self, recommender, small_db):
+        baskets = [t.nontarget_sales for t in small_db]
+        from_db = plan_campaign(recommender, small_db)
+        from_lists = plan_campaign(recommender, baskets)
+        assert from_lists.expected_profit == pytest.approx(
+            from_db.expected_profit
+        )
+
+    def test_duplicate_workload_doubles_profit(self, recommender, small_db):
+        baskets = [t.nontarget_sales for t in small_db]
+        once = plan_campaign(recommender, baskets)
+        twice = plan_campaign(recommender, baskets * 2)
+        assert twice.expected_profit == pytest.approx(
+            2 * once.expected_profit
+        )
+        # Dedup means the doubled workload adds no distinct baskets.
+        assert twice.n_distinct_baskets == once.n_distinct_baskets
+        assert twice.n_baskets == 2 * once.n_baskets
+
+
+class TestConstraints:
+    def test_max_offers_respected(self, recommender, small_db):
+        for cap in (1, 2):
+            plan = plan_campaign(recommender, small_db, max_offers=cap)
+            assert len(plan.offers) <= cap
+
+    def test_profit_monotone_in_cap(self, recommender, small_db):
+        profits = [
+            plan_campaign(recommender, small_db, max_offers=cap).expected_profit
+            for cap in (1, 2, 3)
+        ]
+        assert profits == sorted(profits)
+
+    def test_budget_caps_portfolio_size(self, recommender, small_db):
+        plan = plan_campaign(
+            recommender, small_db, budget=5.0, offer_cost=2.5
+        )
+        assert len(plan.offers) <= 2
+        broke = plan_campaign(recommender, small_db, budget=0.5)
+        assert broke.offers == ()
+        assert broke.expected_profit == 0.0
+
+    def test_inventory_respected(self, recommender, small_db):
+        unconstrained = plan_campaign(recommender, small_db)
+        demand = sum(
+            offer.expected_units
+            for offer in unconstrained.offers
+            if offer.item_id == "Sunchip"
+        )
+        assert demand > 0
+        # A cap below the unconstrained demand must change the plan...
+        squeezed = plan_campaign(
+            recommender, small_db, inventory={"Sunchip": demand / 2}
+        )
+        assert sum(
+            offer.expected_units
+            for offer in squeezed.offers
+            if offer.item_id == "Sunchip"
+        ) <= demand / 2 + 1e-9
+        assert squeezed.expected_profit <= unconstrained.expected_profit + 1e-9
+        # ...while a cap above it changes nothing.
+        roomy = plan_campaign(
+            recommender, small_db, inventory={"Sunchip": demand * 2}
+        )
+        assert roomy.expected_profit == pytest.approx(
+            unconstrained.expected_profit
+        )
+
+    def test_unknown_inventory_item_is_inert(self, recommender, small_db):
+        base = plan_campaign(recommender, small_db)
+        plan = plan_campaign(
+            recommender, small_db, inventory={"NotAnItem": 0.0}
+        )
+        assert plan.expected_profit == pytest.approx(base.expected_profit)
+
+
+class TestValidationAndLimits:
+    def test_rejects_bad_arguments(self, recommender, small_db):
+        with pytest.raises(ValidationError, match="method"):
+            plan_campaign(recommender, small_db, method="magic")
+        with pytest.raises(ValidationError, match="max_offers"):
+            plan_campaign(recommender, small_db, max_offers=0)
+        with pytest.raises(ValidationError, match="budget"):
+            plan_campaign(recommender, small_db, budget=-1.0)
+        with pytest.raises(ValidationError, match="offer_cost"):
+            plan_campaign(recommender, small_db, offer_cost=0.0)
+        with pytest.raises(ValidationError, match="inventory"):
+            plan_campaign(recommender, small_db, inventory={"Sunchip": -1.0})
+        with pytest.raises(ValidationError, match="basket"):
+            plan_campaign(recommender, [])
+
+    def test_exact_over_limit_raises_auto_degrades(
+        self, recommender, small_db, monkeypatch
+    ):
+        import repro.campaign as campaign
+
+        monkeypatch.setattr(campaign, "EXACT_SUBSET_LIMIT", 1)
+        with pytest.raises(ValidationError, match="subset"):
+            plan_campaign(recommender, small_db, method="exact")
+        plan = plan_campaign(recommender, small_db, method="auto")
+        assert plan.method == "greedy"
+
+
+class TestReporting:
+    def test_to_dict_round_trips_through_json(self, recommender, small_db):
+        import json
+
+        plan = plan_campaign(recommender, small_db, max_offers=2)
+        doc = json.loads(json.dumps(plan.to_dict()))
+        assert doc["method"] == plan.method
+        assert doc["expected_profit"] == pytest.approx(plan.expected_profit)
+        assert len(doc["offers"]) == len(plan.offers)
+        assert doc["max_offers"] == 2
+
+    def test_describe_mentions_offers(self, recommender, small_db):
+        plan = plan_campaign(recommender, small_db)
+        text = plan.describe()
+        assert "campaign plan" in text
+        for offer in plan.offers:
+            assert offer.item_id in text
+
+    def test_dataclasses_exported_at_top_level(self):
+        import repro
+
+        assert repro.plan_campaign is plan_campaign
+        assert repro.CampaignPlan is CampaignPlan
+        assert repro.PlannedOffer is PlannedOffer
+
+    def test_obs_instrumentation(self, recommender, small_db):
+        from repro import obs
+
+        with obs.tracing("plan") as trace:
+            plan_campaign(recommender, small_db)
+        assert trace.counters["campaign.baskets"] == len(small_db)
+        assert trace.counters["campaign.distinct_baskets"] >= 1
+        assert trace.counters["campaign.candidates"] >= 1
+        assert trace.counters["campaign.exact_subsets"] >= 1
+        names = [span["name"] for span in trace.to_dict()["spans"]]
+        assert "campaign" in names

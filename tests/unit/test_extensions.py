@@ -87,6 +87,21 @@ class TestTopKEvaluation:
         ]
         assert gains[0] <= gains[1] + 1e-9
 
+    def test_naive_passthrough_matches_indexed(
+        self, fitted, small_db, small_hierarchy
+    ):
+        recommender = fitted.require_fitted_recommender()
+        for k in (1, 2, 4):
+            indexed = evaluate_top_k(
+                recommender, small_db, small_hierarchy, k=k
+            )
+            naive = evaluate_top_k(
+                recommender, small_db, small_hierarchy, k=k, naive=True
+            )
+            assert [
+                (o.tid, o.hit, o.achieved_profit) for o in indexed.outcomes
+            ] == [(o.tid, o.hit, o.achieved_profit) for o in naive.outcomes]
+
     def test_result_name_carries_k(self, fitted, small_db, small_hierarchy):
         result = evaluate_top_k(
             fitted.require_fitted_recommender(), small_db, small_hierarchy, k=2
@@ -99,3 +114,81 @@ class TestTopKEvaluation:
             evaluate_top_k(recommender, small_db, small_hierarchy, k=0)
         with pytest.raises(EvaluationError, match="MPFRecommender"):
             evaluate_top_k(fitted, small_db, small_hierarchy, k=1)  # type: ignore[arg-type]
+
+
+def _filtered_serving_view(recommender, keep):
+    """A serving view of ``recommender`` with only the rules ``keep`` admits.
+
+    Simulates a filtered rule store (e.g. a store restricted to a promo
+    subset, dropping the default rule): mutate the ranked list in place
+    and drop every derived serving structure so the compiled index and
+    memos rebuild from the filtered rules.
+    """
+    recommender.ranked_rules = [
+        scored for scored in recommender.ranked_rules if keep(scored)
+    ]
+    recommender._compiled = None
+    recommender._index = None
+    recommender._batch_memo.clear()
+    recommender._topk_memo.clear()
+    return recommender
+
+
+class TestTopKWithoutDefaultRule:
+    """Regression: a default-less model must eval as misses, not crash.
+
+    ``evaluate_top_k`` used to read ``offers[0]`` before checking the
+    list was non-empty, so the first basket no rule matched raised
+    IndexError instead of scoring a miss.
+    """
+
+    @pytest.fixture
+    def defaultless(self, small_hierarchy, small_db):
+        fitted = ProfitMiner(
+            small_hierarchy,
+            config=ProfitMinerConfig(
+                mining=MinerConfig(min_support=0.05, max_body_size=2)
+            ),
+        ).fit(small_db)
+        # Keep only rules whose body mentions Perfume (or its concept), so
+        # the 29 bread-only baskets of small_db match nothing at all.
+        return _filtered_serving_view(
+            fitted.require_fitted_recommender(),
+            keep=lambda scored: any(
+                gsale.node in ("Perfume", "Beauty")
+                for gsale in scored.rule.body
+            ),
+        )
+
+    def test_empty_offer_list_served(self, defaultless):
+        # A basket of items no mined rule mentions gets no offers at all.
+        assert defaultless.recommend_top_k([Sale("Bread", "P2")], k=3) == []
+
+    def test_eval_records_no_offer_miss(
+        self, defaultless, small_db, small_hierarchy
+    ):
+        from repro.eval.metrics import NO_OFFER
+
+        result = evaluate_top_k(defaultless, small_db, small_hierarchy, k=2)
+        uncovered = [
+            outcome
+            for outcome in result.outcomes
+            if outcome.recommendation == NO_OFFER
+        ]
+        assert uncovered, "expected at least one no-offer basket"
+        assert all(not outcome.hit for outcome in uncovered)
+        assert all(
+            outcome.achieved_profit == 0.0 for outcome in uncovered
+        )
+        assert len(result.outcomes) == len(small_db)
+
+    def test_naive_path_agrees_on_defaultless_model(
+        self, defaultless, small_db, small_hierarchy
+    ):
+        indexed = evaluate_top_k(defaultless, small_db, small_hierarchy, k=2)
+        naive = evaluate_top_k(
+            defaultless, small_db, small_hierarchy, k=2, naive=True
+        )
+        assert [
+            (o.tid, o.hit, o.achieved_profit) for o in indexed.outcomes
+        ] == [(o.tid, o.hit, o.achieved_profit) for o in naive.outcomes]

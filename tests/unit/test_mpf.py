@@ -118,6 +118,83 @@ class TestTopK:
     def test_k_validation(self, recommender):
         with pytest.raises(ValidationError, match="k"):
             recommender.recommend_top_k([Sale("Perfume", "P1")], k=0)
+        with pytest.raises(ValidationError, match="k"):
+            recommender.recommend_top_k_many([[Sale("Perfume", "P1")]], k=0)
+
+    def test_naive_matches_indexed(self, recommender):
+        for basket in ([Sale("Perfume", "P1")], [Sale("Bread", "P1")], []):
+            for k in (1, 2, 5):
+                indexed = recommender.recommend_top_k(basket, k)
+                naive = recommender.recommend_top_k(basket, k, naive=True)
+                assert [(p.item_id, p.promo_code) for p in indexed] == [
+                    (p.item_id, p.promo_code) for p in naive
+                ]
+
+    def test_prefix_property(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        small = recommender.recommend_top_k(basket, 1)
+        large = recommender.recommend_top_k(basket, 4)
+        assert [(p.item_id, p.promo_code) for p in small] == [
+            (p.item_id, p.promo_code) for p in large[: len(small)]
+        ]
+
+
+class TestTopKMany:
+    def test_matches_per_call_loop(self, recommender):
+        baskets = [
+            [Sale("Perfume", "P1")],
+            [Sale("Bread", "P1")],
+            [Sale("Bread", "P2")],
+            [],
+        ]
+        batched = recommender.recommend_top_k_many(baskets, 3)
+        looped = [recommender.recommend_top_k(b, 3) for b in baskets]
+        assert [
+            [(p.item_id, p.promo_code) for p in ranked] for ranked in batched
+        ] == [
+            [(p.item_id, p.promo_code) for p in ranked] for ranked in looped
+        ]
+
+    def test_repeat_baskets_hit_the_memo(self, recommender):
+        from repro import obs
+
+        basket = [Sale("Perfume", "P1")]
+        with obs.tracing("topk") as trace:
+            recommender.recommend_top_k_many([basket, basket, basket], 2)
+        stats = trace.caches["serve.topk_memo"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert trace.counters["serve.topk_baskets"] == 3
+
+    def test_memo_keyed_by_k(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        recommender.recommend_top_k_many([basket], 1)
+        recommender.recommend_top_k_many([basket], 3)
+        keys = {k for _, k in recommender._topk_memo}
+        assert keys == {1, 3}
+
+    def test_caller_mutation_does_not_corrupt_memo(self, recommender):
+        basket = [Sale("Perfume", "P1")]
+        (first,) = recommender.recommend_top_k_many([basket], 2)
+        expected = [(p.item_id, p.promo_code) for p in first]
+        first.clear()  # abuse the returned list
+        (second,) = recommender.recommend_top_k_many([basket], 2)
+        assert [(p.item_id, p.promo_code) for p in second] == expected
+
+    def test_lru_evicts_single_coldest_entry(self, recommender, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setattr(MPFRecommender, "_MEMO_LIMIT", 2)
+        baskets = [
+            [Sale("Perfume", "P1")],
+            [Sale("Bread", "P1")],
+            [Sale("Bread", "P2")],
+        ]
+        with obs.tracing("topk") as trace:
+            recommender.recommend_top_k_many(baskets, 2)
+        stats = trace.caches["serve.topk_memo"]
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
 
 
 class TestIntrospection:

@@ -22,6 +22,7 @@ MODULES = [
     "repro.baselines.decision_tree",
     "repro.baselines.knn",
     "repro.baselines.mpi",
+    "repro.campaign",
     "repro.cli",
     "repro.core",
     "repro.core.covering",
